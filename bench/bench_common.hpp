@@ -1,0 +1,197 @@
+// Shared benchmark infrastructure: adapters binding the three evaluated
+// structures to the YCSB driver, environment-variable scaling, and
+// table-style output helpers.
+//
+// Scale defaults are sized for a small machine; the thesis ran 100M records
+// on an 80-core 4-socket box. Override with:
+//   UPSL_BENCH_RECORDS   preloaded key count        (default 20000)
+//   UPSL_BENCH_OPS       operations per measurement (default 40000)
+//   UPSL_BENCH_THREADS   space-separated list       (default "1 2 4")
+//   UPSL_PERSIST_DELAY_NS  extra latency per persist, models the PMEM
+//                          write path (default 50, ~Optane's 94ns store
+//                          latency minus DRAM's; set 0 to disable)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bztree/bztree.hpp"
+#include "core/upskiplist.hpp"
+#include "lockskiplist/lock_skiplist.hpp"
+#include "ycsb/runner.hpp"
+
+namespace upsl::bench {
+
+inline std::uint64_t env_u64(const char* name, std::uint64_t def) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::strtoull(v, nullptr, 10) : def;
+}
+
+inline std::vector<unsigned> env_threads() {
+  std::vector<unsigned> threads;
+  const char* v = std::getenv("UPSL_BENCH_THREADS");
+  std::string s = v != nullptr ? v : "1 2 4";
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const std::size_t end = s.find(' ', pos);
+    const std::string tok = s.substr(pos, end - pos);
+    if (!tok.empty()) threads.push_back(static_cast<unsigned>(std::stoul(tok)));
+    if (end == std::string::npos) break;
+    pos = end + 1;
+  }
+  return threads;
+}
+
+struct BenchScale {
+  std::uint64_t records = env_u64("UPSL_BENCH_RECORDS", 20000);
+  std::uint64_t ops = env_u64("UPSL_BENCH_OPS", 40000);
+  std::vector<unsigned> threads = env_threads();
+};
+
+inline void apply_persist_delay() {
+  pmem::Config::instance().persist_delay_ns =
+      static_cast<std::uint32_t>(env_u64("UPSL_PERSIST_DELAY_NS", 50));
+}
+
+inline std::string bench_dir() {
+  auto dir = std::filesystem::path("/tmp") /
+             ("upsl_bench_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+// ---- adapters --------------------------------------------------------------
+
+class UPSLAdapter : public ycsb::KVAdapter {
+ public:
+  /// num_pools > 1 = NUMA-aware multi-pool mode; 1 = "striped device".
+  explicit UPSLAdapter(std::uint64_t records, unsigned num_pools = 1,
+                       std::uint32_t keys_per_node = 256,
+                       unsigned max_threads = 16) {
+    riv::Runtime::instance().reset();
+    core::Options opts;
+    opts.keys_per_node = keys_per_node;
+    opts.max_height = 32;
+    opts.max_threads = max_threads;
+    opts.chunk.chunk_size = 4ull << 20;
+    // Size the pools for the record count with ample slack.
+    const std::uint64_t node_bytes =
+        core::NodeLayout{keys_per_node, opts.max_height}.node_size();
+    const std::uint64_t need =
+        records * 3 * node_bytes / std::max(1u, keys_per_node / 2) +
+        (opts.chunk.chunk_size * (max_threads + 4)) + (256ull << 20) / 4;
+    opts.chunk.max_chunks = static_cast<std::uint32_t>(
+        std::max<std::uint64_t>(32, need / opts.chunk.chunk_size / num_pools));
+    const std::uint64_t pool_bytes = (4ull << 20) + opts.chunk.root_size +
+                                     opts.chunk.max_chunks *
+                                         opts.chunk.chunk_size;
+    for (unsigned i = 0; i < num_pools; ++i) {
+      pools_.push_back(pmem::Pool::create_anonymous(
+          static_cast<std::uint16_t>(i), pool_bytes, {}));
+    }
+    std::vector<pmem::Pool*> raw;
+    for (auto& p : pools_) raw.push_back(p.get());
+    store_ = core::UPSkipList::create(raw, opts);
+  }
+  ~UPSLAdapter() override {
+    store_.reset();
+    pools_.clear();
+    riv::Runtime::instance().reset();
+  }
+
+  std::optional<std::uint64_t> insert(std::uint64_t k, std::uint64_t v) override {
+    return store_->insert(k, v);
+  }
+  std::optional<std::uint64_t> search(std::uint64_t k) override {
+    return store_->search(k);
+  }
+  std::optional<std::uint64_t> remove(std::uint64_t k) override {
+    return store_->remove(k);
+  }
+  core::UPSkipList& store() { return *store_; }
+
+ private:
+  std::vector<std::unique_ptr<pmem::Pool>> pools_;
+  std::unique_ptr<core::UPSkipList> store_;
+};
+
+class BzAdapter : public ycsb::KVAdapter {
+ public:
+  explicit BzAdapter(std::uint64_t records, std::uint32_t descriptors = 100000) {
+    const std::uint64_t pool_bytes =
+        (64ull << 20) + records * 200 +
+        sizeof(pmwcas::Descriptor) * descriptors;
+    pool_ = pmem::Pool::create_anonymous(40, align_up(pool_bytes, 4096), {});
+    bztree::BzTree::Config cfg;
+    cfg.leaf_capacity = 64;
+    cfg.internal_capacity = 64;
+    cfg.descriptor_count = descriptors;
+    tree_ = bztree::BzTree::create(*pool_, cfg);
+  }
+
+  std::optional<std::uint64_t> insert(std::uint64_t k, std::uint64_t v) override {
+    return tree_->insert(k, v);
+  }
+  std::optional<std::uint64_t> search(std::uint64_t k) override {
+    return tree_->search(k);
+  }
+  std::optional<std::uint64_t> remove(std::uint64_t k) override {
+    return tree_->remove(k);
+  }
+  bztree::BzTree& tree() { return *tree_; }
+  pmem::Pool& pool() { return *pool_; }
+
+ private:
+  std::unique_ptr<pmem::Pool> pool_;
+  std::unique_ptr<bztree::BzTree> tree_;
+};
+
+class LSLAdapter : public ycsb::KVAdapter {
+ public:
+  explicit LSLAdapter(std::uint64_t records) {
+    const std::uint64_t pool_bytes = (64ull << 20) + records * 1400;
+    pool_ = pmem::Pool::create_anonymous(41, align_up(pool_bytes, 4096), {});
+    list_ = lsl::LockSkipList::create(*pool_);
+  }
+
+  std::optional<std::uint64_t> insert(std::uint64_t k, std::uint64_t v) override {
+    return list_->insert(k, v);
+  }
+  std::optional<std::uint64_t> search(std::uint64_t k) override {
+    return list_->search(k);
+  }
+  std::optional<std::uint64_t> remove(std::uint64_t k) override {
+    return list_->remove(k);
+  }
+  lsl::LockSkipList& list() { return *list_; }
+  pmem::Pool& pool() { return *pool_; }
+
+ private:
+  std::unique_ptr<pmem::Pool> pool_;
+  std::unique_ptr<lsl::LockSkipList> list_;
+};
+
+// ---- measurement helpers ----------------------------------------------------
+
+/// One throughput measurement: fresh store, preload, timed playback.
+template <typename MakeAdapter>
+double measure_mops(MakeAdapter&& make, const ycsb::WorkloadSpec& spec,
+                    std::uint64_t records, std::uint64_t ops, unsigned threads,
+                    std::uint64_t seed = 42) {
+  auto adapter = make();
+  const ycsb::Trace trace = ycsb::generate(spec, records, ops, threads, seed);
+  ycsb::preload(*adapter, trace);
+  const ycsb::RunStats stats = ycsb::run_trace(*adapter, trace, false);
+  return stats.mops();
+}
+
+inline void print_header(const char* title, const char* paper_note) {
+  std::printf("\n=== %s ===\n", title);
+  std::printf("    (paper reference: %s)\n", paper_note);
+}
+
+}  // namespace upsl::bench

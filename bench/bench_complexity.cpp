@@ -1,0 +1,93 @@
+// Table 2.1 sanity: skip list operations are expected O(log n) — search
+// cost should grow logarithmically (roughly +constant per doubling), not
+// linearly, across two orders of magnitude of structure size. Also sweeps
+// keys-per-node, the thesis' main structural tuning knob (§5.1.2 chose 256
+// "through trial and error").
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "common/thread_registry.hpp"
+#include "core/upskiplist.hpp"
+#include "ycsb/ycsb.hpp"
+
+namespace {
+
+using namespace upsl;
+
+std::unique_ptr<core::UPSkipList> make_store(
+    std::vector<std::unique_ptr<pmem::Pool>>& pools, std::uint32_t keys_per_node,
+    bool sorted_splits = false) {
+  ThreadRegistry::instance().bind(0);
+  riv::Runtime::instance().reset();
+  core::Options opts;
+  opts.sorted_splits = sorted_splits;
+  opts.keys_per_node = keys_per_node;
+  opts.max_height = 32;
+  opts.max_threads = 4;
+  opts.chunk.chunk_size = 4 << 20;
+  opts.chunk.max_chunks = 100;
+  pools.clear();
+  pools.push_back(pmem::Pool::create_anonymous(
+      0, (8ull << 20) + 100ull * (4 << 20), {}));
+  return core::UPSkipList::create({pools[0].get()}, opts);
+}
+
+void BM_SearchVsSize(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  std::vector<std::unique_ptr<pmem::Pool>> pools;
+  auto store = make_store(pools, 64);
+  for (std::uint64_t i = 0; i < n; ++i) store->insert(ycsb::key_of(i), i + 1);
+  Xoshiro256 rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store->search(ycsb::key_of(rng.next_below(n))));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  store.reset();
+  riv::Runtime::instance().reset();
+}
+BENCHMARK(BM_SearchVsSize)->Arg(1 << 10)->Arg(1 << 12)->Arg(1 << 14)->Arg(1 << 16);
+
+void BM_KeysPerNodeSweep(benchmark::State& state) {
+  const auto kpn = static_cast<std::uint32_t>(state.range(0));
+  constexpr std::uint64_t kN = 1 << 14;
+  std::vector<std::unique_ptr<pmem::Pool>> pools;
+  auto store = make_store(pools, kpn);
+  for (std::uint64_t i = 0; i < kN; ++i) store->insert(ycsb::key_of(i), i + 1);
+  Xoshiro256 rng(6);
+  for (auto _ : state) {
+    const std::uint64_t key = ycsb::key_of(rng.next_below(kN));
+    if (rng.next_below(2) == 0) {
+      benchmark::DoNotOptimize(store->search(key));
+    } else {
+      benchmark::DoNotOptimize(store->insert(key, rng.next() >> 2));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  store.reset();
+  riv::Runtime::instance().reset();
+}
+BENCHMARK(BM_KeysPerNodeSweep)->Arg(1)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_SortedSplitLookup(benchmark::State& state) {
+  // §7 future-work ablation: binary search over the sorted prefix of
+  // split-produced nodes vs the default linear scan, read-only at 256
+  // keys/node (where scans are longest).
+  const bool sorted = state.range(0) != 0;
+  constexpr std::uint64_t kN = 1 << 15;
+  std::vector<std::unique_ptr<pmem::Pool>> pools;
+  auto store = make_store(pools, 256, sorted);
+  for (std::uint64_t i = 0; i < kN; ++i) store->insert(ycsb::key_of(i), i + 1);
+  Xoshiro256 rng(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store->search(ycsb::key_of(rng.next_below(kN))));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel(sorted ? "sorted_splits" : "linear_scan");
+  store.reset();
+  riv::Runtime::instance().reset();
+}
+BENCHMARK(BM_SortedSplitLookup)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

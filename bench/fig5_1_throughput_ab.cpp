@@ -1,0 +1,44 @@
+// Figure 5.1: throughput vs thread count for YCSB workloads A (update-heavy,
+// 50/50, zipfian) and B (read-mostly, 95/5, zipfian) across UPSkipList,
+// BzTree and the PMDK lock-based skip list.
+//
+// Paper shape to reproduce: UPSkipList beats BzTree by ~76% on A (BzTree's
+// PMwCAS becomes the bottleneck as update contention grows) and by ~3% on B;
+// the lock-based skip list trails UPSkipList everywhere (roughly half its
+// throughput) but overtakes BzTree at high concurrency on A.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace upsl;
+  using namespace upsl::bench;
+  apply_persist_delay();
+  const BenchScale scale;
+
+  print_header("Figure 5.1 — YCSB A and B throughput (Mops/s)",
+               "UPSkipList > lock-based SL everywhere; BzTree collapses on A "
+               "at high concurrency");
+  std::printf("%-18s %-14s %8s %12s\n", "workload", "structure", "threads",
+              "Mops/s");
+
+  for (const auto& spec : {ycsb::kWorkloadA, ycsb::kWorkloadB}) {
+    for (unsigned threads : scale.threads) {
+      const double upsl_mops = measure_mops(
+          [&] { return std::make_unique<UPSLAdapter>(scale.records); }, spec,
+          scale.records, scale.ops, threads);
+      std::printf("%-18s %-14s %8u %12.3f\n", spec.name, "UPSkipList",
+                  threads, upsl_mops);
+      const double bz_mops = measure_mops(
+          [&] { return std::make_unique<BzAdapter>(scale.records); }, spec,
+          scale.records, scale.ops, threads);
+      std::printf("%-18s %-14s %8u %12.3f\n", spec.name, "BzTree", threads,
+                  bz_mops);
+      const double lsl_mops = measure_mops(
+          [&] { return std::make_unique<LSLAdapter>(scale.records); }, spec,
+          scale.records, scale.ops, threads);
+      std::printf("%-18s %-14s %8u %12.3f\n", spec.name, "PMDK-lock-SL",
+                  threads, lsl_mops);
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Figure 5.4 + Table 5.2: UPSkipList on a single "striped" pool (the RIV
+// pool-lookup stage is skipped) vs on four NUMA-aware pools (full two-stage
+// lookup, allocation spread across virtual nodes by thread id).
+//
+// Paper shape to reproduce: NUMA awareness costs only a little — an average
+// 5.6% throughput reduction (A 5.1%, B 5.6%, C 5.9%, D 6.0%) in exchange
+// for making locality-aware algorithms possible.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace upsl;
+  using namespace upsl::bench;
+  apply_persist_delay();
+  const BenchScale scale;
+  const unsigned threads = scale.threads.empty() ? 4 : scale.threads.back();
+
+  print_header("Figure 5.4 / Table 5.2 — striped single pool vs NUMA-aware "
+               "multi-pool",
+               "multi-pool averages ~5.6% slower (A 5.1 / B 5.6 / C 5.9 / "
+               "D 6.0 %)");
+  std::printf("%-18s %16s %16s %12s\n", "workload", "striped (Mops/s)",
+              "4 pools (Mops/s)", "reduction");
+
+  double sum_reduction = 0;
+  int n = 0;
+  for (const auto& spec : {ycsb::kWorkloadA, ycsb::kWorkloadB,
+                           ycsb::kWorkloadC, ycsb::kWorkloadD}) {
+    const double striped = measure_mops(
+        [&] { return std::make_unique<UPSLAdapter>(scale.records, 1); }, spec,
+        scale.records, scale.ops, threads);
+    const double numa = measure_mops(
+        [&] { return std::make_unique<UPSLAdapter>(scale.records, 4); }, spec,
+        scale.records, scale.ops, threads);
+    const double reduction =
+        striped > 0 ? (striped - numa) / striped * 100.0 : 0.0;
+    sum_reduction += reduction;
+    ++n;
+    std::printf("%-18s %16.3f %16.3f %11.1f%%\n", spec.name, striped, numa,
+                reduction);
+    std::fflush(stdout);
+  }
+  std::printf("%-18s %16s %16s %11.1f%%   (paper: 5.6%%)\n", "average", "",
+              "", sum_reduction / n);
+  return 0;
+}

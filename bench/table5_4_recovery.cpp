@@ -1,0 +1,106 @@
+// Table 5.4: recovery time — the time from "reconnect to the pools" until
+// the structure can serve new requests, after an insert-heavy run is cut
+// short.
+//
+// Paper shape to reproduce (absolute numbers depend on the machine):
+//   UPSkipList        83.7 ms   (reconnect + one persisted epoch bump;
+//                                repair is deferred into run time)
+//   BzTree 500K desc   760 ms   (full descriptor-pool scan)
+//   BzTree 100K desc   239 ms   (≈ linear in the descriptor count)
+//   PMDK lock-based SL 55.5 ms  (reconnect + rollback of <= #threads txs)
+// i.e. BzTree ≈ 9x UPSkipList at 500K descriptors, and BzTree's recovery
+// scales with its descriptor pool, not with the data.
+#include <chrono>
+
+#include "bench_common.hpp"
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace upsl;
+  using namespace upsl::bench;
+  apply_persist_delay();
+  const BenchScale scale;
+  constexpr int kTrials = 3;
+
+  print_header("Table 5.4 — recovery time (average of 3 trials, ms)",
+               "UPSkipList ~84ms ≈ PMDK-SL ~56ms << BzTree 239ms@100K / "
+               "760ms@500K descriptors");
+  std::printf("%-26s %14s\n", "structure", "recovery (ms)");
+
+  // --- UPSkipList: reconnect + epoch bump -------------------------------
+  {
+    double total = 0;
+    for (int t = 0; t < kTrials; ++t) {
+      UPSLAdapter adapter(scale.records);
+      const auto trace = ycsb::generate(ycsb::WorkloadSpec{"ins", 0, 0, 1.0,
+                                                           ycsb::Distribution::kUniform},
+                                        scale.records, scale.ops, 2, 3);
+      ycsb::preload(adapter, trace);
+      // "Crash": rebuild all DRAM-side state from the pools.
+      auto& store = adapter.store();
+      std::vector<pmem::Pool*> pools;
+      for (std::uint32_t i = 0; i < store.num_pools(); ++i)
+        pools.push_back(pmem::PoolRegistry::instance().by_id(
+            static_cast<std::uint16_t>(i)));
+      const auto t0 = std::chrono::steady_clock::now();
+      riv::Runtime::instance().reset();
+      auto reopened = core::UPSkipList::open(pools);
+      reopened->search(ycsb::key_of(1));  // first request served
+      total += ms_since(t0);
+    }
+    std::printf("%-26s %14.2f   (paper: 83.7)\n", "UPSkipList", total / kTrials);
+  }
+
+  // --- BzTree at two descriptor-pool sizes ------------------------------
+  for (const std::uint32_t descs : {500000u, 100000u}) {
+    double total = 0;
+    for (int t = 0; t < kTrials; ++t) {
+      BzAdapter adapter(scale.records, descs);
+      const auto trace = ycsb::generate(ycsb::WorkloadSpec{"ins", 0, 0, 1.0,
+                                                           ycsb::Distribution::kUniform},
+                                        scale.records, scale.ops, 2, 3);
+      ycsb::preload(adapter, trace);
+      const auto t0 = std::chrono::steady_clock::now();
+      auto reopened = bztree::BzTree::open(adapter.pool());
+      reopened->search(ycsb::key_of(1));
+      total += ms_since(t0);
+    }
+    std::printf("BzTree (%6u desc.)       %14.2f   (paper: %s)\n", descs,
+                total / kTrials, descs == 500000u ? "760" : "239");
+  }
+
+  // --- PMDK lock-based skip list: reconnect + tx rollback ----------------
+  {
+    double total = 0;
+    for (int t = 0; t < kTrials; ++t) {
+      LSLAdapter adapter(scale.records);
+      const auto trace = ycsb::generate(ycsb::WorkloadSpec{"ins", 0, 0, 1.0,
+                                                           ycsb::Distribution::kUniform},
+                                        scale.records, scale.ops, 2, 3);
+      ycsb::preload(adapter, trace);
+      // Leave in-flight transactions on a few thread ids, as a mid-run
+      // crash would.
+      for (int tid = 0; tid < 8; ++tid) {
+        ThreadRegistry::instance().bind(tid);
+        adapter.list().store().tx_begin();
+      }
+      ThreadRegistry::instance().bind(0);
+      const auto t0 = std::chrono::steady_clock::now();
+      auto reopened = lsl::LockSkipList::open(adapter.pool());
+      reopened->search(ycsb::key_of(1));
+      total += ms_since(t0);
+    }
+    std::printf("%-26s %14.2f   (paper: 55.5)\n", "PMDK lock-based SL",
+                total / kTrials);
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Crash-recovery demo: runs an insert workload, kills it at a random
+// instrumented point mid-operation, simulates a power failure (all
+// unflushed cache lines are dropped), reconnects and shows that
+//  * every acknowledged operation survived,
+//  * the structure repairs the interrupted operation on first touch,
+//  * no memory was leaked.
+//
+//   ./examples/crash_recovery_demo [crash-step]
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "common/crashpoint.hpp"
+#include "common/thread_registry.hpp"
+#include "core/upskiplist.hpp"
+
+int main(int argc, char** argv) {
+  using namespace upsl;
+  const std::uint64_t crash_step =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 17;
+
+  ThreadRegistry::instance().bind(0);
+  core::Options opts;
+  opts.keys_per_node = 4;  // small nodes -> lots of splits to interrupt
+  opts.max_height = 12;
+  opts.chunk.chunk_size = 64 << 10;
+  opts.chunk.max_chunks = 96;
+  const std::size_t pool_size = (8ull << 20) + opts.chunk.root_size +
+                                opts.chunk.max_chunks * opts.chunk.chunk_size;
+  auto pool = pmem::Pool::create_anonymous(0, pool_size,
+                                           {.crash_tracking = true});
+  auto store = core::UPSkipList::create({pool.get()}, opts);
+  pool->mark_all_persisted();
+
+  // Run inserts until the armed crash point fires.
+  std::map<std::uint64_t, std::uint64_t> acknowledged;
+  CrashPoints::instance().arm(/*any point=*/0, crash_step);
+  Xoshiro256 rng(7);
+  try {
+    for (int i = 0; i < 100000; ++i) {
+      const std::uint64_t key = 1 + rng.next_below(500);
+      const std::uint64_t value = 1 + (rng.next() >> 1);
+      store->insert(key, value);
+      acknowledged[key] = value;
+    }
+  } catch (const CrashException&) {
+    std::printf("crash injected after %llu instrumented steps, "
+                "%zu operations acknowledged\n",
+                static_cast<unsigned long long>(crash_step),
+                acknowledged.size());
+  }
+  CrashPoints::instance().disarm();
+
+  // Power failure: unflushed lines are gone. Reconnect.
+  store.reset();
+  pool->simulate_crash();
+  riv::Runtime::instance().reset();
+  store = core::UPSkipList::open({pool.get()});
+  std::printf("reopened in epoch %llu (recovery = reconnect + epoch bump)\n",
+              static_cast<unsigned long long>(store->epoch()));
+
+  std::size_t intact = 0;
+  for (const auto& [k, v] : acknowledged) {
+    auto got = store->search(k);
+    if (got && *got == v) ++intact;
+  }
+  std::printf("acknowledged operations intact: %zu / %zu\n", intact,
+              acknowledged.size());
+
+  // Keep working; deferred recovery kicks in as nodes are touched.
+  for (std::uint64_t k = 1000; k < 1100; ++k) store->insert(k, k);
+  store->check_invariants();
+  store->check_no_leaks();
+  std::printf("post-crash inserts OK; invariants hold; no blocks leaked\n");
+  return intact == acknowledged.size() ? 0 : 1;
+}

@@ -1,0 +1,64 @@
+// YCSB demo: runs all four thesis workloads (Table 5.1) against UPSkipList
+// and prints throughput + median latency — a miniature of the chapter 5
+// evaluation for a single structure.
+//
+//   ./examples/ycsb_demo [records] [ops] [threads]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/upskiplist.hpp"
+#include "ycsb/runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace upsl;
+  const std::uint64_t records =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20000;
+  const std::uint64_t ops =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 40000;
+  const unsigned threads =
+      argc > 3 ? static_cast<unsigned>(std::atoi(argv[3])) : 2;
+
+  class Adapter : public ycsb::KVAdapter {
+   public:
+    explicit Adapter(std::uint64_t records) {
+      riv::Runtime::instance().reset();
+      core::Options opts;
+      opts.keys_per_node = 256;
+      opts.max_threads = 16;
+      opts.chunk.max_chunks = static_cast<std::uint32_t>(
+          32 + records * 96 / opts.chunk.chunk_size);
+      const std::size_t pool_size =
+          (8ull << 20) + opts.chunk.root_size +
+          opts.chunk.max_chunks * opts.chunk.chunk_size;
+      pool_ = pmem::Pool::create_anonymous(0, pool_size);
+      store_ = core::UPSkipList::create({pool_.get()}, opts);
+    }
+    std::optional<std::uint64_t> insert(std::uint64_t k, std::uint64_t v) override {
+      return store_->insert(k, v);
+    }
+    std::optional<std::uint64_t> search(std::uint64_t k) override {
+      return store_->search(k);
+    }
+    std::optional<std::uint64_t> remove(std::uint64_t k) override {
+      return store_->remove(k);
+    }
+
+   private:
+    std::unique_ptr<pmem::Pool> pool_;
+    std::unique_ptr<core::UPSkipList> store_;
+  };
+
+  std::printf("%-18s %10s %12s %12s\n", "workload", "Mops/s", "p50 read(us)",
+              "p99 read(us)");
+  for (const auto& spec : {ycsb::kWorkloadA, ycsb::kWorkloadB,
+                           ycsb::kWorkloadC, ycsb::kWorkloadD}) {
+    Adapter adapter(records);
+    const ycsb::Trace trace = ycsb::generate(spec, records, ops, threads, 1);
+    ycsb::preload(adapter, trace);
+    const ycsb::RunStats stats = ycsb::run_trace(adapter, trace, true);
+    std::printf("%-18s %10.3f %12.2f %12.2f\n", spec.name, stats.mops(),
+                stats.reads.percentile(50) / 1000.0,
+                stats.reads.percentile(99) / 1000.0);
+  }
+  return 0;
+}

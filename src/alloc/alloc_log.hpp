@@ -1,0 +1,40 @@
+// Per-thread allocation-attempt logs (thesis §4.1.4, Function 3).
+//
+// Before removing a block from a free list (or provisioning a new chunk), a
+// thread persists a single-cache-line log entry describing the attempt. On
+// its next allocation, if the entry's epoch differs from the current
+// failure-free epoch, the thread checks whether the logged operation took
+// effect — for node allocations by navigating the bottom level of the
+// structure from the logged predecessor (done via a callback supplied by the
+// data structure), for chunk provisioning via the protocol in
+// BlockAllocator. Unreachable memory is then reclaimed, deferring crash
+// recovery of allocations out of restart time and into run time (O(k) total
+// work for k threads).
+#pragma once
+
+#include <cstdint>
+
+#include "common/compiler.hpp"
+
+namespace upsl::alloc {
+
+enum class LogKind : std::uint64_t {
+  kNone = 0,
+  kNodeAlloc = 1,       // popped `block` to become a node after `pred`
+  kChunkProvision = 2,  // provisioning chunk `aux0` on pool `aux1`
+};
+
+/// Exactly one cache line so a log write is persisted with a single flush.
+struct alignas(kCacheLineSize) ThreadLog {
+  std::uint64_t epoch;
+  std::uint64_t kind;
+  std::uint64_t block;  // RIV of block being allocated (kNodeAlloc)
+  std::uint64_t pred;   // RIV of bottom-level predecessor (kNodeAlloc)
+  std::uint64_t key;    // first key that will identify the new node
+  std::uint64_t aux0;   // chunk id (kChunkProvision) / chain head RIV
+  std::uint64_t aux1;   // pool id (kChunkProvision) / arena index
+  std::uint64_t aux2;   // logged predecessor-tail RIV for chunk linking
+};
+static_assert(sizeof(ThreadLog) == kCacheLineSize);
+
+}  // namespace upsl::alloc

@@ -1,0 +1,47 @@
+// Memory block structure (thesis §4.3.4).
+//
+// Every block is the same size as a skip list node (blocks and nodes are the
+// same size, large enough for a max-height node). While free, a block's
+// first words carry the free-list link, its own RIV identity, and the epoch
+// in which it last changed state, so interrupted allocations/deallocations
+// can be recovered.
+//
+// Objects that overlay a block (skip list nodes) must preserve the meaning
+// of three words so that allocation recovery can classify a block's durable
+// state after a crash (BlockAllocator::recover_node_alloc):
+//
+//   offset 16  epoch_id   failure-free epoch of creation/last state change
+//   offset 24  state      kFreeState while free; anything else when live
+//                         (live objects must never store the magic here)
+//   offset 32  owner_tag  0 while free; allocating thread id + 1 once the
+//                         object's initialization has been persisted
+#pragma once
+
+#include <cstdint>
+
+#include "pmem/persist.hpp"
+
+namespace upsl::alloc {
+
+struct MemBlock {
+  std::uint64_t next;       // RIV of next free block; 0 = end of list
+  std::uint64_t self;       // this block's own RIV
+  std::uint64_t epoch_id;   // failure-free epoch of last state change
+  std::uint64_t state;      // kFreeState while on a free list
+  std::uint64_t owner_tag;  // 0 while free; tid + 1 when owned by a node
+
+  static constexpr std::uint64_t kFreeState = 0xf2eef2eef2eef2eeULL;
+
+  bool looks_free() const { return pmem::pm_load(state) == kFreeState; }
+};
+
+/// Offsets shared with overlaying objects (static_asserted in core).
+inline constexpr std::size_t kObjEpochOffset = 16;
+inline constexpr std::size_t kObjStateOffset = 24;
+inline constexpr std::size_t kObjOwnerOffset = 32;
+
+static_assert(offsetof(MemBlock, epoch_id) == kObjEpochOffset);
+static_assert(offsetof(MemBlock, state) == kObjStateOffset);
+static_assert(offsetof(MemBlock, owner_tag) == kObjOwnerOffset);
+
+}  // namespace upsl::alloc

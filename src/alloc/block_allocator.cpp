@@ -1,0 +1,451 @@
+#include "alloc/block_allocator.hpp"
+
+#include <cstring>
+#include <new>
+
+#include "common/crashpoint.hpp"
+
+namespace upsl::alloc {
+
+using pmem::persist;
+using pmem::pm_cas_value;
+using pmem::pm_load;
+using pmem::pm_store;
+
+BlockAllocator::BlockAllocator(std::vector<ChunkAllocator*> pools,
+                               ArenaHeader* arenas, ThreadLog* logs,
+                               const std::uint64_t* epoch_word, Config cfg)
+    : pools_(std::move(pools)),
+      arenas_(arenas),
+      logs_(logs),
+      epoch_word_(epoch_word),
+      cfg_(cfg) {
+  if (pools_.empty()) throw std::invalid_argument("allocator needs >= 1 pool");
+  if (cfg_.block_size < kCacheLineSize || cfg_.block_size % kCacheLineSize != 0)
+    throw std::invalid_argument("block size must be a multiple of 64");
+  for (ChunkAllocator* ca : pools_) {
+    if (ca->chunk_data_size() < cfg_.block_size)
+      throw std::invalid_argument("chunk too small for one block");
+  }
+}
+
+std::uint32_t BlockAllocator::my_arena() const {
+  const auto arena_idx =
+      static_cast<std::uint32_t>(ThreadRegistry::id()) / num_pools();
+  if (arena_idx >= cfg_.arenas_per_pool)
+    throw std::logic_error(
+        "thread id exceeds arenas_per_pool * num_pools; raise max_threads");
+  return arena_idx;
+}
+
+std::size_t BlockAllocator::blocks_per_chunk(std::uint32_t pool_idx) const {
+  return pools_[pool_idx]->chunk_data_size() / cfg_.block_size;
+}
+
+std::pair<std::uint64_t, std::uint64_t> BlockAllocator::format_chunk(
+    std::uint32_t pool_idx, std::uint32_t c) {
+  ChunkAllocator& ca = *pools_[pool_idx];
+  const std::uint64_t epoch = current_epoch();
+  char* data = ca.chunk_data(c);
+  const std::size_t n = blocks_per_chunk(pool_idx);
+  std::memset(ca.chunk_base(c), 0, ca.header().chunk_size);
+
+  ChunkHeader* ch = ca.chunk_header(c);
+  ch->magic = kChunkMagic;
+  ch->chunk_id = c;
+  ch->committed = 0;
+
+  const std::uint16_t pool_id = ca.pool().id();
+  std::uint64_t head = 0;
+  std::uint64_t tail = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    auto* b = reinterpret_cast<MemBlock*>(data + i * cfg_.block_size);
+    const auto off = static_cast<std::uint32_t>(
+        ChunkAllocator::kChunkHeaderSize + i * cfg_.block_size);
+    b->self = riv::encode(pool_id, c, off);
+    b->next = (i + 1 < n)
+                  ? riv::encode(pool_id, c,
+                                off + static_cast<std::uint32_t>(cfg_.block_size))
+                  : 0;
+    b->epoch_id = epoch;
+    b->state = MemBlock::kFreeState;
+    b->owner_tag = 0;
+    if (i == 0) head = b->self;
+    if (i + 1 == n) tail = b->self;
+  }
+  persist(ca.chunk_base(c), ca.header().chunk_size);
+  return {head, tail};
+}
+
+void BlockAllocator::bootstrap() {
+  const std::uint64_t epoch = current_epoch();
+  const std::uint32_t A = cfg_.arenas_per_pool;
+  for (std::uint32_t p = 0; p < num_pools(); ++p) {
+    ChunkAllocator& ca = *pools_[p];
+    const std::size_t n = blocks_per_chunk(p);
+    if (n < A)
+      throw std::invalid_argument(
+          "chunk too small to seed one block per arena at bootstrap");
+    const std::int64_t claimed = ca.claim_chunk(epoch, 0);
+    if (claimed < 0) throw std::bad_alloc();
+    const auto c = static_cast<std::uint32_t>(claimed);
+
+    // Carve blocks and deal them round-robin: arena a gets blocks
+    // a, a+A, a+2A, ... chained in order, so every arena starts non-empty
+    // (the free-list anchor invariant: the last block is never popped).
+    char* data = ca.chunk_data(c);
+    std::memset(ca.chunk_base(c), 0, ca.header().chunk_size);
+    ChunkHeader* ch = ca.chunk_header(c);
+    ch->magic = kChunkMagic;
+    ch->chunk_id = c;
+    ch->owner_arena = 0;
+    const std::uint16_t pool_id = ca.pool().id();
+    auto riv_at = [&](std::size_t i) {
+      return riv::encode(pool_id, c,
+                         static_cast<std::uint32_t>(
+                             ChunkAllocator::kChunkHeaderSize +
+                             i * cfg_.block_size));
+    };
+    for (std::size_t i = 0; i < n; ++i) {
+      auto* b = reinterpret_cast<MemBlock*>(data + i * cfg_.block_size);
+      b->self = riv_at(i);
+      b->next = (i + A < n) ? riv_at(i + A) : 0;
+      b->epoch_id = epoch;
+      b->state = MemBlock::kFreeState;
+      b->owner_tag = 0;
+    }
+    ch->committed = 1;
+    persist(ca.chunk_base(c), ca.header().chunk_size);
+    ca.commit_chunk(c);
+
+    for (std::uint32_t a = 0; a < A; ++a) {
+      ArenaHeader& ah = arena(p, a);
+      std::size_t last = a;
+      while (last + A < n) last += A;
+      pm_store(ah.head, riv_at(a));
+      pm_store(ah.tail, riv_at(last));
+    }
+    persist(&arena(p, 0), A * sizeof(ArenaHeader));
+  }
+}
+
+void BlockAllocator::log_attempt(LogKind kind, std::uint64_t block,
+                                 std::uint64_t pred, std::uint64_t key,
+                                 std::uint64_t aux0, std::uint64_t aux1) {
+  ThreadLog& log = logs_[ThreadRegistry::id()];
+  const std::uint64_t epoch = current_epoch();
+  if (log.kind != static_cast<std::uint64_t>(LogKind::kNone) &&
+      pm_load(log.epoch) != epoch) {
+    handle_stale_log(log);
+  }
+  log.kind = static_cast<std::uint64_t>(kind);
+  log.block = block;
+  log.pred = pred;
+  log.key = key;
+  log.aux0 = aux0;
+  log.aux1 = aux1;
+  log.aux2 = 0;
+  pm_store(log.epoch, epoch);
+  persist(&log, sizeof(log));
+  UPSL_CRASH_POINT("alloc.after_log");
+}
+
+void BlockAllocator::handle_stale_log(ThreadLog& log) {
+  const std::uint64_t stale_epoch = pm_load(log.epoch);
+  switch (static_cast<LogKind>(log.kind)) {
+    case LogKind::kNodeAlloc:
+      recover_node_alloc(log);
+      break;
+    case LogKind::kChunkProvision:
+      recover_provision(log);
+      break;
+    case LogKind::kNone:
+      break;
+  }
+  // A crash can also land between a chunk claim and the corresponding log
+  // write; such chunks are PENDING with our thread id and an old epoch and
+  // were certainly never linked — reclaim them.
+  sweep_pending_chunks(stale_epoch);
+  // Mark the log consumed so the recovery does not run twice in one epoch.
+  // (A crash before this line re-runs the recovery, which is idempotent.)
+  log.kind = static_cast<std::uint64_t>(LogKind::kNone);
+  pm_store(log.epoch, current_epoch());
+  persist(&log, sizeof(log));
+}
+
+bool BlockAllocator::in_my_free_list(std::uint64_t riv) const {
+  std::uint64_t cur = pm_load(arena(my_pool(), my_arena()).head);
+  while (cur != 0) {
+    if (cur == riv) return true;
+    cur = pm_load(block_at(cur)->next);
+  }
+  return false;
+}
+
+void BlockAllocator::convert_and_link(std::uint64_t obj_riv) {
+  MemBlock* b = block_at(obj_riv);
+  std::memset(b, 0, cfg_.block_size);
+  b->self = obj_riv;
+  b->next = 0;
+  b->epoch_id = current_epoch();
+  b->owner_tag = 0;
+  pm_store(b->state, MemBlock::kFreeState);
+  persist(b, cfg_.block_size);
+  UPSL_CRASH_POINT("alloc.recover_converted");
+  link_in_tail(my_pool(), my_arena(), obj_riv, obj_riv, nullptr);
+}
+
+void BlockAllocator::recover_node_alloc(const ThreadLog& log) {
+  MemBlock* b = block_at(log.block);
+  const std::uint64_t state = pm_load(b->state);
+  const std::uint64_t owner = pm_load(b->owner_tag);
+  const std::uint64_t my_tag = owner_tag_of(ThreadRegistry::id());
+
+  if (state != MemBlock::kFreeState && owner == my_tag) {
+    // The pop and the object's initialization both became durable. The only
+    // question is whether the object was linked into the structure.
+    if (pm_load(b->epoch_id) == current_epoch()) return;  // re-stamped already
+    if (!reach_fn_) return;  // no structure knowledge: leak-safe skip
+    if (reach_fn_(log)) return;
+    deallocate(log.block);
+    return;
+  }
+  if (state != MemBlock::kFreeState && owner != 0) {
+    // Someone else's durable object: our pop attempt lost the pre-crash race
+    // and the block was claimed by another thread (whose own log covers it).
+    return;
+  }
+  // Free-looking (or zeroed) content. Either our pop never became durable —
+  // then the block is still on our (single-consumer) free list — or it did
+  // and the initialization was lost, leaking the block.
+  if (in_my_free_list(log.block)) return;
+  convert_and_link(log.block);
+}
+
+void BlockAllocator::sweep_pending_chunks(std::uint64_t stale_epoch) {
+  const auto tid = static_cast<std::uint16_t>(ThreadRegistry::id());
+  ThreadLog& log = logs_[ThreadRegistry::id()];
+  for (std::uint32_t p = 0; p < num_pools(); ++p) {
+    ChunkAllocator& ca = *pools_[p];
+    const auto n = static_cast<std::uint32_t>(ca.header().max_chunks);
+    for (std::uint32_t c = 0; c < n; ++c) {
+      const DirEntry e = ca.dir_entry(c);
+      if (e.state != ChunkState::kPending || e.thread != tid ||
+          e.epoch > stale_epoch)
+        continue;
+      // Skip the chunk the log itself describes; recover_provision owns it.
+      if (static_cast<LogKind>(log.kind) == LogKind::kChunkProvision &&
+          log.aux0 == c && (log.aux1 >> 32) == p)
+        continue;
+      ca.release_chunk(c);
+    }
+  }
+}
+
+void BlockAllocator::recover_provision(const ThreadLog& log) {
+  const auto c = static_cast<std::uint32_t>(log.aux0);
+  const auto pool_idx = static_cast<std::uint32_t>(log.aux1 >> 32);
+  ChunkAllocator& ca = *pools_[pool_idx];
+  const DirEntry e = ca.dir_entry(c);
+  if (e.state == ChunkState::kFree) return;  // already reclaimed
+  ChunkHeader* ch = ca.chunk_header(c);
+  if (e.state == ChunkState::kAllocated) {
+    // Provisioning completed; at worst the committed flag lost its flush.
+    if (pm_load(ch->committed) == 0) {
+      pm_store(ch->committed, std::uint64_t{1});
+      persist(&ch->committed, sizeof(ch->committed));
+    }
+    return;
+  }
+  // state == kPending.
+  if (pm_load(ch->committed) == 1) {
+    ca.commit_chunk(c);  // crashed between committed flag and dir update
+    return;
+  }
+  const std::uint64_t chain_head = log.block;
+  const std::uint64_t logged_tail = pm_load(log.aux2);
+  if (logged_tail != 0) {
+    MemBlock* tb = block_at(logged_tail);
+    const std::uint64_t tb_next = pm_load(tb->next);
+    if (tb_next == chain_head) {
+      // The link CAS became durable: the chain is reachable. Finish.
+      persist(&tb->next, sizeof(tb->next));
+      pm_store(ch->committed, std::uint64_t{1});
+      persist(&ch->committed, sizeof(ch->committed));
+      ca.commit_chunk(c);
+      return;
+    }
+    if (tb_next != 0) {
+      // Defensive: with single-consumer arenas our link CAS cannot lose to
+      // another writer, so this indicates the logged tail has been reused.
+      // Freeing would risk freeing live memory; keep the chunk allocated
+      // (at worst one chunk leaks — bounded, documented in DESIGN.md).
+      pm_store(ch->committed, std::uint64_t{1});
+      persist(&ch->committed, sizeof(ch->committed));
+      ca.commit_chunk(c);
+      return;
+    }
+  }
+  // Link never became durable: the chain is unreachable; reclaim the chunk.
+  ca.release_chunk(c);
+}
+
+void BlockAllocator::provision_new_chunk(std::uint32_t pool_idx,
+                                         std::uint32_t arena_idx) {
+  ChunkAllocator& ca = *pools_[pool_idx];
+  // Resolve any stale log first: the leaked chunk it may describe could be
+  // the last free chunk in the pool.
+  ThreadLog& mylog = logs_[ThreadRegistry::id()];
+  if (mylog.kind != static_cast<std::uint64_t>(LogKind::kNone) &&
+      pm_load(mylog.epoch) != current_epoch()) {
+    handle_stale_log(mylog);
+  }
+  const std::uint64_t epoch = current_epoch();
+  const auto tid = static_cast<std::uint16_t>(ThreadRegistry::id());
+  const std::int64_t claimed = ca.claim_chunk(epoch, tid);
+  if (claimed < 0) throw std::bad_alloc();
+  const auto c = static_cast<std::uint32_t>(claimed);
+  UPSL_CRASH_POINT("alloc.chunk_claimed");
+
+  const std::uint64_t chain_head =
+      riv::encode(ca.pool().id(), c,
+                  static_cast<std::uint32_t>(ChunkAllocator::kChunkHeaderSize));
+  log_attempt(LogKind::kChunkProvision, chain_head, 0, 0, c,
+              (static_cast<std::uint64_t>(pool_idx) << 32) | arena_idx);
+  UPSL_CRASH_POINT("alloc.chunk_logged");
+
+  auto [head, tail] = format_chunk(pool_idx, c);
+  ChunkHeader* ch = ca.chunk_header(c);
+  ch->owner_arena = arena_idx;
+  persist(ch, sizeof(*ch));
+  UPSL_CRASH_POINT("alloc.chunk_formatted");
+
+  link_in_tail(pool_idx, arena_idx, head, tail, &logs_[ThreadRegistry::id()]);
+  UPSL_CRASH_POINT("alloc.chunk_linked");
+
+  pm_store(ch->committed, std::uint64_t{1});
+  persist(&ch->committed, sizeof(ch->committed));
+  UPSL_CRASH_POINT("alloc.chunk_committed");
+  ca.commit_chunk(c);
+}
+
+void BlockAllocator::link_in_tail(std::uint32_t pool_idx, std::uint32_t arena_idx,
+                                  std::uint64_t chain_head,
+                                  std::uint64_t chain_tail,
+                                  ThreadLog* provision_log) {
+  // Function 6 (LinkInTail). We help advance a lagging tail pointer
+  // unconditionally rather than only on an epoch mismatch: the thesis' epoch
+  // check distinguishes "tail stale because of a crash" from "tail about to
+  // be advanced by a live thread"; helping in both cases is safe (the CAS is
+  // conditional) and removes the wait on the live thread.
+  ArenaHeader& ah = arena(pool_idx, arena_idx);
+  std::uint64_t tail_riv;
+  std::uint64_t spins = 0;
+  while (true) {
+    if (++spins > (8u << 20))
+      throw std::logic_error("livelock detected in link_in_tail");
+    tail_riv = pm_load(ah.tail);
+    MemBlock* tb = block_at(tail_riv);
+    if (provision_log != nullptr) {
+      // Record which block we are about to CAS so recovery can decide
+      // whether the link became durable (recover_provision).
+      pm_store(provision_log->aux2, tail_riv);
+      persist(&provision_log->aux2, sizeof(provision_log->aux2));
+    }
+    UPSL_CRASH_POINT("alloc.link_before_cas");
+    if (pm_cas_value(tb->next, std::uint64_t{0}, chain_head)) {
+      UPSL_CRASH_POINT("alloc.link_after_cas");
+      persist(&tb->next, sizeof(tb->next));
+      break;
+    }
+    const std::uint64_t nxt = pm_load(tb->next);
+    if (nxt != 0 && pm_cas_value(ah.tail, tail_riv, nxt)) {
+      persist(&ah.tail, sizeof(ah.tail));
+    }
+  }
+  if (pm_cas_value(ah.tail, tail_riv, chain_tail)) {
+    persist(&ah.tail, sizeof(ah.tail));
+  }
+}
+
+void* BlockAllocator::allocate(std::uint64_t pred_riv, std::uint64_t key,
+                               std::uint64_t* out_riv) {
+  const std::uint32_t pool_idx = my_pool();
+  const std::uint32_t arena_idx = my_arena();
+  ArenaHeader& ah = arena(pool_idx, arena_idx);
+
+  std::uint64_t spins = 0;
+  while (true) {
+    if (++spins > (1u << 20))
+      throw std::logic_error("livelock detected in allocate");
+    const std::uint64_t head_riv = pm_load(ah.head);
+    MemBlock* b = block_at(head_riv);
+    const std::uint64_t next = pm_load(b->next);
+    if (next == 0) {
+      // Head is the last resident block; it stays as the LinkInTail anchor
+      // (Function 4 line 34) and we grow the arena instead.
+      provision_new_chunk(pool_idx, arena_idx);
+      continue;
+    }
+    log_attempt(LogKind::kNodeAlloc, head_riv, pred_riv, key, 0, 0);
+    // Crashes after this point cannot leak: the log names the block, and a
+    // future allocation by this thread id reclaims it if unreachable.
+    if (pm_cas_value(ah.head, head_riv, next)) {
+      UPSL_CRASH_POINT("alloc.after_pop");
+      persist(&ah.head, sizeof(ah.head));
+      std::memset(b, 0, cfg_.block_size);
+      b->epoch_id = current_epoch();
+      b->owner_tag = owner_tag_of(ThreadRegistry::id());
+      if (out_riv != nullptr) *out_riv = head_riv;
+      return b;
+    }
+    // Single-consumer arenas make this unreachable in normal operation, but
+    // a mis-bound thread id should fail loudly rather than spin.
+    throw std::logic_error("free-list pop CAS failed on single-consumer arena");
+  }
+}
+
+void BlockAllocator::deallocate(std::uint64_t obj_riv) {
+  MemBlock* b = block_at(obj_riv);
+
+  if (!b->looks_free()) {
+    // ConvertToMemoryBlock: de-initialize the object and re-arm it as a
+    // free block (Function 5 lines 46-48), then push it.
+    convert_and_link(obj_riv);
+    return;
+  }
+  // Already a block: this deallocation is being re-run after a crash. If
+  // the block is visible as our arena's tail or already has a successor, it
+  // is linked in — done (Function 5 lines 49-52).
+  if (pm_load(arena(my_pool(), my_arena()).tail) == obj_riv) return;
+  if (pm_load(b->next) != 0) return;
+  if (in_my_free_list(obj_riv)) return;  // it is the head or mid-list
+  link_in_tail(my_pool(), my_arena(), obj_riv, obj_riv, nullptr);
+}
+
+std::uint64_t BlockAllocator::riv_of(const void* p) const {
+  for (ChunkAllocator* ca : pools_)
+    if (ca->pool().contains(p)) return ca->riv_of(p);
+  throw std::logic_error("riv_of: pointer not in any pool");
+}
+
+std::size_t BlockAllocator::count_free_blocks(std::uint32_t pool_idx,
+                                              std::uint32_t arena_idx) const {
+  std::size_t n = 0;
+  std::uint64_t cur = pm_load(arena(pool_idx, arena_idx).head);
+  while (cur != 0) {
+    ++n;
+    cur = pm_load(block_at(cur)->next);
+  }
+  return n;
+}
+
+std::size_t BlockAllocator::count_all_free_blocks() const {
+  std::size_t n = 0;
+  for (std::uint32_t p = 0; p < num_pools(); ++p)
+    for (std::uint32_t a = 0; a < cfg_.arenas_per_pool; ++a)
+      n += count_free_blocks(p, a);
+  return n;
+}
+
+}  // namespace upsl::alloc

@@ -1,0 +1,147 @@
+// Fine-grained recoverable block allocator (thesis §4.3.3, Functions 4–6).
+//
+// Memory inside chunks is divided into node-sized blocks linked into
+// per-arena FIFO free lists (pop at head, push at tail). Following the
+// thesis' thread-to-arena mapping, arenas are sized so that every thread id
+// owns exactly one arena per virtual NUMA node:
+//
+//   pool  = threadID % num_pools          (round-robin NUMA placement)
+//   arena = threadID / num_pools          (must be < arenas_per_pool)
+//
+// This makes each arena single-consumer: only its owning thread id pops from
+// it or provisions chunks into it, while *pushes* (deallocations, which a
+// thread always directs at its own arena) are the only concurrent writers at
+// the tail. Single-consumer pops are what make deferred crash recovery of
+// allocations race-free: a stale allocation log can be resolved by its
+// owning thread id without any other thread being able to pop the same block
+// concurrently. The FIFO shape is also the ABA mitigation for the tail-push
+// CAS.
+//
+// Recoverability:
+//  * every allocation is preceded by a persisted single-line ThreadLog entry
+//    (LogChangeAttempt, Function 3); stale entries from earlier epochs are
+//    resolved on the owning thread id's next allocation,
+//  * allocated objects are stamped with (epoch, owner_tag) that become
+//    durable with the object's initialization, letting recovery distinguish
+//    "my pop became durable" from "my pop was lost in the crash",
+//  * chunk provisioning follows claim -> log -> format -> link -> commit,
+//    with the directory entry and the chunk header's `committed` flag
+//    bracketing the durable link CAS so every crash point is recoverable,
+//  * deallocation is idempotent so a failed recovery can be re-run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "alloc/alloc_log.hpp"
+#include "alloc/block.hpp"
+#include "alloc/layout.hpp"
+#include "common/thread_registry.hpp"
+
+namespace upsl::alloc {
+
+/// Persistent per-arena free-list anchors (live in the store root area).
+struct ArenaHeader {
+  std::uint64_t head;  // RIV of first free block
+  std::uint64_t tail;  // RIV of last free block (push target)
+};
+
+class BlockAllocator {
+ public:
+  struct Config {
+    std::uint64_t block_size = 512;
+    /// Max supported thread ids = arenas_per_pool * num_pools.
+    std::uint32_t arenas_per_pool = 64;
+  };
+
+  /// Decides whether the block named by a stale kNodeAlloc log entry is
+  /// reachable in the data structure (UPSkipList walks its bottom level from
+  /// the logged predecessor). Installed by the owning store.
+  using ReachabilityFn = std::function<bool(const ThreadLog&)>;
+
+  /// `arenas` must point at pools.size() * cfg.arenas_per_pool persistent
+  /// ArenaHeaders and `logs` at kMaxThreads persistent ThreadLogs, both
+  /// inside one of the pools (the store root area). `epoch_word` is the
+  /// PMEM-resident failure-free epoch id.
+  BlockAllocator(std::vector<ChunkAllocator*> pools, ArenaHeader* arenas,
+                 ThreadLog* logs, const std::uint64_t* epoch_word, Config cfg);
+
+  void set_reachability_fn(ReachabilityFn fn) { reach_fn_ = std::move(fn); }
+
+  /// Create-path initialization: provisions one chunk per pool and seeds
+  /// every arena's free list (round-robin). Single-threaded.
+  void bootstrap();
+
+  /// MakeLinkedObject's allocation steps (Function 4 lines 29–41): logs the
+  /// attempt, pops a block from the calling thread's arena (provisioning a
+  /// new chunk when the list runs dry) and returns it zeroed except for the
+  /// (epoch_id, owner_tag) stamps. The caller initializes the object and
+  /// persists it before linking it into the structure.
+  void* allocate(std::uint64_t pred_riv, std::uint64_t key,
+                 std::uint64_t* out_riv);
+
+  /// DeleteLinkedObject (Function 5): returns an object to the calling
+  /// thread's free list. Idempotent.
+  void deallocate(std::uint64_t obj_riv);
+
+  std::uint64_t riv_of(const void* p) const;
+  std::uint64_t current_epoch() const { return pmem::pm_load(*epoch_word_); }
+  std::uint64_t block_size() const { return cfg_.block_size; }
+  std::uint32_t arenas_per_pool() const { return cfg_.arenas_per_pool; }
+  std::uint32_t num_pools() const {
+    return static_cast<std::uint32_t>(pools_.size());
+  }
+
+  /// Virtual NUMA node of the calling thread (round-robin by id, §5.1.2).
+  std::uint32_t node_of_current_thread() const {
+    return static_cast<std::uint32_t>(ThreadRegistry::id()) % num_pools();
+  }
+
+  /// Test/diagnostic helpers.
+  std::size_t count_free_blocks(std::uint32_t pool_idx, std::uint32_t arena) const;
+  std::size_t blocks_per_chunk(std::uint32_t pool_idx) const;
+  const ThreadLog& log_of(int thread) const { return logs_[thread]; }
+  /// Total blocks across all free lists plus blocks of unprovisioned chunks
+  /// — used by leak-detection tests.
+  std::size_t count_all_free_blocks() const;
+
+ private:
+  ArenaHeader& arena(std::uint32_t pool_idx, std::uint32_t arena_idx) const {
+    return arenas_[pool_idx * cfg_.arenas_per_pool + arena_idx];
+  }
+  MemBlock* block_at(std::uint64_t riv) const {
+    return riv::Runtime::instance().as<MemBlock>(riv);
+  }
+  std::uint32_t my_pool() const { return node_of_current_thread(); }
+  std::uint32_t my_arena() const;
+  static std::uint64_t owner_tag_of(int tid) {
+    return static_cast<std::uint64_t>(tid) + 1;
+  }
+
+  void log_attempt(LogKind kind, std::uint64_t block, std::uint64_t pred,
+                   std::uint64_t key, std::uint64_t aux0, std::uint64_t aux1);
+  void handle_stale_log(ThreadLog& log);
+  void recover_node_alloc(const ThreadLog& log);
+  void recover_provision(const ThreadLog& log);
+  void sweep_pending_chunks(std::uint64_t stale_epoch);
+  bool in_my_free_list(std::uint64_t riv) const;
+  /// Re-arm an out-of-list block as free and push it (recovery path).
+  void convert_and_link(std::uint64_t obj_riv);
+
+  std::pair<std::uint64_t, std::uint64_t> format_chunk(std::uint32_t pool_idx,
+                                                       std::uint32_t c);
+  void provision_new_chunk(std::uint32_t pool_idx, std::uint32_t arena_idx);
+  void link_in_tail(std::uint32_t pool_idx, std::uint32_t arena_idx,
+                    std::uint64_t chain_head, std::uint64_t chain_tail,
+                    ThreadLog* provision_log);
+
+  std::vector<ChunkAllocator*> pools_;
+  ArenaHeader* arenas_;
+  ThreadLog* logs_;
+  const std::uint64_t* epoch_word_;
+  Config cfg_;
+  ReachabilityFn reach_fn_;
+};
+
+}  // namespace upsl::alloc

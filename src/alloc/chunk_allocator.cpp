@@ -1,0 +1,117 @@
+#include "alloc/layout.hpp"
+
+#include <cstring>
+
+namespace upsl::alloc {
+
+using pmem::pm_cas_value;
+using pmem::pm_load;
+using pmem::pm_store;
+
+void ChunkAllocator::format(pmem::Pool& pool, const ChunkAllocatorConfig& cfg) {
+  if (cfg.chunk_size % kCacheLineSize != 0 || cfg.max_chunks == 0)
+    throw std::invalid_argument("bad chunk allocator config");
+
+  const std::uint64_t dir_offset = align_up(sizeof(PoolHeader), kCacheLineSize);
+  const std::uint64_t dir_bytes = cfg.max_chunks * sizeof(std::uint64_t);
+  const std::uint64_t root_offset = align_up(dir_offset + dir_bytes, 4096);
+  const std::uint64_t chunks_offset = align_up(root_offset + cfg.root_size, 4096);
+  const std::uint64_t need = chunks_offset + cfg.max_chunks * cfg.chunk_size;
+  if (need > pool.size())
+    throw std::invalid_argument("pool too small for chunk allocator config");
+
+  std::memset(pool.base(), 0, chunks_offset);  // header, dir, root zeroed
+
+  auto* h = reinterpret_cast<PoolHeader*>(pool.base());
+  h->version = 1;
+  h->pool_id = pool.id();
+  h->chunk_size = cfg.chunk_size;
+  h->max_chunks = cfg.max_chunks;
+  h->dir_offset = dir_offset;
+  h->root_offset = root_offset;
+  h->root_size = cfg.root_size;
+  h->chunks_offset = chunks_offset;
+  pmem::persist(h, sizeof(PoolHeader));
+  pmem::persist(pool.base() + dir_offset, dir_bytes);
+  pmem::persist(pool.base() + root_offset, cfg.root_size);
+  // Magic last: a crash mid-format leaves an unformatted pool, never a
+  // half-formatted one that attach would accept.
+  pm_store(h->magic, kPoolMagic);
+  pmem::persist(&h->magic, sizeof(h->magic));
+}
+
+ChunkAllocator::ChunkAllocator(pmem::Pool& pool)
+    : pool_(pool), header_(reinterpret_cast<PoolHeader*>(pool.base())) {
+  if (pm_load(header_->magic) != kPoolMagic)
+    throw std::runtime_error("pool is not formatted");
+  install_resolver();
+}
+
+void ChunkAllocator::install_resolver() {
+  const auto chunks_offset = header_->chunks_offset;
+  const auto chunk_size = header_->chunk_size;
+  const auto dir_offset = header_->dir_offset;
+  char* base = pool_.base();
+  riv::Runtime::instance().configure_pool(
+      pool_.id(), static_cast<std::uint32_t>(header_->max_chunks),
+      [base, chunks_offset, chunk_size, dir_offset](std::uint32_t chunk) -> std::int64_t {
+        const auto* dir = reinterpret_cast<const std::uint64_t*>(base + dir_offset);
+        const DirEntry e = dir_unpack(pm_load(dir[chunk]));
+        if (e.state == ChunkState::kFree) return -1;
+        return static_cast<std::int64_t>(chunks_offset + chunk * chunk_size);
+      });
+}
+
+std::int64_t ChunkAllocator::claim_chunk(std::uint64_t epoch, std::uint16_t thread) {
+  const auto n = static_cast<std::uint32_t>(header_->max_chunks);
+  for (std::uint32_t c = 0; c < n; ++c) {
+    std::uint64_t* w = dir_word(c);
+    const std::uint64_t cur = pm_load(*w);
+    if (dir_unpack(cur).state != ChunkState::kFree) continue;
+    if (pm_cas_value(*w, cur, dir_pack(ChunkState::kPending, epoch, thread))) {
+      pmem::persist(w, sizeof(*w));
+      return static_cast<std::int64_t>(c);
+    }
+  }
+  return -1;
+}
+
+void ChunkAllocator::commit_chunk(std::uint32_t chunk) {
+  std::uint64_t* w = dir_word(chunk);
+  const DirEntry e = dir_unpack(pm_load(*w));
+  pm_store(*w, dir_pack(ChunkState::kAllocated, e.epoch, e.thread));
+  pmem::persist(w, sizeof(*w));
+}
+
+void ChunkAllocator::release_chunk(std::uint32_t chunk) {
+  std::uint64_t* w = dir_word(chunk);
+  pm_store(*w, dir_pack(ChunkState::kFree, 0, 0));
+  pmem::persist(w, sizeof(*w));
+}
+
+DirEntry ChunkAllocator::dir_entry(std::uint32_t chunk) const {
+  return dir_unpack(pm_load(*dir_word(chunk)));
+}
+
+std::uint64_t ChunkAllocator::riv_of(const void* p) const {
+  const char* c = static_cast<const char*>(p);
+  const auto off = static_cast<std::uint64_t>(c - pool_.base());
+  if (off < header_->chunks_offset || off >= pool_.size())
+    throw std::logic_error("riv_of: pointer outside chunk space");
+  const std::uint64_t rel = off - header_->chunks_offset;
+  const auto chunk = static_cast<std::uint32_t>(rel / header_->chunk_size);
+  const auto in_chunk = static_cast<std::uint32_t>(rel % header_->chunk_size);
+  return riv::encode(pool_.id(), chunk, in_chunk);
+}
+
+void ChunkAllocator::reattach() {
+  header_ = reinterpret_cast<PoolHeader*>(pool_.base());
+  if (pm_load(header_->magic) != kPoolMagic)
+    throw std::runtime_error("pool is not formatted");
+  // Re-install so the resolver captures the new base, then drop stale
+  // chunk-base cache entries.
+  install_resolver();
+  riv::Runtime::instance().invalidate_pool(pool_.id());
+}
+
+}  // namespace upsl::alloc

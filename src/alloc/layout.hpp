@@ -1,0 +1,150 @@
+// On-pool layout and the coarse-grained chunk allocator (thesis §4.3.2).
+//
+// Each pool file is laid out as:
+//
+//   [ PoolHeader | chunk directory | root area | chunk 0 | chunk 1 | ... ]
+//
+// The chunk directory is the persistent truth about which MiB-scale chunks
+// are allocated (the analogue of the thesis' persistent array of libpmemobj
+// fat pointers per chunk); the RIV runtime's DRAM chunk-base cache is
+// rebuilt lazily from it after a restart. Chunk placement is deterministic
+// (chunk i lives at chunks_start + i * chunk_size), so the reverse mapping
+// pointer -> (pool, chunk, offset) needed when returning nodes to free lists
+// is pure arithmetic.
+//
+// Directory entries are a single word so claim/commit/free transitions are
+// one CAS + one persist:
+//
+//   [ state : 2 ][ epoch : 46 ][ thread : 16 ]
+//
+// kPending entries carry the claiming thread's id and the failure-free epoch
+// of the claim; recovery of interrupted provisioning is deferred to the next
+// allocation by a thread sharing that id (§4.1.4).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "common/compiler.hpp"
+#include "pmem/pool.hpp"
+#include "riv/riv.hpp"
+
+namespace upsl::alloc {
+
+inline constexpr std::uint64_t kPoolMagic = 0x5550534c504f4f4cULL;   // "UPSLPOOL"
+inline constexpr std::uint64_t kChunkMagic = 0x5550534c43484e4bULL;  // "UPSLCHNK"
+
+struct PoolHeader {
+  std::uint64_t magic;
+  std::uint64_t version;
+  std::uint64_t pool_id;
+  std::uint64_t chunk_size;
+  std::uint64_t max_chunks;
+  std::uint64_t dir_offset;
+  std::uint64_t root_offset;
+  std::uint64_t root_size;
+  std::uint64_t chunks_offset;
+};
+
+/// First cache lines of every chunk; the rest of the chunk is block space.
+struct ChunkHeader {
+  std::uint64_t magic;
+  std::uint64_t chunk_id;
+  /// Set (and persisted) once the chunk's block chain has been durably
+  /// linked into its arena free list — the provisioning commit marker used
+  /// by recovery (see ChunkAllocator::provisioning notes in DESIGN.md).
+  std::uint64_t committed;
+  std::uint64_t owner_arena;
+};
+
+/// Directory entry states.
+enum class ChunkState : std::uint64_t { kFree = 0, kPending = 1, kAllocated = 2 };
+
+struct DirEntry {
+  ChunkState state;
+  std::uint64_t epoch;
+  std::uint16_t thread;
+};
+
+constexpr std::uint64_t dir_pack(ChunkState s, std::uint64_t epoch,
+                                 std::uint16_t thread) {
+  return (static_cast<std::uint64_t>(s) << 62) | ((epoch & ((1ULL << 46) - 1)) << 16) |
+         thread;
+}
+
+constexpr DirEntry dir_unpack(std::uint64_t word) {
+  return DirEntry{static_cast<ChunkState>(word >> 62),
+                  (word >> 16) & ((1ULL << 46) - 1),
+                  static_cast<std::uint16_t>(word & 0xffff)};
+}
+
+struct ChunkAllocatorConfig {
+  std::uint64_t chunk_size = 4ull << 20;  // 4 MiB, the thesis' default
+  std::uint32_t max_chunks = 64;
+  std::uint64_t root_size = 1ull << 20;  // store-root scratch area
+};
+
+/// Coarse-grained allocator for one pool. Thread-safe; all state persistent.
+class ChunkAllocator {
+ public:
+  /// Formats a freshly created pool.
+  static void format(pmem::Pool& pool, const ChunkAllocatorConfig& cfg);
+
+  /// Attaches to a formatted pool (create or restart path) and installs the
+  /// pool's chunk resolver with the RIV runtime.
+  explicit ChunkAllocator(pmem::Pool& pool);
+
+  pmem::Pool& pool() const { return pool_; }
+  const PoolHeader& header() const { return *header_; }
+
+  /// Claims a free chunk: FREE -> PENDING(epoch, thread). Returns chunk id
+  /// or a negative value if the pool is exhausted.
+  std::int64_t claim_chunk(std::uint64_t epoch, std::uint16_t thread);
+
+  /// PENDING -> ALLOCATED (provisioning finished).
+  void commit_chunk(std::uint32_t chunk);
+
+  /// -> FREE. Used both for normal frees and for reclaiming chunks whose
+  /// provisioning was interrupted by a crash.
+  void release_chunk(std::uint32_t chunk);
+
+  DirEntry dir_entry(std::uint32_t chunk) const;
+
+  char* chunk_base(std::uint32_t chunk) const {
+    return pool_.base() + header_->chunks_offset + chunk * header_->chunk_size;
+  }
+  ChunkHeader* chunk_header(std::uint32_t chunk) const {
+    return reinterpret_cast<ChunkHeader*>(chunk_base(chunk));
+  }
+  /// Usable block space inside a chunk (after the chunk header line(s)).
+  char* chunk_data(std::uint32_t chunk) const {
+    return chunk_base(chunk) + kChunkHeaderSize;
+  }
+  std::uint64_t chunk_data_size() const {
+    return header_->chunk_size - kChunkHeaderSize;
+  }
+
+  char* root_area() const { return pool_.base() + header_->root_offset; }
+  std::uint64_t root_size() const { return header_->root_size; }
+
+  /// Reverse map: pointer inside this pool's chunk space -> RIV value.
+  std::uint64_t riv_of(const void* p) const;
+
+  /// Called after the pool was re-mapped (restart): refresh cached header
+  /// pointer and invalidate the RIV chunk-base cache.
+  void reattach();
+
+  static constexpr std::uint64_t kChunkHeaderSize = 2 * kCacheLineSize;
+
+ private:
+  std::uint64_t* dir_word(std::uint32_t chunk) const {
+    return reinterpret_cast<std::uint64_t*>(pool_.base() + header_->dir_offset) +
+           chunk;
+  }
+  void install_resolver();
+
+  pmem::Pool& pool_;
+  PoolHeader* header_;
+};
+
+}  // namespace upsl::alloc

@@ -1,0 +1,95 @@
+// BzTree baseline (Arulraj et al., thesis §3.1/§5.1.2): a latch-free B+tree
+// for persistent memory whose every multi-word state change goes through
+// PMwCAS. Reproduced from the published design, specialized to fixed 8-byte
+// keys and values:
+//
+//  * leaves hold a binary-searchable sorted region plus an append-only
+//    unsorted overflow region — the lookup advantage behind BzTree's
+//    read-only win over UPSkipList (Fig 5.2),
+//  * every insert/update is one or more PMwCAS operations — the descriptor
+//    helping traffic that collapses under update-heavy contention (Fig 5.1),
+//  * structure modifications (consolidate/split) freeze a node, rebuild it
+//    copy-on-write and swap parent pointers with PMwCAS; any thread finding
+//    a frozen node completes or retries the SMO,
+//  * recovery = descriptor-pool scan (Table 5.4: proportional to the
+//    descriptor count, not the tree size).
+//
+// Deviations, documented in DESIGN.md: old node versions are reclaimed by
+// an epoch GC in the original and are simply retired here (bounded leak per
+// consolidation), and duplicate-key races resolve by "highest slot wins"
+// until consolidation deduplicates.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "pmwcas/pmwcas.hpp"
+
+namespace upsl::bztree {
+
+/// Values live in PMwCAS-managed words, whose top two bits are reserved for
+/// descriptor pointers — so user values (and the tombstone) must stay below
+/// 2^62. insert() validates this.
+inline constexpr std::uint64_t kTombstone = (1ULL << 62) - 1;
+
+class BzTree {
+ public:
+  struct Config {
+    std::uint32_t leaf_capacity = 64;
+    std::uint32_t internal_capacity = 64;
+    std::uint32_t descriptor_count = 4096;
+  };
+
+  static std::unique_ptr<BzTree> create(pmem::Pool& pool, const Config& cfg);
+  /// Reconnect after a crash: runs PMwCAS descriptor-pool recovery (the
+  /// measured recovery cost) and returns ready to serve.
+  static std::unique_ptr<BzTree> open(pmem::Pool& pool);
+
+  std::optional<std::uint64_t> insert(std::uint64_t key, std::uint64_t value);
+  std::optional<std::uint64_t> search(std::uint64_t key);
+  std::optional<std::uint64_t> remove(std::uint64_t key);
+  bool contains(std::uint64_t key) { return search(key).has_value(); }
+
+  std::size_t count_keys();
+  void check_invariants();
+
+  pmwcas::DescriptorPool& descriptors() { return *descs_; }
+  std::uint32_t tree_height();
+
+ private:
+  struct Node;
+  struct PathEntry {
+    std::uint64_t node_off;
+    std::uint32_t child_idx;  // index of the traversed child entry
+  };
+
+  BzTree(pmem::Pool& pool, bool creating, const Config* cfg);
+
+  Node* node_at(std::uint64_t off) const;
+  std::uint64_t alloc_node(std::uint32_t capacity, bool leaf);
+  std::uint64_t* root_word() const;
+
+  std::uint64_t find_leaf(std::uint64_t key, std::vector<PathEntry>& path);
+  /// Index of the newest visible entry for key, or -1.
+  std::int32_t find_in_leaf(Node* leaf, std::uint64_t key);
+
+  bool try_append(Node* leaf, std::uint64_t leaf_off, std::uint64_t key,
+                  std::uint64_t value);
+  /// Consolidate (and split if necessary) a full or frozen leaf.
+  void smo(std::uint64_t leaf_off, const std::vector<PathEntry>& path);
+  bool replace_child(const std::vector<PathEntry>& path,
+                     std::uint64_t old_child,
+                     const std::vector<std::pair<std::uint64_t, std::uint64_t>>&
+                         replacements);
+  /// Complete a frozen internal node's replacement (split when large,
+  /// copy-on-write otherwise). Any thread can drive this to completion.
+  void smo_internal(std::uint64_t node_off, const std::vector<PathEntry>& path);
+
+  pmem::Pool& pool_;
+  std::unique_ptr<pmwcas::DescriptorPool> descs_;
+  Config cfg_;
+};
+
+}  // namespace upsl::bztree

@@ -1,0 +1,34 @@
+// Small compiler/portability helpers shared by all modules.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__GNUC__) || defined(__clang__)
+#define UPSL_LIKELY(x) __builtin_expect(!!(x), 1)
+#define UPSL_UNLIKELY(x) __builtin_expect(!!(x), 0)
+#define UPSL_NOINLINE __attribute__((noinline))
+#define UPSL_ALWAYS_INLINE __attribute__((always_inline)) inline
+#else
+#define UPSL_LIKELY(x) (x)
+#define UPSL_UNLIKELY(x) (x)
+#define UPSL_NOINLINE
+#define UPSL_ALWAYS_INLINE inline
+#endif
+
+namespace upsl {
+
+/// Cache line size assumed by the persistence model. Real Optane persists in
+/// 256-byte internal blocks but the CPU flush granularity is the 64-byte line,
+/// which is what CLWB/CLFLUSHOPT operate on and what recovery reasoning uses.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+constexpr std::uint64_t align_down(std::uint64_t v, std::uint64_t a) {
+  return v & ~(a - 1);
+}
+constexpr std::uint64_t align_up(std::uint64_t v, std::uint64_t a) {
+  return (v + a - 1) & ~(a - 1);
+}
+constexpr bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+}  // namespace upsl

@@ -1,0 +1,87 @@
+// Cooperative crash-injection points.
+//
+// The thesis tests recovery with SIGABRT-simulated crashes and real power
+// cycles (§6.1.2). In-process we cannot kill threads asynchronously without
+// UB, so algorithms are instrumented with named crash points; a test arms a
+// point (optionally "fire on the Nth hit") and the owning thread throws
+// CrashException there, abandoning its operation mid-flight exactly where a
+// kill would have landed. Combined with Pool::simulate_crash() (which drops
+// all unflushed lines) this reproduces the set of post-failure states.
+//
+// In non-test builds nothing is ever armed and each crash point is a single
+// relaxed atomic load on a false branch.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "common/compiler.hpp"
+
+namespace upsl {
+
+struct CrashException : std::runtime_error {
+  CrashException() : std::runtime_error("injected crash") {}
+};
+
+class CrashPoints {
+ public:
+  static CrashPoints& instance() {
+    static CrashPoints cp;
+    return cp;
+  }
+
+  /// Arm: the `skip`-th subsequent hit of a crash point with this tag fires.
+  /// tag 0 matches every crash point (crash at the Nth point reached).
+  void arm(std::uint64_t tag, std::uint64_t skip = 0) {
+    skip_.store(skip, std::memory_order_relaxed);
+    tag_.store(tag, std::memory_order_relaxed);
+    armed_.store(true, std::memory_order_release);
+  }
+
+  void disarm() { armed_.store(false, std::memory_order_release); }
+
+  bool fired() const { return fired_.load(std::memory_order_acquire); }
+
+  void reset() {
+    disarm();
+    fired_.store(false, std::memory_order_relaxed);
+  }
+
+  /// Called by instrumented code. Throws CrashException when this hit is the
+  /// armed one.
+  void hit(std::uint64_t tag) {
+    if (UPSL_UNLIKELY(armed_.load(std::memory_order_acquire))) {
+      const std::uint64_t want = tag_.load(std::memory_order_relaxed);
+      if (want != 0 && want != tag) return;
+      if (skip_.fetch_sub(1, std::memory_order_acq_rel) == 0) {
+        armed_.store(false, std::memory_order_release);
+        fired_.store(true, std::memory_order_release);
+        throw CrashException{};
+      }
+    }
+  }
+
+ private:
+  std::atomic<bool> armed_{false};
+  std::atomic<bool> fired_{false};
+  std::atomic<std::uint64_t> tag_{0};
+  std::atomic<std::uint64_t> skip_{0};
+};
+
+/// Compile-time FNV-1a so call sites can tag points with string names.
+constexpr std::uint64_t crash_tag(const char* s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  while (*s != '\0') {
+    h ^= static_cast<std::uint64_t>(*s++);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+#define UPSL_CRASH_POINT(name)                                        \
+  ::upsl::CrashPoints::instance().hit(                                \
+      []() { constexpr auto t = ::upsl::crash_tag(name); return t; }())
+
+}  // namespace upsl

@@ -1,0 +1,93 @@
+// Log-bucketed latency histogram (HDR-histogram style) used by the YCSB
+// driver to report the percentile series of Figures 5.5/5.6 and the medians
+// of Table 5.3. Mergeable across threads; recording is wait-free per thread
+// when each thread owns its histogram.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace upsl {
+
+class LatencyHistogram {
+ public:
+  /// Buckets: 64 major (power of two) x 32 minor (linear subdivision).
+  /// Covers [0, 2^63] ns with <= ~3% relative error.
+  static constexpr int kMajor = 64;
+  static constexpr int kMinor = 32;
+  static constexpr int kMinorBits = 5;
+
+  LatencyHistogram() : buckets_(kMajor * kMinor, 0) {}
+
+  void record(std::uint64_t value_ns) {
+    ++buckets_[index_of(value_ns)];
+    ++count_;
+    if (value_ns > max_) max_ = value_ns;
+  }
+
+  void merge(const LatencyHistogram& other) {
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+      buckets_[i] += other.buckets_[i];
+    count_ += other.count_;
+    max_ = std::max(max_, other.max_);
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t max() const { return max_; }
+
+  /// Value at percentile p in [0, 100]. Returns the representative value of
+  /// the bucket containing the p-th sample (upper edge midpoint).
+  std::uint64_t percentile(double p) const {
+    if (count_ == 0) return 0;
+    std::uint64_t rank = static_cast<std::uint64_t>(p / 100.0 * static_cast<double>(count_));
+    if (rank >= count_) rank = count_ - 1;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      seen += buckets_[i];
+      if (seen > rank) return representative(static_cast<int>(i));
+    }
+    return max_;
+  }
+
+  double mean() const {
+    if (count_ == 0) return 0.0;
+    double total = 0.0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+      total += static_cast<double>(buckets_[i]) *
+               static_cast<double>(representative(static_cast<int>(i)));
+    return total / static_cast<double>(count_);
+  }
+
+  void reset() {
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    count_ = 0;
+    max_ = 0;
+  }
+
+ private:
+  static int index_of(std::uint64_t v) {
+    if (v < kMinor) return static_cast<int>(v);
+    const int major = 63 - __builtin_clzll(v);
+    const int minor =
+        static_cast<int>((v >> (major - kMinorBits)) & (kMinor - 1));
+    return (major - kMinorBits + 1) * kMinor + minor;
+  }
+
+  static std::uint64_t representative(int idx) {
+    const int major_block = idx / kMinor;
+    const int minor = idx % kMinor;
+    if (major_block == 0) return static_cast<std::uint64_t>(minor);
+    const int major = major_block + kMinorBits - 1;
+    const std::uint64_t base = 1ULL << major;
+    const std::uint64_t step = base >> kMinorBits;
+    return base + static_cast<std::uint64_t>(minor) * step + step / 2;
+  }
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace upsl

@@ -1,0 +1,71 @@
+// Fast deterministic PRNGs used by workload generation, height selection and
+// crash fuzzing. Kept header-only; every generator is seedable so tests and
+// benchmarks are reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace upsl {
+
+/// splitmix64: used to seed other generators and to scramble keys.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless mix of a 64-bit value (fmix64 from MurmurHash3). Used for
+/// scrambled-zipfian key spreading.
+constexpr std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 33)) * 0xff51afd7ed558ccdULL;
+  z = (z ^ (z >> 33)) * 0xc4ceb9fe1a85ec53ULL;
+  return z ^ (z >> 33);
+}
+
+/// xoshiro256**: general-purpose generator for everything that is not
+/// cryptographic (nothing here is).
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bULL) {
+    std::uint64_t sm = seed;
+    for (auto& word : s_) word = splitmix64(sm);
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). Bound must be nonzero.
+  std::uint64_t next_below(std::uint64_t bound) { return next() % bound; }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Geometric(p = 0.5) sample >= 1, capped: number of leading coin flips
+  /// that came up heads, plus one. Used for skip list tower heights.
+  int geometric_height(int max_height) {
+    const std::uint64_t bits = next();
+    int h = 1;
+    while (h < max_height && (bits >> (h - 1) & 1u) != 0) ++h;
+    return h;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace upsl

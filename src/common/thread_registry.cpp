@@ -1,0 +1,7 @@
+#include "common/thread_registry.hpp"
+
+namespace upsl {
+
+thread_local int ThreadRegistry::tls_id_ = -1;
+
+}  // namespace upsl

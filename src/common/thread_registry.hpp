@@ -1,0 +1,54 @@
+// Stable small thread identities.
+//
+// The thesis' logging scheme (§4.1.4) assumes "the identity of a thread
+// performing operations does not change during an epoch" and that post-crash
+// threads may reuse the ids of pre-crash threads (§2.2, recoverable
+// linearizability via id reuse). We model that with an explicit registry:
+// worker threads bind a slot id for their lifetime; after a simulated crash
+// the harness re-binds the same ids for the recovery-generation threads.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+
+namespace upsl {
+
+inline constexpr int kMaxThreads = 256;
+
+class ThreadRegistry {
+ public:
+  static ThreadRegistry& instance() {
+    static ThreadRegistry reg;
+    return reg;
+  }
+
+  /// Binds the calling thread to an explicit slot (used by crash-recovery
+  /// harnesses that re-create "the same" threads after a failure).
+  void bind(int id) {
+    assert(id >= 0 && id < kMaxThreads);
+    tls_id_ = id;
+  }
+
+  /// Binds the calling thread to the next free slot and returns it.
+  int bind_next() {
+    const int id = next_.fetch_add(1, std::memory_order_relaxed) % kMaxThreads;
+    tls_id_ = id;
+    return id;
+  }
+
+  /// Id of the calling thread; threads that never bound get slot 0.
+  static int id() { return tls_id_ < 0 ? 0 : tls_id_; }
+
+  static bool bound() { return tls_id_ >= 0; }
+
+  /// Test helper: forget the calling thread's binding.
+  static void unbind() { tls_id_ = -1; }
+
+ private:
+  ThreadRegistry() = default;
+  static thread_local int tls_id_;
+  std::atomic<int> next_{0};
+};
+
+}  // namespace upsl

@@ -1,0 +1,962 @@
+#include "core/upskiplist.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/crashpoint.hpp"
+
+namespace upsl::core {
+
+namespace {
+
+/// Liveness diagnostic: converts an unexpected livelock in a retry loop
+/// into an exception naming the loop instead of a silent spin. The bound is
+/// far above anything a correct execution reaches.
+struct SpinGuard {
+  std::uint64_t n = 0;
+  const char* where;
+  explicit SpinGuard(const char* w) : where(w) {}
+  void tick() {
+    if (UPSL_UNLIKELY(++n > (8u << 20)))
+      throw std::runtime_error(std::string("livelock detected in ") + where);
+  }
+};
+
+}  // namespace
+
+using pmem::persist;
+using pmem::pm_cas;
+using pmem::pm_cas_value;
+using pmem::pm_load;
+using pmem::pm_store;
+
+namespace {
+
+constexpr std::uint64_t kStoreMagic = 0x5550534b49504c53ULL;  // "UPSKIPLS"
+
+/// Persistent store root, at the start of pool 0's root area.
+struct StoreRoot {
+  std::uint64_t magic;
+  std::uint64_t version;
+  std::uint64_t epoch_id;
+  std::uint64_t num_pools;
+  std::uint64_t arenas_per_pool;
+  std::uint64_t keys_per_node;
+  std::uint64_t max_height;
+  std::uint64_t block_size;
+  std::uint64_t recovery_budget;
+  std::uint64_t sorted_splits;
+  std::uint64_t head_riv;
+  std::uint64_t tail_riv;
+};
+
+constexpr std::size_t kLogsOffset = 128;  // after StoreRoot, line-aligned
+static_assert(sizeof(StoreRoot) <= kLogsOffset);
+
+std::size_t arenas_offset() {
+  return kLogsOffset + sizeof(alloc::ThreadLog) * kMaxThreads;
+}
+
+StoreRoot* root_of(alloc::ChunkAllocator& ca) {
+  return reinterpret_cast<StoreRoot*>(ca.root_area());
+}
+
+}  // namespace
+
+Xoshiro256& UPSkipList::thread_rng() {
+  static thread_local Xoshiro256 rng(
+      0x9e3779b97f4a7c15ULL ^
+      (static_cast<std::uint64_t>(ThreadRegistry::id()) << 32) ^
+      reinterpret_cast<std::uintptr_t>(this));
+  return rng;
+}
+
+// ---------------------------------------------------------------------------
+// Creation / reconnection
+// ---------------------------------------------------------------------------
+
+void UPSkipList::attach(std::vector<pmem::Pool*> pools, bool creating,
+                        const Options* opts) {
+  if (pools.empty()) throw std::invalid_argument("need at least one pool");
+  pools_ = std::move(pools);
+
+  if (creating) {
+    for (pmem::Pool* p : pools_) alloc::ChunkAllocator::format(*p, opts->chunk);
+  }
+  for (pmem::Pool* p : pools_)
+    chunk_allocs_.push_back(std::make_unique<alloc::ChunkAllocator>(*p));
+
+  // Single-pool stores skip the RIV pool-lookup stage (§4.3.1): this is the
+  // "striped device" configuration of the evaluation.
+  riv::Runtime::instance().set_single_pool_mode(pools_.size() == 1,
+                                                pools_[0]->id());
+
+  StoreRoot* root = root_of(*chunk_allocs_[0]);
+  char* root_area = chunk_allocs_[0]->root_area();
+
+  if (creating) {
+    layout_ = NodeLayout{opts->keys_per_node, opts->max_height};
+    opts_ = *opts;
+    const std::uint32_t arenas_per_pool =
+        (opts->max_threads + static_cast<std::uint32_t>(pools_.size()) - 1) /
+        static_cast<std::uint32_t>(pools_.size());
+    const std::size_t need =
+        arenas_offset() +
+        sizeof(alloc::ArenaHeader) * pools_.size() * arenas_per_pool;
+    if (need > chunk_allocs_[0]->root_size())
+      throw std::invalid_argument("root area too small");
+    std::memset(root_area, 0, need);
+    root->version = 1;
+    root->epoch_id = 1;
+    root->num_pools = pools_.size();
+    root->arenas_per_pool = arenas_per_pool;
+    root->keys_per_node = opts->keys_per_node;
+    root->max_height = opts->max_height;
+    root->block_size = layout_.node_size();
+    root->recovery_budget = opts->recovery_budget;
+    root->sorted_splits = opts->sorted_splits ? 1 : 0;
+    persist(root_area, need);
+  } else {
+    if (pm_load(root->magic) != kStoreMagic)
+      throw std::runtime_error("store root not found (wrong pool set?)");
+    if (root->num_pools != pools_.size())
+      throw std::runtime_error("pool count mismatch with stored root");
+    layout_ = NodeLayout{static_cast<std::uint32_t>(root->keys_per_node),
+                         static_cast<std::uint32_t>(root->max_height)};
+    opts_.keys_per_node = layout_.keys_per_node;
+    opts_.max_height = layout_.max_height;
+    opts_.recovery_budget =
+        static_cast<std::uint32_t>(root->recovery_budget);
+    opts_.sorted_splits = root->sorted_splits != 0;
+  }
+
+  epoch_word_ = &root->epoch_id;
+
+  std::vector<alloc::ChunkAllocator*> cas;
+  for (auto& ca : chunk_allocs_) cas.push_back(ca.get());
+  alloc::BlockAllocator::Config acfg;
+  acfg.block_size = root->block_size;
+  acfg.arenas_per_pool = static_cast<std::uint32_t>(root->arenas_per_pool);
+  block_alloc_ = std::make_unique<alloc::BlockAllocator>(
+      std::move(cas),
+      reinterpret_cast<alloc::ArenaHeader*>(root_area + arenas_offset()),
+      reinterpret_cast<alloc::ThreadLog*>(root_area + kLogsOffset),
+      epoch_word_, acfg);
+  block_alloc_->set_reachability_fn(
+      [this](const alloc::ThreadLog& log) { return log_block_reachable(log); });
+
+  if (creating) {
+    block_alloc_->bootstrap();
+    init_sentinels();
+    root->head_riv = head_riv_;
+    root->tail_riv = tail_riv_;
+    persist(root, sizeof(*root));
+    // Magic last: a crash mid-create leaves an unopenable store, never a
+    // half-initialized one.
+    pm_store(root->magic, kStoreMagic);
+    persist(&root->magic, sizeof(root->magic));
+  } else {
+    head_riv_ = root->head_riv;
+    tail_riv_ = root->tail_riv;
+    // Start a new failure-free epoch (§4.1.3). After this single persisted
+    // increment the store is ready to serve; all repair is deferred.
+    pm_store(root->epoch_id, pm_load(root->epoch_id) + 1);
+    persist(&root->epoch_id, sizeof(root->epoch_id));
+  }
+}
+
+std::unique_ptr<UPSkipList> UPSkipList::create(std::vector<pmem::Pool*> pools,
+                                               const Options& opts) {
+  if (opts.keys_per_node < 1 || opts.max_height < 2 || opts.max_height > 63)
+    throw std::invalid_argument("bad UPSkipList options");
+  auto list = std::unique_ptr<UPSkipList>(new UPSkipList);
+  list->attach(std::move(pools), /*creating=*/true, &opts);
+  return list;
+}
+
+std::unique_ptr<UPSkipList> UPSkipList::open(std::vector<pmem::Pool*> pools) {
+  auto list = std::unique_ptr<UPSkipList>(new UPSkipList);
+  list->attach(std::move(pools), /*creating=*/false, nullptr);
+  return list;
+}
+
+void UPSkipList::init_sentinels() {
+  const std::uint64_t epoch = pm_load(*epoch_word_);
+
+  std::uint64_t tail_riv = 0;
+  auto* traw = static_cast<char*>(block_alloc_->allocate(0, 0, &tail_riv));
+  NodeView tail(traw, &layout_);
+  pm_store(tail.meta(), static_cast<std::uint64_t>(layout_.max_height));
+  pm_store(tail.self_riv(), tail_riv);
+  pm_store(tail.epoch_id(), epoch);
+  pm_store(tail.key(0), kTailKey);
+  for (std::uint32_t i = 0; i < layout_.keys_per_node; ++i)
+    pm_store(tail.value(i), kTombstone);
+  persist(traw, layout_.node_size());
+  tail_riv_ = tail_riv;
+
+  std::uint64_t head_riv = 0;
+  auto* hraw = static_cast<char*>(block_alloc_->allocate(0, 0, &head_riv));
+  NodeView head(hraw, &layout_);
+  pm_store(head.meta(), static_cast<std::uint64_t>(layout_.max_height));
+  pm_store(head.self_riv(), head_riv);
+  pm_store(head.epoch_id(), epoch);
+  for (std::uint32_t i = 0; i < layout_.keys_per_node; ++i)
+    pm_store(head.value(i), kTombstone);
+  for (std::uint32_t l = 0; l < layout_.max_height; ++l)
+    pm_store(head.next(l), tail_riv);
+  persist(hraw, layout_.node_size());
+  head_riv_ = head_riv;
+}
+
+// ---------------------------------------------------------------------------
+// Node construction
+// ---------------------------------------------------------------------------
+
+std::uint64_t UPSkipList::make_node(std::uint64_t pred_riv, std::uint64_t key,
+                                    std::uint64_t value, std::uint32_t height,
+                                    const std::uint64_t* succs) {
+  // MakeLinkedObject (Function 4): the allocator logs the attempt and pops a
+  // block; we initialize it as a node and persist everything with one flush
+  // before it can become reachable (Function 18's single-persist argument).
+  std::uint64_t riv = 0;
+  auto* raw = static_cast<char*>(block_alloc_->allocate(pred_riv, key, &riv));
+  NodeView n(raw, &layout_);
+  pm_store(n.meta(), static_cast<std::uint64_t>(height));
+  pm_store(n.self_riv(), riv);
+  pm_store(n.sorted_count(), std::uint64_t{1});
+  pm_store(n.key(0), key);
+  pm_store(n.value(0), value);
+  for (std::uint32_t i = 1; i < layout_.keys_per_node; ++i)
+    pm_store(n.value(i), kTombstone);
+  for (std::uint32_t l = 0; l < height; ++l) pm_store(n.next(l), succs[l]);
+  persist(raw, layout_.node_size());
+  return riv;
+}
+
+// ---------------------------------------------------------------------------
+// Traversal (Function 7) and recovery checks (Functions 10-12)
+// ---------------------------------------------------------------------------
+
+std::int32_t UPSkipList::scan_internal_keys(NodeView node,
+                                            std::uint64_t key) const {
+  std::uint32_t first_unsorted = 1;
+  if (opts_.sorted_splits) {
+    // §7 optimization: nodes produced by a split are fully sorted up to
+    // sorted_count; binary-search that prefix (as BzTree does) and fall
+    // back to a linear scan of the unsorted overflow slots.
+    const auto sc = static_cast<std::uint32_t>(pm_load(node.sorted_count()));
+    if (sc > 1 && sc <= layout_.keys_per_node) {
+      std::uint32_t lo = 1;  // index 0 was compared by the traversal
+      std::uint32_t hi = sc;
+      while (lo < hi) {
+        const std::uint32_t mid = (lo + hi) / 2;
+        const std::uint64_t k = pm_load(node.key(mid));
+        if (k == key) return static_cast<std::int32_t>(mid);
+        if (k != kNullKey && k < key) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      first_unsorted = sc;
+    }
+  }
+  // Function 8: linear scan (index 0 was compared by the traversal).
+  for (std::uint32_t i = first_unsorted; i < layout_.keys_per_node; ++i)
+    if (pm_load(node.key(i)) == key) return static_cast<std::int32_t>(i);
+  return -1;
+}
+
+UPSkipList::TraverseResult UPSkipList::traverse(std::uint64_t key,
+                                                std::uint64_t* preds,
+                                                std::uint64_t* succs,
+                                                std::uint32_t recovery_budget) {
+  std::uint32_t recoveries = 0;
+  SpinGuard restart_guard("traverse.restart");
+restart:
+  restart_guard.tick();
+  std::uint64_t pred_riv = head_riv_;
+  NodeView pred = view(pred_riv);
+  TraverseResult res;
+
+  for (std::int32_t level = static_cast<std::int32_t>(layout_.max_height) - 1;
+       level >= 0; --level) {
+    std::uint64_t cur_riv = pm_load(pred.next(static_cast<std::uint32_t>(level)));
+    SpinGuard level_guard("traverse.level");
+    while (true) {
+      level_guard.tick();
+      NodeView cur = view(cur_riv);
+      if (check_for_recovery(static_cast<std::uint32_t>(level), cur_riv, cur,
+                             &recoveries, recovery_budget)) {
+        goto restart;
+      }
+      // splitCount must be read before the key so the caller can validate
+      // that what it read was not torn by a concurrent split (§4.4).
+      const std::uint64_t sc = pm_load(cur.split_count());
+      const std::uint64_t k0 = pm_load(cur.key(0));
+      if (k0 <= key) {
+        res.split_count = sc;
+        pred_riv = cur_riv;
+        pred = cur;
+        cur_riv = pm_load(pred.next(static_cast<std::uint32_t>(level)));
+      } else {
+        break;
+      }
+    }
+    preds[level] = pred_riv;
+    succs[level] = cur_riv;
+  }
+
+  if (pred_riv != head_riv_) {
+    if (pred.first_key() == key) {
+      res.key_index = 0;
+      res.found = true;
+    } else {
+      res.key_index = scan_internal_keys(pred, key);
+      res.found = res.key_index >= 0;
+    }
+  }
+  return res;
+}
+
+bool UPSkipList::check_for_recovery(std::uint32_t level, std::uint64_t node_riv,
+                                    NodeView node,
+                                    std::uint32_t* recoveries_done,
+                                    std::uint32_t budget) {
+  const std::uint64_t current = pm_load(*epoch_word_);
+  const std::uint64_t node_epoch = pm_load(node.epoch_id());
+  if (UPSL_LIKELY(node_epoch == current)) return false;
+
+  // Post-recovery throughput throttle (§4.4.1): a traversal repairs at most
+  // `budget` incomplete inserts, but an interrupted split (detectable by the
+  // durable lock state) must be repaired on sight — its duplicate keys make
+  // traversal results unreliable until fixed.
+  const bool lock_held = pm_load(node.lock_word()) != 0;
+  if (*recoveries_done >= budget && !lock_held) return false;
+
+  // Reset metadata from the dead epoch before claiming (Function 10 line
+  // 122): stale reader counts would otherwise block writers forever. Live
+  // readers cannot interfere — try_read_lock refuses stale-epoch nodes.
+  node.drain_stale_readers();
+  std::uint64_t expected = node_epoch;
+  if (!pm_cas(node.epoch_id(), expected, current)) {
+    return false;  // another thread claimed this node; it will repair it
+  }
+  persist(&node.epoch_id(), sizeof(std::uint64_t));
+  UPSL_CRASH_POINT("core.recovery_claimed");
+
+  check_node_split_recovery(node);
+  check_insert_recovery(level, node_riv, node);
+  ++*recoveries_done;
+  return true;
+}
+
+void UPSkipList::check_node_split_recovery(NodeView node) {
+  // Function 11: a durable write-lock from a previous epoch means the node
+  // was being split. The new node, if it was linked, is next[0]; complete
+  // the erase phase by tombstoning every key that was copied there.
+  if (!node.write_locked()) return;
+  NodeView succ = view(pm_load(node.next(0)));
+  const bool have_succ = !succ.is_tail();
+  for (std::uint32_t i = 0; i < layout_.keys_per_node; ++i) {
+    const std::uint64_t k = pm_load(node.key(i));
+    if (k == kNullKey) {
+      pm_store(node.value(i), kTombstone);
+      continue;
+    }
+    if (!have_succ) continue;
+    for (std::uint32_t j = 0; j < layout_.keys_per_node; ++j) {
+      if (pm_load(succ.key(j)) == k) {
+        pm_store(node.key(i), kNullKey);
+        pm_store(node.value(i), kTombstone);
+        break;
+      }
+    }
+  }
+  // The erase punched unknown holes; drop the sorted-prefix claim.
+  pm_store(node.sorted_count(), std::uint64_t{0});
+  persist(node.raw(), layout_.node_size());
+  UPSL_CRASH_POINT("core.split_recovered");
+  node.write_unlock();
+  persist(&node.lock_word(), sizeof(std::uint64_t));
+}
+
+void UPSkipList::check_insert_recovery(std::uint32_t level,
+                                       std::uint64_t node_riv, NodeView node) {
+  // Function 12: Herlihy-style inserts link bottom-up and UPSkipList
+  // persists each level before the next, so a node's linked levels are
+  // always a prefix [0, top]. Encountering an old-epoch node first at
+  // `level` means `level` is its topmost linked level; if its tower should
+  // be taller, the insert was interrupted — finish it (§4.5.2).
+  const std::uint32_t height = node.height();
+  if (level + 1 >= height) return;
+  std::uint64_t preds[64];
+  std::uint64_t succs[64];
+  // Fresh traversal for the node's own key: the caller's pred/succ arrays
+  // describe the search key's path, which may bracket a different position.
+  traverse(node.first_key(), preds, succs, /*recovery_budget=*/0);
+  link_higher_levels(preds, succs, node_riv, level + 1, height);
+}
+
+// ---------------------------------------------------------------------------
+// Linking (Functions 17-19)
+// ---------------------------------------------------------------------------
+
+void UPSkipList::populate_levels(const std::uint64_t* succs, NodeView node,
+                                 std::uint32_t start_level,
+                                 std::uint32_t end_level) {
+  for (std::uint32_t l = start_level; l < end_level; ++l)
+    pm_store(node.next(l), succs[l]);
+  for (std::uint32_t l = start_level; l < end_level; ++l)
+    persist(&node.next(l), sizeof(std::uint64_t));
+}
+
+void UPSkipList::link_higher_levels(std::uint64_t* preds, std::uint64_t* succs,
+                                    std::uint64_t node_riv,
+                                    std::uint32_t start_level,
+                                    std::uint32_t height) {
+  NodeView node = view(node_riv);
+  const std::uint64_t node_key = node.first_key();
+  for (std::uint32_t level = start_level; level < height; ++level) {
+    SpinGuard guard("link_higher_levels");
+    while (true) {
+      guard.tick();
+      // If the traversal reached the node itself at this level, the node is
+      // already linked here — possible when recovery is driven from below
+      // the tower's true top (e.g. by a scan claiming at level 0). Linking
+      // "again" would CAS the node's own next pointer into a self-loop.
+      if (preds[level] == node_riv) break;
+      NodeView pred = view(preds[level]);
+      if (pm_load(pred.next(level)) == node_riv) break;  // already linked
+      const std::uint64_t expected = pm_load(node.next(level));
+      if (pm_cas_value(pred.next(level), expected, node_riv)) {
+        // Changes to next pointers at a level must be persisted before
+        // changes at higher levels (Function 17 line 233) — otherwise a
+        // crash could leave a non-prefix tower, which recovery relies on
+        // never happening.
+        persist(&pred.next(level), sizeof(std::uint64_t));
+        UPSL_CRASH_POINT("core.linked_level");
+        break;
+      }
+      // The neighbourhood changed: recompute it and refresh this node's
+      // remaining next pointers (Function 17 lines 235-237).
+      traverse(node_key, preds, succs, /*recovery_budget=*/0);
+      populate_levels(succs, node, level, height);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reads (Functions 8-9)
+// ---------------------------------------------------------------------------
+
+std::optional<std::uint64_t> UPSkipList::search(std::uint64_t key) {
+  if (key == kNullKey || key == kTailKey)
+    throw std::invalid_argument("key out of user range");
+  std::uint64_t preds[64];
+  std::uint64_t succs[64];
+  SpinGuard guard("search");
+  while (true) {
+    guard.tick();
+    const TraverseResult res =
+        traverse(key, preds, succs, opts_.recovery_budget);
+    NodeView node = view(preds[0]);
+    if (!res.found) {
+      if (preds[0] == head_riv_) return std::nullopt;
+      // Validate the miss: a concurrent split may have moved the key to the
+      // successor after we read next[0] but before we scanned the keys.
+      // (The thesis' pseudocode validates only hits; misses need the same
+      // splitCount check for strict linearizability.)
+      if (node.write_locked()) continue;
+      if (pm_load(node.split_count()) != res.split_count) continue;
+      return std::nullopt;
+    }
+    if (node.write_locked()) continue;  // value unreliable mid-split
+    const std::uint64_t value =
+        pm_load(node.value(static_cast<std::uint32_t>(res.key_index)));
+    if (pm_load(node.split_count()) != res.split_count) continue;
+    if (value == kTombstone) return std::nullopt;
+    // Reader-forced persistence: the insert's linearization point is the
+    // persistence of the value; a reader returning it must make sure it is
+    // durable first, or a crash could erase a value that was already
+    // observed (§4.5).
+    persist(&node.value(static_cast<std::uint32_t>(res.key_index)),
+            sizeof(std::uint64_t));
+    return value;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Writes (Functions 13-16, 20)
+// ---------------------------------------------------------------------------
+
+std::optional<std::uint64_t> UPSkipList::update_value(NodeView node,
+                                                      std::int32_t idx,
+                                                      std::uint64_t value) {
+  // Function 14: CAS until success; total order over updates of this key.
+  auto& word = node.value(static_cast<std::uint32_t>(idx));
+  SpinGuard guard("update_value");
+  while (true) {
+    guard.tick();
+    std::uint64_t old = pm_load(word);
+    if (pm_cas(word, old, value)) {
+      persist(&word, sizeof(word));
+      UPSL_CRASH_POINT("core.updated_value");
+      if (old == kTombstone) return std::nullopt;
+      return old;
+    }
+  }
+}
+
+std::optional<std::uint64_t> UPSkipList::insert(std::uint64_t key,
+                                                std::uint64_t value) {
+  if (key == kNullKey || key == kTailKey)
+    throw std::invalid_argument("key out of user range");
+  if (value == kTombstone)
+    throw std::invalid_argument("value reserved for tombstones");
+  std::uint64_t preds[64];
+  std::uint64_t succs[64];
+  SpinGuard guard("insert");
+  while (true) {
+    guard.tick();
+    const TraverseResult res = traverse(key, preds, succs, ~0u);
+    NodeView pred = view(preds[0]);
+    const std::uint64_t current = pm_load(*epoch_word_);
+
+    if (res.found) {
+      // Update path: the read lock excludes concurrent splits; the split
+      // counter check rejects a split completed since the traversal.
+      if (!pred.try_read_lock(current)) continue;
+      if (pm_load(pred.split_count()) != res.split_count) {
+        pred.read_unlock();
+        continue;
+      }
+      auto old = update_value(pred, res.key_index, value);
+      pred.read_unlock();
+      return old;
+    }
+
+    if (preds[0] == head_riv_) {
+      if (create_head_successor(key, value, preds, succs)) return std::nullopt;
+      continue;
+    }
+
+    std::optional<std::uint64_t> old;
+    switch (insert_into_existing(key, value, preds, res.split_count, &old)) {
+      case InsertStatus::kRestart:
+        continue;
+      case InsertStatus::kNeedSplit:
+        if (split_node(key, value, preds, succs, &old) == InsertStatus::kDone)
+          return old;
+        continue;
+      case InsertStatus::kDone:
+        return old;
+    }
+  }
+}
+
+bool UPSkipList::create_head_successor(std::uint64_t key, std::uint64_t value,
+                                       std::uint64_t* preds,
+                                       std::uint64_t* succs) {
+  // Function 15: the head stores no keys, so a key smaller than every
+  // existing first key gets a brand-new node right after the head.
+  const auto height = static_cast<std::uint32_t>(
+      thread_rng().geometric_height(static_cast<int>(layout_.max_height)));
+  const std::uint64_t succ = succs[0];
+  const std::uint64_t node_riv = make_node(head_riv_, key, value, height, succs);
+  UPSL_CRASH_POINT("core.head_succ_made");
+  NodeView head = view(head_riv_);
+  if (!pm_cas_value(head.next(0), succ, node_riv)) {
+    block_alloc_->deallocate(node_riv);
+    return false;
+  }
+  persist(&head.next(0), sizeof(std::uint64_t));
+  UPSL_CRASH_POINT("core.head_succ_linked");
+  link_higher_levels(preds, succs, node_riv, 1, height);
+  return true;
+}
+
+UPSkipList::InsertStatus UPSkipList::insert_into_existing(
+    std::uint64_t key, std::uint64_t value, std::uint64_t* preds,
+    std::uint64_t split_count, std::optional<std::uint64_t>* old_out) {
+  // Function 16: claim the first empty slot with a key CAS, then publish the
+  // value. Claiming without rescanning for duplicates is safe because the
+  // traversal scanned all keys and every concurrent inserter of this key
+  // fights for the same first empty slot (§4.5).
+  NodeView pred = view(preds[0]);
+  const std::uint64_t current = pm_load(*epoch_word_);
+  if (!pred.try_read_lock(current)) return InsertStatus::kRestart;
+  if (pm_load(pred.split_count()) != split_count) {
+    pred.read_unlock();
+    return InsertStatus::kRestart;
+  }
+  for (std::uint32_t i = 0; i < layout_.keys_per_node; ++i) {
+    std::uint64_t k = pm_load(pred.key(i));
+    if (k == kNullKey) {
+      if (pm_cas_value(pred.key(i), kNullKey, key)) {
+        persist(&pred.key(i), sizeof(std::uint64_t));
+        UPSL_CRASH_POINT("core.slot_claimed");
+        *old_out = update_value(pred, static_cast<std::int32_t>(i), value);
+        pred.read_unlock();
+        return InsertStatus::kDone;
+      }
+      k = pm_load(pred.key(i));  // lost the slot race; did they insert `key`?
+    }
+    if (k == key) {
+      *old_out = update_value(pred, static_cast<std::int32_t>(i), value);
+      pred.read_unlock();
+      return InsertStatus::kDone;
+    }
+  }
+  pred.read_unlock();
+  return InsertStatus::kNeedSplit;
+}
+
+UPSkipList::InsertStatus UPSkipList::split_node(
+    std::uint64_t key, std::uint64_t value, std::uint64_t* preds,
+    std::uint64_t* succs, std::optional<std::uint64_t>* old_out) {
+  // Function 20. The write lock only needs to be held while keys are
+  // transferred and erased; the tower of the new node is built after the
+  // lock is released (§4.2).
+  NodeView pred = view(preds[0]);
+  const std::uint64_t current = pm_load(*epoch_word_);
+  if (!pred.try_write_lock(current))
+    return InsertStatus::kRestart;  // someone else is progressing
+  // Make the locked state durable before any destructive step: recovery
+  // detects an interrupted split by this bit (Function 11).
+  persist(&pred.lock_word(), sizeof(std::uint64_t));
+  UPSL_CRASH_POINT("core.split_locked");
+
+  const std::uint32_t K = layout_.keys_per_node;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> pairs;
+  pairs.reserve(K);
+  for (std::uint32_t i = 0; i < K; ++i) {
+    const std::uint64_t k = pm_load(pred.key(i));
+    if (k != kNullKey) pairs.emplace_back(k, pm_load(pred.value(i)));
+  }
+  if (pairs.size() < 2) {
+    // A full single-key node (keys_per_node == 1) cannot be halved: insert
+    // the new key as its own node right after pred instead — exactly the
+    // classic Herlihy insert this configuration degenerates to (Fig 5.3).
+    const auto height = static_cast<std::uint32_t>(
+        thread_rng().geometric_height(static_cast<int>(layout_.max_height)));
+    std::uint64_t node_succs[64];
+    for (std::uint32_t l = 0; l < height; ++l) node_succs[l] = succs[l];
+    node_succs[0] = pm_load(pred.next(0));
+    // The neighbourhood may have changed between the traversal and taking
+    // the lock (another single-key "split" can have inserted a node after
+    // pred, possibly with this very key): re-validate under the lock.
+    if (key >= view(node_succs[0]).first_key()) {
+      pred.write_unlock();
+      persist(&pred.lock_word(), sizeof(std::uint64_t));
+      return InsertStatus::kRestart;
+    }
+    const std::uint64_t new_riv =
+        make_node(preds[0], key, value, height, node_succs);
+    if (!pm_cas_value(pred.next(0), node_succs[0], new_riv)) {
+      block_alloc_->deallocate(new_riv);
+      pred.write_unlock();
+      persist(&pred.lock_word(), sizeof(std::uint64_t));
+      return InsertStatus::kRestart;
+    }
+    persist(&pred.next(0), sizeof(std::uint64_t));
+    pred.write_unlock();
+    persist(&pred.lock_word(), sizeof(std::uint64_t));
+    traverse(key, preds, succs, ~0u);
+    link_higher_levels(preds, succs, new_riv, 1, height);
+    *old_out = std::nullopt;
+    return InsertStatus::kDone;
+  }
+  std::sort(pairs.begin(), pairs.end());
+  const std::size_t mid = pairs.size() / 2;
+
+  const auto height = static_cast<std::uint32_t>(
+      thread_rng().geometric_height(static_cast<int>(layout_.max_height)));
+  // The new node's successors: every recorded successor of the traversal has
+  // a first key greater than every key in pred, so the arrays are valid for
+  // the median key as well (see DESIGN.md).
+  std::uint64_t node_succs[64];
+  for (std::uint32_t l = 0; l < height; ++l) node_succs[l] = succs[l];
+  node_succs[0] = pm_load(pred.next(0));
+
+  const std::uint64_t new_riv =
+      make_node(preds[0], pairs[mid].first, pairs[mid].second, height,
+                node_succs);
+  NodeView nn = view(new_riv);
+  for (std::size_t i = mid; i < pairs.size(); ++i) {
+    pm_store(nn.key(static_cast<std::uint32_t>(i - mid)), pairs[i].first);
+    pm_store(nn.value(static_cast<std::uint32_t>(i - mid)), pairs[i].second);
+  }
+  pm_store(nn.sorted_count(),
+           static_cast<std::uint64_t>(pairs.size() - mid));
+  persist(nn.raw(), layout_.node_size());
+  UPSL_CRASH_POINT("core.split_node_made");
+
+  const std::uint64_t expected_next = pm_load(nn.next(0));
+  if (!pm_cas_value(pred.next(0), expected_next, new_riv)) {
+    // Cannot happen while we hold the split lock and nodes are never
+    // removed, but stay faithful to the pseudocode's guard (line 258).
+    block_alloc_->deallocate(new_riv);
+    pred.write_unlock();
+    persist(&pred.lock_word(), sizeof(std::uint64_t));
+    return InsertStatus::kRestart;
+  }
+  persist(&pred.next(0), sizeof(std::uint64_t));
+  UPSL_CRASH_POINT("core.split_linked");
+
+  pm_store(pred.split_count(), pm_load(pred.split_count()) + 1);
+  persist(&pred.split_count(), sizeof(std::uint64_t));
+
+  // Erase the moved upper half from the original node.
+  for (std::uint32_t i = 0; i < K; ++i) {
+    const std::uint64_t k = pm_load(pred.key(i));
+    if (k >= pairs[mid].first && k != kNullKey) {
+      pm_store(pred.key(i), kNullKey);
+      pm_store(pred.value(i), kTombstone);
+    }
+  }
+  // The surviving sorted prefix is whatever leading run stayed non-null and
+  // ascending (erasure punched holes into the old prefix).
+  {
+    std::uint64_t run = 0;
+    std::uint64_t prev_key = 0;
+    for (std::uint32_t i = 0; i < K; ++i) {
+      const std::uint64_t k = pm_load(pred.key(i));
+      if (k == kNullKey || (i > 0 && k <= prev_key)) break;
+      prev_key = k;
+      ++run;
+    }
+    pm_store(pred.sorted_count(), run);
+  }
+  persist(pred.raw(), layout_.node_size());
+  UPSL_CRASH_POINT("core.split_erased");
+  pred.write_unlock();
+  persist(&pred.lock_word(), sizeof(std::uint64_t));
+
+  // Build the new node's tower outside the lock (Function 20 lines 269-270).
+  traverse(pm_load(nn.key(0)), preds, succs, ~0u);
+  link_higher_levels(preds, succs, new_riv, 1, height);
+  // The calling Insert retries and lands in the old or the new node.
+  return InsertStatus::kRestart;
+}
+
+std::optional<std::uint64_t> UPSkipList::remove(std::uint64_t key) {
+  // §4.6: removals tombstone the value, behaving as updates.
+  if (key == kNullKey || key == kTailKey)
+    throw std::invalid_argument("key out of user range");
+  std::uint64_t preds[64];
+  std::uint64_t succs[64];
+  SpinGuard guard("remove");
+  while (true) {
+    guard.tick();
+    const TraverseResult res = traverse(key, preds, succs, ~0u);
+    NodeView node = view(preds[0]);
+    if (!res.found) {
+      if (preds[0] == head_riv_) return std::nullopt;
+      if (node.write_locked()) continue;
+      if (pm_load(node.split_count()) != res.split_count) continue;
+      return std::nullopt;
+    }
+    const std::uint64_t current = pm_load(*epoch_word_);
+    if (!node.try_read_lock(current)) continue;
+    if (pm_load(node.split_count()) != res.split_count) {
+      node.read_unlock();
+      continue;
+    }
+    auto& word = node.value(static_cast<std::uint32_t>(res.key_index));
+    std::optional<std::uint64_t> removed;
+    while (true) {
+      std::uint64_t old = pm_load(word);
+      if (old == kTombstone) break;  // already absent
+      if (pm_cas(word, old, kTombstone)) {
+        persist(&word, sizeof(word));
+        removed = old;
+        break;
+      }
+    }
+    node.read_unlock();
+    return removed;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scans and diagnostics
+// ---------------------------------------------------------------------------
+
+std::size_t UPSkipList::scan(std::uint64_t lo, std::uint64_t hi,
+                             std::vector<ScanEntry>& out) {
+  if (lo > hi) return 0;
+  std::uint64_t preds[64];
+  std::uint64_t succs[64];
+  traverse(lo == kNullKey ? 1 : lo, preds, succs, opts_.recovery_budget);
+  std::uint64_t cur_riv = preds[0];
+  const std::size_t before = out.size();
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> snapshot(
+      layout_.keys_per_node);
+
+  SpinGuard walk_guard("scan.walk");
+  while (cur_riv != 0) {
+    walk_guard.tick();
+    NodeView node = view(cur_riv);
+    if (node.is_tail()) break;
+    if (node.first_key() > hi) break;
+    if (cur_riv != head_riv_) {
+      // Per-node atomic snapshot, validated by the split counter.
+      SpinGuard guard("scan.snapshot");
+      while (true) {
+        guard.tick();
+        const std::uint64_t sc = pm_load(node.split_count());
+        if (node.write_locked()) {
+          // A durably locked node from a dead epoch never unlocks by
+          // itself — claim and repair it (a live split unlocks shortly).
+          std::uint32_t recoveries = 0;
+          check_for_recovery(0, cur_riv, node, &recoveries, ~0u);
+          continue;
+        }
+        for (std::uint32_t i = 0; i < layout_.keys_per_node; ++i)
+          snapshot[i] = {pm_load(node.key(i)), pm_load(node.value(i))};
+        if (pm_load(node.split_count()) == sc) break;
+      }
+      for (const auto& [k, v] : snapshot)
+        if (k != kNullKey && k >= lo && k <= hi && v != kTombstone)
+          out.push_back({k, v});
+    }
+    cur_riv = pm_load(node.next(0));
+  }
+
+  std::sort(out.begin() + static_cast<std::ptrdiff_t>(before), out.end(),
+            [](const ScanEntry& a, const ScanEntry& b) { return a.key < b.key; });
+  // A key that migrated right during the walk can be collected twice; keep
+  // the first occurrence.
+  auto* first = out.data() + before;
+  const auto n = static_cast<std::size_t>(out.size() - before);
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < n; ++r) {
+    if (w > 0 && first[r].key == first[w - 1].key) continue;
+    first[w++] = first[r];
+  }
+  out.resize(before + w);
+  return w;
+}
+
+std::size_t UPSkipList::count_keys() {
+  std::vector<ScanEntry> entries;
+  return scan(1, kTailKey - 1, entries);
+}
+
+void UPSkipList::check_invariants() {
+  // Bottom level: strictly increasing first keys, internal keys bounded by
+  // (first_key, successor.first_key), tombstone values on every null slot.
+  NodeView node = view(head_riv_);
+  std::uint64_t cur = pm_load(node.next(0));
+  std::uint64_t prev_first = 0;
+  std::size_t bottom_count = 0;
+  while (true) {
+    NodeView v = view(cur);
+    if (v.is_tail()) break;
+    ++bottom_count;
+    const std::uint64_t first = v.first_key();
+    if (first <= prev_first)
+      throw std::logic_error("bottom level not strictly sorted");
+    prev_first = first;
+    NodeView succ = view(pm_load(v.next(0)));
+    const std::uint64_t bound = succ.first_key();
+    for (std::uint32_t i = 0; i < layout_.keys_per_node; ++i) {
+      const std::uint64_t k = pm_load(v.key(i));
+      if (k == kNullKey) {
+        if (pm_load(v.value(i)) != kTombstone)
+          throw std::logic_error("null key slot without tombstone value");
+        continue;
+      }
+      if (k < first || k >= bound)
+        throw std::logic_error("internal key outside node bounds");
+    }
+    if (v.height() == 0 || v.height() > layout_.max_height)
+      throw std::logic_error("node height out of range");
+    cur = pm_load(v.next(0));
+  }
+  // Every higher level must be a sorted sub-sequence of the level below.
+  for (std::uint32_t l = 1; l < layout_.max_height; ++l) {
+    std::uint64_t upper = pm_load(view(head_riv_).next(l));
+    std::uint64_t lower = pm_load(view(head_riv_).next(l - 1));
+    while (upper != tail_riv_) {
+      while (lower != tail_riv_ && lower != upper)
+        lower = pm_load(view(lower).next(l - 1));
+      if (lower == tail_riv_)
+        throw std::logic_error("upper level node missing from lower level");
+      if (view(upper).height() <= l)
+        throw std::logic_error("node linked above its height");
+      upper = pm_load(view(upper).next(l));
+    }
+  }
+}
+
+std::size_t UPSkipList::count_nodes() {
+  std::size_t n = 0;
+  std::uint64_t cur = pm_load(view(head_riv_).next(0));
+  while (true) {
+    NodeView v = view(cur);
+    if (v.is_tail()) return n;
+    ++n;
+    cur = pm_load(v.next(0));
+  }
+}
+
+bool UPSkipList::tower_complete(std::uint64_t key) {
+  std::uint64_t preds[64];
+  std::uint64_t succs[64];
+  const TraverseResult res = traverse(key, preds, succs, 0);
+  if (!res.found) return false;
+  const std::uint64_t node_riv = preds[0];
+  NodeView node = view(node_riv);
+  for (std::uint32_t l = 0; l < node.height(); ++l) {
+    std::uint64_t cur = pm_load(view(head_riv_).next(l));
+    bool found = false;
+    while (cur != tail_riv_) {
+      if (cur == node_riv) {
+        found = true;
+        break;
+      }
+      cur = pm_load(view(cur).next(l));
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+void UPSkipList::check_no_leaks() {
+  std::size_t total_blocks = 0;
+  for (auto& ca : chunk_allocs_) {
+    for (std::uint32_t c = 0; c < ca->header().max_chunks; ++c)
+      if (ca->dir_entry(c).state == alloc::ChunkState::kAllocated)
+        total_blocks += ca->chunk_data_size() / block_alloc_->block_size();
+  }
+  const std::size_t free_blocks = block_alloc_->count_all_free_blocks();
+  const std::size_t live = count_nodes() + 2;  // + head and tail sentinels
+  if (free_blocks + live != total_blocks)
+    throw std::logic_error(
+        "block leak: " + std::to_string(total_blocks) + " carved, " +
+        std::to_string(free_blocks) + " free + " + std::to_string(live) +
+        " live");
+}
+
+// ---------------------------------------------------------------------------
+// Allocation-log reachability (Function 3 lines 15-22)
+// ---------------------------------------------------------------------------
+
+bool UPSkipList::log_block_reachable(const alloc::ThreadLog& log) {
+  if (log.pred == 0) return true;  // sentinel bootstrap allocations
+  std::uint64_t cur = log.pred;
+  while (cur != 0) {
+    if (cur == log.block) return true;
+    NodeView v = view(cur);
+    if (v.is_tail()) return false;
+    if (cur != head_riv_ && v.first_key() > log.key) return false;
+    cur = pm_load(v.next(0));
+  }
+  return false;
+}
+
+}  // namespace upsl::core

@@ -1,0 +1,180 @@
+// UPSkipList — the Untitled Persistent Skip List (thesis chapter 4).
+//
+// A fully PMEM-resident, recoverable, NUMA-aware skip list derived from
+// Herlihy et al.'s lock-free skip list, converted with the thesis' extension
+// to RECIPE for lock-free algorithms with non-repairing, non-blocking
+// writes: a PMEM-resident failure-free epoch id is recorded in every node
+// touched by an in-flight operation, so a traversal can tell "inconsistent
+// but someone is working on it" (same epoch) from "inconsistent because of a
+// crash" (older epoch) and claim + repair the latter (§4.1.3).
+//
+// Nodes hold up to keys_per_node keys (unsorted after the first, §4.4) and
+// are split concurrently and recoverably when full (§4.5.1). Removals write
+// tombstones (§4.6). Traversals are wait-free reads; insert/update/remove
+// are deadlock-free (the split lock is the only blocking component).
+//
+// Progress after a failure: open() bumps the epoch and the structure is
+// immediately ready to serve; inconsistencies are repaired as encountered,
+// throttled to `recovery_budget` incomplete-insert repairs per search
+// traversal so post-crash throughput does not collapse (§4.4.1). Incomplete
+// node splits are always repaired on sight.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "alloc/block_allocator.hpp"
+#include "common/rng.hpp"
+#include "core/node.hpp"
+
+namespace upsl::core {
+
+struct Options {
+  std::uint32_t keys_per_node = 256;  // thesis' tuned value (§5.1.2)
+  std::uint32_t max_height = 32;
+  /// Highest thread id the store must support; sizes the arenas.
+  std::uint32_t max_threads = 64;
+  /// Incomplete-insert repairs a single search traversal may perform.
+  std::uint32_t recovery_budget = 1;
+  /// Sort keys when splitting a node and binary-search the sorted prefix —
+  /// the thesis' future-work optimization borrowed from BzTree (§7).
+  bool sorted_splits = false;
+  alloc::ChunkAllocatorConfig chunk;
+};
+
+/// Result row of a range scan.
+struct ScanEntry {
+  std::uint64_t key;
+  std::uint64_t value;
+};
+
+class UPSkipList {
+ public:
+  /// Formats `pools` and creates an empty store. Pool 0 holds the root.
+  static std::unique_ptr<UPSkipList> create(std::vector<pmem::Pool*> pools,
+                                            const Options& opts);
+
+  /// Reconnects to an existing store after a restart/crash: bumps the
+  /// failure-free epoch and returns immediately — recovery of in-flight
+  /// operations is deferred into run time (§4.1.5). This is the whole of
+  /// the "recovery time" measured in Table 5.4.
+  static std::unique_ptr<UPSkipList> open(std::vector<pmem::Pool*> pools);
+
+  UPSkipList(const UPSkipList&) = delete;
+  UPSkipList& operator=(const UPSkipList&) = delete;
+
+  /// Upsert (Function 13): inserts key->value, or updates and returns the
+  /// previous value if the key is present. nullopt = key was newly inserted.
+  std::optional<std::uint64_t> insert(std::uint64_t key, std::uint64_t value);
+
+  /// Search (Function 9): wait-free read.
+  std::optional<std::uint64_t> search(std::uint64_t key);
+
+  bool contains(std::uint64_t key) { return search(key).has_value(); }
+
+  /// Remove (§4.6): tombstones the value. Returns the removed value.
+  std::optional<std::uint64_t> remove(std::uint64_t key);
+
+  /// Range scan over [lo, hi] in key order (extension; §7 future work).
+  /// Per-node atomic (validated by split counters), not globally atomic.
+  std::size_t scan(std::uint64_t lo, std::uint64_t hi,
+                   std::vector<ScanEntry>& out);
+
+  /// Number of live (non-tombstoned) keys — O(n) diagnostic walk.
+  std::size_t count_keys();
+
+  /// Structural invariant checks for tests: every node's tower is a prefix
+  /// of the levels below, bottom level is sorted by first key, internal
+  /// keys lie within (first_key, next.first_key). Throws on violation.
+  void check_invariants();
+
+  /// Nodes on the bottom level, excluding sentinels (diagnostic walk).
+  std::size_t count_nodes();
+
+  /// True iff the node holding `key` is linked on every level up to its
+  /// stored height — i.e. its insert (or its recovery) fully completed.
+  bool tower_complete(std::uint64_t key);
+
+  /// Leak detector for tests: every block carved out of an allocated chunk
+  /// must be on a free list or reachable as a node/sentinel. Call from a
+  /// quiesced store after each thread id has performed at least one
+  /// allocation in the current epoch (deferred log recovery, §4.1.4).
+  void check_no_leaks();
+
+  std::uint64_t epoch() const { return pmem::pm_load(*epoch_word_); }
+  const NodeLayout& layout() const { return layout_; }
+  alloc::BlockAllocator& allocator() { return *block_alloc_; }
+  std::uint32_t num_pools() const {
+    return static_cast<std::uint32_t>(pools_.size());
+  }
+
+ private:
+  UPSkipList() = default;
+
+  struct TraverseResult {
+    std::uint64_t split_count = 0;
+    std::int32_t key_index = -1;
+    bool found = false;
+  };
+
+  enum class InsertStatus { kRestart, kNeedSplit, kDone };
+
+  NodeView view(std::uint64_t riv) const {
+    return NodeView(static_cast<char*>(riv::Runtime::instance().to_ptr(riv)),
+                    &layout_);
+  }
+
+  void attach(std::vector<pmem::Pool*> pools, bool creating,
+              const Options* opts);
+  void init_sentinels();
+  std::uint64_t make_node(std::uint64_t pred_riv, std::uint64_t key,
+                          std::uint64_t value, std::uint32_t height,
+                          const std::uint64_t* succs);
+
+  TraverseResult traverse(std::uint64_t key, std::uint64_t* preds,
+                          std::uint64_t* succs, std::uint32_t recovery_budget);
+  std::int32_t scan_internal_keys(NodeView node, std::uint64_t key) const;
+
+  bool check_for_recovery(std::uint32_t level, std::uint64_t node_riv,
+                          NodeView node, std::uint32_t* recoveries_done,
+                          std::uint32_t budget);
+  void check_node_split_recovery(NodeView node);
+  void check_insert_recovery(std::uint32_t level, std::uint64_t node_riv,
+                             NodeView node);
+
+  std::optional<std::uint64_t> update_value(NodeView node, std::int32_t idx,
+                                            std::uint64_t value);
+  bool create_head_successor(std::uint64_t key, std::uint64_t value,
+                             std::uint64_t* preds, std::uint64_t* succs);
+  InsertStatus insert_into_existing(std::uint64_t key, std::uint64_t value,
+                                    std::uint64_t* preds,
+                                    std::uint64_t split_count,
+                                    std::optional<std::uint64_t>* old_out);
+  InsertStatus split_node(std::uint64_t key, std::uint64_t value,
+                          std::uint64_t* preds, std::uint64_t* succs,
+                          std::optional<std::uint64_t>* old_out);
+  void link_higher_levels(std::uint64_t* preds, std::uint64_t* succs,
+                          std::uint64_t node_riv, std::uint32_t start_level,
+                          std::uint32_t height);
+  void populate_levels(const std::uint64_t* succs, NodeView node,
+                       std::uint32_t start_level, std::uint32_t end_level);
+
+  bool log_block_reachable(const alloc::ThreadLog& log);
+
+  Xoshiro256& thread_rng();
+
+  std::vector<pmem::Pool*> pools_;
+  std::vector<std::unique_ptr<alloc::ChunkAllocator>> chunk_allocs_;
+  std::unique_ptr<alloc::BlockAllocator> block_alloc_;
+  NodeLayout layout_{};
+  Options opts_{};
+  std::uint64_t* epoch_word_ = nullptr;  // PMEM-resident
+  std::uint64_t head_riv_ = 0;
+  std::uint64_t tail_riv_ = 0;
+};
+
+}  // namespace upsl::core

@@ -1,0 +1,221 @@
+#include "lincheck/lincheck.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+
+namespace upsl::lincheck {
+
+namespace {
+
+/// Global order across crashes: epoch first, then the logical timestamp.
+std::uint64_t order_key(std::uint64_t epoch, std::uint64_t ts) {
+  return (epoch << 40) | (ts & ((1ULL << 40) - 1));
+}
+
+struct KeyHistory {
+  std::vector<const Operation*> writes;
+  std::vector<const Operation*> reads;
+};
+
+CheckResult violation(std::uint64_t key, const std::string& what) {
+  CheckResult r;
+  r.linearizable = false;
+  std::ostringstream os;
+  os << "key " << key << ": " << what;
+  r.reason = os.str();
+  return r;
+}
+
+}  // namespace
+
+CheckResult check_strict(const std::vector<Operation>& history) {
+  std::unordered_map<std::uint64_t, KeyHistory> keys;
+  for (const Operation& op : history) {
+    if (op.kind == OpKind::kWrite) {
+      keys[op.key].writes.push_back(&op);
+    } else if (op.completed) {
+      keys[op.key].reads.push_back(&op);
+    }
+  }
+
+  CheckResult result;
+  for (auto& [key, kh] : keys) {
+    result.keys_checked += 1;
+    result.ops_checked += kh.writes.size() + kh.reads.size();
+
+    // Written values must be unique (methodology requirement, §6.1.1).
+    {
+      std::map<std::uint64_t, int> seen;
+      for (const Operation* w : kh.writes)
+        if (++seen[w->arg] > 1)
+          return violation(key, "duplicate written value (bad test harness)");
+    }
+
+    // Build the swap chain from completed writes: prev value -> write.
+    // Pending writes may join the chain (they were allowed to take effect
+    // before the crash) but are not required to.
+    std::unordered_map<std::uint64_t, const Operation*> by_prev;
+    for (const Operation* w : kh.writes) {
+      if (!w->completed) continue;
+      auto [it, inserted] = by_prev.emplace(w->ret, w);
+      if (!inserted)
+        return violation(key, "two completed swaps observed the same "
+                              "previous value");
+    }
+    std::unordered_map<std::uint64_t, const Operation*> pending_by_arg;
+    for (const Operation* w : kh.writes) {
+      if (w->completed) continue;
+      // Pending writes have no recorded ret; they may slot anywhere their
+      // value is observed (the analyzer "inserts responses with inferred
+      // values" for operations that appear to have taken effect, §6.2).
+      pending_by_arg.emplace(w->arg, w);
+    }
+
+    // Follow the chain from the initial value. When no completed swap
+    // continues the chain, a pending write may bridge the gap — it took
+    // effect before the crash and its observed-previous value is inferred.
+    std::vector<const Operation*> chain;
+    std::unordered_map<std::uint64_t, std::size_t> pos_of_value;
+    std::unordered_map<std::uint64_t, const Operation*> spliced;
+    pos_of_value[kInitialValue] = 0;
+    std::uint64_t cur = kInitialValue;
+    std::size_t placed = 0;
+    while (true) {
+      auto it = by_prev.find(cur);
+      if (it != by_prev.end()) {
+        chain.push_back(it->second);
+        ++placed;
+        cur = it->second->arg;
+        pos_of_value[cur] = chain.size();
+        if (chain.size() > kh.writes.size())
+          return violation(key, "swap chain contains a cycle");
+        continue;
+      }
+      // Bridge with a pending write whose value some completed swap
+      // observed (prefer one that reconnects the chain).
+      const Operation* bridge = nullptr;
+      for (auto& [arg, p] : pending_by_arg) {
+        if (spliced.count(arg) != 0) continue;
+        if (by_prev.count(arg) != 0) {
+          bridge = p;
+          break;
+        }
+      }
+      if (bridge == nullptr) break;
+      spliced.emplace(bridge->arg, bridge);
+      chain.push_back(bridge);
+      cur = bridge->arg;
+      pos_of_value[cur] = chain.size();
+      if (chain.size() > kh.writes.size())
+        return violation(key, "swap chain contains a cycle");
+    }
+    if (placed != by_prev.size())
+      return violation(key,
+                       "completed swap not reachable in the chain (its "
+                       "observed previous value never existed)");
+
+    // Real-time and epoch order along the chain.
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+      for (std::size_t j = i + 1; j < chain.size(); ++j) {
+        if (!chain[j]->completed || !chain[i]->completed) continue;
+        const std::uint64_t j_resp =
+            order_key(chain[j]->epoch, chain[j]->resp_ts);
+        const std::uint64_t i_inv = order_key(chain[i]->epoch, chain[i]->inv_ts);
+        if (j_resp < i_inv)
+          return violation(key, "chain order contradicts real-time order");
+      }
+      if (i > 0 && chain[i]->epoch < chain[i - 1]->epoch)
+        return violation(key, "chain order contradicts epoch order");
+    }
+
+    // Strict linearizability: an operation may not take effect after the
+    // crash that interrupted it. A pending write of epoch e whose value was
+    // observed must therefore linearize within epoch e — i.e. everything
+    // before it in the chain must also be from epoch <= e. A pending write
+    // in the chain appears as: some completed op observed its value.
+    for (const Operation* w : chain) {
+      if (w->completed) continue;
+      for (const Operation* prior : chain) {
+        if (prior == w) break;
+        if (prior->epoch > w->epoch)
+          return violation(key,
+                           "in-flight operation took effect after the crash "
+                           "(strict linearizability violation)");
+      }
+    }
+
+    // Reads: value must exist in the chain (or be the initial value), the
+    // read's interval must intersect the value's validity window, and a
+    // read cannot observe a pending write from a *later* epoch than the
+    // read itself (it would have observed the future).
+    for (const Operation* r : kh.reads) {
+      auto pit = pos_of_value.find(r->ret);
+      if (pit == pos_of_value.end()) {
+        // Possibly a pending write's value that no completed swap follows.
+        auto pw = pending_by_arg.find(r->ret);
+        if (pw == pending_by_arg.end())
+          return violation(key, "read returned a value that was never written");
+        const Operation* w = pw->second;
+        if (order_key(w->epoch, w->inv_ts) > order_key(r->epoch, r->resp_ts))
+          return violation(key, "read observed a write before it was invoked");
+        if (w->epoch > r->epoch)
+          return violation(key, "read observed a write from a later epoch");
+        continue;
+      }
+      const std::size_t pos = pit->second;
+      if (pos > 0) {
+        const Operation* writer = chain[pos - 1];
+        if (order_key(r->epoch, r->resp_ts) <
+            order_key(writer->epoch, writer->inv_ts))
+          return violation(key, "read completed before its value was written");
+      }
+      if (pos < chain.size()) {
+        const Operation* replacer = chain[pos];
+        if (replacer->completed &&
+            order_key(r->epoch, r->inv_ts) >
+                order_key(replacer->epoch, replacer->resp_ts))
+          return violation(key,
+                           "read returned a stale value after its replacement "
+                           "completed");
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<Operation> assemble(
+    const std::vector<std::vector<LogRecord>>& per_thread_records) {
+  std::vector<Operation> ops;
+  for (const auto& records : per_thread_records) {
+    // Pair invoke/response records by per-thread sequence number; records
+    // are appended in order, so a simple map suffices.
+    std::unordered_map<std::uint32_t, Operation> open;
+    for (const LogRecord& rec : records) {
+      if (rec.kind_invoke == 1) {
+        Operation op{};
+        op.kind = static_cast<OpKind>(rec.op);
+        op.completed = false;
+        op.tid = rec.tid;
+        op.key = rec.key;
+        op.arg = rec.value;
+        op.epoch = rec.epoch;
+        op.inv_ts = rec.ts;
+        open[rec.seq] = op;
+      } else {
+        auto it = open.find(rec.seq);
+        if (it == open.end()) continue;  // response without invoke: skip
+        it->second.completed = true;
+        it->second.ret = rec.value;
+        it->second.resp_ts = rec.ts;
+        ops.push_back(it->second);
+        open.erase(it);
+      }
+    }
+    for (auto& [seq, op] : open) ops.push_back(op);  // pending at crash
+  }
+  return ops;
+}
+
+}  // namespace upsl::lincheck

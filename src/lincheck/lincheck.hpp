@@ -1,0 +1,75 @@
+// Black-box strict-linearizability analysis for crash histories
+// (thesis chapter 6; the Waterloo multi-word-persistent-primitive analyzer
+// of Cepeda et al. re-implemented for this reproduction's needs).
+//
+// The analyzed histories follow the thesis' methodology (§6.2):
+//  * every written value is unique per key (the tests use a global sequence
+//    number), so a read identifies exactly one write,
+//  * upserts are treated as conditional swaps that return the previous
+//    value (UPSkipList's Update is internally a CAS loop), with a per-key
+//    initial value standing in for "not present",
+//  * crashes truncate histories: an operation with an invocation but no
+//    response was in flight when the power failed and, under *strict*
+//    linearizability, may take effect before the crash or never (§2.2).
+//
+// With unique values the per-key check is exact and near-linear: completed
+// swaps must chain (each op's return value is its predecessor's argument),
+// the chain must respect real-time order and epoch order, and every read
+// must fall inside the validity window of the value it returned.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace upsl::lincheck {
+
+inline constexpr std::uint64_t kInitialValue = 0;  // "key not present"
+
+enum class OpKind : std::uint8_t { kRead = 1, kWrite = 2 };
+
+/// One completed or pending operation, as assembled from invoke/response
+/// log records.
+struct Operation {
+  OpKind kind;
+  bool completed;         // false: in flight at a crash
+  std::uint32_t tid;
+  std::uint64_t key;
+  std::uint64_t arg;      // written value (writes)
+  std::uint64_t ret;      // read value / previous value (completed ops)
+  std::uint64_t epoch;    // failure-free epoch of the invocation
+  std::uint64_t inv_ts;   // logical invocation timestamp
+  std::uint64_t resp_ts;  // logical response timestamp (completed ops)
+};
+
+struct CheckResult {
+  bool linearizable = true;
+  std::string reason;
+  std::size_t keys_checked = 0;
+  std::size_t ops_checked = 0;
+};
+
+/// Checks a history for strict linearizability. Timestamps need only be
+/// monotonic within an epoch; epochs order across crashes.
+CheckResult check_strict(const std::vector<Operation>& history);
+
+// ---- persistent history recording (libpmemlog-based, §6.1.1) -------------
+
+/// On-log record layout: one invoke record before the operation executes,
+/// one response record after. A crash between the two leaves a pending op.
+struct LogRecord {
+  std::uint32_t kind_invoke;  // 1 = invoke, 0 = response
+  std::uint32_t op;           // OpKind
+  std::uint32_t tid;
+  std::uint32_t seq;          // per-thread sequence, pairs invoke/response
+  std::uint64_t key;
+  std::uint64_t value;  // arg on invoke, ret on response
+  std::uint64_t ts;
+  std::uint64_t epoch;
+};
+
+/// Reassembles operations from per-thread log record streams.
+std::vector<Operation> assemble(
+    const std::vector<std::vector<LogRecord>>& per_thread_records);
+
+}  // namespace upsl::lincheck

@@ -1,0 +1,86 @@
+// Lock-based transactional skip list baseline (thesis §5.1.2):
+// "a libpmemobj lock-based skip list converted from Herlihy's lazy skip list
+// using PMDK's recoverable transactions, on the striped device. ... It does
+// not store multiple keys per node."
+//
+// Every structural mutation is wrapped in an ObjStore undo-log transaction,
+// so recovery after a crash is a rollback of at most one in-flight
+// transaction per thread (the PMDK programming model). Locks are volatile:
+// a sharded DRAM lock table keyed by node offset — they simply vanish at a
+// crash, exactly like libpmemobj's PMEMmutex contents are reinitialized.
+// To stay deadlock-free under lock sharding, each operation collects the
+// shard set it needs, sorts it, and acquires in index order before
+// validating optimistically-gathered predecessors (documented deviation from
+// per-node hand-built locking; see DESIGN.md).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+
+#include "common/rng.hpp"
+#include "common/thread_registry.hpp"
+#include "pmdk/objstore.hpp"
+
+namespace upsl::lsl {
+
+inline constexpr std::uint32_t kMaxHeight = 32;
+inline constexpr std::uint64_t kTailKey = ~0ULL;
+
+/// Single-key node with two-word fat next pointers (the layout whose cache
+/// cost Figure 5.3 measures).
+struct Node {
+  std::uint64_t key;
+  std::uint64_t value;
+  std::uint32_t height;
+  std::uint32_t flags;  // bit 0 = fully_linked, bit 1 = marked
+  pmdk::Oid next[kMaxHeight];
+
+  static constexpr std::uint32_t kFullyLinked = 1;
+  static constexpr std::uint32_t kMarked = 2;
+
+  bool fully_linked() const {
+    return (pmem::pm_load(flags) & kFullyLinked) != 0;
+  }
+  bool marked() const { return (pmem::pm_load(flags) & kMarked) != 0; }
+};
+
+class LockSkipList {
+ public:
+  static std::unique_ptr<LockSkipList> create(pmem::Pool& pool);
+  static std::unique_ptr<LockSkipList> open(pmem::Pool& pool);
+
+  /// Upsert; returns the previous value if the key existed.
+  std::optional<std::uint64_t> insert(std::uint64_t key, std::uint64_t value);
+  std::optional<std::uint64_t> search(std::uint64_t key);
+  std::optional<std::uint64_t> remove(std::uint64_t key);
+  bool contains(std::uint64_t key) { return search(key).has_value(); }
+
+  std::size_t count_keys();
+  void check_invariants();
+
+  pmdk::ObjStore& store() { return *store_; }
+
+ private:
+  explicit LockSkipList(pmem::Pool& pool, bool creating);
+
+  Node* node(pmdk::Oid oid) const { return store_->as<Node>(oid); }
+  std::uint32_t random_height();
+
+  /// Lazy-skip-list find: fills preds/succs, returns level of exact match
+  /// or -1.
+  int find(std::uint64_t key, pmdk::Oid* preds, pmdk::Oid* succs);
+
+  /// Volatile sharded lock table (locks vanish at crash).
+  static constexpr std::size_t kShards = 1024;
+  std::mutex& shard(pmdk::Oid oid) {
+    return shards_[(oid.off >> 6) % kShards];
+  }
+
+  std::unique_ptr<pmdk::ObjStore> store_;
+  pmdk::Oid head_;
+  std::array<std::mutex, kShards> shards_;
+};
+
+}  // namespace upsl::lsl

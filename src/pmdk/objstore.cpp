@@ -1,0 +1,270 @@
+#include "pmdk/objstore.hpp"
+
+#include <cstring>
+
+#include "common/crashpoint.hpp"
+
+namespace upsl::pmdk {
+
+using pmem::persist;
+using pmem::pm_cas_value;
+using pmem::pm_fetch_add;
+using pmem::pm_load;
+using pmem::pm_store;
+
+namespace {
+constexpr std::uint64_t kMagic = 0x504d444b53544f52ULL;  // "PMDKSTOR"
+}
+
+/// Undo-log record: header + saved bytes, 8-byte aligned.
+struct LogEntry {
+  std::uint64_t kind;  // 1 = undo range, 2 = allocation
+  std::uint64_t off;   // pool offset of the range / allocated block
+  std::uint64_t len;   // saved bytes / allocation size
+  // payload follows (kind 1 only)
+};
+
+struct ObjStore::TxLog {
+  std::uint64_t active;   // nonzero while a tx is open (durable)
+  std::uint64_t used;     // bytes of valid entries
+  std::uint64_t checksum; // reserved
+  std::uint64_t pad;
+  // entry bytes follow up to tx_log_bytes - 32
+};
+
+struct ObjStore::Header {
+  std::uint64_t magic;
+  std::uint64_t version;
+  std::uint64_t tx_log_bytes;
+  std::uint64_t heap_start;
+  std::uint64_t heap_next;  // bump pointer (pool offset)
+  std::uint64_t heap_end;
+  Oid root;
+  std::uint64_t free_heads[kNumClasses];  // Treiber stacks of freed blocks
+  std::uint64_t logs_start;
+};
+
+std::uint32_t ObjStore::class_of(std::uint64_t size) {
+  std::uint32_t c = 0;
+  std::uint64_t cap = 64;
+  while (cap < size && c < kNumClasses - 1) {
+    cap <<= 1;
+    ++c;
+  }
+  if (cap < size) throw std::invalid_argument("allocation too large");
+  return c;
+}
+
+ObjStore::Header* ObjStore::header() const {
+  return reinterpret_cast<Header*>(pool_.base());
+}
+
+ObjStore::TxLog* ObjStore::log_of(int tid) const {
+  Header* h = header();
+  return reinterpret_cast<TxLog*>(pool_.base() + h->logs_start +
+                                  static_cast<std::uint64_t>(tid) *
+                                      h->tx_log_bytes);
+}
+
+void ObjStore::format(pmem::Pool& pool, Config cfg) {
+  const std::uint64_t logs_start = align_up(sizeof(Header), kCacheLineSize);
+  const std::uint64_t heap_start =
+      align_up(logs_start + cfg.tx_log_bytes * kMaxThreads, 4096);
+  if (heap_start + 4096 > pool.size())
+    throw std::invalid_argument("pool too small for ObjStore");
+  std::memset(pool.base(), 0, heap_start);
+  auto* h = reinterpret_cast<Header*>(pool.base());
+  h->version = 1;
+  h->tx_log_bytes = cfg.tx_log_bytes;
+  h->logs_start = logs_start;
+  h->heap_start = heap_start;
+  h->heap_next = heap_start + 64;  // offset 0 stays the null Oid
+  h->heap_end = pool.size();
+  persist(pool.base(), heap_start);
+  pm_store(h->magic, kMagic);
+  persist(&h->magic, sizeof(h->magic));
+}
+
+ObjStore::ObjStore(pmem::Pool& pool) : pool_(pool) {
+  if (pm_load(header()->magic) != kMagic)
+    throw std::runtime_error("pool is not an ObjStore");
+  recover();
+}
+
+void ObjStore::recover() {
+  for (int t = 0; t < kMaxThreads; ++t) {
+    TxLog* log = log_of(t);
+    if (pm_load(log->active) != 0) rollback(log);
+  }
+}
+
+Oid ObjStore::root() const { return header()->root; }
+
+void ObjStore::set_root(Oid oid) {
+  Header* h = header();
+  h->root = oid;
+  persist(&h->root, sizeof(h->root));
+}
+
+// ---------------------------------------------------------------------------
+// Allocation
+// ---------------------------------------------------------------------------
+
+Oid ObjStore::alloc(std::uint64_t size) {
+  Header* h = header();
+  const std::uint32_t cls = class_of(size);
+  const std::uint64_t cap = 64ull << cls;
+
+  std::uint64_t off = 0;
+  // Try the size class' free list first.
+  while (true) {
+    const std::uint64_t head = pm_load(h->free_heads[cls]);
+    if (head == 0) break;
+    const std::uint64_t next =
+        pm_load(*reinterpret_cast<std::uint64_t*>(pool_.base() + head));
+    if (pm_cas_value(h->free_heads[cls], head, next)) {
+      persist(&h->free_heads[cls], sizeof(std::uint64_t));
+      off = head;
+      break;
+    }
+  }
+  if (off == 0) {
+    off = pm_fetch_add(h->heap_next, cap);
+    if (off + cap > h->heap_end) throw std::bad_alloc();
+    // Make the bump durable before the block can become reachable; see
+    // DESIGN.md for the crash analysis of this allocator.
+    persist(&h->heap_next, sizeof(h->heap_next));
+  }
+  std::memset(pool_.base() + off, 0, cap);
+
+  // If a transaction is open, record the allocation so an abort releases it.
+  TxLog* log = log_of(ThreadRegistry::id());
+  if (pm_load(log->active) != 0) {
+    char* base = reinterpret_cast<char*>(log + 1);
+    const std::uint64_t used = pm_load(log->used);
+    if (used + sizeof(LogEntry) > header()->tx_log_bytes - sizeof(TxLog))
+      throw std::runtime_error("tx log overflow");
+    auto* e = reinterpret_cast<LogEntry*>(base + used);
+    e->kind = 2;
+    e->off = off;
+    e->len = cap;
+    persist(e, sizeof(*e));
+    pm_store(log->used, used + sizeof(LogEntry));
+    persist(&log->used, sizeof(log->used));
+  }
+  return Oid{pool_.id(), off};
+}
+
+void ObjStore::free_obj(Oid oid, std::uint64_t size) {
+  Header* h = header();
+  const std::uint32_t cls = class_of(size);
+  auto* next_word = reinterpret_cast<std::uint64_t*>(pool_.base() + oid.off);
+  while (true) {
+    const std::uint64_t head = pm_load(h->free_heads[cls]);
+    pm_store(*next_word, head);
+    persist(next_word, sizeof(std::uint64_t));
+    if (pm_cas_value(h->free_heads[cls], head, oid.off)) {
+      persist(&h->free_heads[cls], sizeof(std::uint64_t));
+      return;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Transactions
+// ---------------------------------------------------------------------------
+
+bool ObjStore::in_tx() const {
+  return pm_load(log_of(ThreadRegistry::id())->active) != 0;
+}
+
+void ObjStore::tx_begin() {
+  TxLog* log = log_of(ThreadRegistry::id());
+  if (pm_load(log->active) != 0)
+    throw std::logic_error("nested transactions are not supported");
+  pm_store(log->used, std::uint64_t{0});
+  persist(&log->used, sizeof(log->used));
+  pm_store(log->active, std::uint64_t{1});
+  persist(&log->active, sizeof(log->active));
+}
+
+void ObjStore::tx_add(void* addr, std::uint64_t len) {
+  TxLog* log = log_of(ThreadRegistry::id());
+  if (pm_load(log->active) == 0) throw std::logic_error("tx_add outside tx");
+  char* base = reinterpret_cast<char*>(log + 1);
+  const std::uint64_t used = pm_load(log->used);
+  const std::uint64_t need = sizeof(LogEntry) + align_up(len, 8);
+  if (used + need > header()->tx_log_bytes - sizeof(TxLog))
+    throw std::runtime_error("tx log overflow");
+  auto* e = reinterpret_cast<LogEntry*>(base + used);
+  e->kind = 1;
+  e->off = static_cast<std::uint64_t>(static_cast<char*>(addr) - pool_.base());
+  e->len = len;
+  std::memcpy(e + 1, addr, len);
+  persist(e, sizeof(LogEntry) + len);
+  // The entry only becomes part of the log once `used` covers it — a crash
+  // between the two leaves a well-formed shorter log.
+  pm_store(log->used, used + need);
+  persist(&log->used, sizeof(log->used));
+  UPSL_CRASH_POINT("pmdk.tx_added");
+}
+
+void ObjStore::tx_commit() {
+  TxLog* log = log_of(ThreadRegistry::id());
+  if (pm_load(log->active) == 0) throw std::logic_error("commit outside tx");
+  // Persist the new contents of every logged range, then discard the log.
+  // The commit point is the persisted reset of `active`.
+  char* base = reinterpret_cast<char*>(log + 1);
+  std::uint64_t pos = 0;
+  const std::uint64_t used = pm_load(log->used);
+  while (pos < used) {
+    auto* e = reinterpret_cast<LogEntry*>(base + pos);
+    if (e->kind == 1) {
+      persist(pool_.base() + e->off, e->len);
+      pos += sizeof(LogEntry) + align_up(e->len, 8);
+    } else {
+      pos += sizeof(LogEntry);
+    }
+  }
+  UPSL_CRASH_POINT("pmdk.pre_commit");
+  pm_store(log->active, std::uint64_t{0});
+  persist(&log->active, sizeof(log->active));
+  UPSL_CRASH_POINT("pmdk.committed");
+}
+
+void ObjStore::tx_abort() {
+  TxLog* log = log_of(ThreadRegistry::id());
+  if (pm_load(log->active) == 0) throw std::logic_error("abort outside tx");
+  rollback(log);
+}
+
+void ObjStore::rollback(TxLog* log) {
+  // Apply undo entries newest-first so overlapping ranges restore the
+  // oldest (pre-transaction) data; release transactional allocations.
+  char* base = reinterpret_cast<char*>(log + 1);
+  const std::uint64_t used = pm_load(log->used);
+  std::vector<LogEntry*> entries;
+  std::uint64_t pos = 0;
+  while (pos < used) {
+    auto* e = reinterpret_cast<LogEntry*>(base + pos);
+    entries.push_back(e);
+    pos += sizeof(LogEntry) + (e->kind == 1 ? align_up(e->len, 8) : 0);
+  }
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+    LogEntry* e = *it;
+    if (e->kind == 1) {
+      std::memcpy(pool_.base() + e->off, e + 1, e->len);
+      persist(pool_.base() + e->off, e->len);
+    } else {
+      free_obj(Oid{pool_.id(), e->off}, e->len);
+    }
+  }
+  pm_store(log->active, std::uint64_t{0});
+  persist(&log->active, sizeof(log->active));
+}
+
+std::uint64_t ObjStore::heap_used() const {
+  return pm_load(header()->heap_next) - header()->heap_start;
+}
+
+}  // namespace upsl::pmdk

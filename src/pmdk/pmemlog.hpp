@@ -1,0 +1,74 @@
+// libpmemlog analogue: a single-writer append-only persistent log (used to
+// record operation histories for crash-linearizability analysis, §6.1.1 —
+// "logging the start, end, and return values of operations to DRAM is not
+// enough" when real power failures are involved).
+//
+// Append protocol: write the record bytes past the committed tail, persist
+// them, then advance and persist the tail. A crash mid-append leaves the
+// tail untouched, so readers never see a torn record.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <stdexcept>
+
+#include "pmem/persist.hpp"
+
+namespace upsl::pmdk {
+
+class PmemLog {
+ public:
+  struct Header {
+    std::uint64_t magic;
+    std::uint64_t capacity;  // data bytes available
+    std::uint64_t tail;      // committed bytes
+  };
+  static constexpr std::uint64_t kMagic = 0x504d454d4c4f4721ULL;
+
+  /// Formats a log in-place over [region, region+size).
+  static PmemLog format(void* region, std::uint64_t size) {
+    if (size <= sizeof(Header)) throw std::invalid_argument("log too small");
+    auto* h = static_cast<Header*>(region);
+    h->capacity = size - sizeof(Header);
+    h->tail = 0;
+    h->magic = kMagic;
+    pmem::persist(h, sizeof(Header));
+    return PmemLog(region);
+  }
+
+  /// Attaches to an existing log (post-crash: tail is the committed prefix).
+  explicit PmemLog(void* region) : h_(static_cast<Header*>(region)) {
+    if (pmem::pm_load(h_->magic) != kMagic)
+      throw std::runtime_error("not a pmem log");
+  }
+
+  void append(const void* buf, std::uint64_t len) {
+    const std::uint64_t tail = pmem::pm_load(h_->tail);
+    if (tail + len > h_->capacity) throw std::runtime_error("pmem log full");
+    std::memcpy(data() + tail, buf, len);
+    pmem::persist(data() + tail, len);
+    pmem::pm_store(h_->tail, tail + len);
+    pmem::persist(&h_->tail, sizeof(h_->tail));
+  }
+
+  std::uint64_t size() const { return pmem::pm_load(h_->tail); }
+  std::uint64_t capacity() const { return h_->capacity; }
+  const char* data() const {
+    return reinterpret_cast<const char*>(h_ + 1);
+  }
+  char* data() { return reinterpret_cast<char*>(h_ + 1); }
+
+  /// Iterate over fixed-size records of type T committed to the log.
+  template <typename T>
+  void for_each(const std::function<void(const T&)>& fn) const {
+    const std::uint64_t n = size() / sizeof(T);
+    const T* recs = reinterpret_cast<const T*>(data());
+    for (std::uint64_t i = 0; i < n; ++i) fn(recs[i]);
+  }
+
+ private:
+  Header* h_;
+};
+
+}  // namespace upsl::pmdk

@@ -1,0 +1,108 @@
+// Persistence primitives over emulated persistent memory.
+//
+// Model (DESIGN.md §2, §4): every pool may keep a *shadow* copy representing
+// the persistence domain. CPU stores land in the live mapping (the "cache");
+// persist() copies the covered 64-byte lines into the shadow (CLWB) and
+// issues a release fence (SFENCE). A simulated power failure replaces live
+// contents with the shadow, so stores that were never persisted are lost —
+// exactly the failure states a real power cut exposes (thesis §2.1.4).
+//
+// All PMEM-resident words are accessed through std::atomic_ref so that
+// concurrent access is well-defined and maps to the plain x86 loads/stores
+// and LOCK CMPXCHG the thesis' algorithms assume.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <type_traits>
+
+#include "common/compiler.hpp"
+
+namespace upsl::pmem {
+
+/// Global persistence statistics (relaxed counters; cheap and useful for
+/// explaining benchmark results in terms of flush counts).
+struct Stats {
+  std::atomic<std::uint64_t> persist_calls{0};
+  std::atomic<std::uint64_t> persisted_lines{0};
+  std::atomic<std::uint64_t> fences{0};
+
+  static Stats& instance() {
+    static Stats s;
+    return s;
+  }
+  void reset() {
+    persist_calls.store(0, std::memory_order_relaxed);
+    persisted_lines.store(0, std::memory_order_relaxed);
+    fences.store(0, std::memory_order_relaxed);
+  }
+};
+
+/// Runtime knobs for the emulation.
+struct Config {
+  /// Spin-delay added to every persist() to model the PMEM write path
+  /// (~94 ns on Optane per Izraelevitz et al.). 0 = off.
+  std::uint32_t persist_delay_ns = 0;
+
+  static Config& instance() {
+    static Config c;
+    return c;
+  }
+};
+
+/// SFENCE analogue: order prior stores/flushes before subsequent ones.
+inline void fence() {
+  std::atomic_thread_fence(std::memory_order_release);
+  Stats::instance().fences.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// CLWB+SFENCE analogue; declared here, defined in pool.cpp (needs the pool
+/// registry to locate the owning shadow).
+void persist(const void* addr, std::size_t len);
+
+/// Flush without the trailing fence (CLWB only); callers batch several of
+/// these and then fence() once — the "link cache" style batching.
+void flush(const void* addr, std::size_t len);
+
+// ---- typed PMEM accessors -------------------------------------------------
+
+template <typename T>
+concept PmemWord = std::is_trivially_copyable_v<T> && sizeof(T) <= 8;
+
+template <PmemWord T>
+UPSL_ALWAYS_INLINE T pm_load(const T& word,
+                             std::memory_order mo = std::memory_order_acquire) {
+  return std::atomic_ref<const T>(word).load(mo);
+}
+
+template <PmemWord T>
+UPSL_ALWAYS_INLINE void pm_store(T& word, T value,
+                                 std::memory_order mo = std::memory_order_release) {
+  std::atomic_ref<T>(word).store(value, mo);
+}
+
+template <PmemWord T>
+UPSL_ALWAYS_INLINE bool pm_cas(T& word, T& expected, T desired) {
+  return std::atomic_ref<T>(word).compare_exchange_strong(
+      expected, desired, std::memory_order_acq_rel, std::memory_order_acquire);
+}
+
+/// CAS with by-value expected (Function 2 of the thesis): true iff swapped.
+template <PmemWord T>
+UPSL_ALWAYS_INLINE bool pm_cas_value(T& word, T expected, T desired) {
+  return pm_cas(word, expected, desired);
+}
+
+template <PmemWord T>
+UPSL_ALWAYS_INLINE T pm_fetch_add(T& word, T delta) {
+  return std::atomic_ref<T>(word).fetch_add(delta, std::memory_order_acq_rel);
+}
+
+/// Store + persist of a single word — the common "write and flush" step.
+template <PmemWord T>
+inline void pm_store_persist(T& word, T value) {
+  pm_store(word, value);
+  persist(&word, sizeof(T));
+}
+
+}  // namespace upsl::pmem

@@ -1,0 +1,130 @@
+// Emulated persistent-memory pools.
+//
+// A Pool is a file-backed mapping standing in for one PMEM device/pool
+// (thesis §2.1.4: pools are files, memory-mapped at non-deterministic base
+// addresses). Crash-tracking pools additionally keep a shadow "persistence
+// domain" (see persist.hpp). remap() moves the live mapping to a fresh base
+// address, exercising position independence of all persistent pointers.
+//
+// NUMA emulation (DESIGN.md §2): one Pool per virtual NUMA node; striped
+// mode is a single Pool. Pools register with the PoolRegistry, which decodes
+// RIV pool ids and routes persist() calls to the owning shadow.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/compiler.hpp"
+#include "pmem/persist.hpp"
+
+namespace upsl::pmem {
+
+/// What survives a simulated power failure.
+enum class CrashMode {
+  /// Adversarial: only explicitly persisted lines survive.
+  kDiscardUnflushed,
+  /// Each unflushed dirty line independently survives with probability
+  /// evict_prob, modelling arbitrary cache evictions before the cut.
+  kRandomEvict,
+};
+
+struct PoolOptions {
+  /// Maintain the persistence-domain shadow so simulate_crash() is possible.
+  /// Off for pure-throughput benchmarking (persist() is then only a fence).
+  bool crash_tracking = false;
+};
+
+class Pool {
+ public:
+  static std::unique_ptr<Pool> create(const std::string& path, std::uint16_t id,
+                                      std::size_t size, PoolOptions opts = {});
+  static std::unique_ptr<Pool> open(const std::string& path, std::uint16_t id,
+                                    PoolOptions opts = {});
+  /// Anonymous pool (no backing file) — convenient for tests.
+  static std::unique_ptr<Pool> create_anonymous(std::uint16_t id, std::size_t size,
+                                                PoolOptions opts = {});
+
+  ~Pool();
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  char* base() const { return base_; }
+  std::size_t size() const { return size_; }
+  std::uint16_t id() const { return id_; }
+  bool tracking() const { return shadow_ != nullptr; }
+
+  bool contains(const void* p) const {
+    const char* c = static_cast<const char*>(p);
+    return c >= base_ && c < base_ + size_;
+  }
+
+  /// CLWB analogue for [addr, addr+len): copy covered lines to the shadow.
+  /// No-op when tracking is off.
+  void persist_range(const void* addr, std::size_t len);
+
+  /// Power failure: live contents revert to the persistence domain.
+  /// Caller must guarantee no concurrent mutators (all "threads died").
+  void simulate_crash(CrashMode mode = CrashMode::kDiscardUnflushed,
+                      std::uint64_t seed = 1, double evict_prob = 0.5);
+
+  /// Declare current live contents durable (shadow := live). Used after
+  /// preload phases so a later crash only loses in-flight operations.
+  void mark_all_persisted();
+
+  /// Unmap and re-map at a different base address — the "restart maps the
+  /// pool somewhere else" aspect of recovery. Only valid for file-backed
+  /// pools and with no concurrent accessors.
+  void remap();
+
+ private:
+  Pool() = default;
+
+  char* base_ = nullptr;
+  std::size_t size_ = 0;
+  std::uint16_t id_ = 0;
+  int fd_ = -1;  // -1 for anonymous pools
+  std::string path_;
+  std::unique_ptr<char[]> shadow_;  // null when tracking is off
+};
+
+/// Process-wide table of open pools: pool id -> mapping, plus address-range
+/// lookup used by persist(). Registration happens in Pool::create/open.
+class PoolRegistry {
+ public:
+  static constexpr int kMaxPools = 1024;
+
+  static PoolRegistry& instance() {
+    static PoolRegistry r;
+    return r;
+  }
+
+  void register_pool(Pool* pool);
+  void unregister_pool(Pool* pool);
+
+  Pool* by_id(std::uint16_t id) const {
+    return pools_[id].load(std::memory_order_acquire);
+  }
+
+  /// Pool whose mapping contains `p`, or nullptr. Linear scan — pool count
+  /// is tiny (<= number of NUMA nodes in any configuration we emulate).
+  Pool* find(const void* p) const {
+    const int n = high_water_.load(std::memory_order_acquire);
+    for (int i = 0; i < n; ++i) {
+      Pool* pool = pools_[i].load(std::memory_order_acquire);
+      if (pool != nullptr && pool->contains(p)) return pool;
+    }
+    return nullptr;
+  }
+
+  /// Test helper: drop all registrations (pools themselves are owned by
+  /// callers).
+  void clear();
+
+ private:
+  PoolRegistry() = default;
+  std::atomic<Pool*> pools_[kMaxPools] = {};
+  std::atomic<int> high_water_{0};
+};
+
+}  // namespace upsl::pmem

@@ -1,0 +1,170 @@
+#include "pmwcas/pmwcas.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/crashpoint.hpp"
+
+namespace upsl::pmwcas {
+
+using pmem::persist;
+using pmem::pm_cas_value;
+using pmem::pm_load;
+using pmem::pm_store;
+
+namespace {
+std::atomic<std::uint64_t> g_helps{0};
+thread_local std::uint32_t tls_ring_pos = 0;
+}  // namespace
+
+std::uint64_t DescriptorPool::help_count() {
+  return g_helps.load(std::memory_order_relaxed);
+}
+
+void DescriptorPool::format(pmem::Pool& pool, std::uint64_t off,
+                            std::uint32_t count) {
+  if (off % kCacheLineSize != 0) throw std::invalid_argument("unaligned");
+  auto* d = reinterpret_cast<Descriptor*>(pool.base() + off);
+  std::memset(d, 0, sizeof(Descriptor) * count);
+  for (std::uint32_t i = 0; i < count; ++i) d[i].status = kFree;
+  persist(d, sizeof(Descriptor) * count);
+}
+
+DescriptorPool::DescriptorPool(pmem::Pool& pool, std::uint64_t off,
+                               std::uint32_t count)
+    : pool_(pool),
+      descs_(reinterpret_cast<Descriptor*>(pool.base() + off)),
+      count_(count) {}
+
+bool DescriptorPool::mwcas(std::initializer_list<Entry> entries) {
+  return mwcas(entries.begin(), static_cast<std::uint32_t>(entries.size()));
+}
+
+bool DescriptorPool::mwcas(const Entry* entries, std::uint32_t n) {
+  if (n == 0 || n > kMaxWords) throw std::invalid_argument("bad mwcas arity");
+
+  // Per-thread ring slice of the descriptor pool.
+  const std::uint32_t per_thread = count_ / kMaxThreads;
+  if (per_thread == 0) throw std::logic_error("descriptor pool too small");
+  const std::uint32_t base =
+      static_cast<std::uint32_t>(ThreadRegistry::id()) * per_thread;
+  const std::uint32_t index = base + (tls_ring_pos++ % per_thread);
+
+  Descriptor* d = desc(index);
+  d->count = n;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    d->words[i].off = static_cast<std::uint64_t>(
+        reinterpret_cast<char*>(entries[i].addr) - pool_.base());
+    d->words[i].old_val = entries[i].old_val;
+    d->words[i].new_val = entries[i].new_val;
+  }
+  // Install in address order so concurrent PMwCASes over overlapping word
+  // sets cannot deadlock each other's helping.
+  std::sort(d->words, d->words + n,
+            [](const WordDescriptor& a, const WordDescriptor& b) {
+              return a.off < b.off;
+            });
+  pm_store(d->status, static_cast<std::uint64_t>(kUndecided));
+  persist(d, sizeof(Descriptor));
+
+  return complete(index, 0);
+}
+
+bool DescriptorPool::complete(std::uint32_t index, int depth) {
+  Descriptor* d = desc(index);
+  const std::uint64_t ref = ref_of(index);
+  const std::uint32_t n = d->count;
+
+  // Phase 1: install the descriptor pointer into every target word.
+  bool install_failed = false;
+  for (std::uint32_t i = 0; i < n && !install_failed; ++i) {
+    std::uint64_t* addr = word_ptr(d->words[i].off);
+    while (true) {
+      if (pm_load(d->status) != kUndecided) goto decided;  // helped already
+      const std::uint64_t v = pm_load(*addr);
+      if (v == ref) break;  // installed (possibly by a helper)
+      if ((v & kDescBit) != 0) {
+        if (depth < 8) {
+          help(v, depth + 1);
+          continue;
+        }
+        install_failed = true;  // give up on deep chains; fail this op
+        break;
+      }
+      if (v != d->words[i].old_val) {
+        install_failed = true;
+        break;
+      }
+      if (pm_cas_value(*addr, v, ref)) {
+        UPSL_CRASH_POINT("pmwcas.installed");
+        persist(addr, sizeof(std::uint64_t));
+        break;
+      }
+    }
+  }
+
+  {
+    const std::uint64_t decided_status =
+        install_failed ? kFailed : kSucceeded;
+    std::uint64_t expected = kUndecided;
+    pmem::pm_cas(d->status, expected, decided_status);
+    UPSL_CRASH_POINT("pmwcas.decided");
+    persist(&d->status, sizeof(d->status));
+  }
+
+decided:
+  // Phase 2: replace descriptor pointers with final values.
+  const bool success = pm_load(d->status) == kSucceeded;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::uint64_t* addr = word_ptr(d->words[i].off);
+    const std::uint64_t final_val =
+        success ? d->words[i].new_val : d->words[i].old_val;
+    if (pm_cas_value(*addr, ref, final_val)) {
+      UPSL_CRASH_POINT("pmwcas.propagated");
+      persist(addr, sizeof(std::uint64_t));
+    }
+  }
+  return success;
+}
+
+void DescriptorPool::help(std::uint64_t ref, int depth) {
+  g_helps.fetch_add(1, std::memory_order_relaxed);
+  const auto index = static_cast<std::uint32_t>(ref & ~kDescBit);
+  if (index >= count_) return;  // stale pointer from a recycled descriptor
+  complete(index, depth);
+}
+
+std::uint64_t DescriptorPool::read(std::uint64_t* addr) {
+  while (true) {
+    const std::uint64_t v = pm_load(*addr);
+    if (UPSL_LIKELY((v & kDescBit) == 0)) return v;
+    help(v, 0);
+  }
+}
+
+void DescriptorPool::recover() {
+  for (std::uint32_t i = 0; i < count_; ++i) {
+    Descriptor* d = desc(i);
+    const std::uint64_t status = pm_load(d->status);
+    if (status == kFree) {
+      persist(&d->status, sizeof(d->status));
+      continue;
+    }
+    const std::uint64_t ref = ref_of(i);
+    const bool forward = status == kSucceeded;
+    // Undecided operations roll back; Succeeded ones roll forward.
+    for (std::uint32_t w = 0; w < d->count && w < kMaxWords; ++w) {
+      std::uint64_t* addr = word_ptr(d->words[w].off);
+      const std::uint64_t final_val =
+          forward ? d->words[w].new_val : d->words[w].old_val;
+      if (pm_cas_value(*addr, ref, final_val))
+        persist(addr, sizeof(std::uint64_t));
+    }
+    pm_store(d->status, static_cast<std::uint64_t>(kFree));
+    persist(&d->status, sizeof(d->status));
+  }
+}
+
+}  // namespace upsl::pmwcas

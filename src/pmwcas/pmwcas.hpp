@@ -1,0 +1,105 @@
+// Persistent multi-word CAS (Wang et al., thesis §3.1) — the substrate
+// BzTree builds on.
+//
+// A PMwCAS atomically (and durably) changes up to kMaxWords 64-bit words if
+// they all hold expected values. Descriptor pointers are installed into the
+// target words (flagged by bit 62); any reader or writer that encounters a
+// descriptor pointer helps the operation to completion, making the whole
+// thing lock-free. Two behaviours measured in the thesis evaluation live
+// here:
+//
+//  * helping traffic on the descriptor pool is the contention bottleneck
+//    behind BzTree's fall-off in update-heavy workloads (Fig 5.1, 5.5),
+//  * recovery scans the *entire* descriptor pool, rolling descriptors
+//    forward or back, so recovery time is proportional to pool size —
+//    the 500K-descriptor vs 100K-descriptor rows of Table 5.4.
+//
+// Descriptors live in persistent memory and are recycled per-thread in a
+// large ring (the original uses epoch-based reclamation; with the
+// thesis-scale pool of 500K descriptors a ring gives each thread thousands
+// of operations of grace, and the thesis itself reports the original's GC
+// misbehaving at smaller pool sizes, §5.2.5).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+
+#include "common/thread_registry.hpp"
+#include "pmem/pool.hpp"
+
+namespace upsl::pmwcas {
+
+inline constexpr std::uint64_t kDescBit = 1ULL << 62;
+inline constexpr std::uint32_t kMaxWords = 6;
+
+enum Status : std::uint64_t {
+  kUndecided = 0,
+  kSucceeded = 1,
+  kFailed = 2,
+  kFree = 3,
+};
+
+struct WordDescriptor {
+  std::uint64_t off;  // pool offset of the target word
+  std::uint64_t old_val;
+  std::uint64_t new_val;
+};
+
+struct alignas(kCacheLineSize) Descriptor {
+  std::uint64_t status;
+  std::uint32_t count;
+  std::uint32_t pad;
+  WordDescriptor words[kMaxWords];
+};
+
+/// One entry of a PMwCAS specification (pointer-based, converted to offsets
+/// internally).
+struct Entry {
+  std::uint64_t* addr;
+  std::uint64_t old_val;
+  std::uint64_t new_val;
+};
+
+class DescriptorPool {
+ public:
+  /// Formats `count` descriptors starting at pool offset `off`.
+  static void format(pmem::Pool& pool, std::uint64_t off, std::uint32_t count);
+
+  DescriptorPool(pmem::Pool& pool, std::uint64_t off, std::uint32_t count);
+
+  /// Executes a PMwCAS. Entries need not be sorted. Returns true iff all
+  /// words matched and were swapped (durably).
+  bool mwcas(std::initializer_list<Entry> entries);
+  bool mwcas(const Entry* entries, std::uint32_t n);
+
+  /// PMwCAS-aware read: helps and strips descriptor pointers.
+  std::uint64_t read(std::uint64_t* addr);
+
+  /// Post-crash recovery: walk every descriptor, roll Undecided back and
+  /// Succeeded forward. O(pool size) — the dominant term in BzTree's
+  /// recovery time (Table 5.4).
+  void recover();
+
+  std::uint32_t capacity() const { return count_; }
+
+  /// Cumulative number of help events (diagnostic; explains the contention
+  /// collapse in Fig 5.1).
+  static std::uint64_t help_count();
+
+ private:
+  Descriptor* desc(std::uint32_t i) const { return descs_ + i; }
+  std::uint64_t* word_ptr(std::uint64_t off) const {
+    return reinterpret_cast<std::uint64_t*>(pool_.base() + off);
+  }
+  std::uint64_t ref_of(std::uint32_t i) const {
+    return kDescBit | i;
+  }
+  bool complete(std::uint32_t index, int depth);
+  void help(std::uint64_t ref, int depth);
+
+  pmem::Pool& pool_;
+  Descriptor* descs_;
+  std::uint32_t count_;
+};
+
+}  // namespace upsl::pmwcas

@@ -1,0 +1,56 @@
+#include "riv/riv.hpp"
+
+namespace upsl::riv {
+
+void Runtime::configure_pool(std::uint16_t pool_id, std::uint32_t max_chunks,
+                             ChunkResolver resolver) {
+  if (max_chunks == 0 || max_chunks > (1u << kChunkBits))
+    throw std::invalid_argument("riv: bad max_chunks");
+  auto table = std::make_unique<PoolTable>();
+  pmem::Pool* pool = pmem::PoolRegistry::instance().by_id(pool_id);
+  if (pool == nullptr) throw std::logic_error("riv: pool not registered");
+  table->pool_base = pool->base();
+  table->max_chunks = max_chunks;
+  table->resolver = std::move(resolver);
+  table->chunk_base = std::make_unique<std::atomic<char*>[]>(max_chunks);
+  for (std::uint32_t i = 0; i < max_chunks; ++i)
+    table->chunk_base[i].store(nullptr, std::memory_order_relaxed);
+  tables_[pool_id] = std::move(table);
+  if (single_pool_mode_ && single_table_ == nullptr)
+    single_table_ = tables_[pool_id].get();
+}
+
+void Runtime::invalidate_pool(std::uint16_t pool_id) {
+  PoolTable* table = tables_[pool_id].get();
+  if (table == nullptr) return;
+  pmem::Pool* pool = pmem::PoolRegistry::instance().by_id(pool_id);
+  if (pool == nullptr) throw std::logic_error("riv: pool not registered");
+  table->pool_base = pool->base();
+  for (std::uint32_t i = 0; i < table->max_chunks; ++i)
+    table->chunk_base[i].store(nullptr, std::memory_order_release);
+}
+
+void Runtime::reset() {
+  for (auto& t : tables_) t.reset();
+  single_table_ = nullptr;
+  single_pool_mode_ = false;
+}
+
+void Runtime::set_single_pool_mode(bool on, std::uint16_t pool_id) {
+  single_pool_mode_ = on;
+  single_table_ = on ? tables_[pool_id].get() : nullptr;
+}
+
+void Runtime::throw_chunk_out_of_range() {
+  throw std::out_of_range("riv: chunk id out of range");
+}
+
+char* Runtime::resolve_slow(PoolTable& table, Decoded d) {
+  const std::int64_t off = table.resolver(d.chunk);
+  if (off < 0) throw std::logic_error("riv: dereference of unallocated chunk");
+  char* base = table.pool_base + off;
+  table.chunk_base[d.chunk].store(base, std::memory_order_release);
+  return base;
+}
+
+}  // namespace upsl::riv

@@ -1,0 +1,107 @@
+// Multithreaded YCSB driver: plays back pre-generated trace slices against
+// any key-value structure and reports throughput plus per-operation-type
+// latency histograms (the measurements behind Figures 5.1-5.6 and Tables
+// 5.2-5.3).
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <thread>
+
+#include "common/histogram.hpp"
+#include "common/thread_registry.hpp"
+#include "ycsb/ycsb.hpp"
+
+namespace upsl::ycsb {
+
+/// Adapter interface over the three evaluated structures. The virtual call
+/// costs the same for every contender.
+class KVAdapter {
+ public:
+  virtual ~KVAdapter() = default;
+  virtual std::optional<std::uint64_t> insert(std::uint64_t key,
+                                              std::uint64_t value) = 0;
+  virtual std::optional<std::uint64_t> search(std::uint64_t key) = 0;
+  virtual std::optional<std::uint64_t> remove(std::uint64_t key) = 0;
+};
+
+struct RunStats {
+  double seconds = 0;
+  std::uint64_t ops = 0;
+  double mops() const {
+    return seconds == 0 ? 0 : static_cast<double>(ops) / seconds / 1e6;
+  }
+  LatencyHistogram reads;
+  LatencyHistogram updates;
+  LatencyHistogram inserts;
+};
+
+/// Preloads the trace's records (single-threaded) — not timed.
+inline void preload(KVAdapter& store, const Trace& trace) {
+  ThreadRegistry::instance().bind(0);
+  std::uint64_t v = 1;
+  for (const std::uint64_t key : trace.preload_keys) store.insert(key, v++);
+}
+
+/// Plays back every thread slice; returns aggregate stats.
+inline RunStats run_trace(KVAdapter& store, const Trace& trace,
+                          bool measure_latency) {
+  const auto threads = static_cast<unsigned>(trace.ops.size());
+  std::vector<RunStats> per_thread(threads);
+  std::vector<std::thread> workers;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (unsigned t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      ThreadRegistry::instance().bind(static_cast<int>(t));
+      RunStats& stats = per_thread[t];
+      for (const Op& op : trace.ops[t]) {
+        std::chrono::steady_clock::time_point s;
+        if (measure_latency) s = std::chrono::steady_clock::now();
+        switch (op.type) {
+          case OpType::kRead:
+            store.search(op.key);
+            break;
+          case OpType::kUpdate:
+          case OpType::kInsert:
+            store.insert(op.key, op.value);
+            break;
+        }
+        if (measure_latency) {
+          const auto ns = static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - s)
+                  .count());
+          switch (op.type) {
+            case OpType::kRead:
+              stats.reads.record(ns);
+              break;
+            case OpType::kUpdate:
+              stats.updates.record(ns);
+              break;
+            case OpType::kInsert:
+              stats.inserts.record(ns);
+              break;
+          }
+        }
+        ++stats.ops;
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const auto t1 = std::chrono::steady_clock::now();
+  ThreadRegistry::instance().bind(0);
+
+  RunStats total;
+  total.seconds = std::chrono::duration<double>(t1 - t0).count();
+  for (const RunStats& s : per_thread) {
+    total.ops += s.ops;
+    total.reads.merge(s.reads);
+    total.updates.merge(s.updates);
+    total.inserts.merge(s.inserts);
+  }
+  return total;
+}
+
+}  // namespace upsl::ycsb

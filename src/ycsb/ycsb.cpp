@@ -1,0 +1,56 @@
+#include "ycsb/ycsb.hpp"
+
+namespace upsl::ycsb {
+
+Trace generate(const WorkloadSpec& spec, std::uint64_t records,
+               std::uint64_t total_ops, unsigned threads, std::uint64_t seed) {
+  Trace trace;
+  trace.record_count = records;
+  trace.preload_keys.reserve(records);
+  for (std::uint64_t i = 0; i < records; ++i)
+    trace.preload_keys.push_back(key_of(i));
+
+  trace.ops.resize(threads);
+  for (auto& slice : trace.ops) slice.reserve(total_ops / threads + 1);
+
+  Xoshiro256 rng(seed);
+  ScrambledZipfian zipf(records);
+  // "Latest" skews toward the most recently inserted record: a zipfian over
+  // recency offsets from the moving insert frontier (YCSB's definition).
+  ZipfianGenerator latest(records);
+  std::uint64_t insert_frontier = records;
+  std::uint64_t value_seq = 1;
+
+  for (std::uint64_t i = 0; i < total_ops; ++i) {
+    Op op{};
+    const double dice = rng.next_double();
+    if (dice < spec.insert) {
+      op.type = OpType::kInsert;
+      op.key = key_of(insert_frontier++);
+    } else {
+      op.type = dice < spec.insert + spec.update ? OpType::kUpdate
+                                                 : OpType::kRead;
+      std::uint64_t index;
+      switch (spec.dist) {
+        case Distribution::kZipfian:
+          index = zipf.next(rng);
+          break;
+        case Distribution::kLatest: {
+          const std::uint64_t back = latest.next(rng);
+          index = insert_frontier - 1 - (back % insert_frontier);
+          break;
+        }
+        case Distribution::kUniform:
+        default:
+          index = rng.next_below(records);
+          break;
+      }
+      op.key = key_of(index);
+    }
+    op.value = value_seq++;
+    trace.ops[i % threads].push_back(op);
+  }
+  return trace;
+}
+
+}  // namespace upsl::ycsb

@@ -1,0 +1,131 @@
+// YCSB workload generation (thesis §5.1.2, Table 5.1).
+//
+// Reimplements the Yahoo Cloud Serving Benchmark core distributions in C++:
+// Gray et al.'s zipfian generator (the YCSB original), the scrambled-zipfian
+// variant that spreads hot keys across the key space, and the "latest"
+// distribution that skews toward recently inserted records. Workloads:
+//
+//   A  Update-Heavy  50/50/0  zipfian
+//   B  Read-Mostly   95/5/0   zipfian
+//   C  Read-Only     100/0/0  zipfian
+//   D  Read-Latest   95/0/5   latest
+//
+// Traces are pre-generated and split across threads before the timed run,
+// as in the thesis ("memory-mapped ... and played back to perform the
+// operations ... to remove the overhead of workload generation").
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace upsl::ycsb {
+
+enum class OpType : std::uint8_t { kRead, kUpdate, kInsert };
+
+struct Op {
+  OpType type;
+  std::uint64_t key;
+  std::uint64_t value;
+};
+
+enum class Distribution { kZipfian, kLatest, kUniform };
+
+struct WorkloadSpec {
+  const char* name;
+  double read;
+  double update;
+  double insert;
+  Distribution dist;
+};
+
+inline constexpr WorkloadSpec kWorkloadA{"A(update-heavy)", 0.50, 0.50, 0.0,
+                                         Distribution::kZipfian};
+inline constexpr WorkloadSpec kWorkloadB{"B(read-mostly)", 0.95, 0.05, 0.0,
+                                         Distribution::kZipfian};
+inline constexpr WorkloadSpec kWorkloadC{"C(read-only)", 1.0, 0.0, 0.0,
+                                         Distribution::kZipfian};
+inline constexpr WorkloadSpec kWorkloadD{"D(read-latest)", 0.95, 0.0, 0.05,
+                                         Distribution::kLatest};
+
+/// Deterministic record index -> key mapping. Keys stay inside every
+/// structure's valid domain (nonzero, < 2^62 - 1).
+inline std::uint64_t key_of(std::uint64_t index) {
+  return (mix64(index + 0x9e3779b97f4a7c15ULL) >> 3) + 1;
+}
+
+/// YCSB's zipfian generator (Gray et al.), theta = 0.99.
+class ZipfianGenerator {
+ public:
+  explicit ZipfianGenerator(std::uint64_t items, double theta = 0.99)
+      : items_(items), theta_(theta) {
+    zetan_ = zeta(items_);
+    zeta2_ = zeta(2);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(items_), 1.0 - theta_)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  /// Rank in [0, items): rank 0 is the hottest item.
+  std::uint64_t next(Xoshiro256& rng) const {
+    const double u = rng.next_double();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    const auto rank = static_cast<std::uint64_t>(
+        static_cast<double>(items_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return rank >= items_ ? items_ - 1 : rank;
+  }
+
+ private:
+  double zeta(std::uint64_t n) const {
+    // Direct sum for small n; Euler-Maclaurin-ish approximation above.
+    if (n <= (1u << 20)) {
+      double z = 0;
+      for (std::uint64_t i = 1; i <= n; ++i)
+        z += 1.0 / std::pow(static_cast<double>(i), theta_);
+      return z;
+    }
+    const double z20 = 18.066242;  // zeta(2^20, 0.99)
+    const double a = 1.0 - theta_;
+    return z20 + (std::pow(static_cast<double>(n), a) -
+                  std::pow(static_cast<double>(1u << 20), a)) /
+                     a;
+  }
+
+  std::uint64_t items_;
+  double theta_;
+  double zetan_, zeta2_, alpha_, eta_;
+};
+
+/// Scrambled zipfian: zipfian ranks spread over the record space so hot keys
+/// are not neighbours (the YCSB default for workloads A-C).
+class ScrambledZipfian {
+ public:
+  explicit ScrambledZipfian(std::uint64_t items)
+      : items_(items), zipf_(items) {}
+  std::uint64_t next(Xoshiro256& rng) const {
+    return mix64(zipf_.next(rng)) % items_;
+  }
+
+ private:
+  std::uint64_t items_;
+  ZipfianGenerator zipf_;
+};
+
+struct Trace {
+  std::vector<std::uint64_t> preload_keys;
+  /// ops[t] is thread t's private slice.
+  std::vector<std::vector<Op>> ops;
+  std::uint64_t record_count;
+};
+
+/// Generates a full trace: `records` preloaded keys and `total_ops`
+/// operations divided round-robin over `threads` slices.
+Trace generate(const WorkloadSpec& spec, std::uint64_t records,
+               std::uint64_t total_ops, unsigned threads, std::uint64_t seed);
+
+}  // namespace upsl::ycsb

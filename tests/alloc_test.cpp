@@ -1,0 +1,311 @@
+// Unit tests for the coarse chunk allocator and the fine-grained recoverable
+// block allocator: directory transitions, free-list conservation, chunk
+// provisioning, allocation logging, and crash recovery of interrupted
+// allocations (thesis §4.1.4, §4.3).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "alloc/block_allocator.hpp"
+#include "common/crashpoint.hpp"
+#include "common/rng.hpp"
+#include "common/thread_registry.hpp"
+
+namespace upsl::alloc {
+namespace {
+
+constexpr std::uint64_t kBlockSize = 128;
+
+class AllocTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    riv::Runtime::instance().reset();
+    CrashPoints::instance().reset();
+    ThreadRegistry::instance().bind(0);
+    ChunkAllocatorConfig ccfg;
+    ccfg.chunk_size = 16 << 10;  // 16 KiB chunks -> ~127 blocks each
+    ccfg.max_chunks = 16;
+    ccfg.root_size = 64 << 10;
+    pool_ = pmem::Pool::create_anonymous(0, 8u << 20, {.crash_tracking = true});
+    ChunkAllocator::format(*pool_, ccfg);
+    chunk_alloc_ = std::make_unique<ChunkAllocator>(*pool_);
+
+    char* root = chunk_alloc_->root_area();
+    epoch_ = reinterpret_cast<std::uint64_t*>(root);
+    *epoch_ = 1;
+    logs_ = reinterpret_cast<ThreadLog*>(root + 64);
+    arenas_ = reinterpret_cast<ArenaHeader*>(root + 64 + sizeof(ThreadLog) * kMaxThreads);
+    pmem::persist(root, 64 + sizeof(ThreadLog) * kMaxThreads + 4096);
+
+    BlockAllocator::Config bcfg;
+    bcfg.block_size = kBlockSize;
+    bcfg.arenas_per_pool = 4;
+    balloc_ = std::make_unique<BlockAllocator>(
+        std::vector<ChunkAllocator*>{chunk_alloc_.get()}, arenas_, logs_,
+        epoch_, bcfg);
+    balloc_->bootstrap();
+    pool_->mark_all_persisted();
+  }
+
+  void TearDown() override {
+    riv::Runtime::instance().reset();
+    CrashPoints::instance().reset();
+  }
+
+  /// Simulated power failure + reconnect: unflushed lines dropped, DRAM
+  /// caches rebuilt, epoch bumped.
+  void crash_and_reopen() {
+    pool_->simulate_crash();
+    riv::Runtime::instance().reset();
+    chunk_alloc_ = std::make_unique<ChunkAllocator>(*pool_);
+    pmem::pm_store(*epoch_, pmem::pm_load(*epoch_) + 1);
+    pmem::persist(epoch_, 8);
+    BlockAllocator::Config bcfg;
+    bcfg.block_size = kBlockSize;
+    bcfg.arenas_per_pool = 4;
+    balloc_ = std::make_unique<BlockAllocator>(
+        std::vector<ChunkAllocator*>{chunk_alloc_.get()}, arenas_, logs_,
+        epoch_, bcfg);
+  }
+
+  std::size_t allocated_chunks() const {
+    std::size_t n = 0;
+    for (std::uint32_t c = 0; c < chunk_alloc_->header().max_chunks; ++c)
+      if (chunk_alloc_->dir_entry(c).state == ChunkState::kAllocated) ++n;
+    return n;
+  }
+
+  std::unique_ptr<pmem::Pool> pool_;
+  std::unique_ptr<ChunkAllocator> chunk_alloc_;
+  std::unique_ptr<BlockAllocator> balloc_;
+  std::uint64_t* epoch_ = nullptr;
+  ThreadLog* logs_ = nullptr;
+  ArenaHeader* arenas_ = nullptr;
+};
+
+TEST_F(AllocTest, BootstrapSeedsEveryArena) {
+  for (std::uint32_t a = 0; a < 4; ++a)
+    EXPECT_GE(balloc_->count_free_blocks(0, a), 1u) << "arena " << a;
+  EXPECT_EQ(allocated_chunks(), 1u);
+}
+
+TEST_F(AllocTest, AllocateReturnsZeroStampedBlocks) {
+  std::uint64_t riv = 0;
+  auto* p = static_cast<char*>(balloc_->allocate(0, 42, &riv));
+  ASSERT_NE(p, nullptr);
+  EXPECT_NE(riv, 0u);
+  auto* b = reinterpret_cast<MemBlock*>(p);
+  EXPECT_EQ(b->epoch_id, 1u);
+  EXPECT_EQ(b->owner_tag, 1u);  // tid 0 + 1
+  EXPECT_EQ(b->state, 0u);
+  for (std::size_t i = 5 * 8; i < kBlockSize; ++i) EXPECT_EQ(p[i], 0);
+  // The RIV resolves back to the same pointer.
+  EXPECT_EQ(riv::Runtime::instance().to_ptr(riv), p);
+  EXPECT_EQ(balloc_->riv_of(p), riv);
+}
+
+TEST_F(AllocTest, AllocateDistinctBlocks) {
+  std::set<std::uint64_t> rivs;
+  for (int i = 0; i < 20; ++i) {
+    std::uint64_t riv = 0;
+    balloc_->allocate(0, static_cast<std::uint64_t>(i), &riv);
+    EXPECT_TRUE(rivs.insert(riv).second) << "duplicate allocation";
+  }
+}
+
+TEST_F(AllocTest, DeallocateReturnsBlocksToList) {
+  const std::size_t before = balloc_->count_free_blocks(0, 0);
+  std::uint64_t riv = 0;
+  auto* p = static_cast<MemBlock*>(balloc_->allocate(0, 1, &riv));
+  p->state = 123;  // pretend it became a live object
+  EXPECT_EQ(balloc_->count_free_blocks(0, 0), before - 1);
+  balloc_->deallocate(riv);
+  EXPECT_EQ(balloc_->count_free_blocks(0, 0), before);
+  // Deallocation is idempotent.
+  balloc_->deallocate(riv);
+  EXPECT_EQ(balloc_->count_free_blocks(0, 0), before);
+}
+
+TEST_F(AllocTest, ExhaustionProvisionsNewChunk) {
+  const std::size_t start_chunks = allocated_chunks();
+  const std::size_t initial = balloc_->count_free_blocks(0, 0);
+  std::uint64_t riv = 0;
+  for (std::size_t i = 0; i < initial + 5; ++i)
+    balloc_->allocate(0, static_cast<std::uint64_t>(i), &riv);
+  EXPECT_GT(allocated_chunks(), start_chunks);
+}
+
+TEST_F(AllocTest, PoolExhaustionThrowsBadAlloc) {
+  EXPECT_THROW(
+      {
+        std::uint64_t riv = 0;
+        for (std::size_t i = 0; i < 100000; ++i)
+          balloc_->allocate(0, static_cast<std::uint64_t>(i), &riv);
+      },
+      std::bad_alloc);
+}
+
+TEST_F(AllocTest, FifoReuseOrder) {
+  // Pops come from the head, pushes go to the tail: a freed block must not
+  // be immediately re-handed out (ABA mitigation).
+  std::uint64_t a = 0;
+  auto* pa = static_cast<MemBlock*>(balloc_->allocate(0, 1, &a));
+  pa->state = 1;
+  balloc_->deallocate(a);
+  std::uint64_t b = 0;
+  balloc_->allocate(0, 2, &b);
+  EXPECT_NE(a, b);
+}
+
+TEST_F(AllocTest, BlocksConservedAcrossChurn) {
+  const std::size_t total0 = balloc_->count_all_free_blocks();
+  std::vector<std::uint64_t> live;
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 500; ++i) {
+    if (live.empty() || rng.next_double() < 0.6) {
+      std::uint64_t riv = 0;
+      auto* p = static_cast<MemBlock*>(balloc_->allocate(0, 1, &riv));
+      p->state = 7;
+      live.push_back(riv);
+    } else {
+      const std::size_t j = rng.next_below(live.size());
+      balloc_->deallocate(live[j]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(j));
+    }
+  }
+  const std::size_t extra_chunks = allocated_chunks() - 1;
+  const std::size_t expected = total0 +
+                               extra_chunks * balloc_->blocks_per_chunk(0) -
+                               live.size();
+  EXPECT_EQ(balloc_->count_all_free_blocks(), expected);
+}
+
+TEST_F(AllocTest, ChunkDirectoryTransitions) {
+  const std::int64_t c = chunk_alloc_->claim_chunk(1, 3);
+  ASSERT_GE(c, 0);
+  DirEntry e = chunk_alloc_->dir_entry(static_cast<std::uint32_t>(c));
+  EXPECT_EQ(e.state, ChunkState::kPending);
+  EXPECT_EQ(e.epoch, 1u);
+  EXPECT_EQ(e.thread, 3);
+  chunk_alloc_->commit_chunk(static_cast<std::uint32_t>(c));
+  EXPECT_EQ(chunk_alloc_->dir_entry(static_cast<std::uint32_t>(c)).state,
+            ChunkState::kAllocated);
+  chunk_alloc_->release_chunk(static_cast<std::uint32_t>(c));
+  EXPECT_EQ(chunk_alloc_->dir_entry(static_cast<std::uint32_t>(c)).state,
+            ChunkState::kFree);
+}
+
+TEST_F(AllocTest, DirEntryCodecRoundTrip) {
+  const std::uint64_t w = dir_pack(ChunkState::kPending, 0x123456789abULL, 0xbeef);
+  const DirEntry e = dir_unpack(w);
+  EXPECT_EQ(e.state, ChunkState::kPending);
+  EXPECT_EQ(e.epoch, 0x123456789abULL);
+  EXPECT_EQ(e.thread, 0xbeef);
+}
+
+// ---- crash recovery -------------------------------------------------------
+
+TEST_F(AllocTest, PopLostInCrashKeepsBlockInList) {
+  // Crash right after the (unpersisted) pop CAS: the head pointer reverts,
+  // the block is still on the list, and recovery must not double-insert it.
+  const std::size_t before = balloc_->count_all_free_blocks();
+  CrashPoints::instance().arm(crash_tag("alloc.after_pop"));
+  std::uint64_t riv = 0;
+  EXPECT_THROW(balloc_->allocate(0, 9, &riv), CrashException);
+  crash_and_reopen();
+  // Next allocation by the same thread id resolves the stale log.
+  balloc_->allocate(0, 10, &riv);
+  EXPECT_EQ(balloc_->count_all_free_blocks(), before - 1);
+}
+
+TEST_F(AllocTest, PopDurableButUnusedIsReclaimed) {
+  // Crash after the pop became durable but before the object was linked
+  // anywhere: without the log this block would be leaked forever (Fig 4.1).
+  std::uint64_t riv = 0;
+  auto* p = static_cast<MemBlock*>(balloc_->allocate(0, 9, &riv));
+  p->state = 99;
+  pmem::persist(p, kBlockSize);  // object initialized (but never linked)
+  const std::size_t free_now = balloc_->count_all_free_blocks();
+  crash_and_reopen();
+  balloc_->set_reachability_fn([](const ThreadLog&) { return false; });
+  std::uint64_t riv2 = 0;
+  balloc_->allocate(0, 10, &riv2);
+  EXPECT_EQ(balloc_->count_all_free_blocks(), free_now)
+      << "leaked block reclaimed, new block handed out";
+}
+
+TEST_F(AllocTest, ReachableBlockIsNotReclaimed) {
+  std::uint64_t riv = 0;
+  auto* p = static_cast<MemBlock*>(balloc_->allocate(0, 9, &riv));
+  p->state = 99;
+  pmem::persist(p, kBlockSize);
+  const std::size_t free_now = balloc_->count_all_free_blocks();
+  crash_and_reopen();
+  balloc_->set_reachability_fn([](const ThreadLog&) { return true; });
+  std::uint64_t riv2 = 0;
+  balloc_->allocate(0, 10, &riv2);
+  EXPECT_EQ(balloc_->count_all_free_blocks(), free_now - 1)
+      << "reachable block must stay allocated";
+}
+
+TEST_F(AllocTest, CrashAfterChunkClaimReleasesChunk) {
+  // Drain arena 0 until provisioning starts, crashing right after the claim.
+  CrashPoints::instance().arm(crash_tag("alloc.chunk_claimed"));
+  std::uint64_t riv = 0;
+  try {
+    for (std::size_t i = 0; i < 100000; ++i)
+      balloc_->allocate(0, static_cast<std::uint64_t>(i), &riv);
+    FAIL() << "crash point never fired";
+  } catch (const CrashException&) {
+  }
+  crash_and_reopen();
+  const std::size_t chunks_after_crash = allocated_chunks();
+  balloc_->allocate(0, 1, &riv);  // triggers stale-log + pending sweep
+  std::size_t pending = 0;
+  for (std::uint32_t c = 0; c < chunk_alloc_->header().max_chunks; ++c)
+    if (chunk_alloc_->dir_entry(c).state == ChunkState::kPending) ++pending;
+  EXPECT_EQ(pending, 0u) << "claimed-but-unprovisioned chunk reclaimed";
+  EXPECT_GE(allocated_chunks(), chunks_after_crash);
+}
+
+TEST_F(AllocTest, CrashMidProvisionRecoversChunk) {
+  for (const char* point :
+       {"alloc.chunk_logged", "alloc.chunk_formatted", "alloc.chunk_linked",
+        "alloc.chunk_committed"}) {
+    SCOPED_TRACE(point);
+    CrashPoints::instance().arm(crash_tag(point));
+    std::uint64_t riv = 0;
+    try {
+      for (std::size_t i = 0; i < 100000; ++i)
+        balloc_->allocate(0, static_cast<std::uint64_t>(i), &riv);
+      FAIL() << "crash point never fired";
+    } catch (const CrashException&) {
+    }
+    crash_and_reopen();
+    // Recovery happens on this thread id's next allocation; afterwards no
+    // chunk may be stuck in kPending.
+    balloc_->allocate(0, 1, &riv);
+    for (std::uint32_t c = 0; c < chunk_alloc_->header().max_chunks; ++c)
+      EXPECT_NE(chunk_alloc_->dir_entry(c).state, ChunkState::kPending)
+          << "chunk " << c;
+  }
+}
+
+TEST_F(AllocTest, CrashDuringDeallocateIsRecovered) {
+  std::uint64_t riv = 0;
+  auto* p = static_cast<MemBlock*>(balloc_->allocate(0, 9, &riv));
+  p->state = 99;
+  pmem::persist(p, kBlockSize);
+  CrashPoints::instance().arm(crash_tag("alloc.recover_converted"));
+  EXPECT_THROW(balloc_->deallocate(riv), CrashException);
+  crash_and_reopen();
+  balloc_->set_reachability_fn([](const ThreadLog&) { return false; });
+  const std::size_t before = balloc_->count_all_free_blocks();
+  std::uint64_t riv2 = 0;
+  balloc_->allocate(0, 10, &riv2);  // stale log -> finish the deallocation
+  EXPECT_EQ(balloc_->count_all_free_blocks(), before)
+      << "block returned to list (+1) and new block popped (-1)";
+}
+
+}  // namespace
+}  // namespace upsl::alloc

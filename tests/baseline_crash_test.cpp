@@ -1,0 +1,204 @@
+// Crash-durability tests for the two baseline structures: crashes injected
+// at every instrumented point of BzTree/PMwCAS and the PMDK lock-based skip
+// list must never lose an acknowledged operation nor leave the structure
+// unusable after recovery. These are the baselines' equivalents of the
+// UPSkipList crash suite (crash_test.cpp).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "bztree/bztree.hpp"
+#include "common/crashpoint.hpp"
+#include "common/rng.hpp"
+#include "common/thread_registry.hpp"
+#include "lockskiplist/lock_skiplist.hpp"
+
+namespace upsl {
+namespace {
+
+// ---- BzTree ---------------------------------------------------------------
+
+const char* const kBzPoints[] = {
+    "pmwcas.installed",     "pmwcas.decided",  "pmwcas.propagated",
+    "bztree.slot_reserved", "bztree.payload_written", "bztree.visible",
+    "bztree.smo_built",     "bztree.smo_published",
+};
+
+class BzCrash : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override {
+    ThreadRegistry::instance().bind(0);
+    CrashPoints::instance().reset();
+    pool_ = pmem::Pool::create_anonymous(0, 128u << 20, {.crash_tracking = true});
+    bztree::BzTree::Config cfg;
+    cfg.leaf_capacity = 16;
+    cfg.internal_capacity = 8;
+    cfg.descriptor_count = 4096;
+    tree_ = bztree::BzTree::create(*pool_, cfg);
+    pool_->mark_all_persisted();
+  }
+  void TearDown() override { CrashPoints::instance().reset(); }
+
+  std::unique_ptr<pmem::Pool> pool_;
+  std::unique_ptr<bztree::BzTree> tree_;
+};
+
+TEST_P(BzCrash, AcknowledgedOperationsSurvive) {
+  bool fired_any = false;
+  for (std::uint64_t skip : {0u, 9u, 33u}) {
+    SCOPED_TRACE(std::string(GetParam()) + " skip=" + std::to_string(skip));
+    SetUp();
+    std::map<std::uint64_t, std::uint64_t> acked;
+    CrashPoints::instance().arm(crash_tag(GetParam()), skip);
+    Xoshiro256 rng(skip + 3);
+    bool fired = false;
+    try {
+      for (int i = 0; i < 3000; ++i) {
+        const std::uint64_t key = 1 + rng.next_below(400);
+        const std::uint64_t value = 1 + (rng.next() >> 3);
+        tree_->insert(key, value);
+        acked[key] = value;
+      }
+    } catch (const CrashException&) {
+      fired = true;
+    }
+    CrashPoints::instance().disarm();
+    if (!fired) break;
+    fired_any = true;
+
+    pool_->simulate_crash();
+    tree_ = bztree::BzTree::open(*pool_);  // descriptor-pool recovery
+    for (const auto& [k, v] : acked) {
+      auto got = tree_->search(k);
+      ASSERT_TRUE(got.has_value()) << "acknowledged key " << k << " lost";
+      EXPECT_EQ(*got, v);
+    }
+    // Still fully usable.
+    for (std::uint64_t k = 10001; k <= 10050; ++k)
+      EXPECT_FALSE(tree_->insert(k, k).has_value());
+    for (std::uint64_t k = 10001; k <= 10050; ++k)
+      EXPECT_EQ(*tree_->search(k), k);
+    tree_->check_invariants();
+  }
+  if (!fired_any) GTEST_SKIP() << "point not reached";
+}
+
+INSTANTIATE_TEST_SUITE_P(Points, BzCrash, ::testing::ValuesIn(kBzPoints),
+                         [](const auto& info) {
+                           std::string s = info.param;
+                           for (auto& c : s)
+                             if (c == '.') c = '_';
+                           return s;
+                         });
+
+// ---- PMDK lock-based skip list ---------------------------------------------
+
+const char* const kLslPoints[] = {"pmdk.tx_added", "pmdk.pre_commit",
+                                  "pmdk.committed"};
+
+class LslCrash : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override {
+    ThreadRegistry::instance().bind(0);
+    CrashPoints::instance().reset();
+    pool_ = pmem::Pool::create_anonymous(0, 64u << 20, {.crash_tracking = true});
+    list_ = lsl::LockSkipList::create(*pool_);
+    pool_->mark_all_persisted();
+  }
+  void TearDown() override { CrashPoints::instance().reset(); }
+
+  std::unique_ptr<pmem::Pool> pool_;
+  std::unique_ptr<lsl::LockSkipList> list_;
+};
+
+TEST_P(LslCrash, AcknowledgedOperationsSurvive) {
+  bool fired_any = false;
+  for (std::uint64_t skip : {0u, 7u, 29u}) {
+    SCOPED_TRACE(std::string(GetParam()) + " skip=" + std::to_string(skip));
+    SetUp();
+    std::map<std::uint64_t, std::uint64_t> acked;
+    CrashPoints::instance().arm(crash_tag(GetParam()), skip);
+    Xoshiro256 rng(skip + 11);
+    bool fired = false;
+    try {
+      for (int i = 0; i < 3000; ++i) {
+        const std::uint64_t key = 1 + rng.next_below(400);
+        const std::uint64_t value = 1 + (rng.next() >> 1);
+        list_->insert(key, value);
+        acked[key] = value;
+      }
+    } catch (const CrashException&) {
+      fired = true;
+    }
+    CrashPoints::instance().disarm();
+    if (!fired) break;
+    fired_any = true;
+
+    pool_->simulate_crash();
+    list_ = lsl::LockSkipList::open(*pool_);  // rolls back in-flight txs
+    for (const auto& [k, v] : acked) {
+      auto got = list_->search(k);
+      ASSERT_TRUE(got.has_value()) << "acknowledged key " << k << " lost";
+      EXPECT_EQ(*got, v);
+    }
+    for (std::uint64_t k = 20001; k <= 20050; ++k)
+      EXPECT_FALSE(list_->insert(k, k).has_value());
+    for (std::uint64_t k = 20001; k <= 20050; ++k)
+      EXPECT_EQ(*list_->search(k), k);
+    list_->check_invariants();
+  }
+  if (!fired_any) GTEST_SKIP() << "point not reached";
+}
+
+INSTANTIATE_TEST_SUITE_P(Points, LslCrash, ::testing::ValuesIn(kLslPoints),
+                         [](const auto& info) {
+                           std::string s = info.param;
+                           for (auto& c : s)
+                             if (c == '.') c = '_';
+                           return s;
+                         });
+
+// The PMwCAS crash points also matter for pure-PMwCAS users: the aborted
+// operation must be invisible (rolled back) or fully applied after recovery.
+TEST(PmwcasCrash, InterruptedMwcasIsAtomicAcrossRecovery) {
+  ThreadRegistry::instance().bind(0);
+  for (const char* point : {"pmwcas.installed", "pmwcas.decided",
+                            "pmwcas.propagated"}) {
+    for (std::uint64_t skip : {0u, 1u, 2u}) {
+      SCOPED_TRACE(std::string(point) + " skip=" + std::to_string(skip));
+      CrashPoints::instance().reset();
+      auto pool =
+          pmem::Pool::create_anonymous(0, 8u << 20, {.crash_tracking = true});
+      pmwcas::DescriptorPool::format(*pool, 0, 2048);
+      pmwcas::DescriptorPool descs(*pool, 0, 2048);
+      auto* words = reinterpret_cast<std::uint64_t*>(
+          pool->base() + sizeof(pmwcas::Descriptor) * 2048 + 4096);
+      words[0] = 1;
+      words[1] = 2;
+      words[2] = 3;
+      pool->mark_all_persisted();
+
+      CrashPoints::instance().arm(crash_tag(point), skip);
+      try {
+        descs.mwcas({{&words[0], 1, 10}, {&words[1], 2, 20},
+                     {&words[2], 3, 30}});
+      } catch (const CrashException&) {
+      }
+      CrashPoints::instance().disarm();
+      pool->simulate_crash();
+      descs.recover();
+
+      const std::uint64_t a = words[0];
+      const std::uint64_t b = words[1];
+      const std::uint64_t c = words[2];
+      const bool all_old = a == 1 && b == 2 && c == 3;
+      const bool all_new = a == 10 && b == 20 && c == 30;
+      EXPECT_TRUE(all_old || all_new)
+          << "torn MwCAS after recovery: " << a << "," << b << "," << c;
+    }
+  }
+  CrashPoints::instance().reset();
+}
+
+}  // namespace
+}  // namespace upsl

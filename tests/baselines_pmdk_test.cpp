@@ -1,0 +1,248 @@
+// Tests for the mini-libpmemobj object store (transactions, allocator,
+// crash rollback, pmemlog) and the lock-based skip list baseline built on it.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+
+#include "common/rng.hpp"
+#include "common/thread_registry.hpp"
+#include "lockskiplist/lock_skiplist.hpp"
+#include "pmdk/pmemlog.hpp"
+
+namespace upsl {
+namespace {
+
+class ObjStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ThreadRegistry::instance().bind(0);
+    pool_ = pmem::Pool::create_anonymous(0, 32u << 20, {.crash_tracking = true});
+    pmdk::ObjStore::format(*pool_);
+    store_ = std::make_unique<pmdk::ObjStore>(*pool_);
+    pool_->mark_all_persisted();
+  }
+  std::unique_ptr<pmem::Pool> pool_;
+  std::unique_ptr<pmdk::ObjStore> store_;
+};
+
+TEST_F(ObjStoreTest, AllocZeroedAndAddressable) {
+  const pmdk::Oid oid = store_->alloc(128);
+  EXPECT_FALSE(oid.is_null());
+  auto* p = store_->as<char>(oid);
+  for (int i = 0; i < 128; ++i) EXPECT_EQ(p[i], 0);
+  EXPECT_EQ(store_->oid_of(p), oid);
+}
+
+TEST_F(ObjStoreTest, FreeListReuse) {
+  const pmdk::Oid a = store_->alloc(100);
+  store_->free_obj(a, 100);
+  const pmdk::Oid b = store_->alloc(100);  // same 128B class
+  EXPECT_EQ(a.off, b.off) << "freed block reused";
+}
+
+TEST_F(ObjStoreTest, CommittedTxPersists) {
+  const pmdk::Oid oid = store_->alloc(64);
+  auto* w = store_->as<std::uint64_t>(oid);
+  {
+    pmdk::ObjStore::Tx tx(*store_);
+    store_->tx_add(w, 8);
+    pmem::pm_store(*w, std::uint64_t{77});
+    tx.commit();
+  }
+  pool_->simulate_crash();
+  EXPECT_EQ(pmem::pm_load(*w), 77u) << "committed writes are durable";
+}
+
+TEST_F(ObjStoreTest, AbortRestoresOldData) {
+  const pmdk::Oid oid = store_->alloc(64);
+  auto* w = store_->as<std::uint64_t>(oid);
+  pmem::pm_store(*w, std::uint64_t{1});
+  pmem::persist(w, 8);
+  {
+    pmdk::ObjStore::Tx tx(*store_);
+    store_->tx_add(w, 8);
+    pmem::pm_store(*w, std::uint64_t{2});
+    // no commit: RAII abort
+  }
+  EXPECT_EQ(pmem::pm_load(*w), 1u);
+}
+
+TEST_F(ObjStoreTest, CrashMidTxRollsBackOnRecover) {
+  const pmdk::Oid oid = store_->alloc(64);
+  auto* w = store_->as<std::uint64_t>(oid);
+  pmem::pm_store(*w, std::uint64_t{10});
+  pmem::persist(w, 8);
+  pool_->mark_all_persisted();
+
+  store_->tx_begin();
+  store_->tx_add(w, 8);
+  pmem::pm_store(*w, std::uint64_t{20});
+  pmem::persist(w, 8);  // new value even persisted — still not committed
+  // crash: no commit
+  pool_->simulate_crash();
+  store_ = std::make_unique<pmdk::ObjStore>(*pool_);  // runs recover()
+  EXPECT_EQ(pmem::pm_load(*w), 10u) << "in-flight tx rolled back";
+  EXPECT_FALSE(store_->in_tx());
+}
+
+TEST_F(ObjStoreTest, TxAllocRolledBackOnAbort) {
+  const std::uint64_t used0 = store_->heap_used();
+  store_->tx_begin();
+  const pmdk::Oid oid = store_->alloc(64);
+  store_->tx_abort();
+  // The freed block is reusable.
+  const pmdk::Oid again = store_->alloc(64);
+  EXPECT_EQ(oid.off, again.off);
+  store_->free_obj(again, 64);
+  EXPECT_GE(store_->heap_used(), used0);
+}
+
+TEST_F(ObjStoreTest, RootSlot) {
+  const pmdk::Oid oid = store_->alloc(64);
+  store_->set_root(oid);
+  EXPECT_EQ(store_->root(), oid);
+}
+
+TEST(PmemLogTest, AppendAndRecoverCommittedPrefix) {
+  auto pool = pmem::Pool::create_anonymous(0, 1 << 20, {.crash_tracking = true});
+  auto log = pmdk::PmemLog::format(pool->base(), 64 << 10);
+  struct Rec {
+    std::uint64_t a, b;
+  };
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    Rec r{i, i * i};
+    log.append(&r, sizeof(r));
+  }
+  // An unflushed append after the crash point is lost; committed prefix kept.
+  pool->mark_all_persisted();
+  Rec torn{99, 99};
+  std::memcpy(log.data() + log.size(), &torn, sizeof(torn));  // no tail bump
+  pool->simulate_crash();
+  pmdk::PmemLog reopened(pool->base());
+  EXPECT_EQ(reopened.size(), 10 * sizeof(Rec));
+  std::uint64_t n = 0;
+  reopened.for_each<Rec>([&](const Rec& r) {
+    EXPECT_EQ(r.b, r.a * r.a);
+    ++n;
+  });
+  EXPECT_EQ(n, 10u);
+}
+
+// ---- lock-based skip list ---------------------------------------------------
+
+class LockSkipListTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ThreadRegistry::instance().bind(0);
+    pool_ = pmem::Pool::create_anonymous(0, 64u << 20, {.crash_tracking = true});
+    list_ = lsl::LockSkipList::create(*pool_);
+    pool_->mark_all_persisted();
+  }
+  std::unique_ptr<pmem::Pool> pool_;
+  std::unique_ptr<lsl::LockSkipList> list_;
+};
+
+TEST_F(LockSkipListTest, BasicOps) {
+  EXPECT_FALSE(list_->search(5).has_value());
+  EXPECT_FALSE(list_->insert(5, 50).has_value());
+  EXPECT_EQ(*list_->search(5), 50u);
+  EXPECT_EQ(*list_->insert(5, 51), 50u);
+  EXPECT_EQ(*list_->remove(5), 51u);
+  EXPECT_FALSE(list_->search(5).has_value());
+  EXPECT_FALSE(list_->remove(5).has_value());
+}
+
+TEST_F(LockSkipListTest, ReferenceModel) {
+  std::map<std::uint64_t, std::uint64_t> model;
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 3000; ++i) {
+    const std::uint64_t key = 1 + rng.next_below(300);
+    switch (rng.next_below(3)) {
+      case 0: {
+        const std::uint64_t v = rng.next() >> 1;
+        auto old = list_->insert(key, v);
+        auto it = model.find(key);
+        EXPECT_EQ(old.has_value(), it != model.end());
+        if (old && it != model.end()) {
+          EXPECT_EQ(*old, it->second);
+        }
+        model[key] = v;
+        break;
+      }
+      case 1: {
+        auto got = list_->search(key);
+        auto it = model.find(key);
+        ASSERT_EQ(got.has_value(), it != model.end()) << key;
+        if (got) {
+          EXPECT_EQ(*got, it->second);
+        }
+        break;
+      }
+      default: {
+        auto rem = list_->remove(key);
+        auto it = model.find(key);
+        EXPECT_EQ(rem.has_value(), it != model.end());
+        if (it != model.end()) model.erase(it);
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(list_->count_keys(), model.size());
+  list_->check_invariants();
+}
+
+TEST_F(LockSkipListTest, CrashMidInsertRollsBack) {
+  for (std::uint64_t k = 1; k <= 100; ++k) list_->insert(k * 2, k);
+  pool_->mark_all_persisted();
+  // Simulate a crash with a dangling transaction: begin one manually and
+  // mutate a next pointer, as a crashed insert would have.
+  auto& store = list_->store();
+  store.tx_begin();
+  // (the tx log holds nothing destructive; rollback must still clear it)
+  pool_->simulate_crash();
+  list_ = lsl::LockSkipList::open(*pool_);
+  EXPECT_EQ(list_->count_keys(), 100u);
+  for (std::uint64_t k = 1; k <= 100; ++k) EXPECT_EQ(*list_->search(k * 2), k);
+  list_->check_invariants();
+  EXPECT_FALSE(list_->insert(1001, 1).has_value());
+}
+
+TEST_F(LockSkipListTest, ConcurrentMixedOps) {
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ThreadRegistry::instance().bind(t);
+      Xoshiro256 rng(static_cast<std::uint64_t>(t) * 31 + 5);
+      for (int i = 0; i < 1500; ++i) {
+        const std::uint64_t key = 1 + rng.next_below(128);
+        switch (rng.next_below(4)) {
+          case 0:
+            list_->insert(key, key * 3);
+            break;
+          case 1: {
+            auto v = list_->search(key);
+            if (v) {
+              ASSERT_EQ(*v, key * 3);
+            }
+            break;
+          }
+          default:
+            if (rng.next_below(4) == 0) {
+              list_->remove(key);
+            } else {
+              list_->insert(key, key * 3);
+            }
+            break;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  ThreadRegistry::instance().bind(0);
+  list_->check_invariants();
+}
+
+}  // namespace
+}  // namespace upsl

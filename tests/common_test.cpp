@@ -1,0 +1,157 @@
+// Tests for the common utilities: latency histogram accuracy/merging, RNG
+// distributions and determinism, crash-point arming, thread registry.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/compiler.hpp"
+#include "common/crashpoint.hpp"
+#include "common/histogram.hpp"
+#include "common/rng.hpp"
+#include "common/thread_registry.hpp"
+
+namespace upsl {
+namespace {
+
+TEST(Histogram, ExactForSmallValues) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 0; v < 32; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 32u);
+  EXPECT_EQ(h.percentile(0), 0u);
+  EXPECT_EQ(h.percentile(50), 16u);
+  EXPECT_EQ(h.max(), 31u);
+}
+
+TEST(Histogram, RelativeErrorBounded) {
+  LatencyHistogram h;
+  Xoshiro256 rng(1);
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t v = 100 + rng.next_below(1000000);
+    values.push_back(v);
+    h.record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double p : {50.0, 90.0, 99.0, 99.9}) {
+    const auto exact =
+        values[static_cast<std::size_t>(p / 100 * values.size())];
+    const auto approx = h.percentile(p);
+    EXPECT_NEAR(static_cast<double>(approx), static_cast<double>(exact),
+                static_cast<double>(exact) * 0.05)
+        << "p" << p;
+  }
+}
+
+TEST(Histogram, MergeEqualsCombinedRecording) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  LatencyHistogram both;
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t v = rng.next_below(1 << 20);
+    ((i % 2 != 0) ? a : b).record(v);
+    both.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), both.count());
+  for (double p : {10.0, 50.0, 99.0})
+    EXPECT_EQ(a.percentile(p), both.percentile(p));
+}
+
+TEST(Histogram, MeanAndReset) {
+  LatencyHistogram h;
+  for (int i = 0; i < 100; ++i) h.record(1000);
+  EXPECT_NEAR(h.mean(), 1000.0, 1000.0 * 0.05);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(99), 0u);
+}
+
+TEST(Rng, Deterministic) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, GeometricHeightDistribution) {
+  Xoshiro256 rng(3);
+  std::vector<int> counts(33, 0);
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) counts[rng.geometric_height(32)]++;
+  // P(h=1) ~ 1/2, P(h=2) ~ 1/4, ...
+  EXPECT_NEAR(static_cast<double>(counts[1]) / kSamples, 0.5, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / kSamples, 0.25, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[3]) / kSamples, 0.125, 0.01);
+  // Every sample respects the cap.
+  Xoshiro256 rng2(4);
+  for (int i = 0; i < 1000; ++i) {
+    const int h = rng2.geometric_height(4);
+    EXPECT_GE(h, 1);
+    EXPECT_LE(h, 4);
+  }
+}
+
+TEST(Rng, NextBelowAndDouble) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Alignment, Helpers) {
+  EXPECT_EQ(align_up(1, 64), 64u);
+  EXPECT_EQ(align_up(64, 64), 64u);
+  EXPECT_EQ(align_down(127, 64), 64u);
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(96));
+  EXPECT_FALSE(is_pow2(0));
+}
+
+TEST(CrashPoints, SkipCountsMatchingTagsOnly) {
+  auto& cp = CrashPoints::instance();
+  cp.reset();
+  cp.arm(crash_tag("x"), 2);
+  EXPECT_NO_THROW(cp.hit(crash_tag("y")));  // non-matching: not counted
+  EXPECT_NO_THROW(cp.hit(crash_tag("x")));  // skip 2
+  EXPECT_NO_THROW(cp.hit(crash_tag("x")));  // skip 1
+  EXPECT_THROW(cp.hit(crash_tag("x")), CrashException);
+  EXPECT_TRUE(cp.fired());
+  EXPECT_NO_THROW(cp.hit(crash_tag("x")));  // disarmed after firing
+  cp.reset();
+}
+
+TEST(CrashPoints, WildcardTagMatchesEverything) {
+  auto& cp = CrashPoints::instance();
+  cp.reset();
+  cp.arm(0, 1);
+  EXPECT_NO_THROW(cp.hit(crash_tag("a")));
+  EXPECT_THROW(cp.hit(crash_tag("b")), CrashException);
+  cp.reset();
+}
+
+TEST(ThreadRegistry, BindAndPerThreadIds) {
+  ThreadRegistry::instance().bind(5);
+  EXPECT_EQ(ThreadRegistry::id(), 5);
+  std::thread other([] {
+    EXPECT_EQ(ThreadRegistry::id(), 0) << "unbound threads default to 0";
+    ThreadRegistry::instance().bind(9);
+    EXPECT_EQ(ThreadRegistry::id(), 9);
+  });
+  other.join();
+  EXPECT_EQ(ThreadRegistry::id(), 5) << "other thread's bind is private";
+  ThreadRegistry::instance().bind(0);
+}
+
+TEST(CrashTag, CompileTimeHashStable) {
+  constexpr auto a = crash_tag("alloc.after_pop");
+  constexpr auto b = crash_tag("alloc.after_pop");
+  constexpr auto c = crash_tag("alloc.after_log");
+  static_assert(a == b);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace upsl

@@ -1,0 +1,114 @@
+// Crash matrix: a coarse exhaustive sweep over (workload shape x crash mode
+// x crash step) for UPSkipList. Complements crash_test.cpp (which targets
+// named crash points) with breadth: every Nth instrumented persist boundary
+// under mixed workloads, in both power-failure models, with durability,
+// consistency and leak checks after recovery — the in-process analogue of
+// the thesis' overnight power-cycle campaign (§6.1.2).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "test_util.hpp"
+
+namespace upsl::core {
+namespace {
+
+using test::StoreHarness;
+using test::small_options;
+
+struct MatrixParam {
+  double update_ratio;   // vs insert-new-key
+  double remove_ratio;
+  pmem::CrashMode mode;
+  std::uint64_t step_stride;
+  const char* name;
+};
+
+class CrashMatrix : public ::testing::TestWithParam<MatrixParam> {};
+
+TEST_P(CrashMatrix, RecoversFromEveryStride) {
+  const MatrixParam p = GetParam();
+  for (std::uint64_t step = 1; step <= 120; step += p.step_stride) {
+    SCOPED_TRACE("step=" + std::to_string(step));
+    StoreHarness h(small_options(/*keys_per_node=*/4, /*max_height=*/10));
+    std::map<std::uint64_t, std::uint64_t> model;
+    Xoshiro256 rng(step * 31 + 7);
+
+    CrashPoints::instance().reset();
+    CrashPoints::instance().arm(/*any point=*/0, step);
+    bool fired = false;
+    // The operation in flight at the crash may legally take effect (it was
+    // invoked before the failure): exempt its key from post-crash asserts.
+    std::uint64_t pending_key = 0;
+    try {
+      for (int i = 0; i < 3000; ++i) {
+        const double dice = rng.next_double();
+        if (dice < p.remove_ratio) {
+          const std::uint64_t key = 1 + rng.next_below(300);
+          pending_key = key;
+          auto removed = h.store().remove(key);
+          auto it = model.find(key);
+          EXPECT_EQ(removed.has_value(), it != model.end());
+          if (it != model.end()) model.erase(it);
+        } else {
+          // update_ratio of the writes hit hot existing keys; the rest
+          // spread out and grow the structure (forcing splits).
+          const std::uint64_t key =
+              dice < p.remove_ratio + p.update_ratio
+                  ? 1 + rng.next_below(40)
+                  : 1 + rng.next_below(3000);
+          const std::uint64_t value = 1 + (rng.next() >> 1);
+          pending_key = key;
+          h.store().insert(key, value);
+          model[key] = value;
+        }
+      }
+    } catch (const CrashException&) {
+      fired = true;
+    }
+    CrashPoints::instance().disarm();
+    if (!fired) break;  // workload finished before the armed step
+
+    h.crash_and_reopen(p.mode, /*seed=*/step);
+
+    // Durability of everything acknowledged (the pending operation's key
+    // may hold either the old or the in-flight value).
+    for (const auto& [k, v] : model) {
+      auto got = h.store().search(k);
+      if (k == pending_key) continue;
+      ASSERT_TRUE(got.has_value()) << "acknowledged key " << k << " lost";
+      ASSERT_EQ(*got, v) << "key " << k;
+    }
+    // Keys never inserted (or whose removal was acknowledged) stay absent.
+    for (std::uint64_t k = 1; k <= 50; ++k) {
+      if (k == pending_key) continue;
+      if (model.count(k) == 0) {
+        EXPECT_FALSE(h.store().search(k).has_value());
+      }
+    }
+    // Consistency + usability + leak freedom.
+    h.store().check_invariants();
+    for (std::uint64_t k = 100001; k <= 100020; ++k) h.store().insert(k, k);
+    h.store().check_no_leaks();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CrashMatrix,
+    ::testing::Values(
+        MatrixParam{0.0, 0.0, pmem::CrashMode::kDiscardUnflushed, 7,
+                    "insert_only_discard"},
+        MatrixParam{0.5, 0.0, pmem::CrashMode::kDiscardUnflushed, 11,
+                    "update_heavy_discard"},
+        MatrixParam{0.3, 0.2, pmem::CrashMode::kDiscardUnflushed, 13,
+                    "mixed_with_removes_discard"},
+        MatrixParam{0.0, 0.0, pmem::CrashMode::kRandomEvict, 9,
+                    "insert_only_evict"},
+        MatrixParam{0.5, 0.0, pmem::CrashMode::kRandomEvict, 17,
+                    "update_heavy_evict"},
+        MatrixParam{0.3, 0.2, pmem::CrashMode::kRandomEvict, 19,
+                    "mixed_with_removes_evict"}),
+    [](const auto& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace upsl::core

@@ -1,0 +1,127 @@
+// NUMA-aware multi-pool tests (thesis §4.3.1): the store spans several
+// pools, threads allocate from their virtual node's arenas, one-word RIV
+// pointers cross pools, and recovery works across all pools at once.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+
+#include "test_util.hpp"
+
+namespace upsl::core {
+namespace {
+
+using test::StoreHarness;
+using test::small_options;
+
+class MultiPool : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(MultiPool, BasicOpsAcrossPools) {
+  StoreHarness h(small_options(4, 10, 8), GetParam());
+  for (std::uint64_t k = 1; k <= 300; ++k)
+    ASSERT_FALSE(h.store().insert(k, k * 11).has_value());
+  for (std::uint64_t k = 1; k <= 300; ++k)
+    ASSERT_EQ(*h.store().search(k), k * 11);
+  h.store().check_invariants();
+  h.store().check_no_leaks();
+}
+
+TEST_P(MultiPool, ThreadsAllocateFromTheirOwnNode) {
+  StoreHarness h(small_options(4, 10, 8), GetParam());
+  const unsigned pools = GetParam();
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < pools; ++t) {
+    threads.emplace_back([&, t] {
+      ThreadRegistry::instance().bind(static_cast<int>(t));
+      EXPECT_EQ(h.store().allocator().node_of_current_thread(), t % pools);
+      for (std::uint64_t i = 0; i < 200; ++i)
+        h.store().insert(1 + i * pools + t, i);
+    });
+  }
+  for (auto& th : threads) th.join();
+  ThreadRegistry::instance().bind(0);
+  EXPECT_EQ(h.store().count_keys(), 200u * pools);
+  h.store().check_invariants();
+}
+
+TEST_P(MultiPool, CleanReopenAcrossPools) {
+  StoreHarness h(small_options(4, 10, 8), GetParam());
+  for (std::uint64_t k = 1; k <= 200; ++k) h.store().insert(k, k);
+  h.clean_reopen();
+  for (std::uint64_t k = 1; k <= 200; ++k) ASSERT_EQ(*h.store().search(k), k);
+  h.store().insert(999, 999);
+  EXPECT_TRUE(h.store().contains(999));
+}
+
+TEST_P(MultiPool, CrashRecoveryAcrossPools) {
+  StoreHarness h(small_options(4, 10, 8), GetParam());
+  std::map<std::uint64_t, std::uint64_t> acked;
+  CrashPoints::instance().arm(/*any=*/0, 200);
+  Xoshiro256 rng(13);
+  try {
+    for (int i = 0; i < 100000; ++i) {
+      const std::uint64_t key = 1 + rng.next_below(400);
+      const std::uint64_t value = 1 + (rng.next() >> 1);
+      h.store().insert(key, value);
+      acked[key] = value;
+    }
+  } catch (const CrashException&) {
+  }
+  CrashPoints::instance().disarm();
+  h.crash_and_reopen();
+  for (const auto& [k, v] : acked) {
+    auto got = h.store().search(k);
+    ASSERT_TRUE(got.has_value()) << k;
+    EXPECT_EQ(*got, v);
+  }
+  for (std::uint64_t k = 5001; k <= 5100; ++k) h.store().insert(k, k);
+  h.store().check_invariants();
+  h.store().check_no_leaks();
+}
+
+TEST_P(MultiPool, ConcurrentMixedWorkload) {
+  StoreHarness h(small_options(8, 12, 8), GetParam());
+  const unsigned nthreads = 4;
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < nthreads; ++t) {
+    threads.emplace_back([&, t] {
+      ThreadRegistry::instance().bind(static_cast<int>(t));
+      Xoshiro256 rng(t * 7 + 1);
+      for (int i = 0; i < 1500; ++i) {
+        const std::uint64_t key = 1 + rng.next_below(256);
+        switch (rng.next_below(3)) {
+          case 0:
+            h.store().insert(key, rng.next() >> 1);
+            break;
+          case 1:
+            h.store().search(key);
+            break;
+          default:
+            h.store().remove(key);
+            break;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  ThreadRegistry::instance().bind(0);
+  h.store().check_invariants();
+}
+
+INSTANTIATE_TEST_SUITE_P(PoolCounts, MultiPool, ::testing::Values(2u, 4u),
+                         [](const auto& info) {
+                           return "pools" + std::to_string(info.param);
+                         });
+
+TEST(MultiPool, SinglePoolUsesFastPath) {
+  StoreHarness h(small_options(), 1);
+  EXPECT_TRUE(riv::Runtime::instance().single_pool_mode());
+}
+
+TEST(MultiPool, MultiPoolDisablesFastPath) {
+  StoreHarness h(small_options(4, 10, 8), 2);
+  EXPECT_FALSE(riv::Runtime::instance().single_pool_mode());
+}
+
+}  // namespace
+}  // namespace upsl::core

@@ -1,0 +1,170 @@
+// Unit tests for the emulated persistent-memory substrate: shadow
+// persistence-domain semantics, crash modes, registry lookups, remapping.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+
+#include "pmem/pool.hpp"
+
+namespace upsl::pmem {
+namespace {
+
+std::string tmp_file(const char* name) {
+  return (std::filesystem::path("/tmp") /
+          (std::string("upsl_pmem_") + name + "_" + std::to_string(::getpid())))
+      .string();
+}
+
+TEST(Pool, CreateZeroed) {
+  auto p = Pool::create_anonymous(0, 4096, {.crash_tracking = true});
+  for (std::size_t i = 0; i < 4096; ++i) EXPECT_EQ(p->base()[i], 0);
+  EXPECT_EQ(p->size(), 4096u);
+  EXPECT_TRUE(p->tracking());
+}
+
+TEST(Pool, UnpersistedStoresAreLostOnCrash) {
+  auto p = Pool::create_anonymous(0, 4096, {.crash_tracking = true});
+  auto* words = reinterpret_cast<std::uint64_t*>(p->base());
+  words[0] = 11;
+  persist(&words[0], 8);
+  words[1] = 22;  // never persisted
+  p->simulate_crash();
+  EXPECT_EQ(words[0], 11u);
+  EXPECT_EQ(words[1], 0u);
+}
+
+TEST(Pool, PersistCoversWholeCacheLines) {
+  auto p = Pool::create_anonymous(0, 4096, {.crash_tracking = true});
+  auto* words = reinterpret_cast<std::uint64_t*>(p->base());
+  words[0] = 1;
+  words[7] = 7;   // same 64-byte line as words[0]
+  words[8] = 8;   // next line
+  persist(&words[0], 8);
+  p->simulate_crash();
+  EXPECT_EQ(words[0], 1u);
+  EXPECT_EQ(words[7], 7u) << "flush granularity is the cache line";
+  EXPECT_EQ(words[8], 0u);
+}
+
+TEST(Pool, PersistRangeSpanningLines) {
+  auto p = Pool::create_anonymous(0, 4096, {.crash_tracking = true});
+  std::memset(p->base(), 0xab, 300);
+  persist(p->base() + 10, 200);  // covers lines 0..3
+  p->simulate_crash();
+  EXPECT_EQ(static_cast<unsigned char>(p->base()[10]), 0xabu);
+  EXPECT_EQ(static_cast<unsigned char>(p->base()[209]), 0xabu);
+  EXPECT_EQ(static_cast<unsigned char>(p->base()[299]), 0u);
+}
+
+TEST(Pool, SecondCrashKeepsDurableState) {
+  auto p = Pool::create_anonymous(0, 4096, {.crash_tracking = true});
+  auto* words = reinterpret_cast<std::uint64_t*>(p->base());
+  words[0] = 5;
+  persist(&words[0], 8);
+  p->simulate_crash();
+  words[8] = 9;  // unpersisted after first crash
+  p->simulate_crash();
+  EXPECT_EQ(words[0], 5u);
+  EXPECT_EQ(words[8], 0u);
+}
+
+TEST(Pool, MarkAllPersisted) {
+  auto p = Pool::create_anonymous(0, 4096, {.crash_tracking = true});
+  std::memset(p->base(), 0x5a, 4096);
+  p->mark_all_persisted();
+  p->simulate_crash();
+  EXPECT_EQ(static_cast<unsigned char>(p->base()[1234]), 0x5au);
+}
+
+TEST(Pool, RandomEvictCrashKeepsSubsetOfLines) {
+  auto p = Pool::create_anonymous(0, 1 << 16, {.crash_tracking = true});
+  std::memset(p->base(), 0x11, p->size());  // nothing flushed
+  p->simulate_crash(CrashMode::kRandomEvict, /*seed=*/42, /*evict_prob=*/0.5);
+  std::size_t survivors = 0;
+  for (std::size_t line = 0; line < p->size(); line += kCacheLineSize)
+    if (static_cast<unsigned char>(p->base()[line]) == 0x11) ++survivors;
+  const std::size_t lines = p->size() / kCacheLineSize;
+  EXPECT_GT(survivors, lines / 4);
+  EXPECT_LT(survivors, lines * 3 / 4);
+}
+
+TEST(Pool, NonTrackingPoolPersistIsNoop) {
+  auto p = Pool::create_anonymous(0, 4096, {});
+  auto* words = reinterpret_cast<std::uint64_t*>(p->base());
+  words[0] = 3;
+  persist(&words[0], 8);  // must not crash
+  EXPECT_THROW(p->simulate_crash(), std::logic_error);
+}
+
+TEST(Pool, FileBackedSurvivesReopen) {
+  const std::string path = tmp_file("reopen");
+  {
+    auto p = Pool::create(path, 3, 8192, {});
+    reinterpret_cast<std::uint64_t*>(p->base())[5] = 77;
+  }
+  {
+    auto p = Pool::open(path, 3, {.crash_tracking = true});
+    EXPECT_EQ(reinterpret_cast<std::uint64_t*>(p->base())[5], 77u);
+    // open() treats file contents as durable.
+    p->simulate_crash();
+    EXPECT_EQ(reinterpret_cast<std::uint64_t*>(p->base())[5], 77u);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Pool, RemapMovesMappingKeepsContents) {
+  const std::string path = tmp_file("remap");
+  auto p = Pool::create(path, 4, 1 << 20, {});
+  reinterpret_cast<std::uint64_t*>(p->base())[9] = 99;
+  p->remap();
+  EXPECT_EQ(reinterpret_cast<std::uint64_t*>(p->base())[9], 99u);
+  std::filesystem::remove(path);
+}
+
+TEST(PoolRegistry, FindByAddressAndId) {
+  auto a = Pool::create_anonymous(10, 4096, {});
+  auto b = Pool::create_anonymous(11, 4096, {});
+  EXPECT_EQ(PoolRegistry::instance().by_id(10), a.get());
+  EXPECT_EQ(PoolRegistry::instance().by_id(11), b.get());
+  EXPECT_EQ(PoolRegistry::instance().find(a->base() + 100), a.get());
+  EXPECT_EQ(PoolRegistry::instance().find(b->base() + 100), b.get());
+  int local = 0;
+  EXPECT_EQ(PoolRegistry::instance().find(&local), nullptr);
+}
+
+TEST(PoolRegistry, UnregisteredOnDestruction) {
+  {
+    auto p = Pool::create_anonymous(20, 4096, {});
+    EXPECT_NE(PoolRegistry::instance().by_id(20), nullptr);
+  }
+  EXPECT_EQ(PoolRegistry::instance().by_id(20), nullptr);
+}
+
+TEST(Persist, StatsCount) {
+  auto p = Pool::create_anonymous(0, 4096, {.crash_tracking = true});
+  Stats::instance().reset();
+  persist(p->base(), 8);
+  persist(p->base() + 64, 128);
+  EXPECT_EQ(Stats::instance().persist_calls.load(), 2u);
+  EXPECT_EQ(Stats::instance().persisted_lines.load(), 3u);
+}
+
+TEST(Persist, AtomicHelpers) {
+  auto p = Pool::create_anonymous(0, 4096, {});
+  auto& w = *reinterpret_cast<std::uint64_t*>(p->base());
+  pm_store(w, std::uint64_t{41});
+  EXPECT_EQ(pm_load(w), 41u);
+  EXPECT_TRUE(pm_cas_value(w, std::uint64_t{41}, std::uint64_t{42}));
+  EXPECT_FALSE(pm_cas_value(w, std::uint64_t{41}, std::uint64_t{43}));
+  EXPECT_EQ(pm_fetch_add(w, std::uint64_t{8}), 42u);
+  EXPECT_EQ(pm_load(w), 50u);
+}
+
+TEST(Pool, RejectsBadSizes) {
+  EXPECT_THROW(Pool::create_anonymous(0, 0, {}), std::invalid_argument);
+  EXPECT_THROW(Pool::create_anonymous(0, 100, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace upsl::pmem

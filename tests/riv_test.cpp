@@ -1,0 +1,113 @@
+// Unit tests for extended RIV persistent pointers: codec round-trips,
+// two-stage lookup, lazy cache rebuild, single-pool fast path.
+#include <gtest/gtest.h>
+
+#include "riv/riv.hpp"
+
+namespace upsl::riv {
+namespace {
+
+TEST(RivCodec, RoundTrip) {
+  const std::uint64_t r = encode(0x1234, 0xabcde, 0x0fedcba);
+  const Decoded d = decode(r);
+  EXPECT_EQ(d.pool, 0x1234);
+  EXPECT_EQ(d.chunk, 0xabcdeu);
+  EXPECT_EQ(d.offset, 0x0fedcbau);
+}
+
+TEST(RivCodec, NullIsZero) {
+  EXPECT_EQ(encode(0, 0, 0), kNull);
+  EXPECT_TRUE(RivPtr<int>{}.is_null());
+}
+
+TEST(RivCodec, FieldBoundaries) {
+  const Decoded d = decode(encode(0xffff, (1u << kChunkBits) - 1, kMaxOffset));
+  EXPECT_EQ(d.pool, 0xffff);
+  EXPECT_EQ(d.chunk, (1u << kChunkBits) - 1);
+  EXPECT_EQ(d.offset, kMaxOffset);
+}
+
+class RivRuntimeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    pool_ = pmem::Pool::create_anonymous(7, 1 << 20, {});
+    Runtime::instance().reset();
+    Runtime::instance().configure_pool(
+        7, /*max_chunks=*/16, [](std::uint32_t chunk) -> std::int64_t {
+          if (chunk >= 4) return -1;                    // unallocated
+          return 4096 + chunk * 65536;                  // deterministic bases
+        });
+  }
+  void TearDown() override { Runtime::instance().reset(); }
+  std::unique_ptr<pmem::Pool> pool_;
+};
+
+TEST_F(RivRuntimeTest, TwoStageLookup) {
+  void* p = Runtime::instance().to_ptr(encode(7, 2, 100));
+  EXPECT_EQ(static_cast<char*>(p), pool_->base() + 4096 + 2 * 65536 + 100);
+}
+
+TEST_F(RivRuntimeTest, CacheIsLazy) {
+  int resolves = 0;
+  Runtime::instance().reset();
+  Runtime::instance().configure_pool(7, 16,
+                                     [&resolves](std::uint32_t) -> std::int64_t {
+                                       ++resolves;
+                                       return 4096;
+                                     });
+  Runtime::instance().to_ptr(encode(7, 1, 0));
+  Runtime::instance().to_ptr(encode(7, 1, 8));
+  Runtime::instance().to_ptr(encode(7, 1, 16));
+  EXPECT_EQ(resolves, 1) << "chunk base resolved once, then cached";
+}
+
+TEST_F(RivRuntimeTest, InvalidateForcesReResolve) {
+  int resolves = 0;
+  Runtime::instance().reset();
+  Runtime::instance().configure_pool(7, 16,
+                                     [&resolves](std::uint32_t) -> std::int64_t {
+                                       ++resolves;
+                                       return 4096;
+                                     });
+  Runtime::instance().to_ptr(encode(7, 1, 0));
+  Runtime::instance().invalidate_pool(7);
+  Runtime::instance().to_ptr(encode(7, 1, 0));
+  EXPECT_EQ(resolves, 2);
+}
+
+TEST_F(RivRuntimeTest, UnallocatedChunkThrows) {
+  EXPECT_THROW(Runtime::instance().to_ptr(encode(7, 9, 0)), std::logic_error);
+}
+
+TEST_F(RivRuntimeTest, OutOfRangeChunkThrows) {
+  EXPECT_THROW(Runtime::instance().to_ptr(encode(7, 17, 0)), std::out_of_range);
+}
+
+TEST_F(RivRuntimeTest, SinglePoolModeSkipsPoolStage) {
+  Runtime::instance().set_single_pool_mode(true, 7);
+  // Deliberately encode a *wrong* pool id: single-pool mode must ignore it.
+  void* p = Runtime::instance().to_ptr(encode(123, 2, 4));
+  EXPECT_EQ(static_cast<char*>(p), pool_->base() + 4096 + 2 * 65536 + 4);
+  Runtime::instance().set_single_pool_mode(false);
+}
+
+TEST_F(RivRuntimeTest, TypedPtr) {
+  auto* target = reinterpret_cast<std::uint64_t*>(pool_->base() + 4096 + 24);
+  *target = 4242;
+  RivPtr<std::uint64_t> ptr{encode(7, 0, 24)};
+  EXPECT_EQ(*ptr, 4242u);
+}
+
+TEST(RivRuntime, MultiplePools) {
+  auto p0 = pmem::Pool::create_anonymous(0, 1 << 20, {});
+  auto p1 = pmem::Pool::create_anonymous(1, 1 << 20, {});
+  Runtime::instance().reset();
+  Runtime::instance().configure_pool(0, 4, [](std::uint32_t) { return std::int64_t{64}; });
+  Runtime::instance().configure_pool(1, 4, [](std::uint32_t) { return std::int64_t{128}; });
+  EXPECT_EQ(Runtime::instance().to_ptr(encode(0, 0, 0)), p0->base() + 64);
+  EXPECT_EQ(Runtime::instance().to_ptr(encode(1, 0, 0)), p1->base() + 128);
+  Runtime::instance().reset();
+}
+
+}  // namespace
+}  // namespace upsl::riv

@@ -1,0 +1,341 @@
+// UPSkipList functional tests: single-threaded semantics against a reference
+// model, node splits, tower building, scans, invariants, and multi-threaded
+// smoke tests. Crash-recovery behaviour has its own suite (crash_test.cpp).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+
+#include "test_util.hpp"
+
+namespace upsl::core {
+namespace {
+
+using test::StoreHarness;
+using test::small_options;
+
+TEST(UPSkipList, EmptySearch) {
+  StoreHarness h;
+  EXPECT_FALSE(h.store().search(42).has_value());
+  EXPECT_FALSE(h.store().contains(1));
+  EXPECT_EQ(h.store().count_keys(), 0u);
+}
+
+TEST(UPSkipList, InsertThenSearch) {
+  StoreHarness h;
+  EXPECT_FALSE(h.store().insert(5, 500).has_value());
+  auto v = h.store().search(5);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 500u);
+}
+
+TEST(UPSkipList, InsertIsUpsert) {
+  StoreHarness h;
+  EXPECT_FALSE(h.store().insert(5, 500).has_value());
+  auto old = h.store().insert(5, 501);
+  ASSERT_TRUE(old.has_value());
+  EXPECT_EQ(*old, 500u);
+  EXPECT_EQ(*h.store().search(5), 501u);
+  EXPECT_EQ(h.store().count_keys(), 1u);
+}
+
+TEST(UPSkipList, RemoveTombstones) {
+  StoreHarness h;
+  h.store().insert(7, 70);
+  auto removed = h.store().remove(7);
+  ASSERT_TRUE(removed.has_value());
+  EXPECT_EQ(*removed, 70u);
+  EXPECT_FALSE(h.store().search(7).has_value());
+  EXPECT_FALSE(h.store().remove(7).has_value()) << "second remove is a no-op";
+  // Re-insert after removal.
+  EXPECT_FALSE(h.store().insert(7, 71).has_value());
+  EXPECT_EQ(*h.store().search(7), 71u);
+}
+
+TEST(UPSkipList, RemoveMissingKey) {
+  StoreHarness h;
+  h.store().insert(10, 1);
+  EXPECT_FALSE(h.store().remove(11).has_value());
+  EXPECT_FALSE(h.store().remove(9).has_value());
+}
+
+TEST(UPSkipList, RejectsReservedKeysAndValues) {
+  StoreHarness h;
+  EXPECT_THROW(h.store().insert(0, 1), std::invalid_argument);
+  EXPECT_THROW(h.store().insert(kTailKey, 1), std::invalid_argument);
+  EXPECT_THROW(h.store().insert(1, kTombstone), std::invalid_argument);
+  EXPECT_THROW(h.store().search(0), std::invalid_argument);
+  EXPECT_THROW(h.store().remove(kTailKey), std::invalid_argument);
+}
+
+TEST(UPSkipList, DescendingInsertsCreateHeadSuccessors) {
+  StoreHarness h;
+  for (std::uint64_t k = 100; k >= 1; --k) h.store().insert(k, k * 10);
+  for (std::uint64_t k = 1; k <= 100; ++k) {
+    auto v = h.store().search(k);
+    ASSERT_TRUE(v.has_value()) << k;
+    EXPECT_EQ(*v, k * 10);
+  }
+  h.store().check_invariants();
+}
+
+TEST(UPSkipList, AscendingInsertsFillNodesAndSplit) {
+  StoreHarness h(small_options(/*keys_per_node=*/4));
+  for (std::uint64_t k = 1; k <= 200; ++k) h.store().insert(k, k);
+  EXPECT_EQ(h.store().count_keys(), 200u);
+  for (std::uint64_t k = 1; k <= 200; ++k) EXPECT_EQ(*h.store().search(k), k);
+  h.store().check_invariants();
+}
+
+TEST(UPSkipList, SingleKeyPerNodeMode) {
+  // keys_per_node = 1: every insert that lands in a full node splits it —
+  // the degenerate configuration of Figure 5.3.
+  StoreHarness h(small_options(/*keys_per_node=*/1));
+  for (std::uint64_t k = 1; k <= 120; ++k) h.store().insert(k * 3, k);
+  for (std::uint64_t k = 1; k <= 120; ++k)
+    EXPECT_EQ(*h.store().search(k * 3), k);
+  EXPECT_FALSE(h.store().search(4).has_value());
+  h.store().check_invariants();
+}
+
+TEST(UPSkipList, ScanRange) {
+  StoreHarness h(small_options(4));
+  for (std::uint64_t k = 10; k <= 100; k += 10) h.store().insert(k, k + 1);
+  std::vector<ScanEntry> out;
+  EXPECT_EQ(h.store().scan(25, 75, out), 5u);
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_EQ(out.front().key, 30u);
+  EXPECT_EQ(out.back().key, 70u);
+  for (std::size_t i = 1; i < out.size(); ++i)
+    EXPECT_LT(out[i - 1].key, out[i].key) << "sorted output";
+}
+
+TEST(UPSkipList, ScanSkipsTombstones) {
+  StoreHarness h(small_options(4));
+  for (std::uint64_t k = 1; k <= 20; ++k) h.store().insert(k, k);
+  for (std::uint64_t k = 2; k <= 20; k += 2) h.store().remove(k);
+  std::vector<ScanEntry> out;
+  EXPECT_EQ(h.store().scan(1, 20, out), 10u);
+  for (const auto& e : out) EXPECT_EQ(e.key % 2, 1u);
+}
+
+TEST(UPSkipList, ScanEmptyAndInvertedRanges) {
+  StoreHarness h;
+  h.store().insert(5, 5);
+  std::vector<ScanEntry> out;
+  EXPECT_EQ(h.store().scan(6, 10, out), 0u);
+  EXPECT_EQ(h.store().scan(10, 6, out), 0u);
+}
+
+TEST(UPSkipList, CleanReopenPreservesData) {
+  StoreHarness h(small_options(4));
+  for (std::uint64_t k = 1; k <= 50; ++k) h.store().insert(k, k * 2);
+  const auto epoch_before = h.store().epoch();
+  h.clean_reopen();
+  EXPECT_EQ(h.store().epoch(), epoch_before + 1);
+  for (std::uint64_t k = 1; k <= 50; ++k) EXPECT_EQ(*h.store().search(k), k * 2);
+  h.store().check_invariants();
+  // And the store remains writable.
+  h.store().insert(1000, 1);
+  EXPECT_TRUE(h.store().contains(1000));
+}
+
+// ---- property tests against a reference model -----------------------------
+
+struct PropParam {
+  std::uint32_t keys_per_node;
+  std::uint32_t max_height;
+  std::uint64_t key_space;
+  std::uint64_t seed;
+};
+
+class UPSkipListProperty : public ::testing::TestWithParam<PropParam> {};
+
+TEST_P(UPSkipListProperty, MatchesReferenceModel) {
+  const PropParam p = GetParam();
+  StoreHarness h(small_options(p.keys_per_node, p.max_height));
+  std::map<std::uint64_t, std::uint64_t> model;
+  Xoshiro256 rng(p.seed);
+
+  for (int op = 0; op < 3000; ++op) {
+    const std::uint64_t key = 1 + rng.next_below(p.key_space);
+    const double dice = rng.next_double();
+    if (dice < 0.5) {
+      const std::uint64_t value = rng.next() >> 1;
+      auto old = h.store().insert(key, value);
+      auto it = model.find(key);
+      if (it == model.end()) {
+        EXPECT_FALSE(old.has_value()) << "key " << key;
+      } else {
+        ASSERT_TRUE(old.has_value()) << "key " << key;
+        EXPECT_EQ(*old, it->second);
+      }
+      model[key] = value;
+    } else if (dice < 0.8) {
+      auto got = h.store().search(key);
+      auto it = model.find(key);
+      if (it == model.end()) {
+        EXPECT_FALSE(got.has_value()) << "key " << key;
+      } else {
+        ASSERT_TRUE(got.has_value()) << "key " << key;
+        EXPECT_EQ(*got, it->second);
+      }
+    } else {
+      auto removed = h.store().remove(key);
+      auto it = model.find(key);
+      if (it == model.end()) {
+        EXPECT_FALSE(removed.has_value()) << "key " << key;
+      } else {
+        ASSERT_TRUE(removed.has_value());
+        EXPECT_EQ(*removed, it->second);
+        model.erase(it);
+      }
+    }
+  }
+  EXPECT_EQ(h.store().count_keys(), model.size());
+  std::vector<ScanEntry> out;
+  h.store().scan(1, kTailKey - 1, out);
+  ASSERT_EQ(out.size(), model.size());
+  auto it = model.begin();
+  for (const auto& e : out) {
+    EXPECT_EQ(e.key, it->first);
+    EXPECT_EQ(e.value, it->second);
+    ++it;
+  }
+  h.store().check_invariants();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, UPSkipListProperty,
+    ::testing::Values(PropParam{1, 8, 200, 1}, PropParam{2, 8, 200, 2},
+                      PropParam{4, 12, 500, 3}, PropParam{8, 12, 500, 4},
+                      PropParam{16, 12, 2000, 5}, PropParam{8, 4, 300, 6},
+                      PropParam{32, 16, 10000, 7}, PropParam{4, 12, 50, 8}),
+    [](const auto& info) {
+      return "K" + std::to_string(info.param.keys_per_node) + "_H" +
+             std::to_string(info.param.max_height) + "_S" +
+             std::to_string(info.param.key_space);
+    });
+
+// ---- concurrency smoke tests ----------------------------------------------
+
+TEST(UPSkipListConcurrent, DisjointKeyInserts) {
+  StoreHarness h(small_options(4, 12, /*max_threads=*/8));
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 300;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ThreadRegistry::instance().bind(t);
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        const std::uint64_t key = 1 + i * kThreads + static_cast<std::uint64_t>(t);
+        ASSERT_FALSE(h.store().insert(key, key * 7).has_value());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  ThreadRegistry::instance().bind(0);
+  EXPECT_EQ(h.store().count_keys(), kThreads * kPerThread);
+  for (std::uint64_t k = 1; k <= kThreads * kPerThread; ++k)
+    EXPECT_EQ(*h.store().search(k), k * 7) << k;
+  h.store().check_invariants();
+}
+
+TEST(UPSkipListConcurrent, ContendedUpserts) {
+  StoreHarness h(small_options(4, 12, 8));
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kKeySpace = 64;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ThreadRegistry::instance().bind(t);
+      Xoshiro256 rng(static_cast<std::uint64_t>(t) + 99);
+      for (int i = 0; i < 2000; ++i) {
+        const std::uint64_t key = 1 + rng.next_below(kKeySpace);
+        switch (rng.next_below(3)) {
+          case 0:
+            h.store().insert(key, rng.next() >> 1);
+            break;
+          case 1:
+            h.store().search(key);
+            break;
+          default:
+            h.store().remove(key);
+            break;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  ThreadRegistry::instance().bind(0);
+  h.store().check_invariants();
+  EXPECT_LE(h.store().count_keys(), kKeySpace);
+}
+
+TEST(UPSkipListConcurrent, ReadersDuringSplits) {
+  StoreHarness h(small_options(4, 12, 8));
+  for (std::uint64_t k = 2; k <= 400; k += 2) h.store().insert(k, k);
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    ThreadRegistry::instance().bind(1);
+    while (!stop.load()) {
+      for (std::uint64_t k = 2; k <= 400; k += 2) {
+        auto v = h.store().search(k);
+        ASSERT_TRUE(v.has_value()) << k;
+        ASSERT_EQ(*v, k);
+      }
+    }
+  });
+  // Odd-key inserts force slot claims and splits under the reader's feet.
+  ThreadRegistry::instance().bind(0);
+  for (std::uint64_t k = 1; k <= 399; k += 2) h.store().insert(k, k);
+  stop.store(true);
+  reader.join();
+  ThreadRegistry::instance().bind(0);
+  EXPECT_EQ(h.store().count_keys(), 400u);
+  h.store().check_invariants();
+}
+
+TEST(UPSkipList, SortedSplitsMatchesReferenceModel) {
+  // The §7 sorted-splits + binary-search extension must be semantically
+  // invisible: run the same randomized workload with it on and off.
+  auto opts = small_options(/*keys_per_node=*/16, /*max_height=*/12);
+  opts.sorted_splits = true;
+  StoreHarness h(opts);
+  std::map<std::uint64_t, std::uint64_t> model;
+  Xoshiro256 rng(77);
+  for (int op = 0; op < 4000; ++op) {
+    const std::uint64_t key = 1 + rng.next_below(800);
+    if (rng.next_below(2) == 0) {
+      const std::uint64_t v = rng.next() >> 1;
+      auto old = h.store().insert(key, v);
+      auto it = model.find(key);
+      EXPECT_EQ(old.has_value(), it != model.end()) << key;
+      model[key] = v;
+    } else {
+      auto got = h.store().search(key);
+      auto it = model.find(key);
+      ASSERT_EQ(got.has_value(), it != model.end()) << key;
+      if (got) {
+        EXPECT_EQ(*got, it->second);
+      }
+    }
+  }
+  EXPECT_EQ(h.store().count_keys(), model.size());
+  h.store().check_invariants();
+  // Survives a crash like the default configuration.
+  h.crash_and_reopen();
+  for (const auto& [k, v] : model) EXPECT_EQ(*h.store().search(k), v);
+}
+
+TEST(UPSkipList, NodeLayoutOffsets) {
+  NodeLayout layout{8, 12};
+  EXPECT_EQ(NodeLayout::kKeysOffset, 56u);
+  EXPECT_EQ(layout.values_offset(), 56u + 64u);
+  EXPECT_EQ(layout.next_offset(), 56u + 128u);
+  EXPECT_EQ(layout.node_size() % kCacheLineSize, 0u);
+  EXPECT_GE(layout.node_size(), layout.next_offset() + 8 * 12);
+}
+
+}  // namespace
+}  // namespace upsl::core

@@ -1,0 +1,133 @@
+// YCSB generator tests: workload mixes match Table 5.1, zipfian skew and
+// latest-recency properties hold, traces are deterministic and partition
+// correctly across threads.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "ycsb/ycsb.hpp"
+
+namespace upsl::ycsb {
+namespace {
+
+std::map<OpType, std::uint64_t> op_mix(const Trace& t) {
+  std::map<OpType, std::uint64_t> mix;
+  for (const auto& slice : t.ops)
+    for (const Op& op : slice) mix[op.type]++;
+  return mix;
+}
+
+TEST(Ycsb, WorkloadMixesMatchTable51) {
+  constexpr std::uint64_t kOps = 40000;
+  {
+    auto mix = op_mix(generate(kWorkloadA, 1000, kOps, 2, 1));
+    EXPECT_NEAR(static_cast<double>(mix[OpType::kRead]) / kOps, 0.50, 0.02);
+    EXPECT_NEAR(static_cast<double>(mix[OpType::kUpdate]) / kOps, 0.50, 0.02);
+    EXPECT_EQ(mix[OpType::kInsert], 0u);
+  }
+  {
+    auto mix = op_mix(generate(kWorkloadB, 1000, kOps, 2, 1));
+    EXPECT_NEAR(static_cast<double>(mix[OpType::kRead]) / kOps, 0.95, 0.02);
+    EXPECT_NEAR(static_cast<double>(mix[OpType::kUpdate]) / kOps, 0.05, 0.02);
+  }
+  {
+    auto mix = op_mix(generate(kWorkloadC, 1000, kOps, 2, 1));
+    EXPECT_EQ(static_cast<double>(mix[OpType::kRead]), kOps);
+  }
+  {
+    auto mix = op_mix(generate(kWorkloadD, 1000, kOps, 2, 1));
+    EXPECT_NEAR(static_cast<double>(mix[OpType::kRead]) / kOps, 0.95, 0.02);
+    EXPECT_NEAR(static_cast<double>(mix[OpType::kInsert]) / kOps, 0.05, 0.02);
+    EXPECT_EQ(mix[OpType::kUpdate], 0u);
+  }
+}
+
+TEST(Ycsb, ZipfianIsSkewed) {
+  ZipfianGenerator zipf(10000);
+  Xoshiro256 rng(3);
+  std::map<std::uint64_t, std::uint64_t> counts;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) counts[zipf.next(rng)]++;
+  // YCSB zipfian theta=0.99: the hottest item draws a few percent of all
+  // accesses; the top-10 ranks dominate any 10 cold ranks.
+  EXPECT_GT(counts[0], kSamples / 50);
+  std::uint64_t top10 = 0;
+  std::uint64_t cold10 = 0;
+  for (std::uint64_t r = 0; r < 10; ++r) top10 += counts[r];
+  for (std::uint64_t r = 5000; r < 5010; ++r) cold10 += counts[r];
+  EXPECT_GT(top10, cold10 * 20);
+}
+
+TEST(Ycsb, ScrambledZipfianSpreadsHotKeys) {
+  ScrambledZipfian zipf(10000);
+  Xoshiro256 rng(3);
+  std::map<std::uint64_t, std::uint64_t> counts;
+  for (int i = 0; i < 100000; ++i) counts[zipf.next(rng)]++;
+  // Find the two hottest items: they must not be adjacent indices.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> byfreq;
+  for (auto& [idx, n] : counts) byfreq.push_back({n, idx});
+  std::sort(byfreq.rbegin(), byfreq.rend());
+  const auto a = byfreq[0].second;
+  const auto b = byfreq[1].second;
+  EXPECT_GT(std::max(a, b) - std::min(a, b), 1u);
+}
+
+TEST(Ycsb, LatestSkewsToRecentInserts) {
+  const Trace t = generate(kWorkloadD, 10000, 40000, 1, 5);
+  // Reads in D target recent record indices: the average read key should
+  // match keys from the high end of the record space. Track which record
+  // indices reads map to by regenerating the key table.
+  std::map<std::uint64_t, std::uint64_t> index_of_key;
+  for (std::uint64_t i = 0; i < 12000; ++i) index_of_key[key_of(i)] = i;
+  std::uint64_t reads = 0;
+  std::uint64_t recent = 0;
+  for (const Op& op : t.ops[0]) {
+    if (op.type != OpType::kRead) continue;
+    auto it = index_of_key.find(op.key);
+    ASSERT_NE(it, index_of_key.end());
+    ++reads;
+    if (it->second > 9000) ++recent;  // top 10% of preloaded records
+  }
+  EXPECT_GT(static_cast<double>(recent) / static_cast<double>(reads), 0.5)
+      << "latest distribution must strongly favour recent records";
+}
+
+TEST(Ycsb, DeterministicAndPartitioned) {
+  const Trace a = generate(kWorkloadA, 500, 10000, 4, 9);
+  const Trace b = generate(kWorkloadA, 500, 10000, 4, 9);
+  ASSERT_EQ(a.ops.size(), b.ops.size());
+  std::uint64_t total = 0;
+  for (std::size_t t = 0; t < a.ops.size(); ++t) {
+    ASSERT_EQ(a.ops[t].size(), b.ops[t].size());
+    total += a.ops[t].size();
+    for (std::size_t i = 0; i < a.ops[t].size(); ++i) {
+      EXPECT_EQ(a.ops[t][i].key, b.ops[t][i].key);
+      EXPECT_EQ(static_cast<int>(a.ops[t][i].type),
+                static_cast<int>(b.ops[t][i].type));
+    }
+  }
+  EXPECT_EQ(total, 10000u);
+  EXPECT_EQ(a.preload_keys.size(), 500u);
+}
+
+TEST(Ycsb, KeysStayInEveryStructuresDomain) {
+  for (std::uint64_t i = 0; i < 100000; ++i) {
+    const std::uint64_t k = key_of(i);
+    EXPECT_NE(k, 0u);
+    EXPECT_LT(k, (1ULL << 62) - 1);
+  }
+}
+
+TEST(Ycsb, InsertsUseFreshKeys) {
+  const Trace t = generate(kWorkloadD, 1000, 20000, 1, 2);
+  std::map<std::uint64_t, int> preloaded;
+  for (const std::uint64_t k : t.preload_keys) preloaded[k] = 1;
+  for (const Op& op : t.ops[0])
+    if (op.type == OpType::kInsert) {
+      EXPECT_EQ(preloaded.count(op.key), 0u) << "insert key already preloaded";
+    }
+}
+
+}  // namespace
+}  // namespace upsl::ycsb
