@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_recovery_throttle.dir/bench_recovery_throttle.cpp.o"
+  "CMakeFiles/bench_recovery_throttle.dir/bench_recovery_throttle.cpp.o.d"
+  "bench_recovery_throttle"
+  "bench_recovery_throttle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_recovery_throttle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

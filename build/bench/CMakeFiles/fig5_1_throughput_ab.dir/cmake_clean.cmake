@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_1_throughput_ab.dir/fig5_1_throughput_ab.cpp.o"
+  "CMakeFiles/fig5_1_throughput_ab.dir/fig5_1_throughput_ab.cpp.o.d"
+  "fig5_1_throughput_ab"
+  "fig5_1_throughput_ab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_1_throughput_ab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig5_2_throughput_cd.cpp" "bench/CMakeFiles/fig5_2_throughput_cd.dir/fig5_2_throughput_cd.cpp.o" "gcc" "bench/CMakeFiles/fig5_2_throughput_cd.dir/fig5_2_throughput_cd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/upsl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bztree/CMakeFiles/upsl_bztree.dir/DependInfo.cmake"
+  "/root/repo/build/src/lockskiplist/CMakeFiles/upsl_lockskiplist.dir/DependInfo.cmake"
+  "/root/repo/build/src/ycsb/CMakeFiles/upsl_ycsb.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/upsl_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/riv/CMakeFiles/upsl_riv.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmwcas/CMakeFiles/upsl_pmwcas.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmdk/CMakeFiles/upsl_pmdk.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/upsl_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/upsl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_2_throughput_cd.dir/fig5_2_throughput_cd.cpp.o"
+  "CMakeFiles/fig5_2_throughput_cd.dir/fig5_2_throughput_cd.cpp.o.d"
+  "fig5_2_throughput_cd"
+  "fig5_2_throughput_cd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_2_throughput_cd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

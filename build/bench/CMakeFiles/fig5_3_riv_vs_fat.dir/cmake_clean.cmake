@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_3_riv_vs_fat.dir/fig5_3_riv_vs_fat.cpp.o"
+  "CMakeFiles/fig5_3_riv_vs_fat.dir/fig5_3_riv_vs_fat.cpp.o.d"
+  "fig5_3_riv_vs_fat"
+  "fig5_3_riv_vs_fat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_3_riv_vs_fat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig5_3_riv_vs_fat.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_3_riv_vs_fat.
+# This may be replaced when dependencies are built.

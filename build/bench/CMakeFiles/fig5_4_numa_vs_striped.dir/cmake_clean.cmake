@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_4_numa_vs_striped.dir/fig5_4_numa_vs_striped.cpp.o"
+  "CMakeFiles/fig5_4_numa_vs_striped.dir/fig5_4_numa_vs_striped.cpp.o.d"
+  "fig5_4_numa_vs_striped"
+  "fig5_4_numa_vs_striped.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_4_numa_vs_striped.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig5_4_numa_vs_striped.
+# This may be replaced when dependencies are built.

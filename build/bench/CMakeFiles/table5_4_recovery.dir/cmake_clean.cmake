@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_4_recovery.dir/table5_4_recovery.cpp.o"
+  "CMakeFiles/table5_4_recovery.dir/table5_4_recovery.cpp.o.d"
+  "table5_4_recovery"
+  "table5_4_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_4_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numa_pools.dir/numa_pools.cpp.o"
+  "CMakeFiles/numa_pools.dir/numa_pools.cpp.o.d"
+  "numa_pools"
+  "numa_pools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numa_pools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/range_index.dir/range_index.cpp.o"
+  "CMakeFiles/range_index.dir/range_index.cpp.o.d"
+  "range_index"
+  "range_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/range_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

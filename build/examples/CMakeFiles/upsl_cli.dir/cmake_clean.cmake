@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upsl_cli.dir/upsl_cli.cpp.o"
+  "CMakeFiles/upsl_cli.dir/upsl_cli.cpp.o.d"
+  "upsl_cli"
+  "upsl_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upsl_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upsl_alloc.dir/block_allocator.cpp.o"
+  "CMakeFiles/upsl_alloc.dir/block_allocator.cpp.o.d"
+  "CMakeFiles/upsl_alloc.dir/chunk_allocator.cpp.o"
+  "CMakeFiles/upsl_alloc.dir/chunk_allocator.cpp.o.d"
+  "libupsl_alloc.a"
+  "libupsl_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upsl_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

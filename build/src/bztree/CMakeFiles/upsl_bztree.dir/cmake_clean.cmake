@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upsl_bztree.dir/bztree.cpp.o"
+  "CMakeFiles/upsl_bztree.dir/bztree.cpp.o.d"
+  "libupsl_bztree.a"
+  "libupsl_bztree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upsl_bztree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

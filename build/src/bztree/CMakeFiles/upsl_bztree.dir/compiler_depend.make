@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for upsl_bztree.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upsl_common.dir/thread_registry.cpp.o"
+  "CMakeFiles/upsl_common.dir/thread_registry.cpp.o.d"
+  "libupsl_common.a"
+  "libupsl_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upsl_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upsl_core.dir/upskiplist.cpp.o"
+  "CMakeFiles/upsl_core.dir/upskiplist.cpp.o.d"
+  "libupsl_core.a"
+  "libupsl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upsl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upsl_lincheck.dir/lincheck.cpp.o"
+  "CMakeFiles/upsl_lincheck.dir/lincheck.cpp.o.d"
+  "libupsl_lincheck.a"
+  "libupsl_lincheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upsl_lincheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for upsl_lincheck.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upsl_lockskiplist.dir/lock_skiplist.cpp.o"
+  "CMakeFiles/upsl_lockskiplist.dir/lock_skiplist.cpp.o.d"
+  "libupsl_lockskiplist.a"
+  "libupsl_lockskiplist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upsl_lockskiplist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

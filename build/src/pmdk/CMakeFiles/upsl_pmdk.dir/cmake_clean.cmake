@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upsl_pmdk.dir/objstore.cpp.o"
+  "CMakeFiles/upsl_pmdk.dir/objstore.cpp.o.d"
+  "libupsl_pmdk.a"
+  "libupsl_pmdk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upsl_pmdk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

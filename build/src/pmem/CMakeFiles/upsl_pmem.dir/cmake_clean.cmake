@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upsl_pmem.dir/pool.cpp.o"
+  "CMakeFiles/upsl_pmem.dir/pool.cpp.o.d"
+  "libupsl_pmem.a"
+  "libupsl_pmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upsl_pmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

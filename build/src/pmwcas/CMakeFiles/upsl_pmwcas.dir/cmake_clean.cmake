@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upsl_pmwcas.dir/pmwcas.cpp.o"
+  "CMakeFiles/upsl_pmwcas.dir/pmwcas.cpp.o.d"
+  "libupsl_pmwcas.a"
+  "libupsl_pmwcas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upsl_pmwcas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for upsl_pmwcas.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upsl_riv.dir/riv.cpp.o"
+  "CMakeFiles/upsl_riv.dir/riv.cpp.o.d"
+  "libupsl_riv.a"
+  "libupsl_riv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upsl_riv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

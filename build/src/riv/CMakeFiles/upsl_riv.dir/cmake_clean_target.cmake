@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libupsl_riv.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for upsl_riv.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upsl_ycsb.dir/ycsb.cpp.o"
+  "CMakeFiles/upsl_ycsb.dir/ycsb.cpp.o.d"
+  "libupsl_ycsb.a"
+  "libupsl_ycsb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upsl_ycsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_pmdk_test.dir/baselines_pmdk_test.cpp.o"
+  "CMakeFiles/baselines_pmdk_test.dir/baselines_pmdk_test.cpp.o.d"
+  "baselines_pmdk_test"
+  "baselines_pmdk_test.pdb"
+  "baselines_pmdk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_pmdk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

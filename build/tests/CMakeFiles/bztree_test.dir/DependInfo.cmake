@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bztree_test.cpp" "tests/CMakeFiles/bztree_test.dir/bztree_test.cpp.o" "gcc" "tests/CMakeFiles/bztree_test.dir/bztree_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bztree/CMakeFiles/upsl_bztree.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmwcas/CMakeFiles/upsl_pmwcas.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/upsl_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/upsl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

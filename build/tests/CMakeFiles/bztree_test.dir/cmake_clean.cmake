@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bztree_test.dir/bztree_test.cpp.o"
+  "CMakeFiles/bztree_test.dir/bztree_test.cpp.o.d"
+  "bztree_test"
+  "bztree_test.pdb"
+  "bztree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bztree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crash_matrix_test.dir/crash_matrix_test.cpp.o"
+  "CMakeFiles/crash_matrix_test.dir/crash_matrix_test.cpp.o.d"
+  "crash_matrix_test"
+  "crash_matrix_test.pdb"
+  "crash_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crash_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

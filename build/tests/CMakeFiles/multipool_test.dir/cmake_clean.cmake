@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multipool_test.dir/multipool_test.cpp.o"
+  "CMakeFiles/multipool_test.dir/multipool_test.cpp.o.d"
+  "multipool_test"
+  "multipool_test.pdb"
+  "multipool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multipool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riv_test.dir/riv_test.cpp.o"
+  "CMakeFiles/riv_test.dir/riv_test.cpp.o.d"
+  "riv_test"
+  "riv_test.pdb"
+  "riv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upskiplist_test.dir/upskiplist_test.cpp.o"
+  "CMakeFiles/upskiplist_test.dir/upskiplist_test.cpp.o.d"
+  "upskiplist_test"
+  "upskiplist_test.pdb"
+  "upskiplist_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upskiplist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for upskiplist_test.
+# This may be replaced when dependencies are built.
