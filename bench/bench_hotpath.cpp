@@ -1,0 +1,272 @@
+// Hot-path microbenchmark harness: isolates the three costs a traversal is
+// made of — the intra-node key scan (§4.4), full traverse hops (search), and
+// the RIV dereference (§4.3.1) — and records machine-readable results in
+// BENCH_hotpath.json so the scalar-vs-SIMD perf trajectory has data.
+//
+// Sections:
+//   scan/<kernel>     find_u64 over one node's key array, keys_per_node in
+//                     {8, 64, 256}, 75% present / 25% absent targets; every
+//                     compiled kernel (scalar, sse2, avx2) plus the runtime
+//                     dispatch. Prints the SIMD-vs-scalar speedup.
+//   sorted/<kernel>   find_sorted_u64 over a sorted prefix (same mix).
+//   search/<variant>  end-to-end UPSkipList::search on a preloaded store —
+//                     the traverse + prefetch + scan composite — A/B'd
+//                     in-process by toggling UPSL_DISABLE_SIMD and resetting
+//                     the dispatch. p50/p99 from common/histogram.hpp.
+//   riv/<mode>        pointer-chase through BlockAllocator-owned blocks via
+//                     Runtime::to_ptr, single-pool vs multi-pool dispatch.
+//
+// Knobs: UPSL_BENCH_RECORDS / UPSL_BENCH_OPS (store scale),
+// UPSL_PERSIST_DELAY_NS (default 0 here: this harness measures CPU paths,
+// not the PMEM write model), UPSL_DISABLE_SIMD=1 (forces every dispatched
+// path scalar; the explicit per-kernel rows are always measured).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "bench_json.hpp"
+#include "common/cpu_features.hpp"
+#include "common/simd.hpp"
+#include "common/thread_registry.hpp"
+
+namespace {
+
+using namespace upsl;
+using namespace upsl::bench;
+using Clock = std::chrono::steady_clock;
+
+volatile std::uint64_t g_sink = 0;
+void sink(std::uint64_t v) { g_sink = g_sink + v; }  // defeats dead-code elimination
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Run `op(i)` in batches until ~min_time elapsed; returns ops/sec.
+template <typename Op>
+double measure_ops_per_sec(Op&& op, double min_time = 0.25,
+                           std::uint64_t batch = 4096) {
+  // Warmup one batch.
+  for (std::uint64_t i = 0; i < batch; ++i) op(i);
+  std::uint64_t done = 0;
+  const auto t0 = Clock::now();
+  double elapsed = 0.0;
+  do {
+    for (std::uint64_t i = 0; i < batch; ++i) op(done + i);
+    done += batch;
+    elapsed = seconds_since(t0);
+  } while (elapsed < min_time);
+  return static_cast<double>(done) / elapsed;
+}
+
+// ---- section 1+2: intra-node scan kernels ---------------------------------
+
+struct KernelRow {
+  const char* name;
+  simd::FindFn fn;
+};
+
+/// Every kernel compiled into this binary that the host can execute.
+std::vector<KernelRow> runnable_kernels(bool sorted) {
+  std::vector<KernelRow> rows;
+  if (sorted) {
+    rows.push_back({"scalar", &simd::find_sorted_u64_scalar});
+  } else {
+    rows.push_back({"scalar", &simd::find_u64_scalar});
+  }
+#ifdef UPSL_SIMD_X86
+  if (!sorted) rows.push_back({"sse2", &simd::find_u64_sse2});
+  if (upsl::detail::cpu_has_avx2()) {
+    rows.push_back(sorted ? KernelRow{"avx2", &simd::find_sorted_u64_avx2}
+                          : KernelRow{"avx2", &simd::find_u64_avx2});
+  }
+#endif
+  return rows;
+}
+
+void bench_scan_kernels(JsonBenchWriter& json, bool sorted) {
+  std::printf("\n-- %s intra-node scan (ops/sec, higher is better) --\n",
+              sorted ? "sorted-prefix" : "unsorted");
+  std::printf("%-8s %-10s %14s %10s\n", "K", "kernel", "ops/sec",
+              "vs scalar");
+  for (std::uint32_t K : {8u, 64u, 256u}) {
+    std::mt19937_64 rng(42 + K);
+    // One node's key array: slot 0 is the node's first key; the rest are
+    // distinct keys, sorted when exercising the sorted-prefix kernel.
+    std::vector<std::uint64_t> keys(K);
+    for (std::uint32_t i = 0; i < K; ++i) keys[i] = 2 * (i + 1);
+    if (!sorted)
+      std::shuffle(keys.begin() + 1, keys.end(), rng);
+    std::swap(keys[0], *std::min_element(keys.begin(), keys.end()));
+    // Target mix: 75% present (uniform over slots), 25% absent (odd keys).
+    std::vector<std::uint64_t> targets(4096);
+    for (auto& t : targets)
+      t = (rng() % 4 != 0) ? keys[rng() % K] : (2 * (rng() % K) + 1);
+
+    double scalar_ops = 0.0;
+    for (const KernelRow& row : runnable_kernels(sorted)) {
+      // Indirect call through a volatile pointer: all kernels pay the same
+      // call overhead, as they do behind the runtime dispatch.
+      volatile simd::FindFn fn = row.fn;
+      const double ops = measure_ops_per_sec([&](std::uint64_t i) {
+        sink(static_cast<std::uint64_t>(
+            fn(keys.data(), 1, K, targets[i % targets.size()])));
+      });
+      if (scalar_ops == 0.0) scalar_ops = ops;  // scalar is always first
+      const double speedup = scalar_ops > 0.0 ? ops / scalar_ops : 1.0;
+      std::printf("%-8u %-10s %14.0f %9.2fx\n", K, row.name, ops, speedup);
+      json.add(std::string(sorted ? "sorted/" : "scan/") + row.name,
+               {{"keys_per_node", std::to_string(K)},
+                {"targets", "75% present / 25% absent"},
+                {"speedup_vs_scalar",
+                 std::to_string(speedup).substr(0, 4)}},
+               ops);
+    }
+    // The dispatched entry records what production code actually runs.
+    const double ops = measure_ops_per_sec([&](std::uint64_t i) {
+      const std::uint64_t t = targets[i % targets.size()];
+      sink(static_cast<std::uint64_t>(
+          sorted ? simd::find_sorted_u64(keys.data(), 1, K, t)
+                 : simd::find_u64(keys.data(), 1, K, t)));
+    });
+    std::printf("%-8u %-10s %14.0f %9.2fx  (dispatch)\n", K,
+                simd_level_name(simd::dispatched_level()), ops,
+                scalar_ops > 0.0 ? ops / scalar_ops : 1.0);
+    json.add(std::string(sorted ? "sorted/" : "scan/") + "dispatched",
+             {{"keys_per_node", std::to_string(K)},
+              {"level", simd_level_name(simd::dispatched_level())}},
+             ops);
+  }
+}
+
+// ---- section 3: end-to-end search (traverse + prefetch + scan) ------------
+
+void bench_search(JsonBenchWriter& json) {
+  const BenchScale scale;
+  std::printf("\n-- UPSkipList::search, %llu records, keys_per_node=256 --\n",
+              static_cast<unsigned long long>(scale.records));
+  std::printf("%-10s %14s %10s %10s\n", "variant", "ops/sec", "p50 ns",
+              "p99 ns");
+
+  const auto run_variant = [&](const char* variant) {
+    UPSLAdapter store(scale.records);
+    Xoshiro256 load_rng(7);
+    std::vector<std::uint64_t> keyset(scale.records);
+    for (std::uint64_t i = 0; i < scale.records; ++i) keyset[i] = i + 1;
+    for (std::uint64_t i = scale.records - 1; i > 0; --i)
+      std::swap(keyset[i], keyset[load_rng.next_below(i + 1)]);
+    for (const std::uint64_t k : keyset) store.insert(k, k * 3);
+
+    LatencyHistogram hist;
+    Xoshiro256 rng(11);
+    // Warmup.
+    for (std::uint64_t i = 0; i < 2048; ++i)
+      sink(store.search(1 + rng.next_below(scale.records)).value_or(0));
+    const auto t0 = Clock::now();
+    for (std::uint64_t i = 0; i < scale.ops; ++i) {
+      const std::uint64_t k = 1 + rng.next_below(scale.records);
+      const auto op0 = Clock::now();
+      sink(store.search(k).value_or(0));
+      hist.record(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                               op0)
+              .count()));
+    }
+    const double ops = static_cast<double>(scale.ops) / seconds_since(t0);
+    std::printf("%-10s %14.0f %10llu %10llu\n", variant, ops,
+                static_cast<unsigned long long>(hist.percentile(50)),
+                static_cast<unsigned long long>(hist.percentile(99)));
+    json.add(std::string("search/") + variant,
+             {{"records", std::to_string(scale.records)},
+              {"keys_per_node", "256"},
+              {"level", simd_level_name(simd::dispatched_level())}},
+             ops, hist);
+  };
+
+  // A/B the dispatched kernels in-process: the reset makes the next use
+  // re-read UPSL_DISABLE_SIMD (single-threaded here, so the reset is safe).
+  run_variant("simd");
+  setenv("UPSL_DISABLE_SIMD", "1", 1);
+  simd::reset_dispatch_for_testing();
+  run_variant("scalar");
+  unsetenv("UPSL_DISABLE_SIMD");
+  simd::reset_dispatch_for_testing();
+}
+
+// ---- section 4: RIV dereference -------------------------------------------
+
+void bench_riv_deref(JsonBenchWriter& json) {
+  std::printf("\n-- RIV to_ptr dereference (shuffled chase over 32K blocks) --\n");
+  ThreadRegistry::instance().bind(0);
+  riv::Runtime::instance().reset();
+  auto pool = pmem::Pool::create_anonymous(0, 96u << 20, {});
+  alloc::ChunkAllocatorConfig ccfg;
+  ccfg.chunk_size = 4 << 20;
+  ccfg.max_chunks = 20;
+  ccfg.root_size = 1 << 20;
+  alloc::ChunkAllocator::format(*pool, ccfg);
+  auto chunks = std::make_unique<alloc::ChunkAllocator>(*pool);
+  char* root = chunks->root_area();
+  auto* epoch = reinterpret_cast<std::uint64_t*>(root);
+  *epoch = 1;
+  auto* logs = reinterpret_cast<alloc::ThreadLog*>(root + 64);
+  auto* arenas = reinterpret_cast<alloc::ArenaHeader*>(
+      root + 64 + sizeof(alloc::ThreadLog) * kMaxThreads);
+  alloc::BlockAllocator::Config bcfg;
+  bcfg.block_size = 512;
+  bcfg.arenas_per_pool = 1;
+  alloc::BlockAllocator blocks(
+      std::vector<alloc::ChunkAllocator*>{chunks.get()}, arenas, logs, epoch,
+      bcfg);
+  blocks.bootstrap();
+
+  std::vector<std::uint64_t> rivs;
+  rivs.reserve(1u << 15);
+  for (std::size_t i = 0; i < (1u << 15); ++i) {
+    std::uint64_t riv = 0;
+    auto* b = static_cast<alloc::MemBlock*>(blocks.allocate(0, 1, &riv));
+    b->state = 7;  // live object
+    rivs.push_back(riv);
+  }
+  std::mt19937_64 rng(5);
+  std::shuffle(rivs.begin(), rivs.end(), rng);
+
+  std::printf("%-12s %14s\n", "mode", "derefs/sec");
+  for (const bool single : {true, false}) {
+    riv::Runtime::instance().set_single_pool_mode(single, pool->id());
+    const double ops = measure_ops_per_sec([&](std::uint64_t i) {
+      const void* p = riv::Runtime::instance().to_ptr(rivs[i % rivs.size()]);
+      sink(*static_cast<const volatile std::uint64_t*>(p));
+    });
+    const char* mode = single ? "single_pool" : "multi_pool";
+    std::printf("%-12s %14.0f\n", mode, ops);
+    json.add(std::string("riv/") + mode,
+             {{"blocks", "32768"}, {"block_size", "512"}}, ops);
+  }
+  riv::Runtime::instance().reset();
+}
+
+}  // namespace
+
+int main() {
+  pmem::Config::instance().persist_delay_ns =
+      static_cast<std::uint32_t>(env_u64("UPSL_PERSIST_DELAY_NS", 0));
+  print_header("Hot paths — intra-node scan, traverse, RIV dereference",
+               "§4.4 multi-key scan + §4.3.1 one-word pointers are where "
+               "traversal time goes");
+  const char* kill_switch = std::getenv("UPSL_DISABLE_SIMD");
+  std::printf("simd dispatch: %s (UPSL_DISABLE_SIMD=%s)\n",
+              simd_level_name(simd::dispatched_level()),
+              kill_switch != nullptr ? kill_switch : "unset");
+
+  JsonBenchWriter json("hotpath");
+  bench_scan_kernels(json, /*sorted=*/false);
+  bench_scan_kernels(json, /*sorted=*/true);
+  bench_search(json);
+  bench_riv_deref(json);
+  json.write();
+  return 0;
+}

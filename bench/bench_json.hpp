@@ -1,0 +1,110 @@
+// Machine-readable benchmark emission shared by the bench harnesses.
+//
+// Each harness that wants a durable perf record collects entries — variant
+// name, flat config key/values, throughput, optional p50/p99 latency from
+// common/histogram.hpp — and writes one BENCH_<name>.json next to the
+// working directory, so the perf trajectory across PRs is diffable data
+// instead of scraped stdout.
+//
+// Schema (version 1):
+//   {
+//     "bench": "<harness name>",
+//     "schema": 1,
+//     "entries": [
+//       {
+//         "name": "<variant>",
+//         "config": {"key": "value", ...},
+//         "ops_per_sec": <double>,
+//         "p50_ns": <int>,        // only when a histogram was supplied
+//         "p99_ns": <int>
+//       }, ...
+//     ]
+//   }
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/histogram.hpp"
+
+namespace upsl::bench {
+
+class JsonBenchWriter {
+ public:
+  using Config = std::vector<std::pair<std::string, std::string>>;
+
+  explicit JsonBenchWriter(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  void add(std::string name, Config config, double ops_per_sec) {
+    entries_.push_back(
+        {std::move(name), std::move(config), ops_per_sec, {}, {}});
+  }
+
+  void add(std::string name, Config config, double ops_per_sec,
+           const LatencyHistogram& latency) {
+    entries_.push_back({std::move(name), std::move(config), ops_per_sec,
+                        latency.percentile(50.0), latency.percentile(99.0)});
+  }
+
+  /// Write BENCH_<bench name>.json in the current directory (or an explicit
+  /// path). Returns false on I/O failure — benches report but don't abort.
+  bool write(const std::string& path = "") const {
+    const std::string out =
+        path.empty() ? "BENCH_" + bench_name_ + ".json" : path;
+    std::FILE* f = std::fopen(out.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"schema\": 1,\n  \"entries\": [",
+                 escaped(bench_name_).c_str());
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      std::fprintf(f, "%s\n    {\"name\": \"%s\", \"config\": {",
+                   i == 0 ? "" : ",", escaped(e.name).c_str());
+      for (std::size_t c = 0; c < e.config.size(); ++c)
+        std::fprintf(f, "%s\"%s\": \"%s\"", c == 0 ? "" : ", ",
+                     escaped(e.config[c].first).c_str(),
+                     escaped(e.config[c].second).c_str());
+      std::fprintf(f, "}, \"ops_per_sec\": %.1f", e.ops_per_sec);
+      if (e.p50_ns.has_value())
+        std::fprintf(f, ", \"p50_ns\": %llu, \"p99_ns\": %llu",
+                     static_cast<unsigned long long>(*e.p50_ns),
+                     static_cast<unsigned long long>(*e.p99_ns));
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    const bool ok = std::fclose(f) == 0;
+    if (ok) std::printf("wrote %s (%zu entries)\n", out.c_str(), entries_.size());
+    return ok;
+  }
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::string name;
+    Config config;
+    double ops_per_sec;
+    std::optional<std::uint64_t> p50_ns;
+    std::optional<std::uint64_t> p99_ns;
+  };
+
+  static std::string escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char ch : s) {
+      if (ch == '"' || ch == '\\') out.push_back('\\');
+      if (static_cast<unsigned char>(ch) < 0x20) continue;  // drop control chars
+      out.push_back(ch);
+    }
+    return out;
+  }
+
+  std::string bench_name_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace upsl::bench

@@ -7,6 +7,7 @@
 // the lock-based skip list trails UPSkipList everywhere (roughly half its
 // throughput) but overtakes BzTree at high concurrency on A.
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 
 int main() {
   using namespace upsl;
@@ -20,25 +21,35 @@ int main() {
   std::printf("%-18s %-14s %8s %12s\n", "workload", "structure", "threads",
               "Mops/s");
 
+  JsonBenchWriter json("fig5_1");
+  const auto record = [&](const char* workload, const char* structure,
+                          unsigned threads, double mops) {
+    std::printf("%-18s %-14s %8u %12.3f\n", workload, structure, threads,
+                mops);
+    json.add(std::string(workload) + "/" + structure,
+             {{"threads", std::to_string(threads)},
+              {"records", std::to_string(scale.records)},
+              {"ops", std::to_string(scale.ops)}},
+             mops * 1e6);
+  };
+
   for (const auto& spec : {ycsb::kWorkloadA, ycsb::kWorkloadB}) {
     for (unsigned threads : scale.threads) {
-      const double upsl_mops = measure_mops(
-          [&] { return std::make_unique<UPSLAdapter>(scale.records); }, spec,
-          scale.records, scale.ops, threads);
-      std::printf("%-18s %-14s %8u %12.3f\n", spec.name, "UPSkipList",
-                  threads, upsl_mops);
-      const double bz_mops = measure_mops(
-          [&] { return std::make_unique<BzAdapter>(scale.records); }, spec,
-          scale.records, scale.ops, threads);
-      std::printf("%-18s %-14s %8u %12.3f\n", spec.name, "BzTree", threads,
-                  bz_mops);
-      const double lsl_mops = measure_mops(
-          [&] { return std::make_unique<LSLAdapter>(scale.records); }, spec,
-          scale.records, scale.ops, threads);
-      std::printf("%-18s %-14s %8u %12.3f\n", spec.name, "PMDK-lock-SL",
-                  threads, lsl_mops);
+      record(spec.name, "UPSkipList", threads,
+             measure_mops(
+                 [&] { return std::make_unique<UPSLAdapter>(scale.records); },
+                 spec, scale.records, scale.ops, threads));
+      record(spec.name, "BzTree", threads,
+             measure_mops(
+                 [&] { return std::make_unique<BzAdapter>(scale.records); },
+                 spec, scale.records, scale.ops, threads));
+      record(spec.name, "PMDK-lock-SL", threads,
+             measure_mops(
+                 [&] { return std::make_unique<LSLAdapter>(scale.records); },
+                 spec, scale.records, scale.ops, threads));
       std::fflush(stdout);
     }
   }
+  json.write();
   return 0;
 }

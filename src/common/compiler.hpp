@@ -9,11 +9,15 @@
 #define UPSL_UNLIKELY(x) __builtin_expect(!!(x), 0)
 #define UPSL_NOINLINE __attribute__((noinline))
 #define UPSL_ALWAYS_INLINE __attribute__((always_inline)) inline
+/// Read-intent software prefetch; safe on any address, including ones the
+/// program never dereferences.
+#define UPSL_PREFETCH(addr) __builtin_prefetch((addr), 0, 3)
 #else
 #define UPSL_LIKELY(x) (x)
 #define UPSL_UNLIKELY(x) (x)
 #define UPSL_NOINLINE
 #define UPSL_ALWAYS_INLINE inline
+#define UPSL_PREFETCH(addr) ((void)(addr))
 #endif
 
 namespace upsl {

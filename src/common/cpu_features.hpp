@@ -1,0 +1,82 @@
+// One-time runtime CPU feature detection for the SIMD kernels in simd.hpp.
+//
+// The store is built without -mavx2 so the same binary runs on any x86-64
+// (or non-x86) host; vector paths are compiled with per-function target
+// attributes and selected once at startup from CPUID, demoted by the
+// UPSL_DISABLE_SIMD=1 environment kill switch (useful for A/B benchmarking
+// and for falling back if a vector path is ever suspected of misbehaving).
+#pragma once
+
+#include <cstdlib>
+#include <cstring>
+
+namespace upsl {
+
+/// Vector width the dispatched kernels run at, best-first.
+enum class SimdLevel {
+  kAvx2,    // 4 x 64-bit lanes (32-byte vectors)
+  kSse2,    // 2 x 64-bit lanes (16-byte vectors, x86-64 baseline)
+  kScalar,  // portable fallback
+};
+
+inline const char* simd_level_name(SimdLevel l) {
+  switch (l) {
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kSse2:
+      return "sse2";
+    default:
+      return "scalar";
+  }
+}
+
+/// Pure decision function: what level to run given the hardware facts and
+/// the kill switch. Split out from the cached singleton so tests can probe
+/// every combination without re-execing the process.
+inline SimdLevel resolve_simd_level(bool disabled_by_env, bool have_avx2,
+                                    bool have_sse2) {
+  if (disabled_by_env) return SimdLevel::kScalar;
+  if (have_avx2) return SimdLevel::kAvx2;
+  if (have_sse2) return SimdLevel::kSse2;
+  return SimdLevel::kScalar;
+}
+
+inline bool simd_disabled_by_env() {
+  const char* v = std::getenv("UPSL_DISABLE_SIMD");
+  return v != nullptr && v[0] != '\0' && std::strcmp(v, "0") != 0;
+}
+
+namespace detail {
+
+inline bool cpu_has_avx2() {
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  __builtin_cpu_init();
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+inline bool cpu_has_sse2() {
+#if defined(__x86_64__)
+  return true;  // architectural baseline
+#elif defined(__i386__) && (defined(__GNUC__) || defined(__clang__))
+  __builtin_cpu_init();
+  return __builtin_cpu_supports("sse2") != 0;
+#else
+  return false;
+#endif
+}
+
+}  // namespace detail
+
+/// The level this process should run at, from CPUID + the kill switch.
+/// Uncached so a dispatch reset (simd.hpp) re-reads the environment; the
+/// dispatched kernel table in simd.hpp is what hot paths consult.
+inline SimdLevel active_simd_level() {
+  return resolve_simd_level(simd_disabled_by_env(), detail::cpu_has_avx2(),
+                            detail::cpu_has_sse2());
+}
+
+}  // namespace upsl

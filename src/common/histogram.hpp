@@ -54,9 +54,13 @@ class LatencyHistogram {
   double mean() const {
     if (count_ == 0) return 0.0;
     double total = 0.0;
-    for (std::size_t i = 0; i < buckets_.size(); ++i)
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      // Skip empties: representative() of the topmost (never-occupied)
+      // buckets would shift past 63, which is undefined.
+      if (buckets_[i] == 0) continue;
       total += static_cast<double>(buckets_[i]) *
                static_cast<double>(representative(static_cast<int>(i)));
+    }
     return total / static_cast<double>(count_);
   }
 

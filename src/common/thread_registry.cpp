@@ -1,7 +1,4 @@
 #include "common/thread_registry.hpp"
 
-namespace upsl {
-
-thread_local int ThreadRegistry::tls_id_ = -1;
-
-}  // namespace upsl
+// tls_id_ is defined inline in the header (constant-initialized TLS needs
+// no out-of-line definition); this TU just anchors the header.

@@ -47,7 +47,9 @@ class ThreadRegistry {
 
  private:
   ThreadRegistry() = default;
-  static thread_local int tls_id_;
+  // Inline + constinit: constant-initialized TLS is accessed directly, with
+  // no lazy-init wrapper call (which UBSan misreads as a nullable pointer).
+  static constinit inline thread_local int tls_id_ = -1;
   std::atomic<int> next_{0};
 };
 

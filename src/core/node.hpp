@@ -84,6 +84,12 @@ class NodeView {
   std::uint64_t& key(std::uint32_t i) const {
     return word(NodeLayout::kKeysOffset + 8ull * i);
   }
+  /// Raw key-slot array for the vectorized scan kernels (common/simd.hpp).
+  /// Slots are naturally aligned 8-byte words; see simd.hpp for why plain
+  /// vector loads of them are sound under concurrent slot-claim CASes.
+  const std::uint64_t* keys() const {
+    return reinterpret_cast<const std::uint64_t*>(p_ + NodeLayout::kKeysOffset);
+  }
   std::uint64_t& value(std::uint32_t i) const {
     return word(layout_->values_offset() + 8ull * i);
   }

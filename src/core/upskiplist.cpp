@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/crashpoint.hpp"
+#include "common/simd.hpp"
 
 namespace upsl::core {
 
@@ -60,6 +61,22 @@ std::size_t arenas_offset() {
 
 StoreRoot* root_of(alloc::ChunkAllocator& ca) {
   return reinterpret_cast<StoreRoot*>(ca.root_area());
+}
+
+/// Length of the leading populated, strictly ascending run of key slots —
+/// the only prefix the sorted-prefix block search may trust. Every
+/// sorted_count store clamps to this so no kNullKey hole or misordered key
+/// can end up inside [0, sorted_count) (check_invariants asserts it).
+std::uint32_t sorted_run_length(const NodeView& node, std::uint32_t K) {
+  std::uint64_t prev_key = 0;
+  std::uint32_t run = 0;
+  for (std::uint32_t i = 0; i < K; ++i) {
+    const std::uint64_t k = pmem::pm_load(node.key(i));
+    if (k == kNullKey || (i > 0 && k <= prev_key)) break;
+    prev_key = k;
+    ++run;
+  }
+  return run;
 }
 
 }  // namespace
@@ -241,32 +258,25 @@ std::uint64_t UPSkipList::make_node(std::uint64_t pred_riv, std::uint64_t key,
 
 std::int32_t UPSkipList::scan_internal_keys(NodeView node,
                                             std::uint64_t key) const {
+  const std::uint64_t* keys = node.keys();
   std::uint32_t first_unsorted = 1;
   if (opts_.sorted_splits) {
     // §7 optimization: nodes produced by a split are fully sorted up to
-    // sorted_count; binary-search that prefix (as BzTree does) and fall
-    // back to a linear scan of the unsorted overflow slots.
+    // sorted_count; block-search that prefix (vectorized equality + early
+    // exit once the prefix passes the key) and fall back to a scan of the
+    // unsorted overflow slots. Unlike the binary search this replaces, the
+    // block search stays correct if a kNullKey hole ever appears inside the
+    // prefix — nulls compare as "keep going", never as a misordered key.
     const auto sc = static_cast<std::uint32_t>(pm_load(node.sorted_count()));
     if (sc > 1 && sc <= layout_.keys_per_node) {
-      std::uint32_t lo = 1;  // index 0 was compared by the traversal
-      std::uint32_t hi = sc;
-      while (lo < hi) {
-        const std::uint32_t mid = (lo + hi) / 2;
-        const std::uint64_t k = pm_load(node.key(mid));
-        if (k == key) return static_cast<std::int32_t>(mid);
-        if (k != kNullKey && k < key) {
-          lo = mid + 1;
-        } else {
-          hi = mid;
-        }
-      }
+      const std::int32_t idx = simd::find_sorted_u64(keys, 1, sc, key);
+      if (idx >= 0) return idx;
       first_unsorted = sc;
     }
   }
-  // Function 8: linear scan (index 0 was compared by the traversal).
-  for (std::uint32_t i = first_unsorted; i < layout_.keys_per_node; ++i)
-    if (pm_load(node.key(i)) == key) return static_cast<std::int32_t>(i);
-  return -1;
+  // Function 8: linear scan (index 0 was compared by the traversal),
+  // vectorized — the hottest loop in search/insert/remove (§4.4).
+  return simd::find_u64(keys, first_unsorted, layout_.keys_per_node, key);
 }
 
 UPSkipList::TraverseResult UPSkipList::traverse(std::uint64_t key,
@@ -284,6 +294,7 @@ restart:
   for (std::int32_t level = static_cast<std::int32_t>(layout_.max_height) - 1;
        level >= 0; --level) {
     std::uint64_t cur_riv = pm_load(pred.next(static_cast<std::uint32_t>(level)));
+    prefetch_node(cur_riv, static_cast<std::uint32_t>(level));
     SpinGuard level_guard("traverse.level");
     while (true) {
       level_guard.tick();
@@ -301,6 +312,9 @@ restart:
         pred_riv = cur_riv;
         pred = cur;
         cur_riv = pm_load(pred.next(static_cast<std::uint32_t>(level)));
+        // Start pulling the successor's lines while this hop finishes; by
+        // the time the loop dereferences it, its header is (partly) here.
+        prefetch_node(cur_riv, static_cast<std::uint32_t>(level));
       } else {
         break;
       }
@@ -310,6 +324,7 @@ restart:
   }
 
   if (pred_riv != head_riv_) {
+    prefetch_keys(pred);
     if (pred.first_key() == key) {
       res.key_index = 0;
       res.found = true;
@@ -689,8 +704,11 @@ UPSkipList::InsertStatus UPSkipList::split_node(
     pm_store(nn.key(static_cast<std::uint32_t>(i - mid)), pairs[i].first);
     pm_store(nn.value(static_cast<std::uint32_t>(i - mid)), pairs[i].second);
   }
+  // The copied half is sorted and hole-free, so the run normally equals
+  // pairs.size() - mid; computing it from the slots clamps sorted_count to
+  // the populated prefix no matter what the copy produced.
   pm_store(nn.sorted_count(),
-           static_cast<std::uint64_t>(pairs.size() - mid));
+           static_cast<std::uint64_t>(sorted_run_length(nn, K)));
   persist(nn.raw(), layout_.node_size());
   UPSL_CRASH_POINT("core.split_node_made");
 
@@ -719,17 +737,8 @@ UPSkipList::InsertStatus UPSkipList::split_node(
   }
   // The surviving sorted prefix is whatever leading run stayed non-null and
   // ascending (erasure punched holes into the old prefix).
-  {
-    std::uint64_t run = 0;
-    std::uint64_t prev_key = 0;
-    for (std::uint32_t i = 0; i < K; ++i) {
-      const std::uint64_t k = pm_load(pred.key(i));
-      if (k == kNullKey || (i > 0 && k <= prev_key)) break;
-      prev_key = k;
-      ++run;
-    }
-    pm_store(pred.sorted_count(), run);
-  }
+  pm_store(pred.sorted_count(),
+           static_cast<std::uint64_t>(sorted_run_length(pred, K)));
   persist(pred.raw(), layout_.node_size());
   UPSL_CRASH_POINT("core.split_erased");
   pred.write_unlock();
@@ -872,6 +881,21 @@ void UPSkipList::check_invariants() {
       }
       if (k < first || k >= bound)
         throw std::logic_error("internal key outside node bounds");
+    }
+    // Sorted-prefix invariant (what the block search in scan_internal_keys
+    // relies on for its early exit): slots [0, sorted_count) are populated
+    // and strictly ascending.
+    const std::uint64_t sc = pm_load(v.sorted_count());
+    if (sc > layout_.keys_per_node)
+      throw std::logic_error("sorted_count exceeds keys_per_node");
+    std::uint64_t prev_sorted = 0;
+    for (std::uint64_t i = 0; i < sc; ++i) {
+      const std::uint64_t k = pm_load(v.key(static_cast<std::uint32_t>(i)));
+      if (k == kNullKey)
+        throw std::logic_error("null key inside sorted prefix");
+      if (i > 0 && k <= prev_sorted)
+        throw std::logic_error("sorted prefix not strictly ascending");
+      prev_sorted = k;
     }
     if (v.height() == 0 || v.height() > layout_.max_height)
       throw std::logic_error("node height out of range");

@@ -128,6 +128,28 @@ class UPSkipList {
                     &layout_);
   }
 
+  /// Issue software prefetches for the two cache lines a traversal hop will
+  /// touch in the node behind `riv`: the first line (epoch, lock, meta,
+  /// first key) and the line holding its next-pointer for `level`. Called as
+  /// soon as a successor RIV is known, so the fetches overlap the work still
+  /// being done on the current node (§4.4's pointer-chase cost).
+  void prefetch_node(std::uint64_t riv, std::uint32_t level) const {
+    const char* p = static_cast<const char*>(riv::Runtime::instance().to_ptr(riv));
+    UPSL_PREFETCH(p);
+    UPSL_PREFETCH(p + layout_.next_offset() + 8ull * level);
+  }
+
+  /// Prefetch the leading lines of a node's key array ahead of
+  /// scan_internal_keys (up to 4 lines; the scan kernels stream the rest).
+  void prefetch_keys(NodeView node) const {
+    const char* base = reinterpret_cast<const char*>(node.keys());
+    const std::size_t bytes = 8ull * layout_.keys_per_node;
+    UPSL_PREFETCH(base);
+    if (bytes > 64) UPSL_PREFETCH(base + 64);
+    if (bytes > 128) UPSL_PREFETCH(base + 128);
+    if (bytes > 192) UPSL_PREFETCH(base + 192);
+  }
+
   void attach(std::vector<pmem::Pool*> pools, bool creating,
               const Options* opts);
   void init_sentinels();

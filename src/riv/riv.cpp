@@ -18,6 +18,7 @@ void Runtime::configure_pool(std::uint16_t pool_id, std::uint32_t max_chunks,
   tables_[pool_id] = std::move(table);
   if (single_pool_mode_ && single_table_ == nullptr)
     single_table_ = tables_[pool_id].get();
+  rebuild_dispatch();
 }
 
 void Runtime::invalidate_pool(std::uint16_t pool_id) {
@@ -34,15 +35,32 @@ void Runtime::reset() {
   for (auto& t : tables_) t.reset();
   single_table_ = nullptr;
   single_pool_mode_ = false;
+  rebuild_dispatch();
 }
 
 void Runtime::set_single_pool_mode(bool on, std::uint16_t pool_id) {
   single_pool_mode_ = on;
   single_table_ = on ? tables_[pool_id].get() : nullptr;
+  rebuild_dispatch();
+}
+
+void Runtime::rebuild_dispatch() {
+  if (single_pool_mode_ && single_table_ != nullptr) {
+    // Single-pool stores never look at the pool field, so aliasing every
+    // slot to the one table removes the mode branch from to_ptr.
+    for (auto& slot : dispatch_) slot = single_table_;
+  } else {
+    for (int i = 0; i < pmem::PoolRegistry::kMaxPools; ++i)
+      dispatch_[i] = tables_[i].get();
+  }
 }
 
 void Runtime::throw_chunk_out_of_range() {
   throw std::out_of_range("riv: chunk id out of range");
+}
+
+void Runtime::throw_pool_not_configured() {
+  throw std::logic_error("riv: dereference through unconfigured pool");
 }
 
 char* Runtime::resolve_slow(PoolTable& table, Decoded d) {

@@ -89,14 +89,15 @@ class Runtime {
 
   /// Hot path: RIV value -> virtual address. riv must be non-null and refer
   /// to an allocated chunk.
+  ///
+  /// The pool stage is a single indexed load from a pre-selected dispatch
+  /// table: in single-pool mode every entry aliases the one pool's table, so
+  /// the per-call mode branch the thesis' "striped device" configuration
+  /// used to pay (§4.3.1) is gone from the dereference entirely.
   UPSL_ALWAYS_INLINE void* to_ptr(std::uint64_t riv) {
     const Decoded d = decode(riv);
-    PoolTable* table;
-    if (single_pool_mode_) {
-      table = single_table_;
-    } else {
-      table = tables_[d.pool].get();
-    }
+    PoolTable* table = dispatch_[d.pool];
+    if (UPSL_UNLIKELY(table == nullptr)) throw_pool_not_configured();
     if (UPSL_UNLIKELY(d.chunk >= table->max_chunks))
       throw_chunk_out_of_range();
     char* chunk_base = table->chunk_base[d.chunk].load(std::memory_order_acquire);
@@ -127,9 +128,15 @@ class Runtime {
 
   Runtime() = default;
   char* resolve_slow(PoolTable& table, Decoded d);
+  void rebuild_dispatch();
   [[noreturn]] static void throw_chunk_out_of_range();
+  [[noreturn]] static void throw_pool_not_configured();
 
   std::unique_ptr<PoolTable> tables_[pmem::PoolRegistry::kMaxPools];
+  /// What to_ptr consults: tables_[i].get() per pool, or the single pool's
+  /// table in every slot when single-pool mode is on. Rebuilt on any
+  /// configuration change (single-threaded setup phases only).
+  PoolTable* dispatch_[pmem::PoolRegistry::kMaxPools] = {};
   PoolTable* single_table_ = nullptr;
   bool single_pool_mode_ = false;
 };

@@ -147,13 +147,16 @@ struct PropParam {
   std::uint32_t max_height;
   std::uint64_t key_space;
   std::uint64_t seed;
+  bool sorted_splits = false;
 };
 
 class UPSkipListProperty : public ::testing::TestWithParam<PropParam> {};
 
 TEST_P(UPSkipListProperty, MatchesReferenceModel) {
   const PropParam p = GetParam();
-  StoreHarness h(small_options(p.keys_per_node, p.max_height));
+  auto opts = small_options(p.keys_per_node, p.max_height);
+  opts.sorted_splits = p.sorted_splits;
+  StoreHarness h(opts);
   std::map<std::uint64_t, std::uint64_t> model;
   Xoshiro256 rng(p.seed);
 
@@ -211,6 +214,23 @@ INSTANTIATE_TEST_SUITE_P(
                       PropParam{4, 12, 500, 3}, PropParam{8, 12, 500, 4},
                       PropParam{16, 12, 2000, 5}, PropParam{8, 4, 300, 6},
                       PropParam{32, 16, 10000, 7}, PropParam{4, 12, 50, 8}),
+    [](const auto& info) {
+      return "K" + std::to_string(info.param.keys_per_node) + "_H" +
+             std::to_string(info.param.max_height) + "_S" +
+             std::to_string(info.param.key_space);
+    });
+
+// Same workloads with sorted splits + prefix block-search enabled: the §7
+// extension (and its SIMD sorted kernel) must stay semantically invisible
+// across every node geometry, not just the one config covered above.
+INSTANTIATE_TEST_SUITE_P(
+    SortedConfigs, UPSkipListProperty,
+    ::testing::Values(PropParam{2, 8, 200, 12, true},
+                      PropParam{4, 12, 500, 13, true},
+                      PropParam{8, 12, 500, 14, true},
+                      PropParam{16, 12, 2000, 15, true},
+                      PropParam{32, 16, 10000, 17, true},
+                      PropParam{4, 12, 50, 18, true}),
     [](const auto& info) {
       return "K" + std::to_string(info.param.keys_per_node) + "_H" +
              std::to_string(info.param.max_height) + "_S" +
@@ -326,6 +346,50 @@ TEST(UPSkipList, SortedSplitsMatchesReferenceModel) {
   // Survives a crash like the default configuration.
   h.crash_and_reopen();
   for (const auto& [k, v] : model) EXPECT_EQ(*h.store().search(k), v);
+}
+
+TEST(UPSkipList, SortedSplitsPrefixStaysWellFormedUnderHeavySplits) {
+  // Regression for the sorted_count/kNullKey inconsistency: removals punch
+  // tombstones into nodes, and a later split must clamp the surviving nodes'
+  // sorted_count to the actually-populated ascending prefix — otherwise the
+  // prefix block-search can binary-search over null slots and miss keys.
+  // check_invariants() asserts the prefix invariant on every bottom node.
+  auto opts = small_options(/*keys_per_node=*/8, /*max_height=*/12);
+  opts.sorted_splits = true;
+  StoreHarness h(opts);
+  std::map<std::uint64_t, std::uint64_t> model;
+  Xoshiro256 rng(4242);
+  // Descending then interleaved inserts with bursts of removals: maximizes
+  // splits of nodes whose key slots contain tombstoned/null gaps.
+  for (std::uint64_t k = 2000; k >= 1; --k) {
+    h.store().insert(k, k * 3);
+    model[k] = k * 3;
+  }
+  for (int round = 0; round < 6; ++round) {
+    for (int i = 0; i < 400; ++i) {
+      const std::uint64_t key = 1 + rng.next_below(2500);
+      if (rng.next_below(3) == 0) {
+        auto removed = h.store().remove(key);
+        auto it = model.find(key);
+        ASSERT_EQ(removed.has_value(), it != model.end()) << key;
+        if (it != model.end()) model.erase(it);
+      } else {
+        const std::uint64_t v = rng.next() >> 1;
+        h.store().insert(key, v);
+        model[key] = v;
+      }
+    }
+    h.store().check_invariants();
+  }
+  EXPECT_EQ(h.store().count_keys(), model.size());
+  for (const auto& [k, v] : model) {
+    auto got = h.store().search(k);
+    ASSERT_TRUE(got.has_value()) << k;
+    EXPECT_EQ(*got, v);
+  }
+  h.crash_and_reopen();
+  EXPECT_EQ(h.store().count_keys(), model.size());
+  h.store().check_invariants();
 }
 
 TEST(UPSkipList, NodeLayoutOffsets) {
