@@ -1,23 +1,70 @@
-// §5.2.2 ablation (abstract: "Using the extended RIV pointers to dynamically
-// allocate memory resulted in a 40% performance increase over using the
-// PMDK's fat pointers"): microbenchmarks of the two allocation/pointer
-// stacks in isolation —
-//  * allocate/deallocate cost: UPSkipList's per-arena free-list allocator
-//    (one log flush per allocation) vs the mini-libpmemobj allocator,
-//  * pointer-chase cost: dereferencing a chain of one-word RIV pointers vs
-//    a chain of two-word fat pointers (the Fig 5.3 effect, isolated).
-#include <benchmark/benchmark.h>
+// Allocation/write-path microbenchmarks, two questions:
+//
+// 1. §5.2.2 ablation (abstract: "Using the extended RIV pointers to
+//    dynamically allocate memory resulted in a 40% performance increase over
+//    using the PMDK's fat pointers"): allocate/free cost and pointer-chase
+//    cost of the RIV stack vs the mini-libpmemobj stack.
+//
+// 2. The allocation fast path A/B: thread-local magazines + flush/fence
+//    coalescing on vs off, at two levels — the raw BlockAllocator
+//    (alloc/free pairs) and the full UPSkipList insert path. Each entry
+//    records persist calls and fences per operation next to throughput, so
+//    the "fewer persists" claim is checkable data, not vibes.
+//
+// Emits BENCH_alloc.json (bench_json.hpp schema) in the working directory.
+// Scale via UPSL_BENCH_OPS / UPSL_BENCH_RECORDS; persist latency model via
+// UPSL_PERSIST_DELAY_NS (default 50ns, see bench_common.hpp).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "alloc/block_allocator.hpp"
+#include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "common/thread_registry.hpp"
 #include "pmdk/objstore.hpp"
+#include "pmem/flush_set.hpp"
 
 namespace {
 
 using namespace upsl;
+using bench::JsonBenchWriter;
 
+volatile std::uint64_t g_sink = 0;  // defeats dead-code elimination
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Per-op deltas of the global persistence counters across a timed section.
+struct StatsDelta {
+  std::uint64_t persists0 = 0, fences0 = 0;
+  void begin() {
+    persists0 = pmem::Stats::instance().persist_calls.load();
+    fences0 = pmem::Stats::instance().fences.load();
+  }
+  JsonBenchWriter::Config per_op(std::uint64_t ops) const {
+    auto& s = pmem::Stats::instance();
+    char buf[32];
+    JsonBenchWriter::Config cfg;
+    std::snprintf(buf, sizeof buf, "%.3f",
+                  double(s.persist_calls.load() - persists0) / double(ops));
+    cfg.emplace_back("persists_per_op", buf);
+    std::snprintf(buf, sizeof buf, "%.3f",
+                  double(s.fences.load() - fences0) / double(ops));
+    cfg.emplace_back("fences_per_op", buf);
+    return cfg;
+  }
+};
+
+/// RIV allocator stack on one anonymous pool, with magazine descriptors in
+/// the root area so the fast path can be toggled per instance.
 struct RivAllocFixture {
-  RivAllocFixture() {
+  explicit RivAllocFixture(bool magazines_on) {
     ThreadRegistry::instance().bind(0);
     riv::Runtime::instance().reset();
     pool = pmem::Pool::create_anonymous(0, 512u << 20, {});
@@ -33,12 +80,16 @@ struct RivAllocFixture {
     auto* logs = reinterpret_cast<alloc::ThreadLog*>(root + 64);
     auto* arenas = reinterpret_cast<alloc::ArenaHeader*>(
         root + 64 + sizeof(alloc::ThreadLog) * kMaxThreads);
+    auto* mags = reinterpret_cast<alloc::MagazineDesc*>(
+        reinterpret_cast<char*>(arenas) + sizeof(alloc::ArenaHeader) * 4);
     alloc::BlockAllocator::Config bcfg;
     bcfg.block_size = 512;
     bcfg.arenas_per_pool = 4;
+    if (!magazines_on) ::setenv("UPSL_DISABLE_MAGAZINES", "1", 1);
     blocks = std::make_unique<alloc::BlockAllocator>(
         std::vector<alloc::ChunkAllocator*>{chunks.get()}, arenas, logs, epoch,
-        bcfg);
+        bcfg, mags);
+    if (!magazines_on) ::unsetenv("UPSL_DISABLE_MAGAZINES");
     blocks->bootstrap();
   }
   ~RivAllocFixture() { riv::Runtime::instance().reset(); }
@@ -49,93 +100,179 @@ struct RivAllocFixture {
   std::uint64_t* epoch = nullptr;
 };
 
-void BM_RivAllocateFree(benchmark::State& state) {
-  RivAllocFixture f;
-  for (auto _ : state) {
+void alloc_free_pairs(alloc::BlockAllocator& a, std::uint64_t n) {
+  for (std::uint64_t i = 0; i < n; ++i) {
     std::uint64_t riv = 0;
-    auto* b = static_cast<alloc::MemBlock*>(f.blocks->allocate(0, 1, &riv));
-    b->state = 7;  // live object
-    f.blocks->deallocate(riv);
+    auto* b = static_cast<alloc::MemBlock*>(a.allocate(0, 1, &riv));
+    b->state = 7;  // live object (DRAM store; durability is the caller's job)
+    a.deallocate(riv);
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
-BENCHMARK(BM_RivAllocateFree);
 
-void BM_PmdkAllocateFree(benchmark::State& state) {
+/// Raw allocator A/B: steady-state alloc/free pair cost with the magazine
+/// fast path on vs off (coalescing follows the same switch at this level:
+/// the magazine refill/return batching IS the flush coalescing here).
+void bench_raw_allocator(JsonBenchWriter& out, std::uint64_t ops) {
+  for (const bool magazines : {true, false}) {
+    RivAllocFixture f(magazines);
+    alloc_free_pairs(*f.blocks, 2000);  // warm: prime magazines + free lists
+    StatsDelta d;
+    d.begin();
+    const auto t0 = std::chrono::steady_clock::now();
+    alloc_free_pairs(*f.blocks, ops);
+    const double dt = seconds_since(t0);
+    auto cfg = d.per_op(ops);
+    cfg.emplace_back("magazines", magazines ? "on" : "off");
+    cfg.emplace_back("block_size", "512");
+    const double mops = double(ops) / dt / 1e6;
+    std::printf("  riv alloc/free   magazines=%-3s  %7.2f Mops  (%s/op %s)\n",
+                magazines ? "on" : "off", mops, cfg[0].second.c_str(),
+                "persists");
+    out.add(std::string("riv_alloc_free_magazines_") +
+                (magazines ? "on" : "off"),
+            std::move(cfg), double(ops) / dt);
+  }
+}
+
+/// Full-structure A/B: UPSkipList insert throughput with the entire
+/// allocation fast path (magazines + FlushSet coalescing) on vs off.
+void bench_skiplist_inserts(JsonBenchWriter& out, std::uint64_t records) {
+  for (const bool fast : {true, false}) {
+    if (!fast) {
+      ::setenv("UPSL_DISABLE_MAGAZINES", "1", 1);
+      pmem::set_flush_coalescing_for_testing(false);
+    }
+    {
+      // Small nodes -> frequent splits, so the allocating path (the thing
+      // being A/B'd) actually runs; big nodes would bury it in key copies.
+      bench::UPSLAdapter adapter(records, 1, 8, 4);
+      Xoshiro256 rng(7);
+      StatsDelta d;
+      d.begin();
+      const auto t0 = std::chrono::steady_clock::now();
+      for (std::uint64_t i = 0; i < records; ++i)
+        adapter.insert(1 + (rng.next() >> 16), i);
+      const double dt = seconds_since(t0);
+      auto cfg = d.per_op(records);
+      cfg.emplace_back("fastpath", fast ? "on" : "off");
+      cfg.emplace_back("records", std::to_string(records));
+      std::printf(
+          "  upsl insert      fastpath=%-3s   %7.2f Mops  (persists/op %s, "
+          "fences/op %s)\n",
+          fast ? "on" : "off", double(records) / dt / 1e6,
+          cfg[0].second.c_str(), cfg[1].second.c_str());
+      out.add(std::string("upsl_insert_fastpath_") + (fast ? "on" : "off"),
+              std::move(cfg), double(records) / dt);
+    }
+    if (!fast) {
+      ::unsetenv("UPSL_DISABLE_MAGAZINES");
+      pmem::reset_flush_coalescing_for_testing();
+    }
+  }
+}
+
+/// §5.2.2 baseline: the mini-libpmemobj transactional allocator.
+void bench_pmdk_allocator(JsonBenchWriter& out, std::uint64_t ops) {
   ThreadRegistry::instance().bind(0);
   auto pool = pmem::Pool::create_anonymous(10, 512u << 20, {});
   pmdk::ObjStore::format(*pool);
   pmdk::ObjStore store(*pool);
-  for (auto _ : state) {
+  for (std::uint64_t i = 0; i < 2000; ++i)  // warm
+    store.free_obj(store.alloc(512), 512);
+  StatsDelta d;
+  d.begin();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < ops; ++i) {
     const pmdk::Oid oid = store.alloc(512);
     store.free_obj(oid, 512);
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  const double dt = seconds_since(t0);
+  auto cfg = d.per_op(ops);
+  cfg.emplace_back("block_size", "512");
+  std::printf("  pmdk alloc/free                 %7.2f Mops\n",
+              double(ops) / dt / 1e6);
+  out.add("pmdk_alloc_free", std::move(cfg), double(ops) / dt);
 }
-BENCHMARK(BM_PmdkAllocateFree);
 
 constexpr std::size_t kChainLen = 1 << 16;
 
-void BM_RivPointerChase(benchmark::State& state) {
-  RivAllocFixture f;
-  // Build a chain of blocks linked by one-word RIV pointers.
-  std::uint64_t head = 0;
-  std::uint64_t prev = 0;
-  for (std::size_t i = 0; i < kChainLen; ++i) {
-    std::uint64_t riv = 0;
-    auto* b = static_cast<std::uint64_t*>(f.blocks->allocate(0, 1, &riv));
-    b[0] = 0;
-    if (prev != 0) {
-      *riv::Runtime::instance().as<std::uint64_t>(prev) = riv;
-    } else {
-      head = riv;
+/// Pointer-chase cost of one-word RIVs vs two-word fat pointers (the
+/// Fig 5.3 effect isolated from the skip list).
+void bench_pointer_chase(JsonBenchWriter& out, std::uint64_t rounds) {
+  {
+    RivAllocFixture f(true);
+    std::uint64_t head = 0, prev = 0;
+    for (std::size_t i = 0; i < kChainLen; ++i) {
+      std::uint64_t riv = 0;
+      auto* b = static_cast<std::uint64_t*>(f.blocks->allocate(0, 1, &riv));
+      b[0] = 0;
+      if (prev != 0)
+        *riv::Runtime::instance().as<std::uint64_t>(prev) = riv;
+      else
+        head = riv;
+      prev = riv;
     }
-    prev = riv;
-  }
-  for (auto _ : state) {
-    std::uint64_t cur = head;
-    std::uint64_t hops = 0;
-    while (cur != 0) {
-      cur = *riv::Runtime::instance().as<std::uint64_t>(cur);
-      ++hops;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::uint64_t r = 0; r < rounds; ++r) {
+      std::uint64_t cur = head, hops = 0;
+      while (cur != 0) {
+        cur = *riv::Runtime::instance().as<std::uint64_t>(cur);
+        ++hops;
+      }
+      g_sink = hops;
     }
-    benchmark::DoNotOptimize(hops);
+    const double dt = seconds_since(t0);
+    const double hops_s = double(rounds) * double(kChainLen) / dt;
+    std::printf("  riv pointer chase               %7.2f Mhops\n", hops_s / 1e6);
+    out.add("riv_pointer_chase", {{"chain", std::to_string(kChainLen)}},
+            hops_s);
   }
-  state.SetItemsProcessed(
-      static_cast<std::int64_t>(state.iterations() * kChainLen));
+  {
+    ThreadRegistry::instance().bind(0);
+    auto pool = pmem::Pool::create_anonymous(10, 512u << 20, {});
+    pmdk::ObjStore::format(*pool);
+    pmdk::ObjStore store(*pool);
+    pmdk::Oid head{}, prev{};
+    for (std::size_t i = 0; i < kChainLen; ++i) {
+      const pmdk::Oid oid = store.alloc(512);
+      if (!prev.is_null())
+        *store.as<pmdk::Oid>(prev) = oid;
+      else
+        head = oid;
+      prev = oid;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::uint64_t r = 0; r < rounds; ++r) {
+      pmdk::Oid cur = head;
+      std::uint64_t hops = 0;
+      while (!cur.is_null()) {
+        cur = *store.as<pmdk::Oid>(cur);
+        ++hops;
+      }
+      g_sink = hops;
+    }
+    const double dt = seconds_since(t0);
+    const double hops_s = double(rounds) * double(kChainLen) / dt;
+    std::printf("  fat pointer chase               %7.2f Mhops\n", hops_s / 1e6);
+    out.add("fat_pointer_chase", {{"chain", std::to_string(kChainLen)}},
+            hops_s);
+  }
 }
-BENCHMARK(BM_RivPointerChase);
-
-void BM_FatPointerChase(benchmark::State& state) {
-  ThreadRegistry::instance().bind(0);
-  auto pool = pmem::Pool::create_anonymous(10, 512u << 20, {});
-  pmdk::ObjStore::format(*pool);
-  pmdk::ObjStore store(*pool);
-  pmdk::Oid head{};
-  pmdk::Oid prev{};
-  for (std::size_t i = 0; i < kChainLen; ++i) {
-    const pmdk::Oid oid = store.alloc(512);
-    if (!prev.is_null()) {
-      *store.as<pmdk::Oid>(prev) = oid;
-    } else {
-      head = oid;
-    }
-    prev = oid;
-  }
-  for (auto _ : state) {
-    pmdk::Oid cur = head;
-    std::uint64_t hops = 0;
-    while (!cur.is_null()) {
-      cur = *store.as<pmdk::Oid>(cur);
-      ++hops;
-    }
-    benchmark::DoNotOptimize(hops);
-  }
-  state.SetItemsProcessed(
-      static_cast<std::int64_t>(state.iterations() * kChainLen));
-}
-BENCHMARK(BM_FatPointerChase);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  bench::apply_persist_delay();
+  const bench::BenchScale scale;
+  JsonBenchWriter out("alloc");
+
+  bench::print_header("allocation fast path A/B",
+                      "§5.2.2 + magazine/coalescing ablation");
+  bench_raw_allocator(out, scale.ops);
+  bench_pmdk_allocator(out, scale.ops);
+  bench_skiplist_inserts(out, scale.records);
+  bench_pointer_chase(out, 64);
+
+  out.write();
+  return 0;
+}

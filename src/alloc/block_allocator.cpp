@@ -1,5 +1,6 @@
 #include "alloc/block_allocator.hpp"
 
+#include <cstdlib>
 #include <cstring>
 #include <new>
 
@@ -14,18 +15,31 @@ using pmem::pm_store;
 
 BlockAllocator::BlockAllocator(std::vector<ChunkAllocator*> pools,
                                ArenaHeader* arenas, ThreadLog* logs,
-                               const std::uint64_t* epoch_word, Config cfg)
+                               const std::uint64_t* epoch_word, Config cfg,
+                               MagazineDesc* magazines)
     : pools_(std::move(pools)),
       arenas_(arenas),
       logs_(logs),
       epoch_word_(epoch_word),
-      cfg_(cfg) {
+      cfg_(cfg),
+      mags_(magazines) {
   if (pools_.empty()) throw std::invalid_argument("allocator needs >= 1 pool");
   if (cfg_.block_size < kCacheLineSize || cfg_.block_size % kCacheLineSize != 0)
     throw std::invalid_argument("block size must be a multiple of 64");
   for (ChunkAllocator* ca : pools_) {
     if (ca->chunk_data_size() < cfg_.block_size)
       throw std::invalid_argument("chunk too small for one block");
+  }
+  if (cfg_.magazine_capacity < 1) cfg_.magazine_capacity = 1;
+  if (cfg_.magazine_capacity > kMagazineSlots)
+    cfg_.magazine_capacity = kMagazineSlots;
+  if (mags_ != nullptr) {
+    // The env kill switch (mirrors UPSL_DISABLE_SIMD) only disables the
+    // fast path; stale descriptors from a magazine-mode run are still
+    // recovered, so the switch can be flipped across restarts for bisection.
+    const char* kill = std::getenv("UPSL_DISABLE_MAGAZINES");
+    magazines_on_ = !(kill != nullptr && kill[0] != '\0' && kill[0] != '0');
+    dram_ = std::make_unique<DramMagazine[]>(kMaxThreads);
   }
 }
 
@@ -372,6 +386,16 @@ void* BlockAllocator::allocate(std::uint64_t pred_riv, std::uint64_t key,
                                std::uint64_t* out_riv) {
   const std::uint32_t pool_idx = my_pool();
   const std::uint32_t arena_idx = my_arena();
+  if (mags_ != nullptr) sync_thread_epoch();
+  if (magazines_on_) return allocate_from_magazine(pool_idx, arena_idx, out_riv);
+  counters_.legacy_allocs.fetch_add(1, std::memory_order_relaxed);
+  return allocate_legacy(pred_riv, key, out_riv);
+}
+
+void* BlockAllocator::allocate_legacy(std::uint64_t pred_riv, std::uint64_t key,
+                                      std::uint64_t* out_riv) {
+  const std::uint32_t pool_idx = my_pool();
+  const std::uint32_t arena_idx = my_arena();
   ArenaHeader& ah = arena(pool_idx, arena_idx);
 
   std::uint64_t spins = 0;
@@ -406,9 +430,15 @@ void* BlockAllocator::allocate(std::uint64_t pred_riv, std::uint64_t key,
 }
 
 void BlockAllocator::deallocate(std::uint64_t obj_riv) {
+  if (mags_ != nullptr) sync_thread_epoch();
   MemBlock* b = block_at(obj_riv);
 
   if (!b->looks_free()) {
+    if (magazines_on_) {
+      deallocate_to_magazine(obj_riv);
+      return;
+    }
+    counters_.legacy_frees.fetch_add(1, std::memory_order_relaxed);
     // ConvertToMemoryBlock: de-initialize the object and re-arm it as a
     // free block (Function 5 lines 46-48), then push it.
     convert_and_link(obj_riv);
@@ -417,10 +447,233 @@ void BlockAllocator::deallocate(std::uint64_t obj_riv) {
   // Already a block: this deallocation is being re-run after a crash. If
   // the block is visible as our arena's tail or already has a successor, it
   // is linked in — done (Function 5 lines 49-52).
+  if (magazines_on_ && in_my_return_chain(obj_riv)) return;
   if (pm_load(arena(my_pool(), my_arena()).tail) == obj_riv) return;
   if (pm_load(b->next) != 0) return;
   if (in_my_free_list(obj_riv)) return;  // it is the head or mid-list
   link_in_tail(my_pool(), my_arena(), obj_riv, obj_riv, nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local magazines
+// ---------------------------------------------------------------------------
+
+void* BlockAllocator::allocate_from_magazine(std::uint32_t pool_idx,
+                                             std::uint32_t arena_idx,
+                                             std::uint64_t* out_riv) {
+  DramMagazine& m = dram_[ThreadRegistry::id()];
+  if (m.cursor >= m.count) refill_magazine(pool_idx, arena_idx);
+  // Fast path: no PMEM metadata writes at all. The block stays covered by
+  // the durable descriptor entry written at refill time until the caller's
+  // own persist (node initialization) or a return entry takes over.
+  const std::uint64_t riv = m.rivs[m.cursor++];
+  MemBlock* b = block_at(riv);
+  std::memset(b, 0, cfg_.block_size);
+  b->epoch_id = current_epoch();
+  b->owner_tag = owner_tag_of(ThreadRegistry::id());
+  if (out_riv != nullptr) *out_riv = riv;
+  counters_.magazine_allocs.fetch_add(1, std::memory_order_relaxed);
+  return b;
+}
+
+void BlockAllocator::refill_magazine(std::uint32_t pool_idx,
+                                     std::uint32_t arena_idx) {
+  const int tid = ThreadRegistry::id();
+  DramMagazine& m = dram_[tid];
+  MagazineDesc& d = mags_[tid];
+  // Returns first: their blocks become refill candidates immediately, and
+  // an empty return side keeps the descriptor rewrite below the only
+  // covering record for every block the thread caches.
+  flush_returns(pool_idx, arena_idx);
+
+  ArenaHeader& ah = arena(pool_idx, arena_idx);
+  const std::uint32_t cap = cfg_.magazine_capacity;
+  std::uint64_t batch[kMagazineSlots];
+  std::uint64_t head_riv = 0;
+  std::uint64_t new_head = 0;
+  std::uint32_t n = 0;
+  std::uint64_t spins = 0;
+  while (true) {
+    if (++spins > (1u << 20))
+      throw std::logic_error("livelock detected in refill_magazine");
+    head_riv = pm_load(ah.head);
+    std::uint64_t cur = head_riv;
+    n = 0;
+    while (n < cap) {
+      const std::uint64_t nxt = pm_load(block_at(cur)->next);
+      if (nxt == 0) break;  // cur is the LinkInTail anchor; never pop it
+      batch[n++] = cur;
+      cur = nxt;
+    }
+    if (n > 0) {
+      new_head = cur;
+      break;
+    }
+    provision_new_chunk(pool_idx, arena_idx);
+  }
+
+  // Persist the whole batch into the descriptor before detaching it from
+  // the free list — the magazine analogue of LogChangeAttempt, one log
+  // entry (and one fence) covering up to `cap` pops. A crash at any later
+  // point leaks at most these n blocks; the next epoch's magazine scan
+  // (recover_magazine) reclaims each one.
+  const std::uint64_t epoch = current_epoch();
+  for (std::uint32_t i = 0; i < n; ++i) pm_store(d.alloc_rivs[i], batch[i]);
+  for (std::uint32_t i = n; i < kMagazineSlots; ++i)
+    pm_store(d.alloc_rivs[i], std::uint64_t{0});
+  pm_store(d.alloc_count, static_cast<std::uint64_t>(n));
+  pm_store(d.epoch, epoch);
+  persist(&d, sizeof(d));
+  UPSL_CRASH_POINT("alloc.mag_refill_logged");
+
+  if (!pm_cas_value(ah.head, head_riv, new_head))
+    throw std::logic_error("free-list pop CAS failed on single-consumer arena");
+  persist(&ah.head, sizeof(ah.head));
+  UPSL_CRASH_POINT("alloc.mag_refill_popped");
+
+  std::memcpy(m.rivs, batch, n * sizeof(std::uint64_t));
+  m.count = n;
+  m.cursor = 0;
+  counters_.refills.fetch_add(1, std::memory_order_relaxed);
+}
+
+void BlockAllocator::deallocate_to_magazine(std::uint64_t obj_riv) {
+  const int tid = ThreadRegistry::id();
+  DramMagazine& m = dram_[tid];
+  MagazineDesc& d = mags_[tid];
+  if (m.ret_count >= cfg_.magazine_capacity)
+    flush_returns(my_pool(), my_arena());
+
+  // Record the riv durably before de-initializing the object: from here
+  // until flush_returns links the chain, the block is reachable from
+  // neither the structure nor the free list, and only this entry lets
+  // recovery find it. Flush without fence — the entry only needs to be
+  // durable by the time the chain link commits, and flush_returns fences.
+  pm_store(d.ret_rivs[m.ret_count], obj_riv);
+  pmem::flush(&d.ret_rivs[m.ret_count], sizeof(std::uint64_t));
+  UPSL_CRASH_POINT("alloc.mag_ret_recorded");
+
+  // ConvertToMemoryBlock, chained onto the thread's pending-return list
+  // instead of the arena tail (no CAS, no fence).
+  MemBlock* b = block_at(obj_riv);
+  std::memset(b, 0, cfg_.block_size);
+  b->self = obj_riv;
+  b->next = m.ret_head;
+  b->epoch_id = current_epoch();
+  b->owner_tag = 0;
+  pm_store(b->state, MemBlock::kFreeState);
+  pmem::flush(b, cfg_.block_size);
+  UPSL_CRASH_POINT("alloc.mag_ret_converted");
+
+  if (m.ret_count == 0) m.ret_tail = obj_riv;
+  m.ret_head = obj_riv;
+  ++m.ret_count;
+  counters_.magazine_frees.fetch_add(1, std::memory_order_relaxed);
+}
+
+void BlockAllocator::flush_returns(std::uint32_t pool_idx,
+                                   std::uint32_t arena_idx) {
+  const int tid = ThreadRegistry::id();
+  DramMagazine& m = dram_[tid];
+  if (m.ret_count == 0) return;
+  MagazineDesc& d = mags_[tid];
+  // One fence retires all the per-free CLWBs (return entries + converted
+  // block contents); only then may the chain become reachable.
+  pmem::fence();
+  link_in_tail(pool_idx, arena_idx, m.ret_head, m.ret_tail, nullptr);
+  UPSL_CRASH_POINT("alloc.mag_ret_linked");
+  // Clear the covering entries only after link_in_tail persisted the link:
+  // cleared earlier, a crash between the clear and the link becoming
+  // durable would leak the whole chain. (Stale non-zero entries in the
+  // other direction are harmless — recovery's guards skip linked blocks.)
+  for (std::uint32_t i = 0; i < m.ret_count; ++i)
+    pm_store(d.ret_rivs[i], std::uint64_t{0});
+  pmem::flush(&d.ret_rivs[0], m.ret_count * sizeof(std::uint64_t));
+  m.ret_count = 0;
+  m.ret_head = 0;
+  m.ret_tail = 0;
+  counters_.return_flushes.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool BlockAllocator::in_my_return_chain(std::uint64_t riv) const {
+  const DramMagazine& m = dram_[ThreadRegistry::id()];
+  std::uint64_t cur = m.ret_head;
+  for (std::uint32_t i = 0; i < m.ret_count && cur != 0; ++i) {
+    if (cur == riv) return true;
+    cur = pm_load(block_at(cur)->next);
+  }
+  return false;
+}
+
+void BlockAllocator::sync_thread_epoch() {
+  const int tid = ThreadRegistry::id();
+  DramMagazine& m = dram_[tid];
+  const std::uint64_t epoch = current_epoch();
+  if (UPSL_LIKELY(m.synced_epoch == epoch)) return;
+  // First allocator call by this thread id in the current epoch: run the
+  // deferred recovery walk (§4.1.4) extended with the magazine scan.
+  //
+  // Mark the epoch synced (and reset the DRAM mirror) *before* recovering:
+  // stale-log recovery re-enters deallocate() to reclaim orphaned blocks,
+  // and the nested call must not restart this sync. The flag is DRAM-only,
+  // so a crash mid-recovery simply re-runs every (idempotent) step.
+  m = DramMagazine{};
+  m.synced_epoch = epoch;
+  // Magazine scan first: it retires the descriptor, so frees issued by the
+  // stale-log recovery below can safely take the magazine return path
+  // without clobbering unscanned return entries.
+  if (pm_load(mags_[tid].epoch) != epoch) recover_magazine(tid);
+  ThreadLog& log = logs_[tid];
+  if (log.kind != static_cast<std::uint64_t>(LogKind::kNone) &&
+      pm_load(log.epoch) != epoch) {
+    handle_stale_log(log);
+  }
+  // A crash can land between a chunk claim and any covering record; with
+  // magazines the fast path writes no ThreadLog, so the stale-log sweep
+  // cannot be relied on to run — sweep dead-epoch PENDING chunks here.
+  sweep_pending_chunks(epoch - 1);
+}
+
+void BlockAllocator::recover_magazine(int tid) {
+  MagazineDesc& d = mags_[tid];
+  // Alloc entries first: a block can be named by both a stale alloc slot
+  // and a stale return slot (popped, handed out, freed again); reclaiming
+  // the alloc side first parks it in the free list, where the return-side
+  // scan's in_my_free_list guard skips it.
+  for (std::uint32_t i = 0; i < kMagazineSlots; ++i)
+    reclaim_magazine_block(pm_load(d.alloc_rivs[i]));
+  UPSL_CRASH_POINT("alloc.mag_recover_mid");
+  for (std::uint32_t i = 0; i < kMagazineSlots; ++i)
+    reclaim_magazine_block(pm_load(d.ret_rivs[i]));
+  // Retire the descriptor for the new epoch. A crash before this persist
+  // re-runs both scans — every reclaim guard tolerates re-execution.
+  for (std::uint32_t i = 0; i < kMagazineSlots; ++i) {
+    pm_store(d.alloc_rivs[i], std::uint64_t{0});
+    pm_store(d.ret_rivs[i], std::uint64_t{0});
+  }
+  pm_store(d.alloc_count, std::uint64_t{0});
+  pm_store(d.epoch, current_epoch());
+  persist(&d, sizeof(d));
+  counters_.magazine_recoveries.fetch_add(1, std::memory_order_relaxed);
+}
+
+void BlockAllocator::reclaim_magazine_block(std::uint64_t riv) {
+  if (riv == 0) return;
+  // Same classification as recover_node_alloc, minus the log context:
+  //  * already on our free list (pop never became durable, or a pending
+  //    return that did get linked): nothing to do;
+  //  * durable free-looking contents off-list: a conversion that never got
+  //    linked, or a lost initialization — re-arm and link;
+  //  * durable object contents: keep iff the structure still reaches it
+  //    (it may be a live node from this or an earlier batch), otherwise it
+  //    is an orphaned allocation — reclaim it.
+  if (in_my_free_list(riv)) return;
+  MemBlock* b = block_at(riv);
+  if (!b->looks_free()) {
+    if (block_reach_fn_ == nullptr) return;  // no structure knowledge: leak-safe skip
+    if (block_reach_fn_(riv)) return;
+  }
+  convert_and_link(riv);
 }
 
 std::uint64_t BlockAllocator::riv_of(const void* p) const {
@@ -440,11 +693,21 @@ std::size_t BlockAllocator::count_free_blocks(std::uint32_t pool_idx,
   return n;
 }
 
+std::size_t BlockAllocator::magazine_cached(int thread) const {
+  if (dram_ == nullptr) return 0;
+  const DramMagazine& m = dram_[thread];
+  return (m.count - m.cursor) + m.ret_count;
+}
+
 std::size_t BlockAllocator::count_all_free_blocks() const {
   std::size_t n = 0;
   for (std::uint32_t p = 0; p < num_pools(); ++p)
     for (std::uint32_t a = 0; a < cfg_.arenas_per_pool; ++a)
       n += count_free_blocks(p, a);
+  // Blocks parked in thread-local magazines are free too — they are just
+  // cached off-list. Without this the conservation checks would "lose" up to
+  // one magazine's worth of blocks per active thread.
+  for (int t = 0; t < ThreadRegistry::high_water(); ++t) n += magazine_cached(t);
   return n;
 }
 

@@ -28,10 +28,25 @@
 //    with the directory entry and the chunk header's `committed` flag
 //    bracketing the durable link CAS so every crash point is recoverable,
 //  * deallocation is idempotent so a failed recovery can be re-run.
+//
+// Magazine fast path (optional, see MagazineDesc in layout.hpp): when the
+// store hands the allocator per-thread persistent magazine descriptors,
+// pops are batched — one refill moves up to kMagazineSlots blocks from the
+// arena head into the thread's magazine under a single persisted descriptor
+// write (one fence per batch instead of one log persist + head persist per
+// block), and frees accumulate in a return magazine that is converted
+// per-block without fences and linked into the arena tail as one chain.
+// Crash recovery extends the deferred per-thread walk with a magazine scan:
+// a stale descriptor's alloc and return entries are classified exactly like
+// stale kNodeAlloc logs (free-list membership, durable object state,
+// structure reachability) and reclaimed, bounding the post-crash leak to
+// one magazine's worth of blocks per thread — all recovered.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "alloc/alloc_log.hpp"
@@ -41,18 +56,15 @@
 
 namespace upsl::alloc {
 
-/// Persistent per-arena free-list anchors (live in the store root area).
-struct ArenaHeader {
-  std::uint64_t head;  // RIV of first free block
-  std::uint64_t tail;  // RIV of last free block (push target)
-};
-
 class BlockAllocator {
  public:
   struct Config {
     std::uint64_t block_size = 512;
     /// Max supported thread ids = arenas_per_pool * num_pools.
     std::uint32_t arenas_per_pool = 64;
+    /// Blocks per thread-local magazine batch (clamped to kMagazineSlots).
+    /// Only meaningful when the allocator is given magazine descriptors.
+    std::uint32_t magazine_capacity = kMagazineSlots;
   };
 
   /// Decides whether the block named by a stale kNodeAlloc log entry is
@@ -60,14 +72,28 @@ class BlockAllocator {
   /// the logged predecessor). Installed by the owning store.
   using ReachabilityFn = std::function<bool(const ThreadLog&)>;
 
+  /// Decides whether an arbitrary block named by a stale magazine descriptor
+  /// entry is reachable in the data structure. Unlike ReachabilityFn there
+  /// is no log record to consult — the magazine fast path writes none — so
+  /// the store must classify the block from its (possibly garbage) contents.
+  using BlockReachabilityFn = std::function<bool(std::uint64_t block_riv)>;
+
   /// `arenas` must point at pools.size() * cfg.arenas_per_pool persistent
   /// ArenaHeaders and `logs` at kMaxThreads persistent ThreadLogs, both
   /// inside one of the pools (the store root area). `epoch_word` is the
-  /// PMEM-resident failure-free epoch id.
+  /// PMEM-resident failure-free epoch id. `magazines`, when non-null, must
+  /// point at kMaxThreads persistent MagazineDescs and enables the
+  /// thread-local magazine fast path (unless UPSL_DISABLE_MAGAZINES is set
+  /// in the environment, which keeps the descriptors recoverable but routes
+  /// every operation through the legacy per-block protocol).
   BlockAllocator(std::vector<ChunkAllocator*> pools, ArenaHeader* arenas,
-                 ThreadLog* logs, const std::uint64_t* epoch_word, Config cfg);
+                 ThreadLog* logs, const std::uint64_t* epoch_word, Config cfg,
+                 MagazineDesc* magazines = nullptr);
 
   void set_reachability_fn(ReachabilityFn fn) { reach_fn_ = std::move(fn); }
+  void set_block_reachability_fn(BlockReachabilityFn fn) {
+    block_reach_fn_ = std::move(fn);
+  }
 
   /// Create-path initialization: provisions one chunk per pool and seeds
   /// every arena's free list (round-robin). Single-threaded.
@@ -98,15 +124,47 @@ class BlockAllocator {
     return static_cast<std::uint32_t>(ThreadRegistry::id()) % num_pools();
   }
 
+  /// True when the magazine fast path is active for allocate()/deallocate().
+  bool magazines_enabled() const { return magazines_on_; }
+  std::uint32_t magazine_capacity() const { return cfg_.magazine_capacity; }
+
+  /// DRAM fast-path counters (relaxed; for benches and tests).
+  struct Counters {
+    std::atomic<std::uint64_t> magazine_allocs{0};
+    std::atomic<std::uint64_t> legacy_allocs{0};
+    std::atomic<std::uint64_t> magazine_frees{0};
+    std::atomic<std::uint64_t> legacy_frees{0};
+    std::atomic<std::uint64_t> refills{0};
+    std::atomic<std::uint64_t> return_flushes{0};
+    std::atomic<std::uint64_t> magazine_recoveries{0};
+  };
+  const Counters& counters() const { return counters_; }
+
   /// Test/diagnostic helpers.
   std::size_t count_free_blocks(std::uint32_t pool_idx, std::uint32_t arena) const;
   std::size_t blocks_per_chunk(std::uint32_t pool_idx) const;
   const ThreadLog& log_of(int thread) const { return logs_[thread]; }
-  /// Total blocks across all free lists plus blocks of unprovisioned chunks
-  /// — used by leak-detection tests.
+  const MagazineDesc& magazine_of(int thread) const { return mags_[thread]; }
+  /// Blocks a thread id currently holds in DRAM magazines: unconsumed alloc
+  /// batch slots plus converted-but-unlinked pending returns.
+  std::size_t magazine_cached(int thread) const;
+  /// Total blocks across all free lists plus blocks cached in thread-local
+  /// magazines — used by leak-detection tests.
   std::size_t count_all_free_blocks() const;
 
  private:
+  /// DRAM mirror of one thread's magazines. Lives inside the allocator (not
+  /// thread_local) so a simulated in-process crash discards it with the
+  /// allocator object, exactly like real DRAM loss.
+  struct alignas(kCacheLineSize) DramMagazine {
+    std::uint64_t synced_epoch = 0;  // epoch the descriptor was last synced at
+    std::uint32_t cursor = 0;        // next unconsumed alloc slot
+    std::uint32_t count = 0;         // valid alloc slots
+    std::uint64_t rivs[kMagazineSlots] = {};
+    std::uint32_t ret_count = 0;     // pending converted returns
+    std::uint64_t ret_head = 0;      // newest pending return (chain head)
+    std::uint64_t ret_tail = 0;      // oldest pending return (chain tail)
+  };
   ArenaHeader& arena(std::uint32_t pool_idx, std::uint32_t arena_idx) const {
     return arenas_[pool_idx * cfg_.arenas_per_pool + arena_idx];
   }
@@ -118,6 +176,21 @@ class BlockAllocator {
   static std::uint64_t owner_tag_of(int tid) {
     return static_cast<std::uint64_t>(tid) + 1;
   }
+
+  void* allocate_legacy(std::uint64_t pred_riv, std::uint64_t key,
+                        std::uint64_t* out_riv);
+  void* allocate_from_magazine(std::uint32_t pool_idx, std::uint32_t arena_idx,
+                               std::uint64_t* out_riv);
+  void refill_magazine(std::uint32_t pool_idx, std::uint32_t arena_idx);
+  void deallocate_to_magazine(std::uint64_t obj_riv);
+  void flush_returns(std::uint32_t pool_idx, std::uint32_t arena_idx);
+  bool in_my_return_chain(std::uint64_t riv) const;
+  /// First allocator call by this thread id in a new epoch: resolves the
+  /// stale ThreadLog, the stale magazine descriptor and orphaned chunk
+  /// claims, then resets the DRAM magazine mirror.
+  void sync_thread_epoch();
+  void recover_magazine(int tid);
+  void reclaim_magazine_block(std::uint64_t riv);
 
   void log_attempt(LogKind kind, std::uint64_t block, std::uint64_t pred,
                    std::uint64_t key, std::uint64_t aux0, std::uint64_t aux1);
@@ -142,6 +215,11 @@ class BlockAllocator {
   const std::uint64_t* epoch_word_;
   Config cfg_;
   ReachabilityFn reach_fn_;
+  BlockReachabilityFn block_reach_fn_;
+  MagazineDesc* mags_ = nullptr;
+  bool magazines_on_ = false;
+  std::unique_ptr<DramMagazine[]> dram_;
+  Counters counters_;
 };
 
 }  // namespace upsl::alloc

@@ -78,6 +78,47 @@ constexpr DirEntry dir_unpack(std::uint64_t word) {
                   static_cast<std::uint16_t>(word & 0xffff)};
 }
 
+/// Persistent per-arena free-list anchors (live in the store root area).
+/// Padded to a full cache line: adjacent arenas belong to different thread
+/// ids, and with the packed 16-byte layout four arenas' head/tail words
+/// shared one line, so every pop or tail push invalidated the line under
+/// three unrelated threads (classic false sharing).
+struct alignas(kCacheLineSize) ArenaHeader {
+  std::uint64_t head;  // RIV of first free block
+  std::uint64_t tail;  // RIV of last free block (push target)
+  char padding_[kCacheLineSize - 2 * sizeof(std::uint64_t)];
+};
+static_assert(sizeof(ArenaHeader) == kCacheLineSize,
+              "arena anchors must each own a full cache line");
+static_assert(alignof(ArenaHeader) == kCacheLineSize);
+
+/// Capacity of one thread-local allocation/return magazine. 15 rivs + the
+/// two header words pack the descriptor into exactly four cache lines.
+inline constexpr std::uint32_t kMagazineSlots = 15;
+
+/// Persistent per-thread magazine descriptor (one per ThreadRegistry slot,
+/// in the store root area after the arena headers).
+///
+/// Line 0 holds the epoch stamp, the alloc-batch length and the first alloc
+/// slots; the remaining lines hold the rest of the alloc batch and the
+/// return-entry slots. The alloc side is (re)written as a whole and
+/// persisted with a single fence per refill; return entries are written one
+/// slot at a time (slot != 0 means "this riv is covered"), flushed without
+/// a fence, and lazily zeroed after their chain is durably linked.
+/// A descriptor whose epoch differs from the store's failure-free epoch is
+/// stale; BlockAllocator::recover_magazine scans it on the owning thread
+/// id's next allocator call, so a crash leaks at most kMagazineSlots alloc
+/// blocks + kMagazineSlots pending returns per thread, all reclaimed.
+struct alignas(kCacheLineSize) MagazineDesc {
+  std::uint64_t epoch;
+  std::uint64_t alloc_count;
+  std::uint64_t alloc_rivs[kMagazineSlots];
+  std::uint64_t ret_rivs[kMagazineSlots];
+};
+static_assert(sizeof(MagazineDesc) == 4 * kCacheLineSize,
+              "magazine descriptors are sized as whole cache lines");
+static_assert(alignof(MagazineDesc) == kCacheLineSize);
+
 struct ChunkAllocatorConfig {
   std::uint64_t chunk_size = 4ull << 20;  // 4 MiB, the thesis' default
   std::uint32_t max_chunks = 64;

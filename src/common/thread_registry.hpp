@@ -28,13 +28,22 @@ class ThreadRegistry {
   void bind(int id) {
     assert(id >= 0 && id < kMaxThreads);
     tls_id_ = id;
+    note_bound(id);
   }
 
   /// Binds the calling thread to the next free slot and returns it.
   int bind_next() {
     const int id = next_.fetch_add(1, std::memory_order_relaxed) % kMaxThreads;
     tls_id_ = id;
+    note_bound(id);
     return id;
+  }
+
+  /// Exclusive upper bound on thread ids ever bound in this process (never
+  /// below 1, since unbound threads act as id 0). Lets per-thread-slot scans
+  /// (e.g. magazine accounting) skip the untouched tail of kMaxThreads slots.
+  static int high_water() {
+    return instance().high_water_.load(std::memory_order_acquire);
   }
 
   /// Id of the calling thread; threads that never bound get slot 0.
@@ -47,10 +56,18 @@ class ThreadRegistry {
 
  private:
   ThreadRegistry() = default;
+  static void note_bound(int id) {
+    auto& hw = instance().high_water_;
+    int cur = hw.load(std::memory_order_relaxed);
+    while (cur < id + 1 &&
+           !hw.compare_exchange_weak(cur, id + 1, std::memory_order_acq_rel)) {
+    }
+  }
   // Inline + constinit: constant-initialized TLS is accessed directly, with
   // no lazy-init wrapper call (which UBSan misreads as a nullable pointer).
   static constinit inline thread_local int tls_id_ = -1;
   std::atomic<int> next_{0};
+  std::atomic<int> high_water_{1};
 };
 
 }  // namespace upsl

@@ -6,6 +6,7 @@
 
 #include "common/crashpoint.hpp"
 #include "common/simd.hpp"
+#include "pmem/flush_set.hpp"
 
 namespace upsl::core {
 
@@ -57,6 +58,13 @@ static_assert(sizeof(StoreRoot) <= kLogsOffset);
 
 std::size_t arenas_offset() {
   return kLogsOffset + sizeof(alloc::ThreadLog) * kMaxThreads;
+}
+
+/// Per-thread magazine descriptors live after the arena headers. Both the
+/// root area (4096-aligned) and the preceding structures are multiples of a
+/// cache line, so the alignas(64) descriptors land naturally aligned.
+std::size_t magazines_offset(std::size_t num_pools, std::size_t arenas_per_pool) {
+  return arenas_offset() + sizeof(alloc::ArenaHeader) * num_pools * arenas_per_pool;
 }
 
 StoreRoot* root_of(alloc::ChunkAllocator& ca) {
@@ -119,8 +127,8 @@ void UPSkipList::attach(std::vector<pmem::Pool*> pools, bool creating,
         (opts->max_threads + static_cast<std::uint32_t>(pools_.size()) - 1) /
         static_cast<std::uint32_t>(pools_.size());
     const std::size_t need =
-        arenas_offset() +
-        sizeof(alloc::ArenaHeader) * pools_.size() * arenas_per_pool;
+        magazines_offset(pools_.size(), arenas_per_pool) +
+        sizeof(alloc::MagazineDesc) * kMaxThreads;
     if (need > chunk_allocs_[0]->root_size())
       throw std::invalid_argument("root area too small");
     std::memset(root_area, 0, need);
@@ -155,13 +163,25 @@ void UPSkipList::attach(std::vector<pmem::Pool*> pools, bool creating,
   alloc::BlockAllocator::Config acfg;
   acfg.block_size = root->block_size;
   acfg.arenas_per_pool = static_cast<std::uint32_t>(root->arenas_per_pool);
+  // Magazine descriptors sit after the arena headers when the root area has
+  // room for them (it always does with the default 1 MiB root; a store
+  // created with a smaller custom root simply runs without magazines).
+  const std::size_t mags_off = magazines_offset(
+      pools_.size(), static_cast<std::size_t>(root->arenas_per_pool));
+  alloc::MagazineDesc* mags = nullptr;
+  if (mags_off + sizeof(alloc::MagazineDesc) * kMaxThreads <=
+      chunk_allocs_[0]->root_size()) {
+    mags = reinterpret_cast<alloc::MagazineDesc*>(root_area + mags_off);
+  }
   block_alloc_ = std::make_unique<alloc::BlockAllocator>(
       std::move(cas),
       reinterpret_cast<alloc::ArenaHeader*>(root_area + arenas_offset()),
       reinterpret_cast<alloc::ThreadLog*>(root_area + kLogsOffset),
-      epoch_word_, acfg);
+      epoch_word_, acfg, mags);
   block_alloc_->set_reachability_fn(
       [this](const alloc::ThreadLog& log) { return log_block_reachable(log); });
+  block_alloc_->set_block_reachability_fn(
+      [this](std::uint64_t riv) { return block_reachable(riv); });
 
   if (creating) {
     block_alloc_->bootstrap();
@@ -422,10 +442,16 @@ void UPSkipList::check_insert_recovery(std::uint32_t level,
 void UPSkipList::populate_levels(const std::uint64_t* succs, NodeView node,
                                  std::uint32_t start_level,
                                  std::uint32_t end_level) {
-  for (std::uint32_t l = start_level; l < end_level; ++l)
+  // The refreshed pointers only need to be durable before the node becomes
+  // reachable at these levels (the link CAS in the caller), so they can all
+  // ride one fence. Adjacent levels share cache lines (8 next-words per
+  // line), which the flush set dedupes as well.
+  pmem::FlushSet fs;
+  for (std::uint32_t l = start_level; l < end_level; ++l) {
     pm_store(node.next(l), succs[l]);
-  for (std::uint32_t l = start_level; l < end_level; ++l)
-    persist(&node.next(l), sizeof(std::uint64_t));
+    fs.add(&node.next(l), sizeof(std::uint64_t));
+  }
+  fs.commit();
 }
 
 void UPSkipList::link_higher_levels(std::uint64_t* preds, std::uint64_t* succs,
@@ -721,11 +747,19 @@ UPSkipList::InsertStatus UPSkipList::split_node(
     persist(&pred.lock_word(), sizeof(std::uint64_t));
     return InsertStatus::kRestart;
   }
-  persist(&pred.next(0), sizeof(std::uint64_t));
+  // The link and the split-counter bump commit under one fence: readers are
+  // already fended off by the durable write lock, and the only extra crash
+  // state the batching admits — a durable counter bump with a lost link —
+  // is benign (a spuriously bumped counter can only cause a retry, and
+  // split recovery keys off the lock word, not the counter).
+  {
+    pmem::FlushSet fs;
+    fs.add(&pred.next(0), sizeof(std::uint64_t));
+    pm_store(pred.split_count(), pm_load(pred.split_count()) + 1);
+    fs.add(&pred.split_count(), sizeof(std::uint64_t));
+    fs.commit();
+  }
   UPSL_CRASH_POINT("core.split_linked");
-
-  pm_store(pred.split_count(), pm_load(pred.split_count()) + 1);
-  persist(&pred.split_count(), sizeof(std::uint64_t));
 
   // Erase the moved upper half from the original node.
   for (std::uint32_t i = 0; i < K; ++i) {
@@ -969,6 +1003,29 @@ void UPSkipList::check_no_leaks() {
 // ---------------------------------------------------------------------------
 // Allocation-log reachability (Function 3 lines 15-22)
 // ---------------------------------------------------------------------------
+
+bool UPSkipList::block_reachable(std::uint64_t riv) {
+  // Classifier for stale magazine-descriptor entries: unlike kNodeAlloc logs
+  // there is no recorded predecessor, so walk the bottom level from the head
+  // until the key range passes the candidate's first key. The walk only runs
+  // on blocks with durable non-free contents, and a node can only be linked
+  // after its full initialization persisted (make_node), so key(0) of any
+  // reachable candidate is durably correct — even under random-eviction
+  // crashes.
+  if (riv == head_riv_ || riv == tail_riv_) return true;
+  const std::uint64_t key = pm_load(view(riv).key(0));
+  std::uint64_t cur = pm_load(view(head_riv_).next(0));
+  SpinGuard guard("block_reachable");
+  while (cur != 0) {
+    guard.tick();
+    if (cur == riv) return true;
+    NodeView v = view(cur);
+    if (v.is_tail()) return false;
+    if (v.first_key() > key) return false;
+    cur = pm_load(v.next(0));
+  }
+  return false;
+}
 
 bool UPSkipList::log_block_reachable(const alloc::ThreadLog& log) {
   if (log.pred == 0) return true;  // sentinel bootstrap allocations

@@ -186,6 +186,9 @@ class UPSkipList {
                        std::uint32_t start_level, std::uint32_t end_level);
 
   bool log_block_reachable(const alloc::ThreadLog& log);
+  /// Stale-magazine-entry classifier: true iff the block is linked on the
+  /// bottom level (or is a sentinel). See BlockAllocator::BlockReachabilityFn.
+  bool block_reachable(std::uint64_t riv);
 
   Xoshiro256& thread_rng();
 

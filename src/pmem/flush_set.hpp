@@ -1,0 +1,136 @@
+// Flush-set / fence-coalescing facility (MOD-style fence elision).
+//
+// A write-path operation that must persist several small words — e.g. the
+// next-pointer tower of a freshly populated node, or a link CAS plus the
+// split counter it publishes — traditionally issues one persist() (CLWB +
+// SFENCE) per word. The fences between those persists order the words
+// against *each other*, which the callers here do not need: they only need
+// all of them durable before the next dependent store. A FlushSet collects
+// the 64-byte lines touched by such an operation, dedupes them (adjacent
+// tower levels share lines), flushes each unique line once and issues a
+// single fence at commit().
+//
+// Ordering contract: stores added to a FlushSet may become durable in any
+// order relative to each other, but commit() returning guarantees all of
+// them are durable before any store the caller issues afterwards (the
+// store-after-fence gate). Callers that need durability ordering *between*
+// two stores (key before value, level L before level L+1) must NOT batch
+// them into one set — see docs/alloc-fastpath.md for the site-by-site
+// analysis.
+//
+// UPSL_DISABLE_FLUSH_COALESCING=1 demotes add() to a plain persist() and
+// commit() to a no-op, restoring the exact legacy flush sequence so perf or
+// correctness regressions can be bisected at runtime (mirrors
+// UPSL_DISABLE_SIMD).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+
+#include "common/compiler.hpp"
+#include "pmem/persist.hpp"
+
+namespace upsl::pmem {
+
+namespace detail {
+inline std::atomic<int>& coalescing_flag() {
+  static std::atomic<int> flag{-1};  // -1 = env not read yet
+  return flag;
+}
+}  // namespace detail
+
+inline bool flush_coalescing_enabled() {
+  int v = detail::coalescing_flag().load(std::memory_order_relaxed);
+  if (UPSL_UNLIKELY(v < 0)) {
+    const char* e = std::getenv("UPSL_DISABLE_FLUSH_COALESCING");
+    v = (e != nullptr && e[0] != '\0' && e[0] != '0') ? 0 : 1;
+    detail::coalescing_flag().store(v, std::memory_order_relaxed);
+  }
+  return v == 1;
+}
+
+/// In-process kill-switch override for A/B benchmarking and tests.
+inline void set_flush_coalescing_for_testing(bool on) {
+  detail::coalescing_flag().store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+/// Drop the cached decision so the next use re-reads the environment.
+inline void reset_flush_coalescing_for_testing() {
+  detail::coalescing_flag().store(-1, std::memory_order_relaxed);
+}
+
+/// Flush `n` distinct cache lines as one persist operation (counted as a
+/// single persist_call and a single modelled PMEM-latency hit); no fence.
+/// Defined in pool.cpp next to flush().
+void flush_lines(const void* const* lines, std::size_t n);
+
+class FlushSet {
+ public:
+  /// Enough for a max-height next-pointer tower (64 levels x 8 bytes spans
+  /// at most 9 lines) with ample slack; overflow degrades gracefully to an
+  /// immediate unfenced flush of the excess line.
+  static constexpr std::size_t kMaxLines = 24;
+
+  FlushSet() : coalesce_(flush_coalescing_enabled()) {}
+  FlushSet(const FlushSet&) = delete;
+  FlushSet& operator=(const FlushSet&) = delete;
+  ~FlushSet() { commit(); }
+
+  /// Record the lines covering [addr, addr+len) for the commit-time flush.
+  /// With coalescing disabled this is exactly persist(addr, len).
+  void add(const void* addr, std::size_t len) {
+    if (len == 0) return;
+    if (UPSL_UNLIKELY(!coalesce_)) {
+      persist(addr, len);
+      return;
+    }
+    ++adds_;
+    const auto p = reinterpret_cast<std::uintptr_t>(addr);
+    const std::uintptr_t first = p & ~(kCacheLineSize - 1);
+    const std::uintptr_t last = (p + len - 1) & ~(kCacheLineSize - 1);
+    for (std::uintptr_t line = first; line <= last; line += kCacheLineSize) {
+      bool dup = false;
+      for (std::size_t i = 0; i < n_; ++i) {
+        if (lines_[i] == reinterpret_cast<const void*>(line)) {
+          dup = true;
+          ++deduped_;
+          break;
+        }
+      }
+      if (dup) continue;
+      if (UPSL_UNLIKELY(n_ == kMaxLines)) {
+        // Full: flush this line now, unfenced; commit()'s fence still covers
+        // it (flushes only complete at the fence).
+        const void* one = reinterpret_cast<const void*>(line);
+        flush_lines(&one, 1);
+        continue;
+      }
+      lines_[n_++] = reinterpret_cast<const void*>(line);
+    }
+  }
+
+  /// Flush every recorded unique line and issue one fence. Idempotent; the
+  /// destructor calls it as a safety net.
+  void commit() {
+    if (!coalesce_ || adds_ == 0) {
+      n_ = adds_ = deduped_ = 0;
+      return;
+    }
+    if (n_ > 0) flush_lines(lines_, n_);
+    fence();
+    Stats& s = Stats::instance();
+    s.coalesced_fences_saved.fetch_add(adds_ - 1, std::memory_order_relaxed);
+    s.coalesced_lines_saved.fetch_add(deduped_, std::memory_order_relaxed);
+    n_ = adds_ = deduped_ = 0;
+  }
+
+ private:
+  const void* lines_[kMaxLines];
+  std::size_t n_ = 0;
+  std::size_t adds_ = 0;     // add() calls folded into the one fence
+  std::size_t deduped_ = 0;  // line flushes avoided by the dedupe
+  const bool coalesce_;
+};
+
+}  // namespace upsl::pmem

@@ -26,6 +26,13 @@ struct Stats {
   std::atomic<std::uint64_t> persist_calls{0};
   std::atomic<std::uint64_t> persisted_lines{0};
   std::atomic<std::uint64_t> fences{0};
+  /// Fences elided by FlushSet batching: for a commit covering N add()s the
+  /// legacy sequence would have fenced N times, the coalesced one fences
+  /// once, saving N-1.
+  std::atomic<std::uint64_t> coalesced_fences_saved{0};
+  /// Line flushes avoided because an operation touched a line twice (e.g.
+  /// adjacent tower levels sharing one 64-byte line).
+  std::atomic<std::uint64_t> coalesced_lines_saved{0};
 
   static Stats& instance() {
     static Stats s;
@@ -35,6 +42,8 @@ struct Stats {
     persist_calls.store(0, std::memory_order_relaxed);
     persisted_lines.store(0, std::memory_order_relaxed);
     fences.store(0, std::memory_order_relaxed);
+    coalesced_fences_saved.store(0, std::memory_order_relaxed);
+    coalesced_lines_saved.store(0, std::memory_order_relaxed);
   }
 };
 

@@ -11,6 +11,7 @@
 #include <system_error>
 
 #include "common/rng.hpp"
+#include "pmem/flush_set.hpp"
 
 namespace upsl::pmem {
 
@@ -174,15 +175,9 @@ void PoolRegistry::clear() {
   high_water_.store(0, std::memory_order_release);
 }
 
-void persist(const void* addr, std::size_t len) {
-  flush(addr, len);
-  std::atomic_thread_fence(std::memory_order_release);
-}
+namespace {
 
-void flush(const void* addr, std::size_t len) {
-  Stats::instance().persist_calls.fetch_add(1, std::memory_order_relaxed);
-  Pool* pool = PoolRegistry::instance().find(addr);
-  if (pool != nullptr) pool->persist_range(addr, len);
+void apply_persist_delay() {
   const std::uint32_t delay = Config::instance().persist_delay_ns;
   if (UPSL_UNLIKELY(delay != 0)) {
     const auto until = std::chrono::steady_clock::now() +
@@ -190,6 +185,35 @@ void flush(const void* addr, std::size_t len) {
     while (std::chrono::steady_clock::now() < until) {
     }
   }
+}
+
+}  // namespace
+
+void persist(const void* addr, std::size_t len) {
+  flush(addr, len);
+  // Counted via fence() so Stats::fences reflects every SFENCE the write
+  // path issues, persist()-internal ones included.
+  fence();
+}
+
+void flush(const void* addr, std::size_t len) {
+  Stats::instance().persist_calls.fetch_add(1, std::memory_order_relaxed);
+  Pool* pool = PoolRegistry::instance().find(addr);
+  if (pool != nullptr) pool->persist_range(addr, len);
+  apply_persist_delay();
+}
+
+void flush_lines(const void* const* lines, std::size_t n) {
+  if (n == 0) return;
+  Stats::instance().persist_calls.fetch_add(1, std::memory_order_relaxed);
+  PoolRegistry& reg = PoolRegistry::instance();
+  for (std::size_t i = 0; i < n; ++i) {
+    Pool* pool = reg.find(lines[i]);
+    if (pool != nullptr) pool->persist_range(lines[i], kCacheLineSize);
+  }
+  // One modelled PMEM-latency hit for the batch: the CLWBs drain in
+  // parallel, which is exactly the effect the batching is after.
+  apply_persist_delay();
 }
 
 }  // namespace upsl::pmem

@@ -7,7 +7,9 @@
 //  (4) no leaks: every block is accounted for after deferred log recovery.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <map>
+#include <string>
 
 #include "test_util.hpp"
 
@@ -19,11 +21,21 @@ using test::small_options;
 
 /// All crash points reachable from insert-heavy workloads.
 const char* const kCorePoints[] = {
-    "core.head_succ_made", "core.head_succ_linked", "core.slot_claimed",
-    "core.updated_value",  "core.split_locked",     "core.split_node_made",
-    "core.split_linked",   "core.split_erased",     "core.linked_level",
-    "alloc.after_log",     "alloc.after_pop",
+    "core.head_succ_made",     "core.head_succ_linked",
+    "core.slot_claimed",       "core.updated_value",
+    "core.split_locked",       "core.split_node_made",
+    "core.split_linked",       "core.split_erased",
+    "core.linked_level",       "alloc.after_log",
+    "alloc.after_pop",         "alloc.mag_refill_logged",
+    "alloc.mag_refill_popped",
 };
+
+/// Points on the legacy per-block allocation path, which the magazine fast
+/// path bypasses: run their workloads with magazines disabled so they still
+/// fire.
+bool needs_legacy_allocator(const char* point) {
+  return std::string(point) == "alloc.after_pop";
+}
 
 /// Runs inserts until the armed crash point fires (or ops run out).
 /// Returns the acknowledged key->value map.
@@ -79,6 +91,9 @@ TEST_P(CrashAtPoint, InsertWorkloadRecovers) {
   // head-successor creation, which happens only ~ln(keyspace) times) simply
   // stop firing at higher skips.
   bool fired_any = false;
+  const bool legacy = needs_legacy_allocator(GetParam());
+  const bool env_was_set = std::getenv("UPSL_DISABLE_MAGAZINES") != nullptr;
+  if (legacy) ::setenv("UPSL_DISABLE_MAGAZINES", "1", 1);
   for (std::uint64_t skip : {0u, 5u, 23u}) {
     SCOPED_TRACE(std::string(GetParam()) + " skip=" + std::to_string(skip));
     StoreHarness h(small_options(/*keys_per_node=*/4, /*max_height=*/10));
@@ -90,6 +105,7 @@ TEST_P(CrashAtPoint, InsertWorkloadRecovers) {
     h.crash_and_reopen();
     verify_recovered(h, acked);
   }
+  if (legacy && !env_was_set) ::unsetenv("UPSL_DISABLE_MAGAZINES");
   if (!fired_any) GTEST_SKIP() << "crash point not reached by this workload";
 }
 

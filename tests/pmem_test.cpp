@@ -4,7 +4,9 @@
 
 #include <cstring>
 #include <filesystem>
+#include <memory>
 
+#include "pmem/flush_set.hpp"
 #include "pmem/pool.hpp"
 
 namespace upsl::pmem {
@@ -164,6 +166,132 @@ TEST(Persist, AtomicHelpers) {
 TEST(Pool, RejectsBadSizes) {
   EXPECT_THROW(Pool::create_anonymous(0, 0, {}), std::invalid_argument);
   EXPECT_THROW(Pool::create_anonymous(0, 100, {}), std::invalid_argument);
+}
+
+class FlushSetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_flush_coalescing_for_testing(true);
+    pool_ = Pool::create_anonymous(0, 1 << 16, {.crash_tracking = true});
+    words_ = reinterpret_cast<std::uint64_t*>(pool_->base());
+    Stats::instance().reset();
+  }
+  void TearDown() override { reset_flush_coalescing_for_testing(); }
+
+  std::unique_ptr<Pool> pool_;
+  std::uint64_t* words_ = nullptr;
+};
+
+TEST_F(FlushSetTest, OneFencePerCommitAndLineDedupe) {
+  // Eight adds spanning two cache lines (words 0..7 share a line, word 8
+  // starts the next): one batched flush, one fence.
+  {
+    FlushSet fs;
+    for (int i = 0; i < 9; ++i) {
+      words_[i] = 100 + i;
+      fs.add(&words_[i], 8);
+    }
+    fs.commit();
+  }
+  EXPECT_EQ(Stats::instance().fences.load(), 1u);
+  EXPECT_EQ(Stats::instance().persist_calls.load(), 1u);
+  EXPECT_EQ(Stats::instance().persisted_lines.load(), 2u);
+  EXPECT_EQ(Stats::instance().coalesced_fences_saved.load(), 8u);
+  EXPECT_EQ(Stats::instance().coalesced_lines_saved.load(), 7u);
+}
+
+TEST_F(FlushSetTest, CommittedStoresSurviveCrash) {
+  {
+    FlushSet fs;
+    words_[0] = 1;
+    fs.add(&words_[0], 8);
+    words_[64] = 2;  // a different line
+    fs.add(&words_[64], 8);
+    fs.commit();
+  }
+  words_[128] = 3;  // never added
+  pool_->simulate_crash();
+  EXPECT_EQ(words_[0], 1u);
+  EXPECT_EQ(words_[64], 2u);
+  EXPECT_EQ(words_[128], 0u);
+}
+
+TEST_F(FlushSetTest, DestructorCommitsAsSafetyNet) {
+  {
+    FlushSet fs;
+    words_[0] = 9;
+    fs.add(&words_[0], 8);
+    // no explicit commit()
+  }
+  EXPECT_EQ(Stats::instance().fences.load(), 1u);
+  pool_->simulate_crash();
+  EXPECT_EQ(words_[0], 9u);
+}
+
+TEST_F(FlushSetTest, CommitIsIdempotentAndEmptyCommitIsFree) {
+  FlushSet fs;
+  fs.commit();  // nothing recorded: no flush, no fence
+  EXPECT_EQ(Stats::instance().fences.load(), 0u);
+  words_[0] = 4;
+  fs.add(&words_[0], 8);
+  fs.commit();
+  fs.commit();  // second commit has nothing left to do
+  EXPECT_EQ(Stats::instance().fences.load(), 1u);
+  EXPECT_EQ(Stats::instance().persist_calls.load(), 1u);
+}
+
+TEST_F(FlushSetTest, RangeSpanningLinesIsCovered) {
+  std::memset(words_, 0x7c, 300);
+  {
+    FlushSet fs;
+    fs.add(words_, 300);  // lines 0..4
+    fs.commit();
+  }
+  EXPECT_EQ(Stats::instance().persisted_lines.load(), 5u);
+  pool_->simulate_crash();
+  EXPECT_EQ(reinterpret_cast<unsigned char*>(words_)[299], 0x7cu);
+}
+
+TEST_F(FlushSetTest, OverflowDegradesToImmediateFlushNotDataLoss) {
+  // Touch kMaxLines + 8 distinct lines in one set: the excess lines are
+  // flushed immediately (unfenced) and the commit fence still covers them.
+  const std::size_t lines = FlushSet::kMaxLines + 8;
+  {
+    FlushSet fs;
+    for (std::size_t i = 0; i < lines; ++i) {
+      words_[i * 8] = i + 1;
+      fs.add(&words_[i * 8], 8);
+    }
+    fs.commit();
+  }
+  EXPECT_EQ(Stats::instance().fences.load(), 1u);
+  pool_->simulate_crash();
+  for (std::size_t i = 0; i < lines; ++i) EXPECT_EQ(words_[i * 8], i + 1);
+}
+
+TEST_F(FlushSetTest, KillSwitchRestoresLegacyPersistSequence) {
+  set_flush_coalescing_for_testing(false);
+  {
+    FlushSet fs;
+    words_[0] = 6;
+    fs.add(&words_[0], 8);  // behaves exactly like persist()
+    words_[1] = 7;
+    fs.add(&words_[1], 8);
+    fs.commit();  // no-op
+  }
+  EXPECT_EQ(Stats::instance().persist_calls.load(), 2u);
+  EXPECT_EQ(Stats::instance().fences.load(), 2u);
+  EXPECT_EQ(Stats::instance().coalesced_fences_saved.load(), 0u);
+  pool_->simulate_crash();
+  EXPECT_EQ(words_[0], 6u);
+  EXPECT_EQ(words_[1], 7u);
+}
+
+TEST(Persist, PersistCountsItsFence) {
+  auto p = Pool::create_anonymous(0, 4096, {.crash_tracking = true});
+  Stats::instance().reset();
+  persist(p->base(), 8);
+  EXPECT_EQ(Stats::instance().fences.load(), 1u);
 }
 
 }  // namespace
