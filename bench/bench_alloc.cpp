@@ -40,26 +40,7 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
-/// Per-op deltas of the global persistence counters across a timed section.
-struct StatsDelta {
-  std::uint64_t persists0 = 0, fences0 = 0;
-  void begin() {
-    persists0 = pmem::Stats::instance().persist_calls.load();
-    fences0 = pmem::Stats::instance().fences.load();
-  }
-  JsonBenchWriter::Config per_op(std::uint64_t ops) const {
-    auto& s = pmem::Stats::instance();
-    char buf[32];
-    JsonBenchWriter::Config cfg;
-    std::snprintf(buf, sizeof buf, "%.3f",
-                  double(s.persist_calls.load() - persists0) / double(ops));
-    cfg.emplace_back("persists_per_op", buf);
-    std::snprintf(buf, sizeof buf, "%.3f",
-                  double(s.fences.load() - fences0) / double(ops));
-    cfg.emplace_back("fences_per_op", buf);
-    return cfg;
-  }
-};
+using bench::StatsDelta;  // snapshot-based per-phase counters (bench_common)
 
 /// RIV allocator stack on one anonymous pool, with magazine descriptors in
 /// the root area so the fast path can be toggled per instance.

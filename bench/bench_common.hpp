@@ -19,12 +19,38 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "bztree/bztree.hpp"
 #include "core/upskiplist.hpp"
 #include "lockskiplist/lock_skiplist.hpp"
 #include "ycsb/runner.hpp"
 
 namespace upsl::bench {
+
+/// Per-phase persistence counters via pmem::Stats snapshots. begin() marks a
+/// phase start; per_op() reports the deltas since then, normalized per
+/// operation. Phases never reset the live global counters (which would
+/// corrupt any concurrent observer — the pattern the snapshot API replaces),
+/// they just subtract two snapshots.
+struct StatsDelta {
+  pmem::StatsSnapshot t0;
+
+  void begin() { t0 = pmem::Stats::instance().snapshot(); }
+
+  JsonBenchWriter::Config per_op(std::uint64_t ops) const {
+    const pmem::StatsSnapshot d = pmem::Stats::instance().snapshot() - t0;
+    char buf[32];
+    JsonBenchWriter::Config cfg;
+    std::snprintf(buf, sizeof buf, "%.3f",
+                  static_cast<double>(d.persist_calls) /
+                      static_cast<double>(ops));
+    cfg.emplace_back("persists_per_op", buf);
+    std::snprintf(buf, sizeof buf, "%.3f",
+                  static_cast<double>(d.fences) / static_cast<double>(ops));
+    cfg.emplace_back("fences_per_op", buf);
+    return cfg;
+  }
+};
 
 inline std::uint64_t env_u64(const char* name, std::uint64_t def) {
   const char* v = std::getenv(name);

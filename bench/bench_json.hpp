@@ -6,7 +6,7 @@
 // working directory, so the perf trajectory across PRs is diffable data
 // instead of scraped stdout.
 //
-// Schema (version 1):
+// Schema (version 1; p999_ns added later, additively):
 //   {
 //     "bench": "<harness name>",
 //     "schema": 1,
@@ -16,7 +16,8 @@
 //         "config": {"key": "value", ...},
 //         "ops_per_sec": <double>,
 //         "p50_ns": <int>,        // only when a histogram was supplied
-//         "p99_ns": <int>
+//         "p99_ns": <int>,
+//         "p999_ns": <int>
 //       }, ...
 //     ]
 //   }
@@ -42,13 +43,14 @@ class JsonBenchWriter {
 
   void add(std::string name, Config config, double ops_per_sec) {
     entries_.push_back(
-        {std::move(name), std::move(config), ops_per_sec, {}, {}});
+        {std::move(name), std::move(config), ops_per_sec, {}, {}, {}});
   }
 
   void add(std::string name, Config config, double ops_per_sec,
            const LatencyHistogram& latency) {
     entries_.push_back({std::move(name), std::move(config), ops_per_sec,
-                        latency.percentile(50.0), latency.percentile(99.0)});
+                        latency.percentile(50.0), latency.percentile(99.0),
+                        latency.percentile(99.9)});
   }
 
   /// Write BENCH_<bench name>.json in the current directory (or an explicit
@@ -73,6 +75,9 @@ class JsonBenchWriter {
         std::fprintf(f, ", \"p50_ns\": %llu, \"p99_ns\": %llu",
                      static_cast<unsigned long long>(*e.p50_ns),
                      static_cast<unsigned long long>(*e.p99_ns));
+      if (e.p999_ns.has_value())
+        std::fprintf(f, ", \"p999_ns\": %llu",
+                     static_cast<unsigned long long>(*e.p999_ns));
       std::fprintf(f, "}");
     }
     std::fprintf(f, "\n  ]\n}\n");
@@ -90,6 +95,7 @@ class JsonBenchWriter {
     double ops_per_sec;
     std::optional<std::uint64_t> p50_ns;
     std::optional<std::uint64_t> p99_ns;
+    std::optional<std::uint64_t> p999_ns;
   };
 
   static std::string escaped(const std::string& s) {

@@ -14,11 +14,44 @@
 
 #include <atomic>
 #include <cstdint>
+#include <string>
 #include <type_traits>
 
 #include "common/compiler.hpp"
 
 namespace upsl::pmem {
+
+/// Point-in-time copy of the global persistence counters. Phases that want
+/// "persists during *this* section" subtract two snapshots instead of
+/// resetting the live (process-global, concurrently bumped) counters — the
+/// snapshot-delta idiom composes across nested/concurrent phases where
+/// Stats::reset() silently corrupts any other observer.
+struct StatsSnapshot {
+  std::uint64_t persist_calls = 0;
+  std::uint64_t persisted_lines = 0;
+  std::uint64_t fences = 0;
+  std::uint64_t coalesced_fences_saved = 0;
+  std::uint64_t coalesced_lines_saved = 0;
+
+  StatsSnapshot operator-(const StatsSnapshot& t0) const {
+    return {persist_calls - t0.persist_calls,
+            persisted_lines - t0.persisted_lines, fences - t0.fences,
+            coalesced_fences_saved - t0.coalesced_fences_saved,
+            coalesced_lines_saved - t0.coalesced_lines_saved};
+  }
+
+  /// Flat JSON object, e.g. for the server's STATS command or log lines.
+  std::string to_json() const {
+    auto field = [](const char* k, std::uint64_t v) {
+      return "\"" + std::string(k) + "\": " + std::to_string(v);
+    };
+    return "{" + field("persist_calls", persist_calls) + ", " +
+           field("persisted_lines", persisted_lines) + ", " +
+           field("fences", fences) + ", " +
+           field("coalesced_fences_saved", coalesced_fences_saved) + ", " +
+           field("coalesced_lines_saved", coalesced_lines_saved) + "}";
+  }
+};
 
 /// Global persistence statistics (relaxed counters; cheap and useful for
 /// explaining benchmark results in terms of flush counts).
@@ -38,6 +71,15 @@ struct Stats {
     static Stats s;
     return s;
   }
+
+  StatsSnapshot snapshot() const {
+    return {persist_calls.load(std::memory_order_relaxed),
+            persisted_lines.load(std::memory_order_relaxed),
+            fences.load(std::memory_order_relaxed),
+            coalesced_fences_saved.load(std::memory_order_relaxed),
+            coalesced_lines_saved.load(std::memory_order_relaxed)};
+  }
+
   void reset() {
     persist_calls.store(0, std::memory_order_relaxed);
     persisted_lines.store(0, std::memory_order_relaxed);

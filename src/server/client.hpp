@@ -1,0 +1,239 @@
+// Blocking client for the upsl-serve wire protocol (header-only).
+//
+// Two usage styles:
+//   * one-shot calls (get/put/remove/scan/stats/ping) — one request frame
+//     out, one response frame in;
+//   * explicit pipelining — queue() any number of requests, then flush()
+//     writes them as one contiguous byte stream and reads exactly that many
+//     responses back, in order. This is what bench_server and the batched
+//     CLI paths use; the server executes such a burst as one batch with a
+//     single ack fence.
+//
+// All methods throw std::runtime_error on transport errors (connection
+// refused/reset, short reads, malformed responses); kNotFound is not an
+// error, it is a result.
+#pragma once
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "server/protocol.hpp"
+
+namespace upsl::server {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client() { close(); }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+  /// Connects (IPv4). Returns false on failure, errno intact.
+  bool connect(const std::string& host, std::uint16_t port) {
+    close();
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+      close();
+      return false;
+    }
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    return true;
+  }
+
+  bool connected() const { return fd_ >= 0; }
+
+  void close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+    sendbuf_.clear();
+    queued_ = 0;
+    recvbuf_.clear();
+  }
+
+  // ---- pipelining ---------------------------------------------------------
+
+  void queue(const Request& req) {
+    encode_request(req, sendbuf_);
+    ++queued_;
+  }
+
+  std::size_t queued() const { return queued_; }
+
+  /// Sends every queued request, reads exactly as many responses. Clears the
+  /// queue. Throws on any transport or framing error.
+  void flush(std::vector<Response>* out) {
+    const std::size_t n = queued_;
+    send_all(sendbuf_.data(), sendbuf_.size());
+    sendbuf_.clear();
+    queued_ = 0;
+    out->clear();
+    out->reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      Response resp;
+      read_response(&resp);
+      out->push_back(std::move(resp));
+    }
+  }
+
+  // ---- one-shot operations ------------------------------------------------
+
+  bool ping() {
+    const Response r = roundtrip({Opcode::kPing});
+    return r.status == Status::kOk;
+  }
+
+  std::optional<std::uint64_t> get(std::uint64_t key) {
+    const Response r = roundtrip({Opcode::kGet, key});
+    if (r.status == Status::kNotFound) return std::nullopt;
+    expect_ok(r, "GET");
+    return extract_u64(r, "GET");
+  }
+
+  struct PutResult {
+    bool created = false;
+    std::uint64_t old_value = 0;  // valid iff !created
+  };
+
+  PutResult put(std::uint64_t key, std::uint64_t value) {
+    const Response r = roundtrip({Opcode::kPut, key, value});
+    if (r.status == Status::kCreated) return {true, 0};
+    expect_ok(r, "PUT");
+    return {false, extract_u64(r, "PUT")};
+  }
+
+  std::optional<std::uint64_t> remove(std::uint64_t key) {
+    const Response r = roundtrip({Opcode::kRemove, key});
+    if (r.status == Status::kNotFound) return std::nullopt;
+    expect_ok(r, "REMOVE");
+    return extract_u64(r, "REMOVE");
+  }
+
+  /// Scan [lo, hi]; limit 0 = server maximum. The server truncates at its
+  /// kMaxScanEntries cap, so size()==limit (or the cap) may mean "more".
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> scan(
+      std::uint64_t lo, std::uint64_t hi, std::uint32_t limit = 0) {
+    Request req{Opcode::kScan, lo, hi};
+    req.limit = limit;
+    const Response r = roundtrip(req);
+    expect_ok(r, "SCAN");
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+    if (!r.scan_entries(&out))
+      throw std::runtime_error("upsl client: malformed SCAN payload");
+    return out;
+  }
+
+  std::string stats_json() {
+    const Response r = roundtrip({Opcode::kStats});
+    expect_ok(r, "STATS");
+    std::string json;
+    if (!r.blob(&json))
+      throw std::runtime_error("upsl client: malformed STATS payload");
+    return json;
+  }
+
+ private:
+  Response roundtrip(const Request& req) {
+    if (queued_ != 0)
+      throw std::logic_error(
+          "upsl client: one-shot call with requests still queued");
+    std::vector<std::uint8_t> frame;
+    encode_request(req, frame);
+    send_all(frame.data(), frame.size());
+    Response resp;
+    read_response(&resp);
+    return resp;
+  }
+
+  static void expect_ok(const Response& r, const char* what) {
+    if (r.status != Status::kOk)
+      throw std::runtime_error(std::string("upsl client: ") + what +
+                               " failed with status " +
+                               std::to_string(static_cast<int>(r.status)));
+  }
+
+  static std::uint64_t extract_u64(const Response& r, const char* what) {
+    std::uint64_t v = 0;
+    if (!r.value_u64(&v))
+      throw std::runtime_error(std::string("upsl client: malformed ") + what +
+                               " payload");
+    return v;
+  }
+
+  void send_all(const std::uint8_t* data, std::size_t n) {
+    std::size_t off = 0;
+    while (off < n) {
+      const ssize_t s = ::send(fd_, data + off, n - off, MSG_NOSIGNAL);
+      if (s > 0) {
+        off += static_cast<std::size_t>(s);
+        continue;
+      }
+      if (s < 0 && errno == EINTR) continue;
+      throw std::runtime_error("upsl client: send failed (server gone?)");
+    }
+  }
+
+  /// Reads one full response frame (buffering any pipelined successors).
+  void read_response(Response* out) {
+    while (true) {
+      std::size_t consumed = 0;
+      const ParseResult pr =
+          parse_response(recvbuf_.data(), recvbuf_.size(), out, &consumed);
+      if (pr == ParseResult::kOk) {
+        recvbuf_.erase(recvbuf_.begin(),
+                       recvbuf_.begin() + static_cast<std::ptrdiff_t>(consumed));
+        return;
+      }
+      if (pr == ParseResult::kBad)
+        throw std::runtime_error("upsl client: malformed response frame");
+      std::uint8_t buf[64 * 1024];
+      const ssize_t r = ::recv(fd_, buf, sizeof buf, 0);
+      if (r > 0) {
+        recvbuf_.insert(recvbuf_.end(), buf, buf + r);
+        continue;
+      }
+      if (r < 0 && errno == EINTR) continue;
+      throw std::runtime_error(
+          "upsl client: connection closed while awaiting response");
+    }
+  }
+
+  int fd_ = -1;
+  std::vector<std::uint8_t> sendbuf_;
+  std::size_t queued_ = 0;
+  std::vector<std::uint8_t> recvbuf_;
+};
+
+/// Parses "host:port" (e.g. "127.0.0.1:7707"). Returns false on bad input.
+inline bool parse_addr(const std::string& addr, std::string* host,
+                       std::uint16_t* port) {
+  const auto colon = addr.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == addr.size())
+    return false;
+  const unsigned long p = std::strtoul(addr.c_str() + colon + 1, nullptr, 10);
+  if (p == 0 || p > 65535) return false;
+  *host = addr.substr(0, colon);
+  *port = static_cast<std::uint16_t>(p);
+  return true;
+}
+
+}  // namespace upsl::server

@@ -1,0 +1,451 @@
+#include "server/server.hpp"
+
+#include <arpa/inet.h>
+#include <csignal>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <unordered_map>
+
+#include "common/thread_registry.hpp"
+#include "pmem/persist.hpp"
+#include "server/protocol.hpp"
+
+namespace upsl::server {
+
+namespace {
+
+std::atomic<bool> g_signal_stop{false};
+
+void on_stop_signal(int) { g_signal_stop.store(true, std::memory_order_release); }
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+#ifndef EPOLLEXCLUSIVE
+#define EPOLLEXCLUSIVE (1u << 28)
+#endif
+
+}  // namespace
+
+/// One TCP connection, owned by exactly one worker. `in` accumulates raw
+/// bytes until complete frames can be parsed; `out` holds encoded responses
+/// not yet accepted by the kernel (out_off bytes already sent).
+struct Server::Conn {
+  int fd = -1;
+  std::vector<std::uint8_t> in;
+  std::vector<std::uint8_t> out;
+  std::size_t out_off = 0;
+  bool want_write = false;  // EPOLLOUT currently registered
+
+  bool has_pending_out() const { return out_off < out.size(); }
+};
+
+struct Server::Worker {
+  int epoll_fd = -1;
+  std::unordered_map<int, Conn> conns;
+};
+
+Server::Server(core::UPSkipList& store, ServerOptions opts)
+    : store_(store), opts_(std::move(opts)) {
+  if (opts_.workers == 0) opts_.workers = 1;
+}
+
+Server::~Server() {
+  stop();
+  wait();
+}
+
+void Server::install_signal_handlers() {
+  struct sigaction sa = {};
+  sa.sa_handler = on_stop_signal;
+  ::sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);
+}
+
+bool Server::signal_stop_requested() {
+  return g_signal_stop.load(std::memory_order_acquire);
+}
+
+void Server::reset_signal_stop_for_testing() {
+  g_signal_stop.store(false, std::memory_order_release);
+}
+
+bool Server::start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return false;
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opts_.port);
+  if (::inet_pton(AF_INET, opts_.host.c_str(), &addr.sin_addr) != 1 ||
+      ::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(listen_fd_, 256) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  bound_port_ = ntohs(addr.sin_port);
+
+  for (unsigned i = 0; i < opts_.workers; ++i) {
+    auto w = std::make_unique<Worker>();
+    w->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    if (w->epoll_fd < 0) {
+      for (auto& prev : workers_) ::close(prev->epoll_fd);
+      workers_.clear();
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return false;
+    }
+    epoll_event ev = {};
+    ev.events = EPOLLIN | EPOLLEXCLUSIVE;
+    ev.data.fd = listen_fd_;
+    ::epoll_ctl(w->epoll_fd, EPOLL_CTL_ADD, listen_fd_, &ev);
+    workers_.push_back(std::move(w));
+  }
+  started_ = true;
+  for (unsigned i = 0; i < opts_.workers; ++i)
+    threads_.emplace_back([this, i] { worker_main(i); });
+  return true;
+}
+
+void Server::wait() {
+  for (auto& t : threads_)
+    if (t.joinable()) t.join();
+  threads_.clear();
+  if (started_ && !stopped_) {
+    stopped_ = true;
+    for (auto& w : workers_) ::close(w->epoll_fd);
+    workers_.clear();
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    // Drain complete: everything executed is already durable (the store
+    // persists per operation); a final fence orders the shutdown for any
+    // unfenced trailing flushes before the process exits.
+    pmem::fence();
+  }
+}
+
+void Server::worker_main(unsigned index) {
+  ThreadRegistry::instance().bind(
+      static_cast<int>(opts_.first_thread_id + index));
+  Worker& w = *workers_[index];
+  epoll_event events[64];
+  bool draining = false;
+
+  while (true) {
+    if (!draining &&
+        (stop_.load(std::memory_order_acquire) || signal_stop_requested())) {
+      draining = true;
+      // Every worker sees the same flag; each deregisters the shared listen
+      // fd from its own epoll set. shutdown() on the listen fd is left to
+      // wait() — workers may still be mid-accept.
+      ::epoll_ctl(w.epoll_fd, EPOLL_CTL_DEL, listen_fd_, nullptr);
+      drain_worker(w);
+      return;
+    }
+    const int n = ::epoll_wait(w.epoll_fd, events, 64, 50);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == listen_fd_) {
+        while (true) {
+          const int cfd = ::accept4(listen_fd_, nullptr, nullptr,
+                                    SOCK_NONBLOCK | SOCK_CLOEXEC);
+          if (cfd < 0) break;  // EAGAIN (or a raced accept) — done for now
+          const int one = 1;
+          ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+          epoll_event ev = {};
+          ev.events = EPOLLIN;
+          ev.data.fd = cfd;
+          if (::epoll_ctl(w.epoll_fd, EPOLL_CTL_ADD, cfd, &ev) != 0) {
+            ::close(cfd);
+            continue;
+          }
+          w.conns[cfd].fd = cfd;
+          stats_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+        }
+        continue;
+      }
+      auto it = w.conns.find(fd);
+      if (it == w.conns.end()) continue;  // already closed this sweep
+      Conn& c = it->second;
+      if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+        close_conn(w, c);
+      } else {
+        if ((events[i].events & EPOLLOUT) != 0) flush_out(w, c);
+        if (c.fd >= 0 && (events[i].events & EPOLLIN) != 0)
+          handle_readable(w, c);
+      }
+      // close_conn() only marks the connection dead (the reference stays
+      // valid through the handlers above); reap it here.
+      if (c.fd < 0) w.conns.erase(it);
+    }
+  }
+}
+
+void Server::handle_readable(Worker& w, Conn& c) {
+  // Drain the socket into the connection's input buffer.
+  char buf[64 * 1024];
+  bool peer_closed = false;
+  while (true) {
+    const ssize_t r = ::recv(c.fd, buf, sizeof buf, 0);
+    if (r > 0) {
+      c.in.insert(c.in.end(), buf, buf + r);
+      // Refuse to buffer unboundedly: a peer that streams more than a full
+      // frame's worth without ever completing one is misbehaving.
+      if (c.in.size() > kHeaderBytes + kMaxBody + sizeof buf) {
+        stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        close_conn(w, c);
+        return;
+      }
+      continue;
+    }
+    if (r == 0) {
+      peer_closed = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    close_conn(w, c);
+    return;
+  }
+
+  // Execute everything that arrived; keep going while full batches keep
+  // parsing so a deep pipeline completes before the next epoll_wait.
+  while (execute_batch(w, c)) {
+  }
+  if (c.fd < 0) return;
+  if (peer_closed) {
+    // Deliver any responses for frames that were complete, then close.
+    flush_out(w, c);
+    if (c.fd >= 0) close_conn(w, c);
+  }
+}
+
+/// Parses and executes up to max_batch frames from c.in, encodes responses
+/// into c.out, then commits the batch: one fence if anything mutated, one
+/// send() for all responses. Returns true if a full batch was executed and
+/// more complete frames may still be buffered.
+bool Server::execute_batch(Worker& w, Conn& c) {
+  std::size_t off = 0;
+  unsigned executed = 0;
+  bool mutated = false;
+  while (executed < opts_.max_batch) {
+    Request req;
+    std::size_t consumed = 0;
+    const ParseResult pr =
+        parse_request(c.in.data() + off, c.in.size() - off, &req, &consumed);
+    if (pr == ParseResult::kBad) {
+      stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      close_conn(w, c);
+      return false;
+    }
+    if (pr == ParseResult::kNeedMore) break;
+    off += consumed;
+    ++executed;
+    bool op_mutated = false;
+    execute_one(req, c.out, &op_mutated);
+    mutated |= op_mutated;
+  }
+  if (off > 0) c.in.erase(c.in.begin(), c.in.begin() + off);
+  if (executed == 0) return false;
+
+  stats_.frames.fetch_add(executed, std::memory_order_relaxed);
+  stats_.batches.fetch_add(1, std::memory_order_relaxed);
+  if (mutated) {
+    // Ack gate: each op is already individually durable (the store persists
+    // before returning), so this is one batch-wide fence ordering the
+    // response bytes after everything the batch wrote — the coalesced
+    // equivalent of fencing per acknowledgement.
+    pmem::fence();
+    stats_.batch_fences.fetch_add(1, std::memory_order_relaxed);
+  }
+  flush_out(w, c);
+  return c.fd >= 0 && executed == opts_.max_batch && !c.in.empty();
+}
+
+void Server::execute_one(const Request& req, std::vector<std::uint8_t>& out,
+                         bool* mutated) {
+  switch (req.op) {
+    case Opcode::kGet: {
+      stats_.gets.fetch_add(1, std::memory_order_relaxed);
+      const auto v = store_.search(req.key);
+      if (v)
+        encode_response_value(Status::kOk, *v, out);
+      else
+        encode_response_empty(Status::kNotFound, out);
+      break;
+    }
+    case Opcode::kPut:
+    case Opcode::kUpdate: {
+      stats_.puts.fetch_add(1, std::memory_order_relaxed);
+      const auto old = store_.insert(req.key, req.value);
+      *mutated = true;
+      if (old)
+        encode_response_value(Status::kOk, *old, out);
+      else
+        encode_response_empty(Status::kCreated, out);
+      break;
+    }
+    case Opcode::kRemove: {
+      stats_.removes.fetch_add(1, std::memory_order_relaxed);
+      const auto old = store_.remove(req.key);
+      if (old) {
+        *mutated = true;
+        encode_response_value(Status::kOk, *old, out);
+      } else {
+        encode_response_empty(Status::kNotFound, out);
+      }
+      break;
+    }
+    case Opcode::kScan: {
+      stats_.scans.fetch_add(1, std::memory_order_relaxed);
+      const std::uint32_t limit =
+          std::min(req.limit == 0 ? kMaxScanEntries : req.limit,
+                   kMaxScanEntries);
+      std::vector<core::ScanEntry> entries;
+      store_.scan(req.key, req.value, entries);
+      std::vector<std::pair<std::uint64_t, std::uint64_t>> kv;
+      const std::uint32_t count =
+          std::min<std::uint64_t>(entries.size(), limit);
+      kv.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i)
+        kv.emplace_back(entries[i].key, entries[i].value);
+      encode_response_scan(kv.data(), count, out);
+      break;
+    }
+    case Opcode::kStats:
+      encode_response_blob(Status::kOk, stats_json(), out);
+      break;
+    case Opcode::kPing:
+      encode_response_empty(Status::kOk, out);
+      break;
+  }
+}
+
+void Server::flush_out(Worker& w, Conn& c) {
+  while (c.has_pending_out()) {
+    const ssize_t s = ::send(c.fd, c.out.data() + c.out_off,
+                             c.out.size() - c.out_off, MSG_NOSIGNAL);
+    if (s > 0) {
+      c.out_off += static_cast<std::size_t>(s);
+      continue;
+    }
+    if (s < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (s < 0 && errno == EINTR) continue;
+    close_conn(w, c);
+    return;
+  }
+  if (!c.has_pending_out()) {
+    c.out.clear();
+    c.out_off = 0;
+  }
+  const bool want = c.has_pending_out();
+  if (want != c.want_write) {
+    epoll_event ev = {};
+    ev.events = EPOLLIN | (want ? EPOLLOUT : 0u);
+    ev.data.fd = c.fd;
+    ::epoll_ctl(w.epoll_fd, EPOLL_CTL_MOD, c.fd, &ev);
+    c.want_write = want;
+  }
+}
+
+/// Tears the socket down and marks the Conn dead (fd = -1). Deliberately
+/// does NOT erase it from the worker's map — callers up the stack still hold
+/// a reference; the event/drain loop reaps dead entries.
+void Server::close_conn(Worker& w, Conn& c) {
+  ::epoll_ctl(w.epoll_fd, EPOLL_CTL_DEL, c.fd, nullptr);
+  ::close(c.fd);
+  c.fd = -1;
+  stats_.connections_closed.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Graceful drain: execute what is already buffered on every connection,
+/// push out the responses (blocking with a deadline — the sockets are
+/// non-blocking, so poll for writability), close everything.
+void Server::drain_worker(Worker& w) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(opts_.drain_timeout_sec);
+  std::vector<int> fds;
+  fds.reserve(w.conns.size());
+  for (auto& [fd, conn] : w.conns) fds.push_back(fd);
+  for (const int fd : fds) {
+    auto it = w.conns.find(fd);
+    if (it == w.conns.end()) continue;
+    Conn& c = it->second;
+    // Execute the requests the peer already sent (they may be unread in the
+    // socket buffer: take one last non-blocking slurp).
+    char buf[64 * 1024];
+    while (true) {
+      const ssize_t r = ::recv(c.fd, buf, sizeof buf, 0);
+      if (r > 0) {
+        c.in.insert(c.in.end(), buf, buf + r);
+        continue;
+      }
+      break;
+    }
+    while (execute_batch(w, c)) {
+    }
+    if (c.fd < 0) continue;
+    while (c.has_pending_out() &&
+           std::chrono::steady_clock::now() < deadline) {
+      pollfd pfd = {c.fd, POLLOUT, 0};
+      if (::poll(&pfd, 1, 100) <= 0) continue;
+      flush_out(w, c);
+      if (c.fd < 0) break;
+    }
+    if (c.fd >= 0) close_conn(w, c);
+  }
+}
+
+std::string Server::stats_json() const {
+  auto u64 = [](const char* k, std::uint64_t v) {
+    return "\"" + std::string(k) + "\": " + std::to_string(v);
+  };
+  const auto& s = stats_;
+  std::string json = "{";
+  json += "\"server\": {";
+  json += u64("connections_accepted",
+              s.connections_accepted.load(std::memory_order_relaxed)) + ", ";
+  json += u64("connections_closed",
+              s.connections_closed.load(std::memory_order_relaxed)) + ", ";
+  json += u64("frames", s.frames.load(std::memory_order_relaxed)) + ", ";
+  json += u64("batches", s.batches.load(std::memory_order_relaxed)) + ", ";
+  json += u64("batch_fences",
+              s.batch_fences.load(std::memory_order_relaxed)) + ", ";
+  json += u64("protocol_errors",
+              s.protocol_errors.load(std::memory_order_relaxed)) + ", ";
+  json += u64("gets", s.gets.load(std::memory_order_relaxed)) + ", ";
+  json += u64("puts", s.puts.load(std::memory_order_relaxed)) + ", ";
+  json += u64("removes", s.removes.load(std::memory_order_relaxed)) + ", ";
+  json += u64("scans", s.scans.load(std::memory_order_relaxed));
+  json += "}, ";
+  json += u64("epoch", store_.epoch()) + ", ";
+  json += "\"pmem\": " + pmem::Stats::instance().snapshot().to_json();
+  json += "}";
+  return json;
+}
+
+}  // namespace upsl::server

@@ -1,0 +1,125 @@
+// upsl-serve: a multi-threaded epoll TCP front-end over one UPSkipList.
+//
+// Threading model: N worker threads, each with its own epoll instance. The
+// (non-blocking) listen socket is registered level-triggered in every
+// worker's epoll set with EPOLLEXCLUSIVE, so the kernel wakes one worker per
+// pending connection; the accepting worker owns the connection for its whole
+// life — per-connection state is never shared between threads.
+//
+// Pipelining: a wakeup drains the socket, parses every complete frame that
+// arrived, executes the whole batch back-to-back against the store, and only
+// then writes the concatenated responses with one send(). Each mutating
+// operation is individually durable before it returns (the store persists
+// internally), and the server issues one extra pmem::fence() per batch that
+// contained a mutation before any response byte leaves — acknowledgements
+// are ordered after durability with one fence per batch, not one per op.
+//
+// Lifecycle: construct over an already-recovered store (the caller runs
+// Pool::open + UPSkipList::open first — the listen socket must not exist
+// before recovery has run), start(), then wait(). stop() — or a SIGTERM/
+// SIGINT routed through install_signal_handlers() — triggers a graceful
+// drain: the listen socket closes (no new connections), every worker
+// executes the requests already buffered on its connections, flushes
+// pending responses, fences, and exits. wait() returns once all workers are
+// done.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/upskiplist.hpp"
+
+namespace upsl::server {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 = let the kernel pick an ephemeral port (query it via port()).
+  std::uint16_t port = 0;
+  unsigned workers = 4;
+  /// ThreadRegistry slot of worker 0; workers bind first_thread_id..+workers.
+  /// Keep distinct from the ids other threads in the process use, and below
+  /// the store's Options::max_threads.
+  unsigned first_thread_id = 1;
+  /// Most frames executed per connection per wakeup; a connection with more
+  /// buffered input is revisited before the next epoll_wait so one noisy
+  /// pipeliner cannot starve its worker's other connections.
+  unsigned max_batch = 64;
+  /// Seconds a draining worker will wait for blocked response bytes.
+  unsigned drain_timeout_sec = 5;
+};
+
+/// Monotonic serving counters, exposed through the STATS command.
+struct ServerStats {
+  std::atomic<std::uint64_t> connections_accepted{0};
+  std::atomic<std::uint64_t> connections_closed{0};
+  std::atomic<std::uint64_t> frames{0};
+  std::atomic<std::uint64_t> batches{0};
+  std::atomic<std::uint64_t> batch_fences{0};
+  std::atomic<std::uint64_t> protocol_errors{0};
+  std::atomic<std::uint64_t> gets{0};
+  std::atomic<std::uint64_t> puts{0};
+  std::atomic<std::uint64_t> removes{0};
+  std::atomic<std::uint64_t> scans{0};
+};
+
+class Server {
+ public:
+  Server(core::UPSkipList& store, ServerOptions opts);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and spawns the workers. False (with errno intact) if the
+  /// socket could not be set up; no threads are running then.
+  bool start();
+
+  /// Port actually bound (resolves port 0). Valid after start().
+  std::uint16_t port() const { return bound_port_; }
+
+  /// Request a graceful drain. Safe to call from any thread, repeatedly.
+  void stop() { stop_.store(true, std::memory_order_release); }
+
+  /// Blocks until every worker has drained and exited.
+  void wait();
+
+  bool running() const { return started_ && !stopped_; }
+
+  const ServerStats& stats() const { return stats_; }
+
+  /// Route SIGTERM/SIGINT to a process-wide stop flag every running Server
+  /// polls (the handler only stores to an atomic — async-signal-safe).
+  static void install_signal_handlers();
+  /// The process-wide flag, for tests and for main()'s exit message.
+  static bool signal_stop_requested();
+  static void reset_signal_stop_for_testing();
+
+ private:
+  struct Conn;
+  struct Worker;
+
+  void worker_main(unsigned index);
+  void handle_readable(Worker& w, Conn& c);
+  bool execute_batch(Worker& w, Conn& c);
+  void execute_one(const struct Request& req, std::vector<std::uint8_t>& out,
+                   bool* mutated);
+  void flush_out(Worker& w, Conn& c);
+  void close_conn(Worker& w, Conn& c);
+  void drain_worker(Worker& w);
+  std::string stats_json() const;
+
+  core::UPSkipList& store_;
+  ServerOptions opts_;
+  int listen_fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+  bool stopped_ = false;
+  std::vector<std::thread> threads_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  ServerStats stats_;
+};
+
+}  // namespace upsl::server

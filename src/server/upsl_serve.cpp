@@ -1,0 +1,125 @@
+// upsl-serve — the network front-end binary.
+//
+//   upsl-serve [--pool PATH] [--host H] [--port P] [--workers N]
+//              [--pool-mb MB] [--keys-per-node K]
+//
+// Startup order is the recovery contract made visible: open (or create) the
+// pool, run UPSkipList::open — which bumps the failure-free epoch and arms
+// the deferred repair/allocator-recovery machinery — and only then bind the
+// listen socket. A client that can connect is therefore guaranteed to be
+// talking to a recovered store.
+//
+// SIGTERM/SIGINT trigger a graceful drain: stop accepting, execute the
+// requests already received, flush their responses, fence, exit 0.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "common/thread_registry.hpp"
+#include "core/upskiplist.hpp"
+#include "server/server.hpp"
+
+namespace {
+
+struct Args {
+  std::string pool = "/tmp/upsl_serve.pool";
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 7707;
+  unsigned workers = 4;
+  std::size_t pool_mb = 512;
+  std::uint32_t keys_per_node = 64;
+};
+
+bool parse_args(int argc, char** argv, Args* a) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (flag == "--pool" && (v = next()) != nullptr) {
+      a->pool = v;
+    } else if (flag == "--host" && (v = next()) != nullptr) {
+      a->host = v;
+    } else if (flag == "--port" && (v = next()) != nullptr) {
+      a->port = static_cast<std::uint16_t>(std::strtoul(v, nullptr, 10));
+    } else if (flag == "--workers" && (v = next()) != nullptr) {
+      a->workers = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    } else if (flag == "--pool-mb" && (v = next()) != nullptr) {
+      a->pool_mb = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--keys-per-node" && (v = next()) != nullptr) {
+      a->keys_per_node = static_cast<std::uint32_t>(
+          std::strtoul(v, nullptr, 10));
+    } else {
+      std::fprintf(stderr,
+                   "usage: upsl-serve [--pool PATH] [--host H] [--port P] "
+                   "[--workers N] [--pool-mb MB] [--keys-per-node K]\n");
+      return false;
+    }
+  }
+  return a->workers > 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace upsl;
+  Args args;
+  if (!parse_args(argc, argv, &args)) return 2;
+
+  ThreadRegistry::instance().bind(0);
+
+  core::Options opts;
+  opts.keys_per_node = args.keys_per_node;
+  opts.max_threads = args.workers + 4;
+  opts.chunk.chunk_size = 1 << 20;
+  const std::size_t budget = args.pool_mb << 20;
+  opts.chunk.max_chunks = static_cast<std::uint32_t>(
+      std::max<std::size_t>(32, budget / opts.chunk.chunk_size));
+  const std::size_t pool_size = (8ull << 20) + opts.chunk.root_size +
+                                std::size_t{opts.chunk.max_chunks} *
+                                    opts.chunk.chunk_size;
+
+  // Phase 1: open the pool and recover BEFORE any socket exists.
+  std::unique_ptr<pmem::Pool> pool;
+  std::unique_ptr<core::UPSkipList> store;
+  if (std::filesystem::exists(args.pool)) {
+    pool = pmem::Pool::open(args.pool, 0);
+    store = core::UPSkipList::open({pool.get()});
+    std::printf("upsl-serve: recovered %s (epoch %llu)\n", args.pool.c_str(),
+                static_cast<unsigned long long>(store->epoch()));
+  } else {
+    pool = pmem::Pool::create(args.pool, 0, pool_size);
+    store = core::UPSkipList::create({pool.get()}, opts);
+    std::printf("upsl-serve: created %s (%zu MiB)\n", args.pool.c_str(),
+                pool_size >> 20);
+  }
+
+  // Phase 2: serve.
+  server::ServerOptions sopts;
+  sopts.host = args.host;
+  sopts.port = args.port;
+  sopts.workers = args.workers;
+  server::Server srv(*store, sopts);
+  server::Server::install_signal_handlers();
+  if (!srv.start()) {
+    std::fprintf(stderr, "upsl-serve: cannot listen on %s:%u: %s\n",
+                 args.host.c_str(), args.port, std::strerror(errno));
+    return 1;
+  }
+  std::printf("upsl-serve: listening on %s:%u (%u workers)\n",
+              args.host.c_str(), srv.port(), args.workers);
+  std::fflush(stdout);
+
+  srv.wait();  // returns after a signal-triggered drain
+
+  const auto& st = srv.stats();
+  std::printf("upsl-serve: drained (%llu frames, %llu batches, %llu conns); "
+              "bye\n",
+              static_cast<unsigned long long>(st.frames.load()),
+              static_cast<unsigned long long>(st.batches.load()),
+              static_cast<unsigned long long>(st.connections_accepted.load()));
+  return 0;
+}

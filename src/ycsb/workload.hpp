@@ -1,0 +1,87 @@
+// Single-operation YCSB op-mix generator, extracted from trace generation so
+// the in-process trace builder (ycsb.cpp) and the network load generator
+// (bench/bench_server.cpp) draw from exactly one implementation of the
+// read/update/insert dice roll and the key-choice distributions — the two
+// can never drift apart.
+//
+// With the defaults (insert_offset 0, insert_stride 1) the op stream is
+// bit-identical to what generate() historically produced for a given seed.
+// The offset/stride pair lets T concurrent closed-loop generators insert
+// into disjoint key-index residue classes (thread t uses offset=t, stride=T)
+// so they never collide on "fresh" insert keys without any coordination.
+#pragma once
+
+#include "ycsb/ycsb.hpp"
+
+namespace upsl::ycsb {
+
+class OpGenerator {
+ public:
+  OpGenerator(const WorkloadSpec& spec, std::uint64_t records,
+              std::uint64_t seed, std::uint64_t insert_offset = 0,
+              std::uint64_t insert_stride = 1)
+      : spec_(spec),
+        records_(records),
+        rng_(seed),
+        zipf_(records),
+        latest_(records),
+        insert_offset_(insert_offset),
+        insert_stride_(insert_stride == 0 ? 1 : insert_stride) {}
+
+  /// Draws the next operation of the mix. Deterministic per (spec, seed).
+  Op next() {
+    Op op{};
+    const double dice = rng_.next_double();
+    if (dice < spec_.insert) {
+      op.type = OpType::kInsert;
+      op.key = key_of(records_ + insert_offset_ + inserts_done_++ *
+                                                      insert_stride_);
+    } else {
+      op.type = dice < spec_.insert + spec_.update ? OpType::kUpdate
+                                                   : OpType::kRead;
+      op.key = key_of(pick_index());
+    }
+    op.value = value_seq_++;
+    return op;
+  }
+
+  std::uint64_t record_count() const { return records_; }
+
+ private:
+  /// Record index targeted by a read/update, per the spec's distribution.
+  std::uint64_t pick_index() {
+    switch (spec_.dist) {
+      case Distribution::kZipfian:
+        return zipf_.next(rng_);
+      case Distribution::kLatest: {
+        // "Latest" skews toward the most recently inserted record: a zipfian
+        // over recency offsets from the moving insert frontier (YCSB's
+        // definition). The frontier advances once per insert regardless of
+        // stride, mirroring the logical "newest record" position.
+        const std::uint64_t frontier = records_ + inserts_done_;
+        const std::uint64_t back = latest_.next(rng_);
+        const std::uint64_t index = frontier - 1 - (back % frontier);
+        if (index < records_) return index;
+        // Map a post-preload logical index back onto this generator's own
+        // inserted keys so reads target records that actually exist.
+        return records_ + insert_offset_ +
+               (index - records_) * insert_stride_;
+      }
+      case Distribution::kUniform:
+      default:
+        return rng_.next_below(records_);
+    }
+  }
+
+  WorkloadSpec spec_;
+  std::uint64_t records_;
+  Xoshiro256 rng_;
+  ScrambledZipfian zipf_;
+  ZipfianGenerator latest_;
+  std::uint64_t insert_offset_;
+  std::uint64_t insert_stride_;
+  std::uint64_t inserts_done_ = 0;
+  std::uint64_t value_seq_ = 1;
+};
+
+}  // namespace upsl::ycsb

@@ -1,5 +1,7 @@
 #include "ycsb/ycsb.hpp"
 
+#include "ycsb/workload.hpp"
+
 namespace upsl::ycsb {
 
 Trace generate(const WorkloadSpec& spec, std::uint64_t records,
@@ -13,43 +15,12 @@ Trace generate(const WorkloadSpec& spec, std::uint64_t records,
   trace.ops.resize(threads);
   for (auto& slice : trace.ops) slice.reserve(total_ops / threads + 1);
 
-  Xoshiro256 rng(seed);
-  ScrambledZipfian zipf(records);
-  // "Latest" skews toward the most recently inserted record: a zipfian over
-  // recency offsets from the moving insert frontier (YCSB's definition).
-  ZipfianGenerator latest(records);
-  std::uint64_t insert_frontier = records;
-  std::uint64_t value_seq = 1;
-
-  for (std::uint64_t i = 0; i < total_ops; ++i) {
-    Op op{};
-    const double dice = rng.next_double();
-    if (dice < spec.insert) {
-      op.type = OpType::kInsert;
-      op.key = key_of(insert_frontier++);
-    } else {
-      op.type = dice < spec.insert + spec.update ? OpType::kUpdate
-                                                 : OpType::kRead;
-      std::uint64_t index;
-      switch (spec.dist) {
-        case Distribution::kZipfian:
-          index = zipf.next(rng);
-          break;
-        case Distribution::kLatest: {
-          const std::uint64_t back = latest.next(rng);
-          index = insert_frontier - 1 - (back % insert_frontier);
-          break;
-        }
-        case Distribution::kUniform:
-        default:
-          index = rng.next_below(records);
-          break;
-      }
-      op.key = key_of(index);
-    }
-    op.value = value_seq++;
-    trace.ops[i % threads].push_back(op);
-  }
+  // One sequential generator, sliced round-robin — same shared-frontier op
+  // stream the trace format always had; only the drawing moved into
+  // OpGenerator (shared with the network load generator).
+  OpGenerator gen(spec, records, seed);
+  for (std::uint64_t i = 0; i < total_ops; ++i)
+    trace.ops[i % threads].push_back(gen.next());
   return trace;
 }
 

@@ -13,6 +13,10 @@
 // Traces are pre-generated and split across threads before the timed run,
 // as in the thesis ("memory-mapped ... and played back to perform the
 // operations ... to remove the overhead of workload generation").
+//
+// The per-operation mix/key drawing itself lives in workload.hpp
+// (OpGenerator); generate() below and the closed-loop network load
+// generator (bench/bench_server.cpp) both build on it.
 #pragma once
 
 #include <cmath>

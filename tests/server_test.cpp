@@ -1,0 +1,415 @@
+// upsl-serve tests: protocol codec round-trips, malformed-frame handling
+// (truncated headers, oversized lengths, garbage opcodes must close the
+// connection — never crash, never over-read), pipelined batches, graceful
+// drain, and the headline property of the serving PR: recovery through
+// restart — every acknowledged PUT is readable after SIGTERM + a
+// process-level reopen of the pool, and an unacknowledged in-flight op is
+// either absent or fully applied, never torn.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <thread>
+
+#include "server/client.hpp"
+#include "server/protocol.hpp"
+#include "server/server.hpp"
+#include "test_util.hpp"
+
+namespace upsl::server {
+namespace {
+
+// ---- codec ----------------------------------------------------------------
+
+TEST(ServerProtocol, RequestRoundTrip) {
+  const Request cases[] = {
+      {Opcode::kGet, 42},
+      {Opcode::kPut, 7, 700},
+      {Opcode::kUpdate, 8, 800},
+      {Opcode::kRemove, 9},
+      {Opcode::kScan, 10, 99, 17},
+      {Opcode::kStats},
+      {Opcode::kPing},
+  };
+  for (const Request& in : cases) {
+    std::vector<std::uint8_t> buf;
+    encode_request(in, buf);
+    Request out;
+    std::size_t consumed = 0;
+    ASSERT_EQ(parse_request(buf.data(), buf.size(), &out, &consumed),
+              ParseResult::kOk);
+    EXPECT_EQ(consumed, buf.size());
+    EXPECT_EQ(static_cast<int>(out.op), static_cast<int>(in.op));
+    EXPECT_EQ(out.key, in.key);
+    EXPECT_EQ(out.value, in.value);
+    EXPECT_EQ(out.limit, in.limit);
+  }
+}
+
+TEST(ServerProtocol, ResponseRoundTrip) {
+  {
+    std::vector<std::uint8_t> buf;
+    encode_response_value(Status::kOk, 12345, buf);
+    Response r;
+    std::size_t consumed = 0;
+    ASSERT_EQ(parse_response(buf.data(), buf.size(), &r, &consumed),
+              ParseResult::kOk);
+    EXPECT_EQ(r.status, Status::kOk);
+    std::uint64_t v = 0;
+    ASSERT_TRUE(r.value_u64(&v));
+    EXPECT_EQ(v, 12345u);
+  }
+  {
+    std::vector<std::uint8_t> buf;
+    encode_response_empty(Status::kNotFound, buf);
+    Response r;
+    std::size_t consumed = 0;
+    ASSERT_EQ(parse_response(buf.data(), buf.size(), &r, &consumed),
+              ParseResult::kOk);
+    EXPECT_EQ(r.status, Status::kNotFound);
+    EXPECT_TRUE(r.payload.empty());
+  }
+  {
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> kv = {
+        {1, 10}, {2, 20}, {3, 30}};
+    std::vector<std::uint8_t> buf;
+    encode_response_scan(kv.data(), 3, buf);
+    Response r;
+    std::size_t consumed = 0;
+    ASSERT_EQ(parse_response(buf.data(), buf.size(), &r, &consumed),
+              ParseResult::kOk);
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> got;
+    ASSERT_TRUE(r.scan_entries(&got));
+    EXPECT_EQ(got, kv);
+  }
+  {
+    std::vector<std::uint8_t> buf;
+    encode_response_blob(Status::kOk, "{\"x\": 1}", buf);
+    Response r;
+    std::size_t consumed = 0;
+    ASSERT_EQ(parse_response(buf.data(), buf.size(), &r, &consumed),
+              ParseResult::kOk);
+    std::string blob;
+    ASSERT_TRUE(r.blob(&blob));
+    EXPECT_EQ(blob, "{\"x\": 1}");
+  }
+}
+
+TEST(ServerProtocol, PipelinedFramesParseBackToBack) {
+  std::vector<std::uint8_t> buf;
+  encode_request({Opcode::kPut, 1, 10}, buf);
+  encode_request({Opcode::kGet, 1}, buf);
+  encode_request({Opcode::kPing}, buf);
+  std::size_t off = 0;
+  int frames = 0;
+  while (off < buf.size()) {
+    Request r;
+    std::size_t consumed = 0;
+    ASSERT_EQ(parse_request(buf.data() + off, buf.size() - off, &r, &consumed),
+              ParseResult::kOk);
+    off += consumed;
+    ++frames;
+  }
+  EXPECT_EQ(frames, 3);
+  EXPECT_EQ(off, buf.size());
+}
+
+TEST(ServerProtocol, TruncatedFramesNeedMore) {
+  std::vector<std::uint8_t> buf;
+  encode_request({Opcode::kPut, 1, 10}, buf);
+  // Every strict prefix must parse as kNeedMore — never kOk, never kBad,
+  // never a read past the supplied bytes.
+  for (std::size_t n = 0; n < buf.size(); ++n) {
+    Request r;
+    std::size_t consumed = 0;
+    EXPECT_EQ(parse_request(buf.data(), n, &r, &consumed),
+              ParseResult::kNeedMore)
+        << "prefix length " << n;
+  }
+}
+
+TEST(ServerProtocol, OversizedLengthIsRejected) {
+  std::vector<std::uint8_t> buf;
+  put_u32(buf, kMaxBody + 1);
+  buf.resize(buf.size() + 16, 0);
+  Request r;
+  std::size_t consumed = 0;
+  EXPECT_EQ(parse_request(buf.data(), buf.size(), &r, &consumed),
+            ParseResult::kBad);
+  // 0xffffffff must not trigger a 4 GiB buffer wait either.
+  buf.clear();
+  put_u32(buf, 0xffffffffu);
+  EXPECT_EQ(parse_request(buf.data(), buf.size(), &r, &consumed),
+            ParseResult::kBad);
+}
+
+TEST(ServerProtocol, GarbageOpcodeAndWrongPayloadAreRejected) {
+  {
+    std::vector<std::uint8_t> buf;
+    put_u32(buf, kBodyPrefixBytes + 8);
+    buf.push_back(0xee);  // no such opcode
+    buf.insert(buf.end(), 3, 0);
+    put_u64(buf, 1);
+    Request r;
+    std::size_t consumed = 0;
+    EXPECT_EQ(parse_request(buf.data(), buf.size(), &r, &consumed),
+              ParseResult::kBad);
+  }
+  {
+    // Right opcode, wrong payload size (GET with 16 payload bytes).
+    std::vector<std::uint8_t> buf;
+    put_u32(buf, kBodyPrefixBytes + 16);
+    buf.push_back(static_cast<std::uint8_t>(Opcode::kGet));
+    buf.insert(buf.end(), 3, 0);
+    put_u64(buf, 1);
+    put_u64(buf, 2);
+    Request r;
+    std::size_t consumed = 0;
+    EXPECT_EQ(parse_request(buf.data(), buf.size(), &r, &consumed),
+              ParseResult::kBad);
+  }
+  {
+    // Body shorter than the opcode prefix itself.
+    std::vector<std::uint8_t> buf;
+    put_u32(buf, 2);
+    buf.push_back(1);
+    buf.push_back(0);
+    Request r;
+    std::size_t consumed = 0;
+    EXPECT_EQ(parse_request(buf.data(), buf.size(), &r, &consumed),
+              ParseResult::kBad);
+  }
+}
+
+// ---- loopback integration -------------------------------------------------
+
+/// Blocking raw IPv4 connect to the loopback server; -1 on failure.
+int raw_connect(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// File-backed store + server harness. The store harness mirrors the crash
+/// tests' procedure (tests/test_util.hpp); the server rides on top.
+struct ServerFixture {
+  explicit ServerFixture(unsigned workers = 2)
+      : harness(test::small_options(16, 12, 16)) {
+    start_server(workers);
+  }
+
+  ~ServerFixture() {
+    stop_server();
+    Server::reset_signal_stop_for_testing();
+  }
+
+  void start_server(unsigned workers = 2) {
+    ServerOptions o;
+    o.workers = workers;
+    o.first_thread_id = 8;  // clear of the ids the test body itself binds
+    srv = std::make_unique<Server>(harness.store(), o);
+    ASSERT_TRUE(srv->start());
+  }
+
+  void stop_server() {
+    if (srv != nullptr) {
+      srv->stop();
+      srv->wait();
+      srv.reset();
+    }
+  }
+
+  Client connect() {
+    Client c;
+    EXPECT_TRUE(c.connect("127.0.0.1", srv->port()));
+    return c;
+  }
+
+  test::StoreHarness harness;
+  std::unique_ptr<Server> srv;
+};
+
+TEST(ServerLoopback, BasicOpsAndStatuses) {
+  ServerFixture f;
+  Client c = f.connect();
+  EXPECT_TRUE(c.ping());
+
+  auto put1 = c.put(5, 50);
+  EXPECT_TRUE(put1.created);
+  auto put2 = c.put(5, 51);
+  EXPECT_FALSE(put2.created);
+  EXPECT_EQ(put2.old_value, 50u);
+
+  EXPECT_EQ(c.get(5), std::optional<std::uint64_t>(51));
+  EXPECT_EQ(c.get(404), std::nullopt);
+
+  EXPECT_EQ(c.remove(5), std::optional<std::uint64_t>(51));
+  EXPECT_EQ(c.remove(5), std::nullopt);
+  EXPECT_EQ(c.get(5), std::nullopt);
+
+  const std::string stats = c.stats_json();
+  EXPECT_NE(stats.find("\"pmem\""), std::string::npos);
+  EXPECT_NE(stats.find("\"epoch\""), std::string::npos);
+}
+
+TEST(ServerLoopback, ScanWithLimitAndOrder) {
+  ServerFixture f;
+  Client c = f.connect();
+  for (std::uint64_t k = 1; k <= 100; ++k) c.put(k, k * 10);
+  const auto all = c.scan(10, 20);
+  ASSERT_EQ(all.size(), 11u);
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i].first, 10 + i);
+    EXPECT_EQ(all[i].second, (10 + i) * 10);
+  }
+  const auto limited = c.scan(1, 100, 7);
+  EXPECT_EQ(limited.size(), 7u);
+  EXPECT_EQ(limited.front().first, 1u);
+}
+
+TEST(ServerLoopback, PipelinedBatchKeepsOrder) {
+  ServerFixture f;
+  Client c = f.connect();
+  constexpr std::uint64_t kN = 300;  // several server-side batches deep
+  for (std::uint64_t k = 0; k < kN; ++k)
+    c.queue({Opcode::kPut, k + 1, k + 1000});
+  std::vector<Response> resp;
+  c.flush(&resp);
+  ASSERT_EQ(resp.size(), kN);
+  for (const Response& r : resp) EXPECT_EQ(r.status, Status::kCreated);
+
+  for (std::uint64_t k = 0; k < kN; ++k) c.queue({Opcode::kGet, k + 1});
+  c.flush(&resp);
+  ASSERT_EQ(resp.size(), kN);
+  for (std::uint64_t k = 0; k < kN; ++k) {
+    std::uint64_t v = 0;
+    ASSERT_EQ(resp[k].status, Status::kOk);
+    ASSERT_TRUE(resp[k].value_u64(&v));
+    EXPECT_EQ(v, k + 1000) << "response order must match request order";
+  }
+}
+
+TEST(ServerLoopback, GarbageBytesCloseConnectionServerSurvives) {
+  ServerFixture f;
+  Client good = f.connect();
+  EXPECT_TRUE(good.ping());
+
+  // Raw socket spraying an oversized-length frame: the server must close
+  // the connection (recv sees EOF) and keep serving everyone else.
+  const int bad = raw_connect(f.srv->port());
+  ASSERT_GE(bad, 0);
+  std::vector<std::uint8_t> junk;
+  put_u32(junk, 0xfffffff0u);
+  junk.resize(junk.size() + 64, 0xab);
+  ASSERT_EQ(::send(bad, junk.data(), junk.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(junk.size()));
+  char buf[16];
+  EXPECT_EQ(::recv(bad, buf, sizeof buf, 0), 0)
+      << "server must close a connection after a malformed frame";
+  ::close(bad);
+
+  // Garbage opcode: same contract.
+  const int bad2 = raw_connect(f.srv->port());
+  ASSERT_GE(bad2, 0);
+  junk.clear();
+  put_u32(junk, kBodyPrefixBytes + 8);
+  junk.push_back(0xee);
+  junk.insert(junk.end(), 3, 0);
+  put_u64(junk, 1);
+  ASSERT_EQ(::send(bad2, junk.data(), junk.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(junk.size()));
+  EXPECT_EQ(::recv(bad2, buf, sizeof buf, 0), 0);
+  ::close(bad2);
+
+  // The rest of the server is unaffected.
+  EXPECT_TRUE(good.ping());
+  EXPECT_TRUE(good.put(1, 2).created);
+  EXPECT_GE(f.srv->stats().protocol_errors.load(), 2u);
+}
+
+TEST(ServerLoopback, GracefulDrainThenRestartRecoversAllAckedWrites) {
+  constexpr std::uint64_t kN = 500;
+  ServerFixture f(2);
+  {
+    Client c = f.connect();
+    std::vector<Response> resp;
+    for (std::uint64_t k = 1; k <= kN; ++k) c.queue({Opcode::kPut, k, k * 7});
+    c.flush(&resp);
+    ASSERT_EQ(resp.size(), kN);  // every write acknowledged
+  }
+
+  // SIGTERM-driven drain, exactly as the binary would take it.
+  Server::install_signal_handlers();
+  std::raise(SIGTERM);
+  f.srv->wait();
+  EXPECT_TRUE(Server::signal_stop_requested());
+  Server::reset_signal_stop_for_testing();
+  f.srv.reset();
+
+  // Power-cut + process-level reopen: unflushed lines are dropped, the pool
+  // file is re-mapped at a new base address, the store recovers via open().
+  f.harness.crash_and_reopen();
+
+  f.start_server(2);
+  {
+    Client c = f.connect();
+    std::vector<Response> resp;
+    for (std::uint64_t k = 1; k <= kN; ++k) c.queue({Opcode::kGet, k});
+    c.flush(&resp);
+    ASSERT_EQ(resp.size(), kN);
+    for (std::uint64_t k = 1; k <= kN; ++k) {
+      std::uint64_t v = 0;
+      ASSERT_EQ(resp[k - 1].status, Status::kOk)
+          << "acknowledged PUT of key " << k << " lost across restart";
+      ASSERT_TRUE(resp[k - 1].value_u64(&v));
+      EXPECT_EQ(v, k * 7) << "torn value for key " << k;
+    }
+  }
+}
+
+TEST(ServerLoopback, UnackedInFlightWriteIsAtomicAcrossCrash) {
+  ServerFixture f(1);
+  constexpr std::uint64_t kKey = 777;
+  constexpr std::uint64_t kValue = 0xdeadbeefcafeULL;
+  {
+    Client c = f.connect();
+    ASSERT_TRUE(c.put(1, 11).created);  // acked baseline write
+  }
+
+  // Fire a PUT and vanish without ever reading the acknowledgement.
+  const int fd = raw_connect(f.srv->port());
+  ASSERT_GE(fd, 0);
+  std::vector<std::uint8_t> frame;
+  encode_request({Opcode::kPut, kKey, kValue}, frame);
+  ASSERT_EQ(::send(fd, frame.data(), frame.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(frame.size()));
+  ::close(fd);
+  // Give the worker a moment to (maybe) execute it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+  f.stop_server();
+  f.harness.crash_and_reopen();
+
+  // The acked write must be there; the unacked one is absent or whole.
+  auto& store = f.harness.store();
+  EXPECT_EQ(store.search(1), std::optional<std::uint64_t>(11));
+  const auto v = store.search(kKey);
+  if (v.has_value())
+    EXPECT_EQ(*v, kValue) << "in-flight PUT applied but torn";
+}
+
+}  // namespace
+}  // namespace upsl::server
