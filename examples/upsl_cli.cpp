@@ -53,6 +53,9 @@ class CliBackend {
   virtual std::vector<KV> scan(std::uint64_t lo, std::uint64_t hi) = 0;
   virtual std::size_t count() = 0;
   virtual std::string stats() = 0;
+  /// Full structural check; returns a JSON report and sets *ok. Never
+  /// throws for a failed check — that is a result, not an error.
+  virtual std::string validate(bool* ok) = 0;
   virtual std::string banner() = 0;
 };
 
@@ -110,6 +113,22 @@ class LocalBackend : public CliBackend {
                   static_cast<unsigned long long>(d.persisted_lines),
                   static_cast<unsigned long long>(d.fences));
     return buf;
+  }
+  std::string validate(bool* ok) override {
+    // Mirror the server's VALIDATE JSON so scripts can parse either mode.
+    try {
+      store_->check_invariants();
+      *ok = true;
+      return "{\"valid\": true, \"nodes\": " +
+             std::to_string(store_->count_nodes()) +
+             ", \"epoch\": " + std::to_string(store_->epoch()) + "}";
+    } catch (const std::exception& e) {
+      *ok = false;
+      std::string msg;
+      for (const char* c = e.what(); *c != '\0'; ++c)
+        msg += (*c == '"' || *c == '\\') ? ' ' : *c;
+      return "{\"valid\": false, \"error\": \"" + msg + "\"}";
+    }
   }
   std::string banner() override {
     char buf[160];
@@ -170,6 +189,7 @@ class RemoteBackend : public CliBackend {
     }
   }
   std::string stats() override { return client_.stats_json(); }
+  std::string validate(bool* ok) override { return client_.validate_json(ok); }
   std::string banner() override { return "connected to " + addr_; }
 
  private:
@@ -181,7 +201,7 @@ class RemoteBackend : public CliBackend {
 int command_loop(CliBackend& be) {
   std::printf("%s\n", be.banner().c_str());
   std::printf("commands: put <k> <v> | get <k> | del <k> | scan <lo> <hi> | "
-              "count | stats | quit\n");
+              "count | stats | validate | quit\n");
   std::string line;
   while (std::printf("> "), std::fflush(stdout), std::getline(std::cin, line)) {
     std::istringstream is(line);
@@ -227,6 +247,10 @@ int command_loop(CliBackend& be) {
         std::printf("%zu keys\n", be.count());
       } else if (cmd == "stats") {
         std::printf("%s\n", be.stats().c_str());
+      } else if (cmd == "validate") {
+        bool ok = false;
+        const std::string report = be.validate(&ok);
+        std::printf("%s\n%s\n", ok ? "OK" : "INVALID", report.c_str());
       } else if (cmd == "quit" || cmd == "exit") {
         break;
       } else if (!cmd.empty()) {

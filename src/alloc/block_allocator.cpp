@@ -1,5 +1,6 @@
 #include "alloc/block_allocator.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <new>
@@ -12,6 +13,17 @@ using pmem::persist;
 using pmem::pm_cas_value;
 using pmem::pm_load;
 using pmem::pm_store;
+
+namespace {
+bool trace_on() {
+  static const bool on = std::getenv("UPSL_ALLOC_TRACE") != nullptr;
+  return on;
+}
+#define ATRACE(...) \
+  do { \
+    if (trace_on()) std::fprintf(stderr, __VA_ARGS__); \
+  } while (0)
+}  // namespace
 
 BlockAllocator::BlockAllocator(std::vector<ChunkAllocator*> pools,
                                ArenaHeader* arenas, ThreadLog* logs,
@@ -143,6 +155,33 @@ void BlockAllocator::bootstrap() {
   }
 }
 
+void BlockAllocator::repair_tail(std::uint32_t pool_idx,
+                                 std::uint32_t arena_idx) {
+  ArenaHeader& ah = arena(pool_idx, arena_idx);
+  std::uint64_t anchor = pm_load(ah.head);
+  if (anchor == 0) return;
+  std::uint64_t spins = 0;
+  while (true) {
+    if (++spins > (64u << 20))
+      throw std::logic_error("livelock detected in repair_tail");
+    const std::uint64_t nxt = pm_load(block_at(anchor)->next);
+    if (nxt == 0) break;
+    anchor = nxt;
+  }
+  if (pm_load(ah.tail) != anchor) {
+    ATRACE("[repair_tail p=%u a=%u tail %llu -> %llu]\n", pool_idx, arena_idx,
+           (unsigned long long)pm_load(ah.tail), (unsigned long long)anchor);
+    pm_store(ah.tail, anchor);
+    persist(&ah.tail, sizeof(ah.tail));
+    UPSL_CRASH_POINT("alloc.tail_repaired");
+  }
+}
+
+void BlockAllocator::repair_tails() {
+  for (std::uint32_t p = 0; p < num_pools(); ++p)
+    for (std::uint32_t a = 0; a < cfg_.arenas_per_pool; ++a) repair_tail(p, a);
+}
+
 void BlockAllocator::log_attempt(LogKind kind, std::uint64_t block,
                                  std::uint64_t pred, std::uint64_t key,
                                  std::uint64_t aux0, std::uint64_t aux1) {
@@ -182,6 +221,7 @@ void BlockAllocator::handle_stale_log(ThreadLog& log) {
   sweep_pending_chunks(stale_epoch);
   // Mark the log consumed so the recovery does not run twice in one epoch.
   // (A crash before this line re-runs the recovery, which is idempotent.)
+  UPSL_CRASH_POINT("alloc.stale_log_resolved");
   log.kind = static_cast<std::uint64_t>(LogKind::kNone);
   pm_store(log.epoch, current_epoch());
   persist(&log, sizeof(log));
@@ -251,6 +291,7 @@ void BlockAllocator::sweep_pending_chunks(std::uint64_t stale_epoch) {
       if (static_cast<LogKind>(log.kind) == LogKind::kChunkProvision &&
           log.aux0 == c && (log.aux1 >> 32) == p)
         continue;
+      UPSL_CRASH_POINT("alloc.sweep_pending");
       ca.release_chunk(c);
     }
   }
@@ -534,6 +575,13 @@ void BlockAllocator::refill_magazine(std::uint32_t pool_idx,
   std::memcpy(m.rivs, batch, n * sizeof(std::uint64_t));
   m.count = n;
   m.cursor = 0;
+  if (trace_on()) {
+    std::fprintf(stderr, "[refill tid=%d epoch=%llu n=%u]", tid,
+                 (unsigned long long)epoch, n);
+    for (std::uint32_t i = 0; i < n; ++i)
+      std::fprintf(stderr, " %llu", (unsigned long long)batch[i]);
+    std::fprintf(stderr, "\n");
+  }
   counters_.refills.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -549,6 +597,8 @@ void BlockAllocator::deallocate_to_magazine(std::uint64_t obj_riv) {
   // neither the structure nor the free list, and only this entry lets
   // recovery find it. Flush without fence — the entry only needs to be
   // durable by the time the chain link commits, and flush_returns fences.
+  ATRACE("[ret tid=%d slot=%u riv=%llu]\n", tid, m.ret_count,
+         (unsigned long long)obj_riv);
   pm_store(d.ret_rivs[m.ret_count], obj_riv);
   pmem::flush(&d.ret_rivs[m.ret_count], sizeof(std::uint64_t));
   UPSL_CRASH_POINT("alloc.mag_ret_recorded");
@@ -580,6 +630,8 @@ void BlockAllocator::flush_returns(std::uint32_t pool_idx,
   // One fence retires all the per-free CLWBs (return entries + converted
   // block contents); only then may the chain become reachable.
   pmem::fence();
+  ATRACE("[flush_returns tid=%d n=%u head=%llu tail=%llu]\n", tid, m.ret_count,
+         (unsigned long long)m.ret_head, (unsigned long long)m.ret_tail);
   link_in_tail(pool_idx, arena_idx, m.ret_head, m.ret_tail, nullptr);
   UPSL_CRASH_POINT("alloc.mag_ret_linked");
   // Clear the covering entries only after link_in_tail persisted the link:
@@ -619,6 +671,13 @@ void BlockAllocator::sync_thread_epoch() {
   // so a crash mid-recovery simply re-runs every (idempotent) step.
   m = DramMagazine{};
   m.synced_epoch = epoch;
+  // Re-anchor the arena tail before anything pops or links: both recovery
+  // scans below link reclaimed blocks through ah.tail, and a crash inside
+  // LinkInTail can leave the tail pointing at a block a later refill pops
+  // (the chain CAS can become durable on its own under partial-eviction
+  // crashes while the tail advance was lost) — every chain linked through
+  // such a dangling tail would be orphaned.
+  repair_tail(my_pool(), my_arena());
   // Magazine scan first: it retires the descriptor, so frees issued by the
   // stale-log recovery below can safely take the magazine return path
   // without clobbering unscanned return entries.
@@ -636,6 +695,17 @@ void BlockAllocator::sync_thread_epoch() {
 
 void BlockAllocator::recover_magazine(int tid) {
   MagazineDesc& d = mags_[tid];
+  if (trace_on()) {
+    std::fprintf(stderr, "[mag_recover tid=%d d.epoch=%llu now=%llu alloc:",
+                 tid, (unsigned long long)pm_load(d.epoch),
+                 (unsigned long long)current_epoch());
+    for (std::uint32_t i = 0; i < kMagazineSlots; ++i)
+      std::fprintf(stderr, " %llu", (unsigned long long)pm_load(d.alloc_rivs[i]));
+    std::fprintf(stderr, " ret:");
+    for (std::uint32_t i = 0; i < kMagazineSlots; ++i)
+      std::fprintf(stderr, " %llu", (unsigned long long)pm_load(d.ret_rivs[i]));
+    std::fprintf(stderr, "]\n");
+  }
   // Alloc entries first: a block can be named by both a stale alloc slot
   // and a stale return slot (popped, handed out, freed again); reclaiming
   // the alloc side first parks it in the free list, where the return-side
@@ -653,12 +723,19 @@ void BlockAllocator::recover_magazine(int tid) {
   }
   pm_store(d.alloc_count, std::uint64_t{0});
   pm_store(d.epoch, current_epoch());
+  // Dying here (before the persist) rolls the zeroed slots back to the old
+  // rivs under kDiscardUnflushed, or leaves a mix under random eviction;
+  // either way the epoch stamp is not durable yet, so the next epoch
+  // re-enters recover_magazine and the reclaim guards see each surviving
+  // riv at most once more.
+  UPSL_CRASH_POINT("alloc.mag_recover_retiring");
   persist(&d, sizeof(d));
   counters_.magazine_recoveries.fetch_add(1, std::memory_order_relaxed);
 }
 
 void BlockAllocator::reclaim_magazine_block(std::uint64_t riv) {
   if (riv == 0) return;
+  UPSL_CRASH_POINT("alloc.mag_reclaim_block");
   // Same classification as recover_node_alloc, minus the log context:
   //  * already on our free list (pop never became durable, or a pending
   //    return that did get linked): nothing to do;
@@ -667,12 +744,20 @@ void BlockAllocator::reclaim_magazine_block(std::uint64_t riv) {
   //  * durable object contents: keep iff the structure still reaches it
   //    (it may be a live node from this or an earlier batch), otherwise it
   //    is an orphaned allocation — reclaim it.
-  if (in_my_free_list(riv)) return;
+  if (in_my_free_list(riv)) {
+    ATRACE("[reclaim %llu: in-list]\n", (unsigned long long)riv);
+    return;
+  }
   MemBlock* b = block_at(riv);
   if (!b->looks_free()) {
     if (block_reach_fn_ == nullptr) return;  // no structure knowledge: leak-safe skip
-    if (block_reach_fn_(riv)) return;
+    if (block_reach_fn_(riv)) {
+      ATRACE("[reclaim %llu: reachable]\n", (unsigned long long)riv);
+      return;
+    }
   }
+  ATRACE("[reclaim %llu: convert state=%llx]\n", (unsigned long long)riv,
+         (unsigned long long)pm_load(b->state));
   convert_and_link(riv);
 }
 
@@ -709,6 +794,28 @@ std::size_t BlockAllocator::count_all_free_blocks() const {
   // one magazine's worth of blocks per active thread.
   for (int t = 0; t < ThreadRegistry::high_water(); ++t) n += magazine_cached(t);
   return n;
+}
+
+void BlockAllocator::collect_free_rivs(std::vector<std::uint64_t>* out) const {
+  for (std::uint32_t p = 0; p < num_pools(); ++p) {
+    for (std::uint32_t a = 0; a < cfg_.arenas_per_pool; ++a) {
+      std::uint64_t cur = pm_load(arena(p, a).head);
+      while (cur != 0) {
+        out->push_back(cur);
+        cur = pm_load(block_at(cur)->next);
+      }
+    }
+  }
+  if (dram_ == nullptr) return;
+  for (int t = 0; t < ThreadRegistry::high_water(); ++t) {
+    const DramMagazine& m = dram_[t];
+    for (std::uint32_t i = m.cursor; i < m.count; ++i) out->push_back(m.rivs[i]);
+    std::uint64_t cur = m.ret_head;
+    for (std::uint32_t i = 0; i < m.ret_count && cur != 0; ++i) {
+      out->push_back(cur);
+      cur = pm_load(block_at(cur)->next);
+    }
+  }
 }
 
 }  // namespace upsl::alloc

@@ -99,6 +99,19 @@ class BlockAllocator {
   /// every arena's free list (round-robin). Single-threaded.
   void bootstrap();
 
+  /// Crash repair for every arena's FIFO tail hint. A crash inside
+  /// LinkInTail can leave the chain CAS durable while the tail advance
+  /// never ran (under partial-eviction crashes the unflushed CAS line may
+  /// survive on its own), so ah.tail points mid-list. Pops never consult
+  /// the tail, so the lagging tail block can be popped — after which every
+  /// future link appends to an orphan chain unreachable from the head.
+  /// Walking each list to its real anchor and re-pointing the tail restores
+  /// the "tail is in-list" invariant LinkInTail relies on. With magazine
+  /// descriptors present this runs lazily per-arena from the owning
+  /// thread's epoch sync (keeping open O(1)); stores without descriptors
+  /// never sync, so the open path calls this eagerly instead. Idempotent.
+  void repair_tails();
+
   /// MakeLinkedObject's allocation steps (Function 4 lines 29–41): logs the
   /// attempt, pops a block from the calling thread's arena (provisioning a
   /// new chunk when the list runs dry) and returns it zeroed except for the
@@ -151,6 +164,10 @@ class BlockAllocator {
   /// Total blocks across all free lists plus blocks cached in thread-local
   /// magazines — used by leak-detection tests.
   std::size_t count_all_free_blocks() const;
+  /// Diagnostic flavor of the same accounting: appends every riv counted as
+  /// free (free-list members, unconsumed DRAM magazine slots, pending
+  /// returns) so leak reports can name the blocks that are *not* there.
+  void collect_free_rivs(std::vector<std::uint64_t>* out) const;
 
  private:
   /// DRAM mirror of one thread's magazines. Lives inside the allocator (not
@@ -189,6 +206,7 @@ class BlockAllocator {
   /// stale ThreadLog, the stale magazine descriptor and orphaned chunk
   /// claims, then resets the DRAM magazine mirror.
   void sync_thread_epoch();
+  void repair_tail(std::uint32_t pool_idx, std::uint32_t arena_idx);
   void recover_magazine(int tid);
   void reclaim_magazine_block(std::uint64_t riv);
 

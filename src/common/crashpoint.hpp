@@ -8,6 +8,33 @@
 // kill would have landed. Combined with Pool::simulate_crash() (which drops
 // all unflushed lines) this reproduces the set of post-failure states.
 //
+// Arming modes (ArmSpec):
+//   * deterministic: fire on the `skip`-th matching hit (the classic mode,
+//     also reachable through the legacy arm(tag, skip) overload);
+//   * per-thread: restrict matching to one ThreadRegistry slot so the crash
+//     lands in a chosen worker while its siblings are genuinely
+//     mid-operation;
+//   * probabilistic: every matching hit fires with probability p, drawn from
+//     a per-thread xorshift stream seeded from (seed, thread id) so a run is
+//     reproducible given the seed and each thread's hit sequence.
+//
+// Quiesce barrier: a process crash stops *all* threads, not one. With
+// `spec.quiesce` set, the firing thread flips the arena into the QUIESCING
+// state and every other thread's next hit() (or poll()) also throws
+// CrashException. The harness joins its workers — all of them died at a
+// crash point, i.e. at an instruction boundary of the modeled machine — and
+// only then calls Pool::simulate_crash() to snapshot the persistence domain.
+// Retry loops that spin on state owned by a (now dead) peer contain few or
+// no crash points, so the skip list's spin guards also poll the quiesce flag
+// (see SpinGuard in upskiplist.cpp); survivors cannot wedge on a lock whose
+// holder crashed.
+//
+// Single-fire guarantee: the transition out of ARMED is a CAS, so exactly one
+// thread wins the right to be "the crash" no matter how many race through a
+// matching hit; the skip counter is signed and fires only on the exact zero
+// decrement, so concurrent hits can never wrap it back around to a second
+// firing window (they park it at increasingly negative values).
+//
 // In non-test builds nothing is ever armed and each crash point is a single
 // relaxed atomic load on a false branch.
 #pragma once
@@ -18,6 +45,7 @@
 #include <string>
 
 #include "common/compiler.hpp"
+#include "common/thread_registry.hpp"
 
 namespace upsl {
 
@@ -32,42 +60,160 @@ class CrashPoints {
     return cp;
   }
 
-  /// Arm: the `skip`-th subsequent hit of a crash point with this tag fires.
-  /// tag 0 matches every crash point (crash at the Nth point reached).
-  void arm(std::uint64_t tag, std::uint64_t skip = 0) {
-    skip_.store(skip, std::memory_order_relaxed);
-    tag_.store(tag, std::memory_order_relaxed);
-    armed_.store(true, std::memory_order_release);
+  /// Full arming descriptor. Defaults reproduce the legacy behaviour:
+  /// deterministic, any thread, no quiesce.
+  struct ArmSpec {
+    std::uint64_t tag = 0;     ///< 0 matches every crash point.
+    std::uint64_t skip = 0;    ///< fire on the (skip+1)-th matching hit.
+    int thread = -1;           ///< ThreadRegistry slot; -1 matches any thread.
+    double probability = 0.0;  ///< >0: fire each matching hit with this
+                               ///< probability instead of counting skips.
+    std::uint64_t seed = 1;    ///< seeds the per-thread probabilistic streams.
+    bool quiesce = false;      ///< after firing, kill every thread at its
+                               ///< next hit()/poll() until reset().
+  };
+
+  void arm(const ArmSpec& spec) {
+    // Publish the parameters before the mode word: hit() only reads them
+    // after an acquire load observes kArmed, so it can never see a torn or
+    // stale configuration (the legacy code stored tag_/skip_ plain-relaxed
+    // against a concurrently counting hit()).
+    tag_.store(spec.tag, std::memory_order_relaxed);
+    skip_.store(static_cast<std::int64_t>(spec.skip),
+                std::memory_order_relaxed);
+    thread_.store(spec.thread, std::memory_order_relaxed);
+    prob_threshold_.store(prob_to_threshold(spec.probability),
+                          std::memory_order_relaxed);
+    seed_.store(spec.seed ? spec.seed : 1, std::memory_order_relaxed);
+    quiesce_.store(spec.quiesce, std::memory_order_relaxed);
+    arm_gen_.fetch_add(1, std::memory_order_relaxed);
+    mode_.store(kArmed, std::memory_order_release);
   }
 
-  void disarm() { armed_.store(false, std::memory_order_release); }
+  /// Legacy arming: the `skip`-th subsequent hit of a crash point with this
+  /// tag fires, in any thread. tag 0 matches every crash point.
+  void arm(std::uint64_t tag, std::uint64_t skip = 0) {
+    ArmSpec spec;
+    spec.tag = tag;
+    spec.skip = skip;
+    arm(spec);
+  }
+
+  /// Stops matching (and, if quiescing, stops killing survivors). fired()
+  /// is left intact so a harness can still ask whether the crash happened.
+  void disarm() { mode_.store(kDisarmed, std::memory_order_release); }
 
   bool fired() const { return fired_.load(std::memory_order_acquire); }
+
+  /// Tag of the point the crash actually fired at (diagnostics; 0 if none).
+  std::uint64_t fired_tag() const {
+    return fired_tag_.load(std::memory_order_acquire);
+  }
+
+  /// True between a quiesce-armed firing and the next disarm()/reset():
+  /// every thread is expected to die at its next crash point. Harness worker
+  /// loops poll this between operations so threads that would not otherwise
+  /// pass a crash point (e.g. pure readers) still stop promptly.
+  bool crashing() const {
+    return mode_.load(std::memory_order_acquire) == kQuiescing;
+  }
+
+  /// Cooperative quiesce check: throws if a quiesce-armed crash has fired.
+  void poll() {
+    if (UPSL_UNLIKELY(crashing())) throw CrashException{};
+  }
 
   void reset() {
     disarm();
     fired_.store(false, std::memory_order_relaxed);
+    fired_tag_.store(0, std::memory_order_relaxed);
   }
 
   /// Called by instrumented code. Throws CrashException when this hit is the
-  /// armed one.
+  /// armed one (or when the process is quiescing after a fired crash).
   void hit(std::uint64_t tag) {
-    if (UPSL_UNLIKELY(armed_.load(std::memory_order_acquire))) {
-      const std::uint64_t want = tag_.load(std::memory_order_relaxed);
-      if (want != 0 && want != tag) return;
-      if (skip_.fetch_sub(1, std::memory_order_acq_rel) == 0) {
-        armed_.store(false, std::memory_order_release);
-        fired_.store(true, std::memory_order_release);
-        throw CrashException{};
-      }
+    const std::uint32_t mode = mode_.load(std::memory_order_acquire);
+    if (UPSL_LIKELY(mode == kDisarmed)) return;
+    if (mode == kQuiescing) throw CrashException{};
+    // kArmed: check the match conditions, cheapest first.
+    const std::uint64_t want = tag_.load(std::memory_order_relaxed);
+    if (want != 0 && want != tag) return;
+    const int want_thread = thread_.load(std::memory_order_relaxed);
+    if (want_thread >= 0 && want_thread != ThreadRegistry::id()) return;
+    bool due;
+    const std::uint64_t threshold =
+        prob_threshold_.load(std::memory_order_relaxed);
+    if (threshold != 0) {
+      due = next_local_draw() < threshold;
+    } else {
+      // Signed counter: only the thread that decrements exactly 0 -> -1 is
+      // due; later racers drive it further negative and can never fire.
+      due = skip_.fetch_sub(1, std::memory_order_acq_rel) == 0;
     }
+    if (!due) return;
+    // Single fire: only the CAS winner throws as "the crash". If a racer
+    // already moved us to QUIESCING, this thread dies as a survivor instead.
+    std::uint32_t expected = kArmed;
+    const std::uint32_t next =
+        quiesce_.load(std::memory_order_relaxed) ? kQuiescing : kDisarmed;
+    if (!mode_.compare_exchange_strong(expected, next,
+                                       std::memory_order_acq_rel)) {
+      if (expected == kQuiescing) throw CrashException{};
+      return;
+    }
+    fired_tag_.store(tag, std::memory_order_relaxed);
+    fired_.store(true, std::memory_order_release);
+    throw CrashException{};
   }
 
  private:
-  std::atomic<bool> armed_{false};
+  enum : std::uint32_t { kDisarmed = 0, kArmed = 1, kQuiescing = 2 };
+
+  static std::uint64_t prob_to_threshold(double p) {
+    if (p <= 0.0) return 0;
+    if (p >= 1.0) return ~0ull;
+    const auto t = static_cast<std::uint64_t>(
+        p * 18446744073709551616.0 /* 2^64 */);
+    return t ? t : 1;
+  }
+
+  /// Finalizer from splitmix64: avalanches every input bit so neighboring
+  /// (seed, thread) pairs seed decorrelated streams.
+  static std::uint64_t mix64(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  /// Per-thread xorshift64* stream, reseeded from (seed, thread id) whenever
+  /// a new arming generation starts, so draws are reproducible per thread.
+  std::uint64_t next_local_draw() {
+    static constinit thread_local std::uint64_t state = 0;
+    static constinit thread_local std::uint64_t gen = 0;
+    const std::uint64_t g = arm_gen_.load(std::memory_order_relaxed);
+    if (UPSL_UNLIKELY(gen != g || state == 0)) {
+      gen = g;
+      state = mix64(seed_.load(std::memory_order_relaxed) +
+                    mix64(static_cast<std::uint64_t>(ThreadRegistry::id())));
+      if (state == 0) state = 0x2545f4914f6cdd1dULL;
+    }
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    return state * 0x2545f4914f6cdd1dULL;
+  }
+
+  std::atomic<std::uint32_t> mode_{kDisarmed};
   std::atomic<bool> fired_{false};
+  std::atomic<bool> quiesce_{false};
   std::atomic<std::uint64_t> tag_{0};
-  std::atomic<std::uint64_t> skip_{0};
+  std::atomic<std::int64_t> skip_{0};
+  std::atomic<int> thread_{-1};
+  std::atomic<std::uint64_t> prob_threshold_{0};
+  std::atomic<std::uint64_t> seed_{1};
+  std::atomic<std::uint64_t> arm_gen_{0};
+  std::atomic<std::uint64_t> fired_tag_{0};
 };
 
 /// Compile-time FNV-1a so call sites can tag points with string names.

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cstring>
+#include <sstream>
 #include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "common/crashpoint.hpp"
 #include "common/simd.hpp"
@@ -15,12 +18,23 @@ namespace {
 /// Liveness diagnostic: converts an unexpected livelock in a retry loop
 /// into an exception naming the loop instead of a silent spin. The bound is
 /// far above anything a correct execution reaches.
+///
+/// Doubles as the quiesce hook for cooperative crash injection: when a
+/// quiesce-armed crash has fired, every surviving thread must die at an
+/// instruction boundary of the modeled machine before the harness snapshots
+/// the persistence domain. Retry loops that spin on state owned by the dead
+/// thread (a write lock it was holding, a split it never finished) contain
+/// few or no crash points, so the guard polls the quiesce flag every 256
+/// ticks — cheap enough for the per-hop traversal guard, prompt enough that
+/// survivors die within microseconds instead of wedging until the livelock
+/// bound.
 struct SpinGuard {
   std::uint64_t n = 0;
   const char* where;
   explicit SpinGuard(const char* w) : where(w) {}
   void tick() {
-    if (UPSL_UNLIKELY(++n > (8u << 20)))
+    if (UPSL_UNLIKELY((++n & 255u) == 0)) CrashPoints::instance().poll();
+    if (UPSL_UNLIKELY(n > (8u << 20)))
       throw std::runtime_error(std::string("livelock detected in ") + where);
   }
 };
@@ -197,9 +211,13 @@ void UPSkipList::attach(std::vector<pmem::Pool*> pools, bool creating,
     head_riv_ = root->head_riv;
     tail_riv_ = root->tail_riv;
     // Start a new failure-free epoch (§4.1.3). After this single persisted
-    // increment the store is ready to serve; all repair is deferred.
+    // increment the store is ready to serve; all repair is deferred — arena
+    // tails are re-anchored lazily by each thread's first epoch sync.
     pm_store(root->epoch_id, pm_load(root->epoch_id) + 1);
     persist(&root->epoch_id, sizeof(root->epoch_id));
+    // Stores too small for magazine descriptors never run that sync, so
+    // their (few, tiny) free lists are repaired eagerly instead.
+    if (mags == nullptr) block_alloc_->repair_tails();
   }
 }
 
@@ -374,6 +392,7 @@ bool UPSkipList::check_for_recovery(std::uint32_t level, std::uint64_t node_riv,
   // Reset metadata from the dead epoch before claiming (Function 10 line
   // 122): stale reader counts would otherwise block writers forever. Live
   // readers cannot interfere — try_read_lock refuses stale-epoch nodes.
+  UPSL_CRASH_POINT("core.recovery_draining");
   node.drain_stale_readers();
   std::uint64_t expected = node_epoch;
   if (!pm_cas(node.epoch_id(), expected, current)) {
@@ -384,6 +403,7 @@ bool UPSkipList::check_for_recovery(std::uint32_t level, std::uint64_t node_riv,
 
   check_node_split_recovery(node);
   check_insert_recovery(level, node_riv, node);
+  UPSL_CRASH_POINT("core.node_recovered");
   ++*recoveries_done;
   return true;
 }
@@ -396,6 +416,12 @@ void UPSkipList::check_node_split_recovery(NodeView node) {
   NodeView succ = view(pm_load(node.next(0)));
   const bool have_succ = !succ.is_tail();
   for (std::uint32_t i = 0; i < layout_.keys_per_node; ++i) {
+    // Mid-erase crash point: dying here leaves the node partially scrubbed
+    // with the durable write lock still set, so the next epoch re-enters
+    // this function and must tolerate already-punched holes (nulled keys
+    // re-tombstone idempotently; the full-node persist below had not run,
+    // so unflushed holes simply roll back).
+    UPSL_CRASH_POINT("core.split_recover_scan");
     const std::uint64_t k = pm_load(node.key(i));
     if (k == kNullKey) {
       pm_store(node.value(i), kTombstone);
@@ -433,6 +459,7 @@ void UPSkipList::check_insert_recovery(std::uint32_t level,
   // describe the search key's path, which may bracket a different position.
   traverse(node.first_key(), preds, succs, /*recovery_budget=*/0);
   link_higher_levels(preds, succs, node_riv, level + 1, height);
+  UPSL_CRASH_POINT("core.insert_recovered");
 }
 
 // ---------------------------------------------------------------------------
@@ -814,7 +841,9 @@ std::optional<std::uint64_t> UPSkipList::remove(std::uint64_t key) {
       std::uint64_t old = pm_load(word);
       if (old == kTombstone) break;  // already absent
       if (pm_cas(word, old, kTombstone)) {
+        UPSL_CRASH_POINT("core.removed_cas");
         persist(&word, sizeof(word));
+        UPSL_CRASH_POINT("core.removed_value");
         removed = old;
         break;
       }
@@ -998,6 +1027,80 @@ void UPSkipList::check_no_leaks() {
         "block leak: " + std::to_string(total_blocks) + " carved, " +
         std::to_string(free_blocks) + " free + " + std::to_string(live) +
         " live");
+}
+
+std::string UPSkipList::leak_report() {
+  std::vector<std::uint64_t> free_rivs;
+  block_alloc_->collect_free_rivs(&free_rivs);
+  std::unordered_map<std::uint64_t, int> free_count;
+  for (std::uint64_t r : free_rivs) ++free_count[r];
+
+  std::unordered_set<std::uint64_t> live;
+  live.insert(head_riv_);
+  live.insert(tail_riv_);
+  {
+    std::uint64_t cur = pm_load(view(head_riv_).next(0));
+    while (cur != 0) {
+      NodeView v = view(cur);
+      live.insert(cur);
+      if (v.is_tail()) break;
+      cur = pm_load(v.next(0));
+    }
+  }
+
+  std::ostringstream os;
+  for (const auto& [r, n] : free_count) {
+    if (n > 1) os << "double-free: riv " << r << " accounted " << n << "x\n";
+    if (live.count(r) != 0) os << "free-and-live: riv " << r << "\n";
+  }
+
+  const int hw = ThreadRegistry::high_water();
+  auto referencing_slots = [&](std::uint64_t r) {
+    std::string refs;
+    for (int t = 0; t < hw; ++t) {
+      const alloc::ThreadLog& log = block_alloc_->log_of(t);
+      if (pm_load(log.block) == r)
+        refs += " log[tid=" + std::to_string(t) +
+                ",epoch=" + std::to_string(pm_load(log.epoch)) + "]";
+      const alloc::MagazineDesc& d = block_alloc_->magazine_of(t);
+      for (std::uint32_t i = 0; i < alloc::kMagazineSlots; ++i) {
+        if (pm_load(d.alloc_rivs[i]) == r)
+          refs += " mag[tid=" + std::to_string(t) + ",alloc_slot=" +
+                  std::to_string(i) + ",epoch=" +
+                  std::to_string(pm_load(d.epoch)) + "]";
+        if (pm_load(d.ret_rivs[i]) == r)
+          refs += " mag[tid=" + std::to_string(t) + ",ret_slot=" +
+                  std::to_string(i) + ",epoch=" +
+                  std::to_string(pm_load(d.epoch)) + "]";
+      }
+    }
+    return refs.empty() ? std::string(" <no descriptor references>") : refs;
+  };
+
+  std::size_t leaked = 0;
+  const std::uint64_t bs = block_alloc_->block_size();
+  for (auto& ca : chunk_allocs_) {
+    for (std::uint32_t c = 0; c < ca->header().max_chunks; ++c) {
+      if (ca->dir_entry(c).state != alloc::ChunkState::kAllocated) continue;
+      const std::uint64_t nblocks = ca->chunk_data_size() / bs;
+      char* data = ca->chunk_data(c);
+      for (std::uint64_t i = 0; i < nblocks; ++i) {
+        const std::uint64_t r = ca->riv_of(data + i * bs);
+        if (free_count.count(r) != 0 || live.count(r) != 0) continue;
+        ++leaked;
+        const auto* b = reinterpret_cast<const alloc::MemBlock*>(data + i * bs);
+        os << "leaked riv " << r << ": state=" << std::hex
+           << pm_load(b->state) << std::dec
+           << " owner_tag=" << pm_load(b->owner_tag)
+           << " epoch=" << pm_load(b->epoch_id)
+           << " key0=" << pm_load(view(r).key(0)) << referencing_slots(r)
+           << "\n";
+      }
+    }
+  }
+  os << leaked << " leaked blocks total (epoch now "
+     << pm_load(*epoch_word_) << ")\n";
+  return os.str();
 }
 
 // ---------------------------------------------------------------------------

@@ -105,6 +105,13 @@ class UPSkipList {
   /// allocation in the current epoch (deferred log recovery, §4.1.4).
   void check_no_leaks();
 
+  /// Diagnostic companion to check_no_leaks: names every carved block that
+  /// is neither free (list or magazine-cached) nor a live node, with its
+  /// durable state/owner/epoch stamps and any magazine-descriptor or
+  /// thread-log slot still referencing it. Also reports double-accounted
+  /// rivs (free AND live, or free-listed twice).
+  std::string leak_report();
+
   std::uint64_t epoch() const { return pmem::pm_load(*epoch_word_); }
   const NodeLayout& layout() const { return layout_; }
   alloc::BlockAllocator& allocator() { return *block_alloc_; }

@@ -1,0 +1,191 @@
+#include "lincheck/oracle.hpp"
+
+#include <map>
+#include <sstream>
+#include <unordered_map>
+
+namespace upsl::lincheck {
+
+namespace {
+
+/// Global order across crashes: generation first, then the logical
+/// timestamp (same packing as the strict checker's epoch order).
+std::uint64_t okey(std::uint64_t gen, std::uint64_t ts) {
+  return (gen << 40) | (ts & ((1ULL << 40) - 1));
+}
+
+using Event = DurableOracle::Event;
+using EvKind = DurableOracle::EvKind;
+
+/// True when `later` was invoked strictly after `earlier` completed — in
+/// every legal linearization `later` takes effect after `earlier`.
+bool definitely_after(const Event& later, const Event& earlier) {
+  if (!earlier.completed) {
+    // An in-flight op may only linearize before the crash that killed it,
+    // so anything acked in a later generation definitely follows it.
+    return later.completed && later.gen > earlier.gen;
+  }
+  return okey(later.gen, later.inv_ts) > okey(earlier.gen, earlier.resp_ts);
+}
+
+/// An op whose effect some *acked* op definitely overwrote cannot be the
+/// source of the final observed state.
+bool superseded(const Event& ev, const std::vector<const Event*>& key_ops) {
+  for (const Event* other : key_ops) {
+    if (other == &ev) continue;
+    if (other->kind == EvKind::kRead) continue;
+    if (!other->completed) continue;
+    if (definitely_after(*other, ev)) return true;
+  }
+  return false;
+}
+
+DurableOracle::Verdict fail(std::uint64_t key, const std::string& what) {
+  DurableOracle::Verdict v;
+  v.ok = false;
+  std::ostringstream os;
+  os << "key " << key << ": " << what;
+  v.reason = os.str();
+  return v;
+}
+
+}  // namespace
+
+DurableOracle::Verdict DurableOracle::verify(
+    const std::function<std::optional<std::uint64_t>(std::uint64_t)>& lookup)
+    const {
+  // Group every event by key, preserving nothing about thread interleaving
+  // beyond the logical timestamps (the checks are key-local).
+  std::map<std::uint64_t, std::vector<const Event*>> by_key;
+  for (const auto& events : per_thread_)
+    for (const Event& ev : events) by_key[ev.key].push_back(&ev);
+
+  Verdict verdict;
+  const std::uint64_t now_gen = gen_.load(std::memory_order_relaxed);
+  std::uint64_t readback_ts = clock_.load(std::memory_order_relaxed);
+
+  for (const auto& [key, ops] : by_key) {
+    verdict.keys_checked += 1;
+    verdict.ops_checked += ops.size();
+    const std::optional<std::uint64_t> observed = lookup(key);
+
+    bool any_remove = false;
+    for (const Event* ev : ops)
+      if (ev->kind == EvKind::kRemove) any_remove = true;
+
+    if (!any_remove) {
+      // Exact path: the key's history is a pure swap history, so hand it to
+      // the strict checker with the post-recovery readback appended as the
+      // history's final completed read.
+      std::vector<Operation> history;
+      history.reserve(ops.size() + 1);
+      for (const Event* ev : ops) {
+        if (ev->kind == EvKind::kRead && !ev->completed)
+          continue;  // an in-flight read has no durable effect
+        Operation op{};
+        op.kind = ev->kind == EvKind::kWrite ? OpKind::kWrite : OpKind::kRead;
+        op.completed = ev->completed;
+        op.key = key;
+        op.arg = ev->arg;
+        op.ret = ev->ret;
+        op.epoch = ev->gen;
+        op.inv_ts = ev->inv_ts;
+        op.resp_ts = ev->resp_ts;
+        history.push_back(op);
+      }
+      Operation rb{};
+      rb.kind = OpKind::kRead;
+      rb.completed = true;
+      rb.key = key;
+      rb.ret = observed.value_or(kInitialValue);
+      rb.epoch = now_gen;
+      rb.inv_ts = ++readback_ts;
+      rb.resp_ts = ++readback_ts;
+      history.push_back(rb);
+      const CheckResult res = check_strict(history);
+      if (!res.linearizable) {
+        Verdict v;
+        v.ok = false;
+        v.reason = res.reason + " (observed " +
+                   (observed ? std::to_string(*observed) : "absent") + ")";
+        return v;
+      }
+      continue;
+    }
+
+    // State-based durable check for keys with removals: the observed state
+    // must be installed by some non-superseded op.
+    if (observed.has_value()) {
+      const Event* writer = nullptr;
+      for (const Event* ev : ops)
+        if (ev->kind == EvKind::kWrite && ev->arg == *observed) writer = ev;
+      if (writer == nullptr)
+        return fail(key, "recovered value " + std::to_string(*observed) +
+                             " was never written");
+      if (superseded(*writer, ops))
+        return fail(key, "recovered value " + std::to_string(*observed) +
+                             " survived although a later acked op overwrote "
+                             "or removed it");
+    } else {
+      // Absence is explainable by a non-superseded remove, or trivially if
+      // no insert was ever acknowledged (in-flight inserts may vanish).
+      bool acked_insert = false;
+      for (const Event* ev : ops)
+        if (ev->kind == EvKind::kWrite && ev->completed) acked_insert = true;
+      if (acked_insert) {
+        bool explained = false;
+        for (const Event* ev : ops) {
+          if (ev->kind != EvKind::kRemove) continue;
+          if (!superseded(*ev, ops)) {
+            explained = true;
+            break;
+          }
+        }
+        if (!explained)
+          return fail(key,
+                      "key absent after recovery but an acked insert was "
+                      "never removed (lost acked write)");
+      }
+    }
+
+    // Sanity over the run's completed reads (conservative: only flags
+    // impossibilities, never a legal overlap).
+    for (const Event* r : ops) {
+      if (r->kind != EvKind::kRead || !r->completed) continue;
+      if (r->ret != kInitialValue) {
+        const Event* w = nullptr;
+        for (const Event* ev : ops)
+          if (ev->kind == EvKind::kWrite && ev->arg == r->ret) w = ev;
+        if (w == nullptr)
+          return fail(key, "read returned a value that was never written");
+        if (definitely_after(*w, *r))
+          return fail(key, "read observed a write before it was invoked");
+        if (w->gen > r->gen)
+          return fail(key, "read observed a write from a later generation");
+      } else {
+        // Read said "absent": impossible if some acked insert definitely
+        // preceded it and no remove was even invoked by the time it
+        // responded.
+        for (const Event* w : ops) {
+          if (w->kind != EvKind::kWrite || !w->completed) continue;
+          if (!definitely_after(*r, *w)) continue;
+          bool removable = false;
+          for (const Event* rm : ops) {
+            if (rm->kind != EvKind::kRemove) continue;
+            if (okey(rm->gen, rm->inv_ts) < okey(r->gen, r->resp_ts)) {
+              removable = true;
+              break;
+            }
+          }
+          if (!removable)
+            return fail(key,
+                        "read missed an acked insert with no remove in "
+                        "flight (lost acked write)");
+        }
+      }
+    }
+  }
+  return verdict;
+}
+
+}  // namespace upsl::lincheck

@@ -1,0 +1,113 @@
+// Durable-linearizability oracle for concurrent crash-recovery torture.
+//
+// The strict checker in lincheck.hpp analyzes swap histories with unique
+// written values — exact, but it cannot model removals (a remove "writes"
+// the not-present state, which is not unique). The torture harness mixes
+// inserts, reads and removes across repeated crashes, so the oracle layers
+// a two-tier check on top:
+//
+//  * DRAM event log: each worker records an invoke event before calling the
+//    store and an ack event after it returns. A worker that dies at a crash
+//    point simply never writes the ack — exactly the information an
+//    outside observer (the thesis' client, §6.1.1) would have. Per-thread
+//    vectors, one shared logical clock; nothing here is persistent by
+//    design: the oracle must survive *in the harness*, not in the pool.
+//
+//  * After every recovery the harness replays: each touched key is read
+//    back from the reopened store. Keys never removed go through
+//    check_strict() verbatim (the readback becomes the history's final
+//    completed read). Keys with removals get a state-based durable check:
+//    the observed state must be installed by some operation that is not
+//    definitely superseded, where "definitely superseded" means an acked
+//    operation on the same key was *invoked* after the candidate completed
+//    (or, for in-flight candidates, was acked in a later crash generation —
+//    an in-flight op may only take effect before the crash that killed it,
+//    §2.2 strict/durable linearizability). This catches lost acked writes,
+//    resurrected removes, and torn in-flight ops, while never flagging a
+//    legal overlap.
+//
+// Written values must be unique per key and non-zero (use a global
+// sequence); value 0 is reserved for "not present" (lincheck::kInitialValue).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lincheck/lincheck.hpp"
+
+namespace upsl::lincheck {
+
+class DurableOracle {
+ public:
+  enum class EvKind : std::uint8_t { kRead = 1, kWrite = 2, kRemove = 3 };
+
+  struct Event {
+    EvKind kind;
+    bool completed = false;
+    std::uint64_t key = 0;
+    std::uint64_t arg = 0;  // written value (writes)
+    std::uint64_t ret = 0;  // value read / previous value (0 = not present)
+    std::uint64_t gen = 0;  // crash generation of the invocation
+    std::uint64_t inv_ts = 0;
+    std::uint64_t resp_ts = 0;
+  };
+
+  struct Verdict {
+    bool ok = true;
+    std::string reason;
+    std::size_t keys_checked = 0;
+    std::size_t ops_checked = 0;
+  };
+
+  explicit DurableOracle(std::uint32_t threads) : per_thread_(threads) {
+    for (auto& v : per_thread_) v.reserve(4096);
+  }
+
+  /// Worker side (thread `tid` only; one op open per thread at a time).
+  /// Record the invoke, call the store, record the ack; dying between the
+  /// two leaves the op pending, which is precisely its durability status.
+  void invoke(std::uint32_t tid, EvKind kind, std::uint64_t key,
+              std::uint64_t arg = 0) {
+    Event ev;
+    ev.kind = kind;
+    ev.key = key;
+    ev.arg = arg;
+    ev.gen = gen_.load(std::memory_order_relaxed);
+    ev.inv_ts = clock_.fetch_add(1, std::memory_order_relaxed);
+    per_thread_[tid].push_back(ev);
+  }
+
+  /// Ack the open op of `tid` with the store's return (previous value for
+  /// writes/removes, read value for reads; absent -> leave 0).
+  void ack(std::uint32_t tid, std::optional<std::uint64_t> ret) {
+    Event& ev = per_thread_[tid].back();
+    ev.ret = ret.value_or(kInitialValue);
+    ev.resp_ts = clock_.fetch_add(1, std::memory_order_relaxed);
+    ev.completed = true;
+  }
+
+  /// Call after joining the workers of a crashed phase, before driving the
+  /// recovered store: later events belong to the next crash generation.
+  void on_crash() { gen_.fetch_add(1, std::memory_order_relaxed); }
+
+  std::uint64_t generation() const {
+    return gen_.load(std::memory_order_relaxed);
+  }
+
+  /// Post-recovery check. `lookup` reads a key from the recovered store
+  /// (typically [&](k){ return store.search(k); }). Single-threaded.
+  Verdict verify(
+      const std::function<std::optional<std::uint64_t>(std::uint64_t)>&
+          lookup) const;
+
+ private:
+  std::vector<std::vector<Event>> per_thread_;
+  std::atomic<std::uint64_t> clock_{1};
+  std::atomic<std::uint64_t> gen_{1};
+};
+
+}  // namespace upsl::lincheck

@@ -151,6 +151,20 @@ class Client {
     return json;
   }
 
+  /// Runs the server-side structural check. Returns the JSON report; *ok
+  /// (when non-null) says whether the check passed. Both the pass and the
+  /// fail report come back as a blob — only a malformed frame throws.
+  std::string validate_json(bool* ok = nullptr) {
+    const Response r = roundtrip({Opcode::kValidate});
+    if (r.status != Status::kOk && r.status != Status::kError)
+      throw std::runtime_error("upsl client: unexpected VALIDATE status");
+    if (ok != nullptr) *ok = r.status == Status::kOk;
+    std::string json;
+    if (!r.blob(&json))
+      throw std::runtime_error("upsl client: malformed VALIDATE payload");
+    return json;
+  }
+
  private:
   Response roundtrip(const Request& req) {
     if (queued_ != 0)

@@ -20,6 +20,9 @@
 //                                            count x (u64 key, u64 value)
 //   STATS   req: empty                   resp kOk: u32 len, len JSON bytes
 //   PING    req: empty                   resp kOk: empty
+//   VALIDATE req: empty                  resp kOk: u32 len, len JSON bytes
+//                                             (structural check report);
+//                                             kError: same blob, check threw
 //
 // Framing rules (enforced by the parser, tested in tests/server_test.cpp):
 // a body length larger than kMaxBody, an unknown opcode, or a payload whose
@@ -58,6 +61,7 @@ enum class Opcode : std::uint8_t {
   kScan = 5,
   kStats = 6,
   kPing = 7,
+  kValidate = 8,
 };
 
 enum class Status : std::uint8_t {
@@ -159,6 +163,7 @@ inline int request_payload_bytes(Opcode op) {
       return 20;
     case Opcode::kStats:
     case Opcode::kPing:
+    case Opcode::kValidate:
       return 0;
   }
   return -1;
@@ -188,6 +193,7 @@ inline void encode_request(const Request& req, std::vector<std::uint8_t>& out) {
       break;
     case Opcode::kStats:
     case Opcode::kPing:
+    case Opcode::kValidate:
       break;
   }
 }
@@ -226,6 +232,7 @@ inline ParseResult parse_request(const std::uint8_t* data, std::size_t n,
       break;
     case Opcode::kStats:
     case Opcode::kPing:
+    case Opcode::kValidate:
       break;
   }
   *consumed = kHeaderBytes + body;

@@ -342,6 +342,27 @@ void Server::execute_one(const Request& req, std::vector<std::uint8_t>& out,
     case Opcode::kPing:
       encode_response_empty(Status::kOk, out);
       break;
+    case Opcode::kValidate: {
+      // Admin op: full structural check (per-node sorting, level nesting,
+      // bottom-level order). Best run against a quiescent store — a check
+      // racing live writers can report transient states.
+      std::string json;
+      Status st = Status::kOk;
+      try {
+        store_.check_invariants();
+        json = "{\"valid\": true, \"nodes\": " +
+               std::to_string(store_.count_nodes()) +
+               ", \"epoch\": " + std::to_string(store_.epoch()) + "}";
+      } catch (const std::exception& e) {
+        st = Status::kError;
+        std::string msg;
+        for (const char* c = e.what(); *c != '\0'; ++c)
+          msg += (*c == '"' || *c == '\\') ? ' ' : *c;
+        json = "{\"valid\": false, \"error\": \"" + msg + "\"}";
+      }
+      encode_response_blob(st, json, out);
+      break;
+    }
   }
 }
 

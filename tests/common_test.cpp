@@ -132,6 +132,103 @@ TEST(CrashPoints, WildcardTagMatchesEverything) {
   cp.reset();
 }
 
+TEST(CrashPoints, PerThreadArmingFiresOnlyInTargetThread) {
+  auto& cp = CrashPoints::instance();
+  cp.reset();
+  ThreadRegistry::instance().bind(0);
+  CrashPoints::ArmSpec spec;
+  spec.thread = 3;
+  cp.arm(spec);
+  EXPECT_NO_THROW(cp.hit(crash_tag("x")));  // wrong thread: not even counted
+  EXPECT_FALSE(cp.fired());
+  std::thread t([&] {
+    ThreadRegistry::instance().bind(3);
+    EXPECT_THROW(cp.hit(crash_tag("x")), CrashException);
+  });
+  t.join();
+  EXPECT_TRUE(cp.fired());
+  cp.reset();
+}
+
+TEST(CrashPoints, ProbabilisticArmingIsSeedReproducible) {
+  auto& cp = CrashPoints::instance();
+  auto first_fire = [&](std::uint64_t seed) {
+    cp.reset();
+    CrashPoints::ArmSpec spec;
+    spec.probability = 0.05;
+    spec.seed = seed;
+    cp.arm(spec);
+    for (int i = 0; i < 10000; ++i) {
+      try {
+        cp.hit(crash_tag("p"));
+      } catch (const CrashException&) {
+        return i;
+      }
+    }
+    return -1;
+  };
+  const int a = first_fire(42);
+  const int b = first_fire(42);
+  EXPECT_GE(a, 0) << "p=0.05 over 10000 hits must fire";
+  EXPECT_EQ(a, b) << "same seed, same thread: same firing hit";
+  // Different seeds should give distinct streams. Any single pair can
+  // legitimately collide on the first firing index (P ~ p/(2-p)), so
+  // require only that a batch of seeds is not all identical.
+  bool any_differs = false;
+  for (std::uint64_t s = 43; s < 51 && !any_differs; ++s)
+    any_differs = first_fire(s) != a;
+  EXPECT_TRUE(any_differs) << "8 other seeds all fired at hit " << a;
+  cp.reset();
+}
+
+TEST(CrashPoints, QuiesceKillsEveryThreadAfterTheFire) {
+  auto& cp = CrashPoints::instance();
+  cp.reset();
+  CrashPoints::ArmSpec spec;
+  spec.quiesce = true;
+  cp.arm(spec);
+  EXPECT_FALSE(cp.crashing());
+  EXPECT_THROW(cp.hit(crash_tag("a")), CrashException);  // the crash
+  EXPECT_TRUE(cp.fired());
+  EXPECT_TRUE(cp.crashing());
+  // Survivors die at their next crash point or poll, in any thread.
+  EXPECT_THROW(cp.hit(crash_tag("b")), CrashException);
+  EXPECT_THROW(cp.poll(), CrashException);
+  std::thread t([&] { EXPECT_THROW(cp.hit(crash_tag("c")), CrashException); });
+  t.join();
+  cp.reset();
+  EXPECT_FALSE(cp.crashing());
+  EXPECT_NO_THROW(cp.hit(crash_tag("d")));
+  EXPECT_NO_THROW(cp.poll());
+}
+
+TEST(CrashPoints, ConcurrentHitsFireExactlyOnceAndNeverRearm) {
+  // The legacy counter was unsigned: concurrent decrements could wrap past
+  // zero and re-enter the firing window ~2^64 hits later; the fire itself
+  // was not single-shot under races. Hammer one arming from many threads
+  // and require exactly one CrashException total.
+  auto& cp = CrashPoints::instance();
+  cp.reset();
+  cp.arm(/*tag=*/0, /*skip=*/1000);
+  std::atomic<int> fires{0};
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 8; ++t) {
+    ts.emplace_back([&] {
+      for (int i = 0; i < 200000; ++i) {
+        try {
+          cp.hit(crash_tag("h"));
+        } catch (const CrashException&) {
+          fires.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(fires.load(), 1);
+  EXPECT_TRUE(cp.fired());
+  cp.reset();
+}
+
 TEST(ThreadRegistry, BindAndPerThreadIds) {
   ThreadRegistry::instance().bind(5);
   EXPECT_EQ(ThreadRegistry::id(), 5);

@@ -272,9 +272,14 @@ TEST(LinCheckCrashTrials, UPSkipListIsStrictlyLinearizable) {
     Recorder rec(*history_pool, /*fresh=*/true);
     std::atomic<std::uint64_t> value_seq{1000 * trial};
 
-    // Phase 1: run until a crash fires somewhere inside the store.
+    // Phase 1: run until a crash fires somewhere inside the store. Quiesce
+    // on fire: survivors die at their next crash point / spin-guard poll
+    // instead of wedging on a lock the crashed thread still holds.
     CrashPoints::instance().reset();
-    CrashPoints::instance().arm(/*any point=*/0, 40 + trial * 13);
+    CrashPoints::ArmSpec spec;
+    spec.skip = 40 + trial * 13;
+    spec.quiesce = true;
+    CrashPoints::instance().arm(spec);
     run_phase(h, rec, h.store().epoch(), value_seq, 500, trial);
     CrashPoints::instance().disarm();
 

@@ -58,10 +58,18 @@ TEST_P(MultiPool, CrashRecoveryAcrossPools) {
   std::map<std::uint64_t, std::uint64_t> acked;
   CrashPoints::instance().arm(/*any=*/0, 200);
   Xoshiro256 rng(13);
+  // The operation in flight at the crash was never acknowledged; under
+  // strict linearizability it may take effect or not (its value word can be
+  // durable before the ack, e.g. a crash right after update_value's
+  // persist), so the check below accepts either outcome for that one key.
+  std::uint64_t inflight_key = 0;
+  std::uint64_t inflight_value = 0;
   try {
     for (int i = 0; i < 100000; ++i) {
       const std::uint64_t key = 1 + rng.next_below(400);
       const std::uint64_t value = 1 + (rng.next() >> 1);
+      inflight_key = key;
+      inflight_value = value;
       h.store().insert(key, value);
       acked[key] = value;
     }
@@ -72,7 +80,13 @@ TEST_P(MultiPool, CrashRecoveryAcrossPools) {
   for (const auto& [k, v] : acked) {
     auto got = h.store().search(k);
     ASSERT_TRUE(got.has_value()) << k;
-    EXPECT_EQ(*got, v);
+    if (k == inflight_key) {
+      EXPECT_TRUE(*got == v || *got == inflight_value)
+          << "key " << k << ": got " << *got << ", want acked " << v
+          << " or in-flight " << inflight_value;
+    } else {
+      EXPECT_EQ(*got, v) << k;
+    }
   }
   for (std::uint64_t k = 5001; k <= 5100; ++k) h.store().insert(k, k);
   h.store().check_invariants();

@@ -265,6 +265,22 @@ TEST(ServerLoopback, BasicOpsAndStatuses) {
   EXPECT_NE(stats.find("\"epoch\""), std::string::npos);
 }
 
+TEST(ServerLoopback, ValidateRunsStructuralCheck) {
+  ServerFixture f;
+  Client c = f.connect();
+  for (std::uint64_t k = 1; k <= 200; ++k) c.put(k * 3, k);
+  for (std::uint64_t k = 1; k <= 50; ++k) c.remove(k * 6);
+
+  bool ok = false;
+  const std::string report = c.validate_json(&ok);
+  EXPECT_TRUE(ok) << report;
+  EXPECT_NE(report.find("\"valid\": true"), std::string::npos) << report;
+  EXPECT_NE(report.find("\"epoch\""), std::string::npos) << report;
+
+  // VALIDATE is an admin op, not a fence: the store keeps serving after it.
+  EXPECT_EQ(c.get(3), std::optional<std::uint64_t>(1));
+}
+
 TEST(ServerLoopback, ScanWithLimitAndOrder) {
   ServerFixture f;
   Client c = f.connect();
