@@ -12,20 +12,81 @@
 //                          latency minus DRAM's; set 0 to disable)
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <memory>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "bench_json.hpp"
 #include "bztree/bztree.hpp"
+#include "common/cpu_features.hpp"
+#include "common/histogram.hpp"
+#include "common/simd.hpp"
 #include "core/upskiplist.hpp"
 #include "lockskiplist/lock_skiplist.hpp"
 #include "ycsb/runner.hpp"
 
 namespace upsl::bench {
+
+/// Per-operation latency recorder shared by every harness that reports a
+/// percentile row. Owns the log-bucketed histogram plus the steady_clock
+/// plumbing, so the p50/p99/p999 fields in every BENCH_*.json come from one
+/// implementation instead of per-bench copies of the duration_cast dance.
+/// Mergeable across threads when each thread records into its own instance.
+class LatencyRecorder {
+ public:
+  /// Record an externally measured sample (e.g. a batch round-trip time
+  /// attributed to every operation that rode in the batch).
+  void record_ns(std::uint64_t ns) { hist_.record(ns); }
+
+  /// Run `op`, record its wall time, and pass through its result.
+  template <typename Op>
+  auto time(Op&& op) {
+    const auto t0 = std::chrono::steady_clock::now();
+    if constexpr (std::is_void_v<decltype(op())>) {
+      op();
+      record_ns(elapsed_ns(t0));
+    } else {
+      auto result = op();
+      record_ns(elapsed_ns(t0));
+      return result;
+    }
+  }
+
+  void merge(const LatencyRecorder& other) { hist_.merge(other.hist_); }
+  void reset() { hist_.reset(); }
+
+  std::uint64_t count() const { return hist_.count(); }
+  std::uint64_t p50_ns() const { return hist_.percentile(50); }
+  std::uint64_t p99_ns() const { return hist_.percentile(99); }
+  std::uint64_t p999_ns() const { return hist_.percentile(99.9); }
+  const LatencyHistogram& histogram() const { return hist_; }
+
+ private:
+  static std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point t0) {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+  }
+
+  LatencyHistogram hist_;
+};
+
+/// Stamp a result row with the list's build configuration so every JSON
+/// entry records which fast paths were live when it was measured: the
+/// dispatched SIMD level and the DRAM search-layer mode (each governed by
+/// its kill switch, UPSL_DISABLE_SIMD / UPSL_DISABLE_DRAM_INDEX).
+inline void append_build_config(JsonBenchWriter::Config& cfg) {
+  cfg.emplace_back("simd", simd_level_name(simd::dispatched_level()));
+  const char* v = std::getenv("UPSL_DISABLE_DRAM_INDEX");
+  const bool index_off = v != nullptr && v[0] != '\0' && v[0] != '0';
+  cfg.emplace_back("dram_index", index_off ? "off" : "on");
+}
 
 /// Per-phase persistence counters via pmem::Stats snapshots. begin() marks a
 /// phase start; per_op() reports the deltas since then, normalized per

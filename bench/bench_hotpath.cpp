@@ -148,8 +148,8 @@ void bench_search(JsonBenchWriter& json) {
   const BenchScale scale;
   std::printf("\n-- UPSkipList::search, %llu records, keys_per_node=256 --\n",
               static_cast<unsigned long long>(scale.records));
-  std::printf("%-10s %14s %10s %10s\n", "variant", "ops/sec", "p50 ns",
-              "p99 ns");
+  std::printf("%-10s %14s %10s %10s %10s\n", "variant", "ops/sec", "p50 ns",
+              "p99 ns", "p999 ns");
 
   const auto run_variant = [&](const char* variant) {
     UPSLAdapter store(scale.records);
@@ -160,7 +160,7 @@ void bench_search(JsonBenchWriter& json) {
       std::swap(keyset[i], keyset[load_rng.next_below(i + 1)]);
     for (const std::uint64_t k : keyset) store.insert(k, k * 3);
 
-    LatencyHistogram hist;
+    LatencyRecorder lat;
     Xoshiro256 rng(11);
     // Warmup.
     for (std::uint64_t i = 0; i < 2048; ++i)
@@ -168,22 +168,18 @@ void bench_search(JsonBenchWriter& json) {
     const auto t0 = Clock::now();
     for (std::uint64_t i = 0; i < scale.ops; ++i) {
       const std::uint64_t k = 1 + rng.next_below(scale.records);
-      const auto op0 = Clock::now();
-      sink(store.search(k).value_or(0));
-      hist.record(static_cast<std::uint64_t>(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
-                                                               op0)
-              .count()));
+      sink(lat.time([&] { return store.search(k); }).value_or(0));
     }
     const double ops = static_cast<double>(scale.ops) / seconds_since(t0);
-    std::printf("%-10s %14.0f %10llu %10llu\n", variant, ops,
-                static_cast<unsigned long long>(hist.percentile(50)),
-                static_cast<unsigned long long>(hist.percentile(99)));
-    json.add(std::string("search/") + variant,
-             {{"records", std::to_string(scale.records)},
-              {"keys_per_node", "256"},
-              {"level", simd_level_name(simd::dispatched_level())}},
-             ops, hist);
+    std::printf("%-10s %14.0f %10llu %10llu %10llu\n", variant, ops,
+                static_cast<unsigned long long>(lat.p50_ns()),
+                static_cast<unsigned long long>(lat.p99_ns()),
+                static_cast<unsigned long long>(lat.p999_ns()));
+    JsonBenchWriter::Config cfg{{"records", std::to_string(scale.records)},
+                                {"keys_per_node", "256"}};
+    append_build_config(cfg);
+    json.add(std::string("search/") + variant, std::move(cfg), ops,
+             lat.histogram());
   };
 
   // A/B the dispatched kernels in-process: the reset makes the next use

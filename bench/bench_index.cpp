@@ -1,0 +1,228 @@
+// DRAM search-layer A/B harness (BENCH_index.json).
+//
+// The volatile-index PR keeps only the data level in PMEM and moves every
+// index level into DRAM (see docs/dram-index.md); this harness measures what
+// that buys and what it costs:
+//
+//   ycsb/<mix>/<mode>   single-thread closed-loop over ycsb::OpGenerator —
+//                       workload B (read-mostly, 95/5) and workload A
+//                       (update-heavy, 50/50) — A/B'd in-process by toggling
+//                       UPSL_DISABLE_DRAM_INDEX around store construction
+//                       (the switch is read per attach). Each row records
+//                       traversal counter deltas per op; in DRAM mode the
+//                       harness *asserts* index_hops == dram_node_visits,
+//                       i.e. zero index-level reads touched PMEM, and exits
+//                       nonzero otherwise.
+//   rebuild/size/<n>    Pool-open rebuild wall time vs list size (the
+//                       restart-latency trade the design makes).
+//   rebuild/workers/<w> Parallel stripe-rebuild scaling at 1/2/4 workers on
+//                       the full-size store.
+//
+// Knobs: UPSL_BENCH_RECORDS (default 100000 here — deep enough structure
+// that traversal cost is index-bound), UPSL_BENCH_OPS (default 200000),
+// UPSL_INDEX_KEYS_PER_NODE (default 16: small nodes = tall towers = the
+// regime the DRAM layer targets), UPSL_PERSIST_DELAY_NS (default 50).
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "bench_json.hpp"
+#include "common/rng.hpp"
+#include "common/thread_registry.hpp"
+#include "ycsb/workload.hpp"
+
+namespace {
+
+using namespace upsl;
+using namespace upsl::bench;
+using Clock = std::chrono::steady_clock;
+
+volatile std::uint64_t g_sink = 0;
+void sink(std::uint64_t v) { g_sink = g_sink + v; }
+
+std::uint32_t keys_per_node() {
+  return static_cast<std::uint32_t>(env_u64("UPSL_INDEX_KEYS_PER_NODE", 16));
+}
+
+std::unique_ptr<UPSLAdapter> make_store(std::uint64_t records) {
+  auto store = std::make_unique<UPSLAdapter>(records, 1, keys_per_node());
+  // Preload in key_of's hashed (pseudorandom) order, as the YCSB driver does.
+  for (std::uint64_t i = 0; i < records; ++i)
+    store->insert(ycsb::key_of(i), i + 1);
+  return store;
+}
+
+struct MixResult {
+  double ops_per_sec = 0;
+  LatencyRecorder lat;
+  pmem::StatsSnapshot delta;
+};
+
+MixResult run_mix(UPSLAdapter& store, const ycsb::WorkloadSpec& spec,
+                  std::uint64_t records, std::uint64_t ops) {
+  ycsb::OpGenerator gen(spec, records, /*seed=*/97);
+  const auto apply = [&](const ycsb::Op& op) {
+    if (op.type == ycsb::OpType::kRead)
+      sink(store.search(op.key).value_or(0));
+    else
+      sink(store.insert(op.key, op.value).value_or(0));
+  };
+  for (std::uint64_t i = 0; i < 4096; ++i) apply(gen.next());  // warmup
+
+  MixResult r;
+  const pmem::StatsSnapshot t0 = pmem::Stats::instance().snapshot();
+  const auto start = Clock::now();
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    const ycsb::Op op = gen.next();
+    r.lat.time([&] { apply(op); });
+  }
+  const double secs = std::chrono::duration<double>(Clock::now() - start).count();
+  r.delta = pmem::Stats::instance().snapshot() - t0;
+  r.ops_per_sec = secs > 0 ? static_cast<double>(ops) / secs : 0;
+  return r;
+}
+
+std::string per_op(std::uint64_t total, std::uint64_t ops) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f",
+                static_cast<double>(total) / static_cast<double>(ops));
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  apply_persist_delay();
+  ThreadRegistry::instance().bind(0);
+  const std::uint64_t records = env_u64("UPSL_BENCH_RECORDS", 100000);
+  const std::uint64_t ops = env_u64("UPSL_BENCH_OPS", 200000);
+
+  print_header("DRAM search layer A/B",
+               "volatile index levels, PMEM data level; rebuild on open");
+  std::printf("records=%llu ops=%llu keys_per_node=%u\n",
+              static_cast<unsigned long long>(records),
+              static_cast<unsigned long long>(ops), keys_per_node());
+
+  JsonBenchWriter json("index");
+  bool counters_ok = true;
+  // ops_per_sec per (workload, mode) for the closing speedup summary.
+  std::vector<std::pair<std::string, double>> throughput;
+
+  std::printf("\n%-18s %-6s %12s %9s %9s %9s %11s\n", "workload", "index",
+              "ops/sec", "p50 ns", "p99 ns", "p999 ns", "hops/op");
+  for (const bool dram : {true, false}) {
+    if (!dram) ::setenv("UPSL_DISABLE_DRAM_INDEX", "1", 1);
+    auto store = make_store(records);
+    for (const ycsb::WorkloadSpec& spec :
+         {ycsb::kWorkloadB, ycsb::kWorkloadA}) {
+      const MixResult r = run_mix(*store, spec, records, ops);
+      const std::uint64_t pmem_index_reads =
+          r.delta.index_hops - r.delta.dram_node_visits;
+      std::printf("%-18s %-6s %12.0f %9llu %9llu %9llu %11s\n", spec.name,
+                  dram ? "dram" : "pmem", r.ops_per_sec,
+                  static_cast<unsigned long long>(r.lat.p50_ns()),
+                  static_cast<unsigned long long>(r.lat.p99_ns()),
+                  static_cast<unsigned long long>(r.lat.p999_ns()),
+                  per_op(r.delta.index_hops, ops).c_str());
+      if (dram && pmem_index_reads != 0) {
+        std::fprintf(stderr,
+                     "FAIL: %llu index-level reads hit PMEM in DRAM mode "
+                     "(index_hops=%llu dram_node_visits=%llu)\n",
+                     static_cast<unsigned long long>(pmem_index_reads),
+                     static_cast<unsigned long long>(r.delta.index_hops),
+                     static_cast<unsigned long long>(r.delta.dram_node_visits));
+        counters_ok = false;
+      }
+      if (!dram && r.delta.dram_node_visits != 0) {
+        std::fprintf(stderr,
+                     "FAIL: dram_node_visits=%llu with the index disabled\n",
+                     static_cast<unsigned long long>(r.delta.dram_node_visits));
+        counters_ok = false;
+      }
+
+      JsonBenchWriter::Config cfg{
+          {"workload", spec.name},
+          {"records", std::to_string(records)},
+          {"keys_per_node", std::to_string(keys_per_node())},
+          {"index_hops_per_op", per_op(r.delta.index_hops, ops)},
+          {"pmem_node_visits_per_op", per_op(r.delta.pmem_node_visits, ops)},
+          {"pmem_index_reads", std::to_string(pmem_index_reads)}};
+      append_build_config(cfg);
+      json.add(std::string("ycsb/") + (spec.name[0] == 'B' ? "B" : "A") +
+                   (dram ? "/dram" : "/pmem"),
+               std::move(cfg), r.ops_per_sec, r.lat.histogram());
+      throughput.emplace_back(std::string(spec.name) +
+                                  (dram ? "/dram" : "/pmem"),
+                              r.ops_per_sec);
+    }
+
+    if (dram) {
+      // Worker scaling of the stripe rebuild, on the store we already have.
+      std::printf("\n-- rebuild scaling, %llu records --\n",
+                  static_cast<unsigned long long>(records));
+      std::printf("%-8s %10s %14s\n", "workers", "ms", "keys/sec");
+      for (const unsigned w : {1u, 2u, 4u}) {
+        // Best of three: a full rebuild is sub-millisecond at bench scale,
+        // so a single sample is dominated by scheduler noise.
+        std::uint64_t ns = store->store().rebuild_dram_index(w);
+        for (int rep = 0; rep < 2; ++rep)
+          ns = std::min(ns, store->store().rebuild_dram_index(w));
+        const double keys_s =
+            ns > 0 ? static_cast<double>(records) * 1e9 /
+                         static_cast<double>(ns)
+                   : 0;
+        std::printf("%-8u %10.3f %14.0f\n", w,
+                    static_cast<double>(ns) / 1e6, keys_s);
+        JsonBenchWriter::Config cfg{
+            {"workers", std::to_string(w)},
+            {"records", std::to_string(records)},
+            {"rebuild_ms", std::to_string(static_cast<double>(ns) / 1e6)
+                               .substr(0, 8)}};
+        append_build_config(cfg);
+        json.add("rebuild/workers/" + std::to_string(w), std::move(cfg),
+                 keys_s);
+      }
+    }
+    store.reset();
+    if (!dram) ::unsetenv("UPSL_DISABLE_DRAM_INDEX");
+  }
+
+  // Rebuild wall time vs list size (default worker count, fresh stores).
+  std::printf("\n-- rebuild time vs list size --\n");
+  std::printf("%-10s %10s %14s\n", "records", "ms", "keys/sec");
+  for (const std::uint64_t n : {records / 4, records / 2, records}) {
+    if (n == 0) continue;
+    auto store = make_store(n);
+    const std::uint64_t ns = store->store().rebuild_dram_index(0);
+    const double keys_s =
+        ns > 0 ? static_cast<double>(n) * 1e9 / static_cast<double>(ns) : 0;
+    std::printf("%-10llu %10.3f %14.0f\n", static_cast<unsigned long long>(n),
+                static_cast<double>(ns) / 1e6, keys_s);
+    JsonBenchWriter::Config cfg{
+        {"records", std::to_string(n)},
+        {"keys_per_node", std::to_string(keys_per_node())},
+        {"rebuild_ms",
+         std::to_string(static_cast<double>(ns) / 1e6).substr(0, 8)}};
+    append_build_config(cfg);
+    json.add("rebuild/size/" + std::to_string(n), std::move(cfg), keys_s);
+  }
+
+  // Headline: read-mostly and mixed speedups of dram over pmem towers.
+  std::printf("\n-- speedup (dram / pmem towers) --\n");
+  for (std::size_t i = 0; i + 2 < throughput.size(); ++i) {
+    const auto& [name, dram_ops] = throughput[i];
+    if (name.find("/dram") == std::string::npos) continue;
+    const std::string base = name.substr(0, name.find("/dram"));
+    for (std::size_t j = 0; j < throughput.size(); ++j) {
+      const auto& [other, pmem_ops] = throughput[j];
+      if (other == base + "/pmem" && pmem_ops > 0) {
+        std::printf("  %-18s %.2fx\n", base.c_str(), dram_ops / pmem_ops);
+      }
+    }
+  }
+
+  json.write();
+  return counters_ok ? 0 : 1;
+}

@@ -74,7 +74,7 @@ bool preload(const Target& t, std::uint64_t records) {
 struct WorkloadResult {
   double seconds = 0;
   std::uint64_t ops = 0;
-  LatencyHistogram latency;
+  bench::LatencyRecorder latency;
   bool ok = true;
 };
 
@@ -114,7 +114,7 @@ WorkloadResult run_workload(const Target& t, const ycsb::WorkloadSpec& spec,
               std::chrono::duration_cast<std::chrono::nanoseconds>(
                   std::chrono::steady_clock::now() - s)
                   .count());
-          for (std::uint32_t b = 0; b < batch; ++b) r.latency.record(ns);
+          for (std::uint32_t b = 0; b < batch; ++b) r.latency.record_ns(ns);
           r.ops += batch;
           remaining -= batch;
         }
@@ -201,9 +201,9 @@ int main() {
     std::printf(
         "  %-16s %8.0f ops/s   p50 %7llu ns  p99 %7llu ns  p999 %7llu ns\n",
         spec.name, ops_s,
-        static_cast<unsigned long long>(r.latency.percentile(50)),
-        static_cast<unsigned long long>(r.latency.percentile(99)),
-        static_cast<unsigned long long>(r.latency.percentile(99.9)));
+        static_cast<unsigned long long>(r.latency.p50_ns()),
+        static_cast<unsigned long long>(r.latency.p99_ns()),
+        static_cast<unsigned long long>(r.latency.p999_ns()));
 
     JsonBenchWriter::Config cfg;
     if (target.self_hosted) cfg = delta.per_op(std::max<std::uint64_t>(r.ops, 1));
@@ -212,8 +212,9 @@ int main() {
     cfg.emplace_back("depth", std::to_string(depth));
     cfg.emplace_back("records", std::to_string(records));
     cfg.emplace_back("mode", target.self_hosted ? "self-hosted" : "external");
+    bench::append_build_config(cfg);
     out.add(std::string("server_") + spec.name, std::move(cfg), ops_s,
-            r.latency);
+            r.latency.histogram());
   }
 
   // Server-side view of the run (and a STATS protocol exercise).

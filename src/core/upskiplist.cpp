@@ -1,9 +1,12 @@
 #include "core/upskiplist.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -65,6 +68,12 @@ struct StoreRoot {
   std::uint64_t sorted_splits;
   std::uint64_t head_riv;
   std::uint64_t tail_riv;
+  /// 1 = the store last ran with the DRAM search layer, so the PMEM index
+  /// towers (next pointers above level 0) are stale and must be rebuilt
+  /// before a persistent-tower session may trust them. Flipped durably only
+  /// after the corresponding rebuild completed (mode-switch protocol in
+  /// docs/dram-index.md).
+  std::uint64_t index_mode;
 };
 
 constexpr std::size_t kLogsOffset = 128;  // after StoreRoot, line-aligned
@@ -83,6 +92,24 @@ std::size_t magazines_offset(std::size_t num_pools, std::size_t arenas_per_pool)
 
 StoreRoot* root_of(alloc::ChunkAllocator& ca) {
   return reinterpret_cast<StoreRoot*>(ca.root_area());
+}
+
+/// Kill switch for the DRAM search layer (same contract as the SIMD /
+/// magazine / flush-coalescing switches): set and non-"0" forces the
+/// persistent-tower path. Read per attach so tests can flip it between
+/// reopens of the same store.
+bool dram_index_disabled_by_env() {
+  const char* v = std::getenv("UPSL_DISABLE_DRAM_INDEX");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+unsigned default_rebuild_workers() {
+  if (const char* v = std::getenv("UPSL_INDEX_REBUILD_WORKERS")) {
+    const unsigned n = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    if (n > 0) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::min(4u, hw == 0 ? 1u : hw);
 }
 
 /// Length of the leading populated, strictly ascending run of key slots —
@@ -155,6 +182,8 @@ void UPSkipList::attach(std::vector<pmem::Pool*> pools, bool creating,
     root->block_size = layout_.node_size();
     root->recovery_budget = opts->recovery_budget;
     root->sorted_splits = opts->sorted_splits ? 1 : 0;
+    root->index_mode =
+        (opts->dram_index && !dram_index_disabled_by_env()) ? 1 : 0;
     persist(root_area, need);
   } else {
     if (pm_load(root->magic) != kStoreMagic)
@@ -218,6 +247,32 @@ void UPSkipList::attach(std::vector<pmem::Pool*> pools, bool creating,
     // Stores too small for magazine descriptors never run that sync, so
     // their (few, tiny) free lists are repaired eagerly instead.
     if (mags == nullptr) block_alloc_->repair_tails();
+  }
+
+  // Index-mode selection (docs/dram-index.md): the durable index_mode flag
+  // says whether the PMEM towers were maintained by the previous session;
+  // the env kill switch picks the mode for this one. Crossing modes runs
+  // the corresponding rebuild before the store serves, and the flag only
+  // flips after that rebuild completed — a crash mid-rebuild redoes it.
+  index_mode_word_ = &root->index_mode;
+  const bool use_dram = creating
+                            ? (opts->dram_index && !dram_index_disabled_by_env())
+                            : !dram_index_disabled_by_env();
+  if (use_dram) {
+    index_ = std::make_unique<DramIndex>(layout_.max_height);
+    if (!creating) {
+      rebuild_dram_index(0);
+      if (pm_load(root->index_mode) != 1) {
+        // PMEM towers go stale from here on; record that durably before
+        // the first un-mirrored insert can run.
+        pm_store(root->index_mode, std::uint64_t{1});
+        persist(&root->index_mode, sizeof(root->index_mode));
+      }
+    }
+  } else if (!creating && pm_load(root->index_mode) != 0) {
+    rebuild_persistent_towers();
+    pm_store(root->index_mode, std::uint64_t{0});
+    persist(&root->index_mode, sizeof(root->index_mode));
   }
 }
 
@@ -321,7 +376,16 @@ UPSkipList::TraverseResult UPSkipList::traverse(std::uint64_t key,
                                                 std::uint64_t* preds,
                                                 std::uint64_t* succs,
                                                 std::uint32_t recovery_budget) {
+  if (index_ != nullptr) return traverse_dram(key, preds, succs, recovery_budget);
+  return traverse_pmem(key, preds, succs, recovery_budget);
+}
+
+UPSkipList::TraverseResult UPSkipList::traverse_pmem(
+    std::uint64_t key, std::uint64_t* preds, std::uint64_t* succs,
+    std::uint32_t recovery_budget) {
   std::uint32_t recoveries = 0;
+  std::uint64_t upper_visits = 0;
+  std::uint64_t level0_visits = 0;
   SpinGuard restart_guard("traverse.restart");
 restart:
   restart_guard.tick();
@@ -337,6 +401,10 @@ restart:
     while (true) {
       level_guard.tick();
       NodeView cur = view(cur_riv);
+      if (level > 0)
+        ++upper_visits;
+      else
+        ++level0_visits;
       if (check_for_recovery(static_cast<std::uint32_t>(level), cur_riv, cur,
                              &recoveries, recovery_budget)) {
         goto restart;
@@ -371,6 +439,92 @@ restart:
       res.found = res.key_index >= 0;
     }
   }
+  auto& st = pmem::Stats::instance();
+  st.index_hops.fetch_add(upper_visits, std::memory_order_relaxed);
+  st.pmem_node_visits.fetch_add(upper_visits + level0_visits,
+                                std::memory_order_relaxed);
+  return res;
+}
+
+UPSkipList::TraverseResult UPSkipList::traverse_dram(
+    std::uint64_t key, std::uint64_t* preds, std::uint64_t* succs,
+    std::uint32_t recovery_budget) {
+  std::uint32_t recoveries = 0;
+  std::uint64_t dram_hops = 0;
+  std::uint64_t pmem_visits = 0;
+  SpinGuard restart_guard("traverse_dram.restart");
+  TraverseResult res;
+restart:
+  restart_guard.tick();
+  res = TraverseResult{};
+  // Index levels live only in DRAM; the persistent pred/succ slots above
+  // level 0 are bracketed by the sentinels so shared code (make_node's
+  // upper next fillers) stays well-defined.
+  for (std::uint32_t l = 1; l < layout_.max_height; ++l) {
+    preds[l] = head_riv_;
+    succs[l] = tail_riv_;
+  }
+
+  const riv::DataHandle hint = index_->seek(key, &dram_hops);
+  std::uint64_t pred_riv;
+  NodeView pred;
+  if (!hint.is_null()) {
+    // First keys are immutable and data nodes are never removed, so the
+    // hint's first_key <= key holds no matter how stale the registration
+    // is. The hint node still needs the epoch check: a durably locked
+    // stale node must be claimed and repaired before its keys are usable.
+    pred_riv = hint.riv;
+    pred = NodeView(static_cast<char*>(hint.ptr), &layout_);
+    ++pmem_visits;
+    if (check_for_recovery(0, pred_riv, pred, &recoveries, recovery_budget))
+      goto restart;
+    // splitCount before keys — same torn-read protocol as the PMEM walk.
+    res.split_count = pm_load(pred.split_count());
+  } else {
+    pred_riv = head_riv_;
+    pred = view(pred_riv);
+  }
+
+  {
+    std::uint64_t cur_riv = pm_load(pred.next(0));
+    prefetch_node(cur_riv, 0);
+    SpinGuard level_guard("traverse_dram.level0");
+    while (true) {
+      level_guard.tick();
+      NodeView cur = view(cur_riv);
+      ++pmem_visits;
+      if (check_for_recovery(0, cur_riv, cur, &recoveries, recovery_budget))
+        goto restart;
+      const std::uint64_t sc = pm_load(cur.split_count());
+      const std::uint64_t k0 = pm_load(cur.key(0));
+      if (k0 <= key) {
+        res.split_count = sc;
+        pred_riv = cur_riv;
+        pred = cur;
+        cur_riv = pm_load(pred.next(0));
+        prefetch_node(cur_riv, 0);
+      } else {
+        break;
+      }
+    }
+    preds[0] = pred_riv;
+    succs[0] = cur_riv;
+  }
+
+  if (pred_riv != head_riv_) {
+    prefetch_keys(pred);
+    if (pred.first_key() == key) {
+      res.key_index = 0;
+      res.found = true;
+    } else {
+      res.key_index = scan_internal_keys(pred, key);
+      res.found = res.key_index >= 0;
+    }
+  }
+  auto& st = pmem::Stats::instance();
+  st.index_hops.fetch_add(dram_hops, std::memory_order_relaxed);
+  st.dram_node_visits.fetch_add(dram_hops, std::memory_order_relaxed);
+  st.pmem_node_visits.fetch_add(pmem_visits, std::memory_order_relaxed);
   return res;
 }
 
@@ -452,6 +606,16 @@ void UPSkipList::check_insert_recovery(std::uint32_t level,
   // `level` means `level` is its topmost linked level; if its tower should
   // be taller, the insert was interrupted — finish it (§4.5.2).
   const std::uint32_t height = node.height();
+  if (index_ != nullptr) {
+    // DRAM mode: the tower lives in the volatile index, so re-registration
+    // is the entire repair (idempotent — a rebuild-registered node is
+    // simply found and left alone).
+    if (height >= 2) {
+      register_in_index(node_riv);
+      UPSL_CRASH_POINT("core.insert_recovered");
+    }
+    return;
+  }
   if (level + 1 >= height) return;
   std::uint64_t preds[64];
   std::uint64_t succs[64];
@@ -514,6 +678,89 @@ void UPSkipList::link_higher_levels(std::uint64_t* preds, std::uint64_t* succs,
       populate_levels(succs, node, level, height);
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// DRAM search layer (docs/dram-index.md)
+// ---------------------------------------------------------------------------
+
+void UPSkipList::register_in_index(std::uint64_t node_riv) {
+  // Publish a data node into the volatile index with ordinary CASes —
+  // nothing here is flushed or fenced. A thread dying between the level-0
+  // link and this call costs hops until the next rebuild, never
+  // correctness (the level-0 walk finds the node regardless).
+  // Sentinels are implicit (head = the seek miss, tail = null successor);
+  // recovery claims them like any stale node, so filter them here.
+  if (node_riv == head_riv_ || node_riv == tail_riv_) return;
+  NodeView n = view(node_riv);
+  const std::uint32_t h = n.height();
+  if (h < 2) return;
+  index_->insert(n.first_key(), node_riv, n.raw(), h);
+}
+
+std::uint64_t UPSkipList::rebuild_dram_index(unsigned workers) {
+  if (index_ == nullptr) return 0;
+  if (workers == 0) workers = default_rebuild_workers();
+  const auto t0 = std::chrono::steady_clock::now();
+  // The sequential part: snapshot (first_key, riv, address, height) of
+  // every indexable data node, in level-0 (= ascending key) order. Heights
+  // were persisted by make_node before the node could be linked, so they
+  // are correct even right after a crash.
+  std::vector<DramIndex::Entry> entries;
+  std::uint64_t cur = pm_load(view(head_riv_).next(0));
+  while (true) {
+    NodeView v = view(cur);
+    if (v.is_tail()) break;
+    const std::uint32_t h = v.height();
+    if (h >= 2) entries.push_back({v.first_key(), cur, v.raw(), h});
+    cur = pm_load(v.next(0));
+  }
+  index_->rebuild(entries, workers);
+  const auto ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  last_rebuild_ns_ = ns;
+  auto& st = pmem::Stats::instance();
+  st.index_rebuilds.fetch_add(1, std::memory_order_relaxed);
+  st.index_rebuild_ns.fetch_add(ns, std::memory_order_relaxed);
+  return ns;
+}
+
+void UPSkipList::rebuild_persistent_towers() {
+  // Mode switch DRAM -> persistent towers: the PMEM next pointers above
+  // level 0 were not maintained while the store ran with the DRAM index,
+  // so rewrite every one of them from the data level. The spine holds, per
+  // level, the last node written at that level; a node's own upper next
+  // pointers are filled in when its level successor arrives (or by the
+  // tail fix-up). index_mode flips to 0 only after this completes, so a
+  // crash anywhere in here simply redoes the full rewrite.
+  std::vector<std::uint64_t> spine(layout_.max_height, head_riv_);
+  std::uint64_t cur = pm_load(view(head_riv_).next(0));
+  while (true) {
+    NodeView v = view(cur);
+    if (v.is_tail()) break;
+    const std::uint32_t h = std::min(v.height(), layout_.max_height);
+    if (h >= 2) {
+      pmem::FlushSet fs;
+      for (std::uint32_t l = 1; l < h; ++l) {
+        NodeView sp = view(spine[l]);
+        pm_store(sp.next(l), cur);
+        fs.add(&sp.next(l), sizeof(std::uint64_t));
+        spine[l] = cur;
+      }
+      fs.commit();
+      UPSL_CRASH_POINT("core.tower_rebuild");
+    }
+    cur = pm_load(v.next(0));
+  }
+  pmem::FlushSet fs;
+  for (std::uint32_t l = 1; l < layout_.max_height; ++l) {
+    NodeView sp = view(spine[l]);
+    pm_store(sp.next(l), tail_riv_);
+    fs.add(&sp.next(l), sizeof(std::uint64_t));
+  }
+  fs.commit();
 }
 
 // ---------------------------------------------------------------------------
@@ -642,7 +889,10 @@ bool UPSkipList::create_head_successor(std::uint64_t key, std::uint64_t value,
   }
   persist(&head.next(0), sizeof(std::uint64_t));
   UPSL_CRASH_POINT("core.head_succ_linked");
-  link_higher_levels(preds, succs, node_riv, 1, height);
+  if (index_ != nullptr)
+    register_in_index(node_riv);
+  else
+    link_higher_levels(preds, succs, node_riv, 1, height);
   return true;
 }
 
@@ -732,8 +982,12 @@ UPSkipList::InsertStatus UPSkipList::split_node(
     persist(&pred.next(0), sizeof(std::uint64_t));
     pred.write_unlock();
     persist(&pred.lock_word(), sizeof(std::uint64_t));
-    traverse(key, preds, succs, ~0u);
-    link_higher_levels(preds, succs, new_riv, 1, height);
+    if (index_ != nullptr) {
+      register_in_index(new_riv);
+    } else {
+      traverse(key, preds, succs, ~0u);
+      link_higher_levels(preds, succs, new_riv, 1, height);
+    }
     *old_out = std::nullopt;
     return InsertStatus::kDone;
   }
@@ -806,8 +1060,12 @@ UPSkipList::InsertStatus UPSkipList::split_node(
   persist(&pred.lock_word(), sizeof(std::uint64_t));
 
   // Build the new node's tower outside the lock (Function 20 lines 269-270).
-  traverse(pm_load(nn.key(0)), preds, succs, ~0u);
-  link_higher_levels(preds, succs, new_riv, 1, height);
+  if (index_ != nullptr) {
+    register_in_index(new_riv);
+  } else {
+    traverse(pm_load(nn.key(0)), preds, succs, ~0u);
+    link_higher_levels(preds, succs, new_riv, 1, height);
+  }
   // The calling Insert retries and lands in the old or the new node.
   return InsertStatus::kRestart;
 }
@@ -964,6 +1222,34 @@ void UPSkipList::check_invariants() {
       throw std::logic_error("node height out of range");
     cur = pm_load(v.next(0));
   }
+  if (index_ != nullptr) {
+    // DRAM mode: the PMEM towers are stale by design — validate the
+    // volatile index against the data level instead. On a quiesced store
+    // every height >= 2 node is registered exactly once with matching
+    // identity, and the index's own levels are properly nested.
+    index_->check_invariants();
+    std::vector<DramIndex::Entry> expect;
+    std::uint64_t c = pm_load(view(head_riv_).next(0));
+    while (true) {
+      NodeView v = view(c);
+      if (v.is_tail()) break;
+      if (v.height() >= 2) expect.push_back({v.first_key(), c, v.raw(), v.height()});
+      c = pm_load(v.next(0));
+    }
+    std::vector<DramIndex::Entry> got;
+    index_->for_each([&](const DramIndex::Entry& e) { got.push_back(e); });
+    if (got.size() != expect.size())
+      throw std::logic_error(
+          "dram index entries (" + std::to_string(got.size()) +
+          ") != indexable data nodes (" + std::to_string(expect.size()) + ")");
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      if (got[i].key != expect[i].key || got[i].riv != expect[i].riv)
+        throw std::logic_error("dram index entry mismatches data level");
+      if (got[i].height != std::min(expect[i].height, layout_.max_height))
+        throw std::logic_error("dram index height mismatches node meta");
+    }
+    return;
+  }
   // Every higher level must be a sorted sub-sequence of the level below.
   for (std::uint32_t l = 1; l < layout_.max_height; ++l) {
     std::uint64_t upper = pm_load(view(head_riv_).next(l));
@@ -998,6 +1284,12 @@ bool UPSkipList::tower_complete(std::uint64_t key) {
   if (!res.found) return false;
   const std::uint64_t node_riv = preds[0];
   NodeView node = view(node_riv);
+  if (index_ != nullptr) {
+    // Level 0 is proven by the traversal having found the node; the rest of
+    // the tower is the DRAM registration.
+    if (node.height() < 2) return true;
+    return index_->complete(node.first_key(), node.height() - 1);
+  }
   for (std::uint32_t l = 0; l < node.height(); ++l) {
     std::uint64_t cur = pm_load(view(head_riv_).next(l));
     bool found = false;

@@ -29,6 +29,7 @@
 
 #include "alloc/block_allocator.hpp"
 #include "common/rng.hpp"
+#include "core/dram_index.hpp"
 #include "core/node.hpp"
 
 namespace upsl::core {
@@ -43,6 +44,12 @@ struct Options {
   /// Sort keys when splitting a node and binary-search the sorted prefix —
   /// the thesis' future-work optimization borrowed from BzTree (§7).
   bool sorted_splits = false;
+  /// Keep index levels (level >= 1) in a volatile DRAM search layer and
+  /// persist only the data level (docs/dram-index.md). Overridden by the
+  /// UPSL_DISABLE_DRAM_INDEX environment kill switch; the effective mode is
+  /// recorded durably in the store root so reopens know whether the PMEM
+  /// towers are trustworthy.
+  bool dram_index = true;
   alloc::ChunkAllocatorConfig chunk;
 };
 
@@ -119,6 +126,27 @@ class UPSkipList {
     return static_cast<std::uint32_t>(pools_.size());
   }
 
+  /// True iff this handle runs with the volatile DRAM search layer (index
+  /// levels in DRAM, data level as sole durable ground truth).
+  bool dram_index_enabled() const { return index_ != nullptr; }
+
+  /// Data nodes currently registered in the DRAM index (0 when disabled).
+  std::size_t index_entries() const {
+    return index_ != nullptr ? index_->entries() : 0;
+  }
+
+  /// Wall-clock cost of the most recent DRAM-index rebuild on this handle
+  /// (0 if none ran — e.g. freshly created store or index disabled).
+  std::uint64_t last_index_rebuild_ns() const { return last_rebuild_ns_; }
+
+  /// Rebuild the DRAM index from the data level with `workers` parallel
+  /// stripe builders (0 = UPSL_INDEX_REBUILD_WORKERS or a hardware-sized
+  /// default). Requires a quiesced store. Returns the rebuild time in ns;
+  /// no-op returning 0 when the index is disabled. open() runs this
+  /// automatically — the explicit entry point exists for rebuild-scaling
+  /// measurements and tests.
+  std::uint64_t rebuild_dram_index(unsigned workers = 0);
+
  private:
   UPSkipList() = default;
 
@@ -166,7 +194,16 @@ class UPSkipList {
 
   TraverseResult traverse(std::uint64_t key, std::uint64_t* preds,
                           std::uint64_t* succs, std::uint32_t recovery_budget);
+  TraverseResult traverse_pmem(std::uint64_t key, std::uint64_t* preds,
+                               std::uint64_t* succs,
+                               std::uint32_t recovery_budget);
+  TraverseResult traverse_dram(std::uint64_t key, std::uint64_t* preds,
+                               std::uint64_t* succs,
+                               std::uint32_t recovery_budget);
   std::int32_t scan_internal_keys(NodeView node, std::uint64_t key) const;
+
+  void register_in_index(std::uint64_t node_riv);
+  void rebuild_persistent_towers();
 
   bool check_for_recovery(std::uint32_t level, std::uint64_t node_riv,
                           NodeView node, std::uint32_t* recoveries_done,
@@ -205,8 +242,11 @@ class UPSkipList {
   NodeLayout layout_{};
   Options opts_{};
   std::uint64_t* epoch_word_ = nullptr;  // PMEM-resident
+  std::uint64_t* index_mode_word_ = nullptr;  // PMEM-resident (store root)
   std::uint64_t head_riv_ = 0;
   std::uint64_t tail_riv_ = 0;
+  std::unique_ptr<DramIndex> index_;  // volatile; null in persistent mode
+  std::uint64_t last_rebuild_ns_ = 0;
 };
 
 }  // namespace upsl::core

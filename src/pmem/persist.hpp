@@ -32,12 +32,23 @@ struct StatsSnapshot {
   std::uint64_t fences = 0;
   std::uint64_t coalesced_fences_saved = 0;
   std::uint64_t coalesced_lines_saved = 0;
+  std::uint64_t index_hops = 0;
+  std::uint64_t pmem_node_visits = 0;
+  std::uint64_t dram_node_visits = 0;
+  std::uint64_t index_rebuilds = 0;
+  std::uint64_t index_rebuild_ns = 0;
 
   StatsSnapshot operator-(const StatsSnapshot& t0) const {
     return {persist_calls - t0.persist_calls,
-            persisted_lines - t0.persisted_lines, fences - t0.fences,
+            persisted_lines - t0.persisted_lines,
+            fences - t0.fences,
             coalesced_fences_saved - t0.coalesced_fences_saved,
-            coalesced_lines_saved - t0.coalesced_lines_saved};
+            coalesced_lines_saved - t0.coalesced_lines_saved,
+            index_hops - t0.index_hops,
+            pmem_node_visits - t0.pmem_node_visits,
+            dram_node_visits - t0.dram_node_visits,
+            index_rebuilds - t0.index_rebuilds,
+            index_rebuild_ns - t0.index_rebuild_ns};
   }
 
   /// Flat JSON object, e.g. for the server's STATS command or log lines.
@@ -49,7 +60,12 @@ struct StatsSnapshot {
            field("persisted_lines", persisted_lines) + ", " +
            field("fences", fences) + ", " +
            field("coalesced_fences_saved", coalesced_fences_saved) + ", " +
-           field("coalesced_lines_saved", coalesced_lines_saved) + "}";
+           field("coalesced_lines_saved", coalesced_lines_saved) + ", " +
+           field("index_hops", index_hops) + ", " +
+           field("pmem_node_visits", pmem_node_visits) + ", " +
+           field("dram_node_visits", dram_node_visits) + ", " +
+           field("index_rebuilds", index_rebuilds) + ", " +
+           field("index_rebuild_ns", index_rebuild_ns) + "}";
   }
 };
 
@@ -66,6 +82,19 @@ struct Stats {
   /// Line flushes avoided because an operation touched a line twice (e.g.
   /// adjacent tower levels sharing one 64-byte line).
   std::atomic<std::uint64_t> coalesced_lines_saved{0};
+  /// Traversal-path observability (DRAM search layer, docs/dram-index.md):
+  /// index_hops counts node visits above level 0 in either index mode;
+  /// dram_node_visits counts the subset served from the volatile index, so
+  /// `index_hops - dram_node_visits` is the number of PMEM index reads —
+  /// zero on the DRAM-index fast path. pmem_node_visits counts every
+  /// PMEM-resident node touched (any level).
+  std::atomic<std::uint64_t> index_hops{0};
+  std::atomic<std::uint64_t> pmem_node_visits{0};
+  std::atomic<std::uint64_t> dram_node_visits{0};
+  /// DRAM-index reconstructions (one per open in DRAM mode) and their total
+  /// wall-clock cost.
+  std::atomic<std::uint64_t> index_rebuilds{0};
+  std::atomic<std::uint64_t> index_rebuild_ns{0};
 
   static Stats& instance() {
     static Stats s;
@@ -77,7 +106,12 @@ struct Stats {
             persisted_lines.load(std::memory_order_relaxed),
             fences.load(std::memory_order_relaxed),
             coalesced_fences_saved.load(std::memory_order_relaxed),
-            coalesced_lines_saved.load(std::memory_order_relaxed)};
+            coalesced_lines_saved.load(std::memory_order_relaxed),
+            index_hops.load(std::memory_order_relaxed),
+            pmem_node_visits.load(std::memory_order_relaxed),
+            dram_node_visits.load(std::memory_order_relaxed),
+            index_rebuilds.load(std::memory_order_relaxed),
+            index_rebuild_ns.load(std::memory_order_relaxed)};
   }
 
   void reset() {
@@ -86,6 +120,11 @@ struct Stats {
     fences.store(0, std::memory_order_relaxed);
     coalesced_fences_saved.store(0, std::memory_order_relaxed);
     coalesced_lines_saved.store(0, std::memory_order_relaxed);
+    index_hops.store(0, std::memory_order_relaxed);
+    pmem_node_visits.store(0, std::memory_order_relaxed);
+    dram_node_visits.store(0, std::memory_order_relaxed);
+    index_rebuilds.store(0, std::memory_order_relaxed);
+    index_rebuild_ns.store(0, std::memory_order_relaxed);
   }
 };
 

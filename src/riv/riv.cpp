@@ -55,6 +55,21 @@ void Runtime::rebuild_dispatch() {
   }
 }
 
+void* Runtime::try_to_ptr(std::uint64_t riv) noexcept {
+  if (riv == kNull) return nullptr;
+  const Decoded d = decode(riv);
+  PoolTable* table = dispatch_[d.pool];
+  if (table == nullptr || d.chunk >= table->max_chunks) return nullptr;
+  char* chunk_base = table->chunk_base[d.chunk].load(std::memory_order_acquire);
+  if (chunk_base == nullptr) {
+    const std::int64_t off = table->resolver(d.chunk);
+    if (off < 0) return nullptr;
+    chunk_base = table->pool_base + off;
+    table->chunk_base[d.chunk].store(chunk_base, std::memory_order_release);
+  }
+  return chunk_base + d.offset;
+}
+
 void Runtime::throw_chunk_out_of_range() {
   throw std::out_of_range("riv: chunk id out of range");
 }

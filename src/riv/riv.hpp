@@ -62,6 +62,22 @@ constexpr Decoded decode(std::uint64_t riv) {
 /// allocated. Installed per pool by the coarse-grained allocator.
 using ChunkResolver = std::function<std::int64_t(std::uint32_t chunk)>;
 
+/// A resolved data-level reference: the persistent RIV paired with its
+/// current virtual address, so volatile structures (e.g. the DRAM search
+/// layer) can cache the translation and skip `to_ptr` dispatch entirely.
+///
+/// Address stability: `ptr` is valid for as long as the owning pool's
+/// mapping is — pools are only remapped or invalidated while the store is
+/// closed (Pool::remap / Runtime::invalidate_pool run between sessions),
+/// so a handle captured from an open store never dangles during that
+/// session and must be re-resolved (rebuilt) after any reopen.
+struct DataHandle {
+  std::uint64_t riv = kNull;
+  void* ptr = nullptr;
+
+  bool is_null() const { return riv == kNull; }
+};
+
 class Runtime {
  public:
   static Runtime& instance() {
@@ -110,6 +126,17 @@ class Runtime {
   UPSL_ALWAYS_INLINE T* as(std::uint64_t riv) {
     return static_cast<T*>(to_ptr(riv));
   }
+
+  /// Resolve a RIV into a (riv, address) pair for volatile caching. See
+  /// DataHandle for the address-stability contract.
+  UPSL_ALWAYS_INLINE DataHandle resolve(std::uint64_t riv) {
+    return DataHandle{riv, to_ptr(riv)};
+  }
+
+  /// Non-throwing to_ptr: nullptr for null/unconfigured/out-of-range RIVs.
+  /// For diagnostic walks over possibly-stale pointer words; the hot path
+  /// keeps the branch-free throwing variant.
+  void* try_to_ptr(std::uint64_t riv) noexcept;
 
   /// Reverse mapping used by allocators when initializing free lists: the
   /// caller supplies the (pool, chunk) coordinates it already knows.

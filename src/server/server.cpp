@@ -464,6 +464,12 @@ std::string Server::stats_json() const {
   json += u64("scans", s.scans.load(std::memory_order_relaxed));
   json += "}, ";
   json += u64("epoch", store_.epoch()) + ", ";
+  json += "\"index\": {";
+  json += std::string("\"dram\": ") +
+          (store_.dram_index_enabled() ? "true" : "false") + ", ";
+  json += u64("entries", store_.index_entries()) + ", ";
+  json += u64("rebuild_ns", store_.last_index_rebuild_ns());
+  json += "}, ";
   json += "\"pmem\": " + pmem::Stats::instance().snapshot().to_json();
   json += "}";
   return json;

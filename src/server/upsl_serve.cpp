@@ -90,6 +90,15 @@ int main(int argc, char** argv) {
     store = core::UPSkipList::open({pool.get()});
     std::printf("upsl-serve: recovered %s (epoch %llu)\n", args.pool.c_str(),
                 static_cast<unsigned long long>(store->epoch()));
+    // Recovery-before-bind includes the search-layer rebuild: report its
+    // cost so restart-latency regressions are visible in the startup log.
+    if (store->dram_index_enabled()) {
+      std::printf("upsl-serve: dram index rebuilt (%zu entries, %.3f ms)\n",
+                  store->index_entries(),
+                  static_cast<double>(store->last_index_rebuild_ns()) / 1e6);
+    } else {
+      std::printf("upsl-serve: dram index disabled (persistent towers)\n");
+    }
   } else {
     pool = pmem::Pool::create(args.pool, 0, pool_size);
     store = core::UPSkipList::create({pool.get()}, opts);

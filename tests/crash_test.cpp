@@ -37,6 +37,14 @@ bool needs_legacy_allocator(const char* point) {
   return std::string(point) == "alloc.after_pop";
 }
 
+/// Points on the persistent-tower linking path, which the DRAM search layer
+/// bypasses: pin those workloads to UPSL_DISABLE_DRAM_INDEX=1 so they still
+/// fire (the DRAM-mode insert/recovery paths are covered by
+/// dram_index_test and the torture shards).
+bool needs_persistent_towers(const char* point) {
+  return std::string(point) == "core.linked_level";
+}
+
 /// The one operation in flight when a crash fired. Unacknowledged, so
 /// under strict linearizability it may take effect or not (§2.2) — e.g. a
 /// crash right after update_value's persist leaves its value durable.
@@ -112,6 +120,9 @@ TEST_P(CrashAtPoint, InsertWorkloadRecovers) {
   const bool legacy = needs_legacy_allocator(GetParam());
   const bool env_was_set = std::getenv("UPSL_DISABLE_MAGAZINES") != nullptr;
   if (legacy) ::setenv("UPSL_DISABLE_MAGAZINES", "1", 1);
+  std::optional<test::ScopedEnv> tower_pin;
+  if (needs_persistent_towers(GetParam()))
+    tower_pin.emplace("UPSL_DISABLE_DRAM_INDEX", "1");
   for (std::uint64_t skip : {0u, 5u, 23u}) {
     SCOPED_TRACE(std::string(GetParam()) + " skip=" + std::to_string(skip));
     StoreHarness h(small_options(/*keys_per_node=*/4, /*max_height=*/10));
@@ -187,6 +198,9 @@ TEST(Crash, InterruptedSplitLeavesNoDuplicates) {
 }
 
 TEST(Crash, InterruptedTowerIsRebuiltOnTraversal) {
+  // Exercises the persistent tower-linking repair, which only exists with
+  // the DRAM index off (its DRAM-mode analogue lives in dram_index_test).
+  test::ScopedEnv tower_pin("UPSL_DISABLE_DRAM_INDEX", "1");
   StoreHarness h(small_options(4, 10));
   bool fired = false;
   auto acked = insert_until_crash(h.store(), crash_tag("core.linked_level"), 2,

@@ -146,7 +146,20 @@ IterOutcome run_iteration(std::uint64_t seed, pmem::CrashMode first_mode) {
   out.main_crash_fired = CrashPoints::instance().fired();
   CrashPoints::instance().reset();
   oracle.on_crash();
-  h.crash_and_reopen(first_mode, seed ^ 0x9e3779b97f4a7c15ULL);
+
+  // Every reopen must rebuild the DRAM search layer before serving (when
+  // the index is enabled) — the torture campaign exercises the rebuild on
+  // every cycle, not just in dedicated tests.
+  const auto reopen_checked = [&](pmem::CrashMode mode, std::uint64_t s) {
+    const std::uint64_t rebuilds0 =
+        pmem::Stats::instance().snapshot().index_rebuilds;
+    h.crash_and_reopen(mode, s);
+    if (h.store().dram_index_enabled()) {
+      EXPECT_GT(pmem::Stats::instance().snapshot().index_rebuilds, rebuilds0)
+          << "reopen did not rebuild the DRAM index [seed=" << seed << "]";
+    }
+  };
+  reopen_checked(first_mode, seed ^ 0x9e3779b97f4a7c15ULL);
 
   // ---- phase 2: re-crash the recovery itself, up to 3 nested times ------
   const int nested = static_cast<int>(rng.next_below(4));
@@ -191,7 +204,7 @@ IterOutcome run_iteration(std::uint64_t seed, pmem::CrashMode first_mode) {
     // Alternate the crash mode across nested rounds for mixed coverage.
     const pmem::CrashMode mode =
         (round % 2 == 0) ? pmem::CrashMode::kRandomEvict : first_mode;
-    h.crash_and_reopen(mode, seed + static_cast<std::uint64_t>(round) + 1);
+    reopen_checked(mode, seed + static_cast<std::uint64_t>(round) + 1);
   }
 
   // ---- phase 3: quiesced verification -----------------------------------
@@ -288,6 +301,15 @@ TEST(CrashTorture, EvictModeShardA) {
 
 TEST(CrashTorture, EvictModeShardB) {
   run_shard("evict-b", 300'000, pmem::CrashMode::kRandomEvict);
+}
+
+// The four shards above run with the DRAM search layer on (the default), so
+// the durable-linearizability oracle gates the index path and every cycle
+// exercises the rebuild. This shard pins the legacy persistent-towers mode
+// so both traversal/recovery paths stay under the campaign.
+TEST(CrashTorture, DiscardModePersistentTowers) {
+  test::ScopedEnv off("UPSL_DISABLE_DRAM_INDEX", "1");
+  run_shard("discard-towers", 400'000, pmem::CrashMode::kDiscardUnflushed);
 }
 
 }  // namespace

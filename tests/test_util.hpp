@@ -3,6 +3,7 @@
 // run, kill at an injected point, drop unflushed lines, reconnect, recover.
 #pragma once
 
+#include <cstdlib>
 #include <filesystem>
 #include <memory>
 #include <string>
@@ -15,6 +16,32 @@
 #include "riv/riv.hpp"
 
 namespace upsl::test {
+
+/// RAII pin for kill-switch environment variables (UPSL_DISABLE_*): sets the
+/// variable for the scope and restores the previous value (or unsets) on
+/// exit, so mode-specific tests compose with the CI env matrix.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    if (const char* old = std::getenv(name)) {
+      had_ = true;
+      old_ = old;
+    }
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (had_)
+      ::setenv(name_.c_str(), old_.c_str(), 1);
+    else
+      ::unsetenv(name_.c_str());
+  }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  std::string name_, old_;
+  bool had_ = false;
+};
 
 inline core::Options small_options(std::uint32_t keys_per_node = 8,
                                    std::uint32_t max_height = 12,
