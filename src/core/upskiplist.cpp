@@ -12,6 +12,7 @@
 
 #include "common/crashpoint.hpp"
 #include "common/simd.hpp"
+#include "pmem/ack_batch.hpp"
 #include "pmem/flush_set.hpp"
 
 namespace upsl::core {
@@ -330,6 +331,13 @@ std::uint64_t UPSkipList::make_node(std::uint64_t pred_riv, std::uint64_t key,
   // MakeLinkedObject (Function 4): the allocator logs the attempt and pops a
   // block; we initialize it as a node and persist everything with one flush
   // before it can become reachable (Function 18's single-persist argument).
+  //
+  // MOD write path (docs/write-path.md): the node is still private, so its
+  // lines need no ordering among themselves or against anything else yet —
+  // write them back unordered (CLWB without SFENCE) and let the publish
+  // fence at the link site order all of them before the link can become
+  // durable. Callers that keep mutating the node before publishing (the
+  // split copy loop) re-flush; the fence still happens exactly once.
   std::uint64_t riv = 0;
   auto* raw = static_cast<char*>(block_alloc_->allocate(pred_riv, key, &riv));
   NodeView n(raw, &layout_);
@@ -341,8 +349,35 @@ std::uint64_t UPSkipList::make_node(std::uint64_t pred_riv, std::uint64_t key,
   for (std::uint32_t i = 1; i < layout_.keys_per_node; ++i)
     pm_store(n.value(i), kTombstone);
   for (std::uint32_t l = 0; l < height; ++l) pm_store(n.next(l), succs[l]);
-  persist(raw, layout_.node_size());
+  if (pmem::mod_writes_enabled()) {
+    pmem::flush(raw, layout_.node_size());
+    UPSL_CRASH_POINT("core.mod_built");
+  } else {
+    persist(raw, layout_.node_size());
+  }
   return riv;
+}
+
+bool UPSkipList::publish_data_link(NodeView pred, std::uint64_t expected,
+                                   std::uint64_t node_riv, bool defer_link) {
+  // The single ordered step of a MOD insert: one SFENCE retires every
+  // unordered writeback of the out-of-place node, then the data-level link
+  // CAS makes it reachable. The fence-before-CAS order guarantees the link
+  // can never be durable ahead of the node contents it exposes. The link
+  // flush itself only gates the *ack* (a lost link just un-inserts an
+  // unacknowledged key), so it may ride the ack batch — except in
+  // persistent-towers mode for multi-level nodes, where level 0 must be
+  // durable before level 1 links (the tower-prefix invariant recovery
+  // depends on), so the link persists eagerly there.
+  pmem::fence();
+  UPSL_CRASH_POINT("core.mod_prepublish");
+  if (!pm_cas_value(pred.next(0), expected, node_riv)) return false;
+  if (defer_link)
+    pmem::ack_persist(&pred.next(0), sizeof(std::uint64_t));
+  else
+    persist(&pred.next(0), sizeof(std::uint64_t));
+  UPSL_CRASH_POINT("core.mod_published");
+  return true;
 }
 
 // ---------------------------------------------------------------------------
@@ -555,11 +590,34 @@ bool UPSkipList::check_for_recovery(std::uint32_t level, std::uint64_t node_riv,
   persist(&node.epoch_id(), sizeof(std::uint64_t));
   UPSL_CRASH_POINT("core.recovery_claimed");
 
+  scrub_torn_slots(node);
   check_node_split_recovery(node);
   check_insert_recovery(level, node_riv, node);
   UPSL_CRASH_POINT("core.node_recovered");
   ++*recoveries_done;
   return true;
+}
+
+void UPSkipList::scrub_torn_slots(NodeView node) {
+  // MOD write path repair: a slot claim defers both its key and value
+  // flushes to the ack fence with no ordering between them, so a crash can
+  // leave a slot whose value line became durable while the key line
+  // reverted to kNullKey. Re-assert the free-slot representation
+  // (key == kNullKey ⇒ value == kTombstone) before this epoch can reuse
+  // the slot — without this, a later claim of the slot could briefly
+  // expose the orphaned value under a new key. Runs once per node, on the
+  // epoch-claim transition: pre-crash nodes all carry a stale epoch, and
+  // try_read_lock refuses stale nodes, so no claim can race this scrub.
+  // Idempotent (crashing mid-scrub just redoes it next epoch).
+  pmem::FlushSet fs;
+  for (std::uint32_t i = 0; i < layout_.keys_per_node; ++i) {
+    if (pm_load(node.key(i)) == kNullKey &&
+        pm_load(node.value(i)) != kTombstone) {
+      pm_store(node.value(i), kTombstone);
+      fs.add(&node.value(i), sizeof(std::uint64_t));
+    }
+  }
+  fs.commit();
 }
 
 void UPSkipList::check_node_split_recovery(NodeView node) {
@@ -817,7 +875,7 @@ std::optional<std::uint64_t> UPSkipList::update_value(NodeView node,
     guard.tick();
     std::uint64_t old = pm_load(word);
     if (pm_cas(word, old, value)) {
-      persist(&word, sizeof(word));
+      pmem::ack_persist(&word, sizeof(word));
       UPSL_CRASH_POINT("core.updated_value");
       if (old == kTombstone) return std::nullopt;
       return old;
@@ -883,11 +941,19 @@ bool UPSkipList::create_head_successor(std::uint64_t key, std::uint64_t value,
   const std::uint64_t node_riv = make_node(head_riv_, key, value, height, succs);
   UPSL_CRASH_POINT("core.head_succ_made");
   NodeView head = view(head_riv_);
-  if (!pm_cas_value(head.next(0), succ, node_riv)) {
-    block_alloc_->deallocate(node_riv);
-    return false;
+  if (pmem::mod_writes_enabled()) {
+    const bool defer_link = index_ != nullptr || height == 1;
+    if (!publish_data_link(head, succ, node_riv, defer_link)) {
+      block_alloc_->deallocate(node_riv);
+      return false;
+    }
+  } else {
+    if (!pm_cas_value(head.next(0), succ, node_riv)) {
+      block_alloc_->deallocate(node_riv);
+      return false;
+    }
+    persist(&head.next(0), sizeof(std::uint64_t));
   }
-  persist(&head.next(0), sizeof(std::uint64_t));
   UPSL_CRASH_POINT("core.head_succ_linked");
   if (index_ != nullptr)
     register_in_index(node_riv);
@@ -914,7 +980,11 @@ UPSkipList::InsertStatus UPSkipList::insert_into_existing(
     std::uint64_t k = pm_load(pred.key(i));
     if (k == kNullKey) {
       if (pm_cas_value(pred.key(i), kNullKey, key)) {
-        persist(&pred.key(i), sizeof(std::uint64_t));
+        // The key and value lines only gate the ack, with no ordering
+        // between them: a crash can leave any subset durable, and the one
+        // torn combination (durable value under a reverted null key) is
+        // scrubbed back to a free slot at claim time (scrub_torn_slots).
+        pmem::ack_persist(&pred.key(i), sizeof(std::uint64_t));
         UPSL_CRASH_POINT("core.slot_claimed");
         *old_out = update_value(pred, static_cast<std::int32_t>(i), value);
         pred.read_unlock();
@@ -973,15 +1043,28 @@ UPSkipList::InsertStatus UPSkipList::split_node(
     }
     const std::uint64_t new_riv =
         make_node(preds[0], key, value, height, node_succs);
-    if (!pm_cas_value(pred.next(0), node_succs[0], new_riv)) {
-      block_alloc_->deallocate(new_riv);
-      pred.write_unlock();
-      persist(&pred.lock_word(), sizeof(std::uint64_t));
-      return InsertStatus::kRestart;
+    if (pmem::mod_writes_enabled()) {
+      const bool defer_link = index_ != nullptr || height == 1;
+      if (!publish_data_link(pred, node_succs[0], new_riv, defer_link)) {
+        block_alloc_->deallocate(new_riv);
+        pred.write_unlock();
+        persist(&pred.lock_word(), sizeof(std::uint64_t));
+        return InsertStatus::kRestart;
+      }
+    } else {
+      if (!pm_cas_value(pred.next(0), node_succs[0], new_riv)) {
+        block_alloc_->deallocate(new_riv);
+        pred.write_unlock();
+        persist(&pred.lock_word(), sizeof(std::uint64_t));
+        return InsertStatus::kRestart;
+      }
+      persist(&pred.next(0), sizeof(std::uint64_t));
     }
-    persist(&pred.next(0), sizeof(std::uint64_t));
     pred.write_unlock();
-    persist(&pred.lock_word(), sizeof(std::uint64_t));
+    // The unlock flush only gates the ack: a crash that loses it re-runs
+    // split recovery on pred, which finds nothing to erase (no key moved)
+    // and unlocks again — idempotent.
+    pmem::ack_persist(&pred.lock_word(), sizeof(std::uint64_t));
     if (index_ != nullptr) {
       register_in_index(new_riv);
     } else {
@@ -1016,10 +1099,23 @@ UPSkipList::InsertStatus UPSkipList::split_node(
   // the populated prefix no matter what the copy produced.
   pm_store(nn.sorted_count(),
            static_cast<std::uint64_t>(sorted_run_length(nn, K)));
-  persist(nn.raw(), layout_.node_size());
+  if (pmem::mod_writes_enabled()) {
+    // Out-of-place build, second pass: the copied upper half and the
+    // sorted_count landed after make_node's writeback, so re-flush the
+    // whole node — still unordered; the publish fence below is the single
+    // ordering point for everything the new node contains.
+    pmem::flush(nn.raw(), layout_.node_size());
+    UPSL_CRASH_POINT("core.mod_built");
+  } else {
+    persist(nn.raw(), layout_.node_size());
+  }
   UPSL_CRASH_POINT("core.split_node_made");
 
   const std::uint64_t expected_next = pm_load(nn.next(0));
+  if (pmem::mod_writes_enabled()) {
+    pmem::fence();  // publish: new node fully durable before it is linked
+    UPSL_CRASH_POINT("core.mod_prepublish");
+  }
   if (!pm_cas_value(pred.next(0), expected_next, new_riv)) {
     // Cannot happen while we hold the split lock and nodes are never
     // removed, but stay faithful to the pseudocode's guard (line 258).
@@ -1057,7 +1153,10 @@ UPSkipList::InsertStatus UPSkipList::split_node(
   persist(pred.raw(), layout_.node_size());
   UPSL_CRASH_POINT("core.split_erased");
   pred.write_unlock();
-  persist(&pred.lock_word(), sizeof(std::uint64_t));
+  // Deferrable like the single-key branch: losing the unlock flush re-runs
+  // the (idempotent) erase scan on recovery; every moved key is already
+  // durable in the new node, so nothing acked can be lost.
+  pmem::ack_persist(&pred.lock_word(), sizeof(std::uint64_t));
 
   // Build the new node's tower outside the lock (Function 20 lines 269-270).
   if (index_ != nullptr) {
@@ -1100,7 +1199,7 @@ std::optional<std::uint64_t> UPSkipList::remove(std::uint64_t key) {
       if (old == kTombstone) break;  // already absent
       if (pm_cas(word, old, kTombstone)) {
         UPSL_CRASH_POINT("core.removed_cas");
-        persist(&word, sizeof(word));
+        pmem::ack_persist(&word, sizeof(word));
         UPSL_CRASH_POINT("core.removed_value");
         removed = old;
         break;
@@ -1196,7 +1295,11 @@ void UPSkipList::check_invariants() {
     for (std::uint32_t i = 0; i < layout_.keys_per_node; ++i) {
       const std::uint64_t k = pm_load(v.key(i));
       if (k == kNullKey) {
-        if (pm_load(v.value(i)) != kTombstone)
+        // A non-tombstone value under a null key is a torn MOD slot claim:
+        // legal only on a node the current epoch has not claimed yet
+        // (scrub_torn_slots repairs it at claim time).
+        if (pm_load(v.value(i)) != kTombstone &&
+            pm_load(v.epoch_id()) == pm_load(*epoch_word_))
           throw std::logic_error("null key slot without tombstone value");
         continue;
       }

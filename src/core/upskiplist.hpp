@@ -208,12 +208,23 @@ class UPSkipList {
   bool check_for_recovery(std::uint32_t level, std::uint64_t node_riv,
                           NodeView node, std::uint32_t* recoveries_done,
                           std::uint32_t budget);
+  /// MOD write-path repair (docs/write-path.md): restore the free-slot
+  /// representation on slots whose deferred key flush was lost while the
+  /// value flush survived. Runs on the epoch-claim transition.
+  void scrub_torn_slots(NodeView node);
   void check_node_split_recovery(NodeView node);
   void check_insert_recovery(std::uint32_t level, std::uint64_t node_riv,
                              NodeView node);
 
   std::optional<std::uint64_t> update_value(NodeView node, std::int32_t idx,
                                             std::uint64_t value);
+  /// MOD publish step: one SFENCE retiring the out-of-place node's unordered
+  /// writebacks, then the data-level link CAS. Returns false if the CAS
+  /// lost. With defer_link the link flush rides the ack batch; without it
+  /// (persistent towers, height > 1) the link persists eagerly to keep the
+  /// level-prefix durability invariant.
+  bool publish_data_link(NodeView pred, std::uint64_t expected,
+                         std::uint64_t node_riv, bool defer_link);
   bool create_head_successor(std::uint64_t key, std::uint64_t value,
                              std::uint64_t* preds, std::uint64_t* succs);
   InsertStatus insert_into_existing(std::uint64_t key, std::uint64_t value,

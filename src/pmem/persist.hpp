@@ -27,6 +27,10 @@ namespace upsl::pmem {
 /// snapshot-delta idiom composes across nested/concurrent phases where
 /// Stats::reset() silently corrupts any other observer.
 struct StatsSnapshot {
+  /// Histogram bucket upper bounds for group-commit batch sizes (mutations
+  /// covered by one fence): <=1, <=2, <=4, <=8, <=16, >16.
+  static constexpr std::size_t kGroupCommitBuckets = 6;
+
   std::uint64_t persist_calls = 0;
   std::uint64_t persisted_lines = 0;
   std::uint64_t fences = 0;
@@ -37,18 +41,34 @@ struct StatsSnapshot {
   std::uint64_t dram_node_visits = 0;
   std::uint64_t index_rebuilds = 0;
   std::uint64_t index_rebuild_ns = 0;
+  std::uint64_t group_commits = 0;
+  std::uint64_t group_commit_mutations = 0;
+  std::uint64_t group_commit_hist[kGroupCommitBuckets] = {};
 
   StatsSnapshot operator-(const StatsSnapshot& t0) const {
-    return {persist_calls - t0.persist_calls,
-            persisted_lines - t0.persisted_lines,
-            fences - t0.fences,
-            coalesced_fences_saved - t0.coalesced_fences_saved,
-            coalesced_lines_saved - t0.coalesced_lines_saved,
-            index_hops - t0.index_hops,
-            pmem_node_visits - t0.pmem_node_visits,
-            dram_node_visits - t0.dram_node_visits,
-            index_rebuilds - t0.index_rebuilds,
-            index_rebuild_ns - t0.index_rebuild_ns};
+    StatsSnapshot d{persist_calls - t0.persist_calls,
+                    persisted_lines - t0.persisted_lines,
+                    fences - t0.fences,
+                    coalesced_fences_saved - t0.coalesced_fences_saved,
+                    coalesced_lines_saved - t0.coalesced_lines_saved,
+                    index_hops - t0.index_hops,
+                    pmem_node_visits - t0.pmem_node_visits,
+                    dram_node_visits - t0.dram_node_visits,
+                    index_rebuilds - t0.index_rebuilds,
+                    index_rebuild_ns - t0.index_rebuild_ns,
+                    group_commits - t0.group_commits,
+                    group_commit_mutations - t0.group_commit_mutations};
+    for (std::size_t i = 0; i < kGroupCommitBuckets; ++i)
+      d.group_commit_hist[i] = group_commit_hist[i] - t0.group_commit_hist[i];
+    return d;
+  }
+
+  /// Mean mutations amortized per group-commit fence (0 when unused).
+  double fences_per_mutation() const {
+    return group_commit_mutations == 0
+               ? 0.0
+               : static_cast<double>(group_commits) /
+                     static_cast<double>(group_commit_mutations);
   }
 
   /// Flat JSON object, e.g. for the server's STATS command or log lines.
@@ -56,6 +76,12 @@ struct StatsSnapshot {
     auto field = [](const char* k, std::uint64_t v) {
       return "\"" + std::string(k) + "\": " + std::to_string(v);
     };
+    std::string hist = "[";
+    for (std::size_t i = 0; i < kGroupCommitBuckets; ++i) {
+      if (i > 0) hist += ", ";
+      hist += std::to_string(group_commit_hist[i]);
+    }
+    hist += "]";
     return "{" + field("persist_calls", persist_calls) + ", " +
            field("persisted_lines", persisted_lines) + ", " +
            field("fences", fences) + ", " +
@@ -65,7 +91,10 @@ struct StatsSnapshot {
            field("pmem_node_visits", pmem_node_visits) + ", " +
            field("dram_node_visits", dram_node_visits) + ", " +
            field("index_rebuilds", index_rebuilds) + ", " +
-           field("index_rebuild_ns", index_rebuild_ns) + "}";
+           field("index_rebuild_ns", index_rebuild_ns) + ", " +
+           field("group_commits", group_commits) + ", " +
+           field("group_commit_mutations", group_commit_mutations) + ", " +
+           "\"group_commit_batch_hist\": " + hist + "}";
   }
 };
 
@@ -95,23 +124,48 @@ struct Stats {
   /// wall-clock cost.
   std::atomic<std::uint64_t> index_rebuilds{0};
   std::atomic<std::uint64_t> index_rebuild_ns{0};
+  /// Group commit (docs/write-path.md): commits = fences the committer
+  /// issued, mutations = operations whose ack rode one of those fences, and
+  /// a batch-size histogram so "fences per mutation" is explainable (a fleet
+  /// of singleton commits amortizes nothing).
+  std::atomic<std::uint64_t> group_commits{0};
+  std::atomic<std::uint64_t> group_commit_mutations{0};
+  std::atomic<std::uint64_t> group_commit_hist[StatsSnapshot::kGroupCommitBuckets]{};
 
   static Stats& instance() {
     static Stats s;
     return s;
   }
 
+  /// Record one group commit covering `mutations` acknowledged operations.
+  void note_group_commit(std::uint64_t mutations) {
+    group_commits.fetch_add(1, std::memory_order_relaxed);
+    group_commit_mutations.fetch_add(mutations, std::memory_order_relaxed);
+    std::size_t b = 0;
+    for (std::uint64_t bound = 1;
+         b + 1 < StatsSnapshot::kGroupCommitBuckets && mutations > bound;
+         bound <<= 1)
+      ++b;
+    group_commit_hist[b].fetch_add(1, std::memory_order_relaxed);
+  }
+
   StatsSnapshot snapshot() const {
-    return {persist_calls.load(std::memory_order_relaxed),
-            persisted_lines.load(std::memory_order_relaxed),
-            fences.load(std::memory_order_relaxed),
-            coalesced_fences_saved.load(std::memory_order_relaxed),
-            coalesced_lines_saved.load(std::memory_order_relaxed),
-            index_hops.load(std::memory_order_relaxed),
-            pmem_node_visits.load(std::memory_order_relaxed),
-            dram_node_visits.load(std::memory_order_relaxed),
-            index_rebuilds.load(std::memory_order_relaxed),
-            index_rebuild_ns.load(std::memory_order_relaxed)};
+    StatsSnapshot s{persist_calls.load(std::memory_order_relaxed),
+                    persisted_lines.load(std::memory_order_relaxed),
+                    fences.load(std::memory_order_relaxed),
+                    coalesced_fences_saved.load(std::memory_order_relaxed),
+                    coalesced_lines_saved.load(std::memory_order_relaxed),
+                    index_hops.load(std::memory_order_relaxed),
+                    pmem_node_visits.load(std::memory_order_relaxed),
+                    dram_node_visits.load(std::memory_order_relaxed),
+                    index_rebuilds.load(std::memory_order_relaxed),
+                    index_rebuild_ns.load(std::memory_order_relaxed),
+                    group_commits.load(std::memory_order_relaxed),
+                    group_commit_mutations.load(std::memory_order_relaxed)};
+    for (std::size_t i = 0; i < StatsSnapshot::kGroupCommitBuckets; ++i)
+      s.group_commit_hist[i] =
+          group_commit_hist[i].load(std::memory_order_relaxed);
+    return s;
   }
 
   void reset() {
@@ -125,6 +179,9 @@ struct Stats {
     dram_node_visits.store(0, std::memory_order_relaxed);
     index_rebuilds.store(0, std::memory_order_relaxed);
     index_rebuild_ns.store(0, std::memory_order_relaxed);
+    group_commits.store(0, std::memory_order_relaxed);
+    group_commit_mutations.store(0, std::memory_order_relaxed);
+    for (auto& h : group_commit_hist) h.store(0, std::memory_order_relaxed);
   }
 };
 

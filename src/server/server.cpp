@@ -8,15 +8,19 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <chrono>
 #include <cstring>
+#include <deque>
 #include <unordered_map>
 
 #include "common/thread_registry.hpp"
+#include "pmem/ack_batch.hpp"
 #include "pmem/persist.hpp"
+#include "server/group_commit.hpp"
 #include "server/protocol.hpp"
 
 namespace upsl::server {
@@ -41,18 +45,27 @@ bool set_nonblocking(int fd) {
 /// One TCP connection, owned by exactly one worker. `in` accumulates raw
 /// bytes until complete frames can be parsed; `out` holds encoded responses
 /// not yet accepted by the kernel (out_off bytes already sent).
+///
+/// Group commit parks response bytes: only [out_off, sendable_end) may be
+/// handed to the kernel. A mutation batch whose fence has not retired yet
+/// registers (ticket, end-of-its-responses) in pending_acks; the committer's
+/// eventfd wakeup advances sendable_end as tickets commit, preserving FIFO
+/// response order per connection.
 struct Server::Conn {
   int fd = -1;
   std::vector<std::uint8_t> in;
   std::vector<std::uint8_t> out;
   std::size_t out_off = 0;
+  std::size_t sendable_end = 0;  // bytes released for sending
+  std::deque<std::pair<std::uint64_t, std::size_t>> pending_acks;
   bool want_write = false;  // EPOLLOUT currently registered
 
-  bool has_pending_out() const { return out_off < out.size(); }
+  bool has_pending_out() const { return out_off < sendable_end; }
 };
 
 struct Server::Worker {
   int epoll_fd = -1;
+  int event_fd = -1;  // poked by the group committer after each fence
   std::unordered_map<int, Conn> conns;
 };
 
@@ -103,12 +116,23 @@ bool Server::start() {
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
   bound_port_ = ntohs(addr.sin_port);
 
+  window_us_ = commit_window_us_from_env(opts_.commit_window_us);
+  if (opts_.group_commit && !group_commit_disabled_by_env())
+    gc_ = std::make_unique<GroupCommit>(window_us_);
+
   for (unsigned i = 0; i < opts_.workers; ++i) {
     auto w = std::make_unique<Worker>();
     w->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
-    if (w->epoll_fd < 0) {
-      for (auto& prev : workers_) ::close(prev->epoll_fd);
+    if (w->epoll_fd >= 0 && gc_ != nullptr)
+      w->event_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (w->epoll_fd < 0 || (gc_ != nullptr && w->event_fd < 0)) {
+      if (w->epoll_fd >= 0) ::close(w->epoll_fd);
+      for (auto& prev : workers_) {
+        if (prev->event_fd >= 0) ::close(prev->event_fd);
+        ::close(prev->epoll_fd);
+      }
       workers_.clear();
+      gc_.reset();
       ::close(listen_fd_);
       listen_fd_ = -1;
       return false;
@@ -117,6 +141,13 @@ bool Server::start() {
     ev.events = EPOLLIN | EPOLLEXCLUSIVE;
     ev.data.fd = listen_fd_;
     ::epoll_ctl(w->epoll_fd, EPOLL_CTL_ADD, listen_fd_, &ev);
+    if (w->event_fd >= 0) {
+      epoll_event eev = {};
+      eev.events = EPOLLIN;
+      eev.data.fd = w->event_fd;
+      ::epoll_ctl(w->epoll_fd, EPOLL_CTL_ADD, w->event_fd, &eev);
+      gc_->add_notify_fd(w->event_fd);
+    }
     workers_.push_back(std::move(w));
   }
   started_ = true;
@@ -131,7 +162,14 @@ void Server::wait() {
   threads_.clear();
   if (started_ && !stopped_) {
     stopped_ = true;
-    for (auto& w : workers_) ::close(w->epoll_fd);
+    // Workers have drained (every parked ack released via barrier), so the
+    // committer has nothing pending; stop it before tearing down its
+    // notification fds.
+    if (gc_ != nullptr) gc_->shutdown();
+    for (auto& w : workers_) {
+      if (w->event_fd >= 0) ::close(w->event_fd);
+      ::close(w->epoll_fd);
+    }
     workers_.clear();
     if (listen_fd_ >= 0) {
       ::close(listen_fd_);
@@ -186,6 +224,14 @@ void Server::worker_main(unsigned index) {
           w.conns[cfd].fd = cfd;
           stats_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
         }
+        continue;
+      }
+      if (fd == w.event_fd) {
+        // The committer fenced: some parked responses became releasable.
+        std::uint64_t ticks;
+        while (::read(w.event_fd, &ticks, sizeof ticks) > 0) {
+        }
+        release_committed(w);
         continue;
       }
       auto it = w.conns.find(fd);
@@ -251,7 +297,12 @@ void Server::handle_readable(Worker& w, Conn& c) {
 bool Server::execute_batch(Worker& w, Conn& c) {
   std::size_t off = 0;
   unsigned executed = 0;
-  bool mutated = false;
+  unsigned mutations = 0;
+  // Batch-wide deferred-ack scope (docs/write-path.md): every mutation's
+  // ack-gating line flushes are collected here — deduped across the whole
+  // pipelined batch, not per op — and commit below under a single fence, or
+  // ride a group-commit ticket that shares that fence across connections.
+  pmem::AckBatch ab;
   while (executed < opts_.max_batch) {
     Request req;
     std::size_t consumed = 0;
@@ -267,20 +318,37 @@ bool Server::execute_batch(Worker& w, Conn& c) {
     ++executed;
     bool op_mutated = false;
     execute_one(req, c.out, &op_mutated);
-    mutated |= op_mutated;
+    if (op_mutated) ++mutations;
   }
   if (off > 0) c.in.erase(c.in.begin(), c.in.begin() + off);
   if (executed == 0) return false;
 
   stats_.frames.fetch_add(executed, std::memory_order_relaxed);
   stats_.batches.fetch_add(1, std::memory_order_relaxed);
-  if (mutated) {
-    // Ack gate: each op is already individually durable (the store persists
-    // before returning), so this is one batch-wide fence ordering the
-    // response bytes after everything the batch wrote — the coalesced
-    // equivalent of fencing per acknowledgement.
-    pmem::fence();
-    stats_.batch_fences.fetch_add(1, std::memory_order_relaxed);
+  if (mutations > 0) {
+    if (gc_ != nullptr) {
+      // Group commit: hand the deferred lines to the committer and park
+      // this batch's response bytes behind the returned ticket. The
+      // eventfd wakeup releases them once the covering fence retires.
+      const std::uint64_t ticket = gc_->submit(ab.take_lines(), mutations);
+      c.pending_acks.emplace_back(ticket, c.out.size());
+      stats_.group_commit_batches.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      // Per-batch ack gate: flush the batch's deferred lines and fence once
+      // before any response byte leaves — the coalesced equivalent of
+      // fencing per acknowledgement.
+      ab.commit_fenced();
+      stats_.batch_fences.fetch_add(1, std::memory_order_relaxed);
+      c.sendable_end = c.out.size();
+    }
+  } else {
+    // Read-only batch: releasable immediately — unless earlier batches on
+    // this connection are still parked; responses must stay FIFO, so these
+    // bytes ride the newest outstanding ticket.
+    if (c.pending_acks.empty())
+      c.sendable_end = c.out.size();
+    else
+      c.pending_acks.back().second = c.out.size();
   }
   flush_out(w, c);
   return c.fd >= 0 && executed == opts_.max_batch && !c.in.empty();
@@ -367,9 +435,11 @@ void Server::execute_one(const Request& req, std::vector<std::uint8_t>& out,
 }
 
 void Server::flush_out(Worker& w, Conn& c) {
+  // Only released bytes ([out_off, sendable_end)) may leave; bytes parked
+  // behind an uncommitted ticket wait for the committer's eventfd wakeup.
   while (c.has_pending_out()) {
     const ssize_t s = ::send(c.fd, c.out.data() + c.out_off,
-                             c.out.size() - c.out_off, MSG_NOSIGNAL);
+                             c.sendable_end - c.out_off, MSG_NOSIGNAL);
     if (s > 0) {
       c.out_off += static_cast<std::size_t>(s);
       continue;
@@ -379,10 +449,14 @@ void Server::flush_out(Worker& w, Conn& c) {
     close_conn(w, c);
     return;
   }
-  if (!c.has_pending_out()) {
+  if (c.out_off == c.out.size() && !c.out.empty()) {
+    // Fully sent AND nothing parked (parked bytes sit above sendable_end,
+    // which out_off cannot pass), so the buffer can be recycled.
     c.out.clear();
     c.out_off = 0;
+    c.sendable_end = 0;
   }
+  // EPOLLOUT covers kernel backpressure on released bytes only.
   const bool want = c.has_pending_out();
   if (want != c.want_write) {
     epoll_event ev = {};
@@ -390,6 +464,25 @@ void Server::flush_out(Worker& w, Conn& c) {
     ev.data.fd = c.fd;
     ::epoll_ctl(w.epoll_fd, EPOLL_CTL_MOD, c.fd, &ev);
     c.want_write = want;
+  }
+}
+
+void Server::release_committed(Worker& w) {
+  const std::uint64_t committed = gc_->committed();
+  for (auto it = w.conns.begin(); it != w.conns.end();) {
+    Conn& c = it->second;
+    if (c.fd >= 0 && !c.pending_acks.empty()) {
+      while (!c.pending_acks.empty() &&
+             c.pending_acks.front().first <= committed) {
+        c.sendable_end = c.pending_acks.front().second;
+        c.pending_acks.pop_front();
+      }
+      flush_out(w, c);
+    }
+    if (c.fd < 0)
+      it = w.conns.erase(it);
+    else
+      ++it;
   }
 }
 
@@ -430,6 +523,13 @@ void Server::drain_worker(Worker& w) {
     while (execute_batch(w, c)) {
     }
     if (c.fd < 0) continue;
+    if (gc_ != nullptr && !c.pending_acks.empty()) {
+      // Every parked ticket is already submitted; wait for the covering
+      // fence so the drain never sends an un-durable ack.
+      gc_->barrier();
+      c.sendable_end = c.out.size();
+      c.pending_acks.clear();
+    }
     while (c.has_pending_out() &&
            std::chrono::steady_clock::now() < deadline) {
       pollfd pfd = {c.fd, POLLOUT, 0};
@@ -456,6 +556,8 @@ std::string Server::stats_json() const {
   json += u64("batches", s.batches.load(std::memory_order_relaxed)) + ", ";
   json += u64("batch_fences",
               s.batch_fences.load(std::memory_order_relaxed)) + ", ";
+  json += u64("group_commit_batches",
+              s.group_commit_batches.load(std::memory_order_relaxed)) + ", ";
   json += u64("protocol_errors",
               s.protocol_errors.load(std::memory_order_relaxed)) + ", ";
   json += u64("gets", s.gets.load(std::memory_order_relaxed)) + ", ";
@@ -469,6 +571,13 @@ std::string Server::stats_json() const {
           (store_.dram_index_enabled() ? "true" : "false") + ", ";
   json += u64("entries", store_.index_entries()) + ", ";
   json += u64("rebuild_ns", store_.last_index_rebuild_ns());
+  json += "}, ";
+  json += "\"group_commit\": {";
+  json += std::string("\"enabled\": ") + (gc_ != nullptr ? "true" : "false") +
+          ", ";
+  json += std::string("\"mod_writes\": ") +
+          (pmem::mod_writes_enabled() ? "true" : "false") + ", ";
+  json += u64("window_us", window_us_);
   json += "}, ";
   json += "\"pmem\": " + pmem::Stats::instance().snapshot().to_json();
   json += "}";

@@ -34,6 +34,8 @@
 
 namespace upsl::server {
 
+class GroupCommit;
+
 struct ServerOptions {
   std::string host = "127.0.0.1";
   /// 0 = let the kernel pick an ephemeral port (query it via port()).
@@ -49,6 +51,14 @@ struct ServerOptions {
   unsigned max_batch = 64;
   /// Seconds a draining worker will wait for blocked response bytes.
   unsigned drain_timeout_sec = 5;
+  /// Cross-connection group commit (docs/write-path.md): mutation batches
+  /// from all connections within a commit window share one ack fence issued
+  /// by a dedicated committer thread; responses park until the covering
+  /// fence retires. UPSL_DISABLE_GROUP_COMMIT=1 overrides this to off.
+  bool group_commit = true;
+  /// How long the committer accumulates batches before fencing, in
+  /// microseconds. UPSL_COMMIT_WINDOW_US overrides.
+  std::uint32_t commit_window_us = 50;
 };
 
 /// Monotonic serving counters, exposed through the STATS command.
@@ -58,6 +68,9 @@ struct ServerStats {
   std::atomic<std::uint64_t> frames{0};
   std::atomic<std::uint64_t> batches{0};
   std::atomic<std::uint64_t> batch_fences{0};
+  /// Mutation batches handed to the group committer (their fences are
+  /// counted in pmem::Stats::group_commits, not batch_fences).
+  std::atomic<std::uint64_t> group_commit_batches{0};
   std::atomic<std::uint64_t> protocol_errors{0};
   std::atomic<std::uint64_t> gets{0};
   std::atomic<std::uint64_t> puts{0};
@@ -89,6 +102,14 @@ class Server {
 
   const ServerStats& stats() const { return stats_; }
 
+  /// True iff this server runs with the cross-connection group committer
+  /// (option on and not killed by UPSL_DISABLE_GROUP_COMMIT). Valid after
+  /// start().
+  bool group_commit_enabled() const { return gc_ != nullptr; }
+
+  /// Effective commit window (env override applied). Valid after start().
+  std::uint32_t commit_window_us() const { return window_us_; }
+
   /// Route SIGTERM/SIGINT to a process-wide stop flag every running Server
   /// polls (the handler only stores to an atomic — async-signal-safe).
   static void install_signal_handlers();
@@ -108,6 +129,9 @@ class Server {
   void flush_out(Worker& w, Conn& c);
   void close_conn(Worker& w, Conn& c);
   void drain_worker(Worker& w);
+  /// Release every parked ack covered by the committer's progress and push
+  /// the freed bytes out (eventfd wakeup path).
+  void release_committed(Worker& w);
   std::string stats_json() const;
 
   core::UPSkipList& store_;
@@ -119,6 +143,8 @@ class Server {
   bool stopped_ = false;
   std::vector<std::thread> threads_;
   std::vector<std::unique_ptr<Worker>> workers_;
+  std::unique_ptr<GroupCommit> gc_;  // null = per-batch fencing
+  std::uint32_t window_us_ = 0;
   ServerStats stats_;
 };
 

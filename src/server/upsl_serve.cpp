@@ -19,6 +19,8 @@
 
 #include "common/thread_registry.hpp"
 #include "core/upskiplist.hpp"
+#include "pmem/ack_batch.hpp"
+#include "server/group_commit.hpp"
 #include "server/server.hpp"
 
 namespace {
@@ -120,6 +122,12 @@ int main(int argc, char** argv) {
   }
   std::printf("upsl-serve: listening on %s:%u (%u workers)\n",
               args.host.c_str(), srv.port(), args.workers);
+  // Write-path report (docs/write-path.md): which ordering mode the store
+  // runs with and whether acks share fences across connections.
+  std::printf("upsl-serve: mod write path %s, group commit %s (window %u us)\n",
+              pmem::mod_writes_enabled() ? "on" : "off",
+              srv.group_commit_enabled() ? "on" : "off",
+              srv.commit_window_us());
   std::fflush(stdout);
 
   srv.wait();  // returns after a signal-triggered drain
@@ -130,5 +138,13 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(st.frames.load()),
               static_cast<unsigned long long>(st.batches.load()),
               static_cast<unsigned long long>(st.connections_accepted.load()));
+  const auto pm = pmem::Stats::instance().snapshot();
+  if (pm.group_commits > 0) {
+    std::printf("upsl-serve: %llu group commits covered %llu mutations "
+                "(%.3f fences/mutation)\n",
+                static_cast<unsigned long long>(pm.group_commits),
+                static_cast<unsigned long long>(pm.group_commit_mutations),
+                pm.fences_per_mutation());
+  }
   return 0;
 }

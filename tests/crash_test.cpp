@@ -11,6 +11,7 @@
 #include <map>
 #include <string>
 
+#include "pmem/ack_batch.hpp"
 #include "test_util.hpp"
 
 namespace upsl::core {
@@ -27,7 +28,8 @@ const char* const kCorePoints[] = {
     "core.split_linked",       "core.split_erased",
     "core.linked_level",       "alloc.after_log",
     "alloc.after_pop",         "alloc.mag_refill_logged",
-    "alloc.mag_refill_popped",
+    "alloc.mag_refill_popped", "core.mod_built",
+    "core.mod_prepublish",     "core.mod_published",
 };
 
 /// Points on the legacy per-block allocation path, which the magazine fast
@@ -400,6 +402,65 @@ TEST(Crash, DanglingArenaTailRepairedBeforeReuse) {
     CrashPoints::instance().disarm();
     h.crash_and_reopen(pmem::CrashMode::kDiscardUnflushed, evict_seed + 100);
     verify_recovered(h, acked);
+  }
+}
+
+TEST(Crash, DeferredAckLinesLostBeforeTheGroupFence) {
+  // MOD write path + group commit (docs/write-path.md): a batch's
+  // ack-gating lines are handed off via take_lines() and only become
+  // durable at the committer's fence. Crashing after the handoff but
+  // before that fence (modeled by dropping the lines) must leave every op
+  // in the batch unacked-in-flight: each may have taken effect or not,
+  // but never partially, and recovery must converge.
+  if (!pmem::mod_writes_enabled())
+    GTEST_SKIP() << "legacy ordered write path: nothing defers";
+  StoreHarness h(small_options(4, 10));
+  for (std::uint64_t k = 1; k <= 40; ++k) h.store().insert(k, k);
+  h.mark_persisted();
+  {
+    pmem::AckBatch ab;
+    h.store().insert(7, 100);    // update of a durable value
+    h.store().insert(1000, 5);   // fresh insert (out-of-place publish)
+    h.store().remove(9);         // tombstone write
+    auto lines = ab.take_lines();  // the ticket the fence never covered
+    EXPECT_GT(lines.size(), 0u);
+  }
+  h.crash_and_reopen();
+  auto v7 = h.store().search(7);
+  ASSERT_TRUE(v7.has_value());
+  EXPECT_TRUE(*v7 == 7 || *v7 == 100) << *v7;
+  auto v1000 = h.store().search(1000);
+  EXPECT_TRUE(!v1000.has_value() || *v1000 == 5);
+  auto v9 = h.store().search(9);
+  EXPECT_TRUE(!v9.has_value() || *v9 == 9);
+  // The untouched preload must be fully intact, and the store usable.
+  for (std::uint64_t k = 1; k <= 40; ++k) {
+    if (k == 7 || k == 9) continue;
+    EXPECT_EQ(*h.store().search(k), k);
+  }
+  // Fresh allocations run the deferred allocator recovery for this thread
+  // id; only then is exact block conservation checkable.
+  for (std::uint64_t k = 2000; k < 2050; ++k) h.store().insert(k, k);
+  h.store().check_invariants();
+  h.store().check_no_leaks();
+}
+
+TEST(Crash, ModPublishSurvivesRandomEviction) {
+  // Partial-eviction crashes at the publish boundary: an arbitrary subset
+  // of the out-of-place node's unordered writebacks may have retired on
+  // their own. The epoch guard (stale-epoch claim + torn-slot scrub) must
+  // make every surviving combination recoverable.
+  for (const char* point : {"core.mod_built", "core.mod_published"}) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      SCOPED_TRACE(std::string(point) + " seed=" + std::to_string(seed));
+      StoreHarness h(small_options(4, 10));
+      bool fired = false;
+      auto acked = insert_until_crash(h.store(), crash_tag(point), seed, 4000,
+                                      seed + 40, &fired);
+      if (!fired) GTEST_SKIP() << "mod write path disabled";
+      h.crash_and_reopen(pmem::CrashMode::kRandomEvict, seed);
+      verify_recovered(h, acked);
+    }
   }
 }
 

@@ -35,6 +35,8 @@
 #include "common/thread_registry.hpp"
 #include "core/upskiplist.hpp"
 #include "lincheck/oracle.hpp"
+#include "pmem/ack_batch.hpp"
+#include "server/group_commit.hpp"
 #include "test_util.hpp"
 
 namespace upsl {
@@ -70,7 +72,14 @@ struct IterOutcome {
 };
 
 /// One complete torture iteration. Everything random derives from `seed`.
-IterOutcome run_iteration(std::uint64_t seed, pmem::CrashMode first_mode) {
+/// With `group_commit`, phase-1 mutations run the server's commit protocol:
+/// each op defers its ack lines into an AckBatch, hands them to a shared
+/// GroupCommit ticket and acks only after the covering cross-thread fence
+/// retires — so the injected crash lands while acked durability was
+/// provided by group fences, and the oracle still demands every acked
+/// write survive.
+IterOutcome run_iteration(std::uint64_t seed, pmem::CrashMode first_mode,
+                          bool group_commit = false) {
   const int threads = torture_threads();
   Xoshiro256 rng(seed);
   test::StoreHarness h(test::small_options(/*keys_per_node=*/4,
@@ -88,6 +97,27 @@ IterOutcome run_iteration(std::uint64_t seed, pmem::CrashMode first_mode) {
     oracle.invoke(0, EvKind::kWrite, key, val);
     oracle.ack(0, h.store().insert(key, val));
   }
+
+  // Group committer shared by every worker (short window so batches span
+  // threads without stretching the test): used in phase 1 only — it dies
+  // with the crash (abandon) like the server process would.
+  std::unique_ptr<server::GroupCommit> gc;
+  if (group_commit) gc = std::make_unique<server::GroupCommit>(20);
+  // Run one mutation under the commit protocol: defer ack lines, submit,
+  // wait for the covering fence. wait_durable throws CrashException when a
+  // simulated crash quiesces the run, leaving the op unacked (in-flight).
+  auto mutate = [&](auto&& op) -> std::optional<std::uint64_t> {
+    if (gc == nullptr) return op();
+    std::optional<std::uint64_t> r;
+    std::uint64_t ticket;
+    {
+      pmem::AckBatch ab;
+      r = op();
+      ticket = gc->submit(ab.take_lines(), 1);
+    }
+    gc->wait_durable(ticket);
+    return r;
+  };
 
   // ---- phase 1: concurrent workload, one injected crash, quiesce --------
   CrashPoints::ArmSpec spec;
@@ -120,13 +150,13 @@ IterOutcome run_iteration(std::uint64_t seed, pmem::CrashMode first_mode) {
         if (dice < 50) {
           const std::uint64_t val = next_value.fetch_add(1);
           oracle.invoke(tid, EvKind::kWrite, key, val);
-          oracle.ack(tid, h.store().insert(key, val));
+          oracle.ack(tid, mutate([&] { return h.store().insert(key, val); }));
         } else if (dice < 80) {
           oracle.invoke(tid, EvKind::kRead, key);
           oracle.ack(tid, h.store().search(key));
         } else if (dice < 95) {
           oracle.invoke(tid, EvKind::kRemove, key);
-          oracle.ack(tid, h.store().remove(key));
+          oracle.ack(tid, mutate([&] { return h.store().remove(key); }));
         } else {
           std::vector<core::ScanEntry> out;  // unrecorded structural stress
           h.store().scan(1, keyspace, out);
@@ -142,6 +172,10 @@ IterOutcome run_iteration(std::uint64_t seed, pmem::CrashMode first_mode) {
     for (int t = 0; t < threads; ++t) ws.emplace_back(worker, t);
     for (auto& w : ws) w.join();
   }
+  // The crash takes the committer down with the workers: pending (un-fenced)
+  // submissions are dropped exactly like un-retired flushes in a power
+  // failure. Their waiters are already dead (quiesced at wait_durable).
+  if (gc != nullptr) gc->abandon();
   IterOutcome out;
   out.main_crash_fired = CrashPoints::instance().fired();
   CrashPoints::instance().reset();
@@ -245,10 +279,10 @@ IterOutcome run_iteration(std::uint64_t seed, pmem::CrashMode first_mode) {
 /// Runs `iters` seeded iterations under `mode` and reports the failing seed
 /// (the CI greps for "failing seed" on error).
 void run_shard(const char* shard, std::uint64_t seed_base,
-               pmem::CrashMode mode) {
+               pmem::CrashMode mode, bool group_commit = false) {
   const std::uint64_t iters = env_u64("UPSL_TORTURE_ITERS", 50);
   // An explicit UPSL_TORTURE_SEED0 is an absolute seed (what a failure
-  // message printed); the default campaign offsets each shard so the four
+  // message printed); the default campaign offsets each shard so the six
   // shards cover disjoint seed ranges.
   const bool explicit_seed = std::getenv("UPSL_TORTURE_SEED0") != nullptr;
   const std::uint64_t seed0 =
@@ -259,7 +293,7 @@ void run_shard(const char* shard, std::uint64_t seed_base,
     const std::uint64_t seed = seed0 + i;
     SCOPED_TRACE(std::string(shard) + " iteration " + std::to_string(i) +
                  " seed " + std::to_string(seed));
-    const IterOutcome out = run_iteration(seed, mode);
+    const IterOutcome out = run_iteration(seed, mode, group_commit);
     fired += out.main_crash_fired ? 1 : 0;
     nested_fired += static_cast<std::uint64_t>(out.nested_crashes_fired);
     if (::testing::Test::HasFailure()) {
@@ -310,6 +344,16 @@ TEST(CrashTorture, EvictModeShardB) {
 TEST(CrashTorture, DiscardModePersistentTowers) {
   test::ScopedEnv off("UPSL_DISABLE_DRAM_INDEX", "1");
   run_shard("discard-towers", 400'000, pmem::CrashMode::kDiscardUnflushed);
+}
+
+// Group-commit shard: acked durability in phase 1 is provided by shared
+// cross-thread fences (the server's commit protocol, docs/write-path.md)
+// instead of per-op persists; the oracle's acked-writes-survive check now
+// gates the MOD write path + AckBatch + GroupCommit combination under
+// injected crashes, including crashes that strand waiters mid-window.
+TEST(CrashTorture, DiscardModeGroupCommit) {
+  run_shard("discard-groupcommit", 500'000,
+            pmem::CrashMode::kDiscardUnflushed, /*group_commit=*/true);
 }
 
 }  // namespace

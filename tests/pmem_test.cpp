@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <memory>
 
+#include "pmem/ack_batch.hpp"
 #include "pmem/flush_set.hpp"
 #include "pmem/pool.hpp"
 
@@ -285,6 +286,169 @@ TEST_F(FlushSetTest, KillSwitchRestoresLegacyPersistSequence) {
   pool_->simulate_crash();
   EXPECT_EQ(words_[0], 6u);
   EXPECT_EQ(words_[1], 7u);
+}
+
+class AckBatchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_mod_writes_for_testing(true);
+    pool_ = Pool::create_anonymous(0, 1 << 16, {.crash_tracking = true});
+    words_ = reinterpret_cast<std::uint64_t*>(pool_->base());
+    Stats::instance().reset();
+  }
+  void TearDown() override { reset_mod_writes_for_testing(); }
+
+  std::unique_ptr<Pool> pool_;
+  std::uint64_t* words_ = nullptr;
+};
+
+TEST_F(AckBatchTest, LinesDedupeAcrossOpsOneFencePerBatch) {
+  // Three "pipelined operations" in one batch scope: ops 1 and 2 dirty the
+  // same cache line (two values in one node), op 3 a different line. The
+  // whole batch must cost one flush call over two lines and one fence.
+  {
+    AckBatch ab;
+    words_[0] = 1;
+    ack_persist(&words_[0], 8);  // op 1
+    words_[3] = 2;
+    ack_persist(&words_[3], 8);  // op 2: same line as op 1
+    words_[8] = 3;
+    ack_persist(&words_[8], 8);  // op 3: next line
+    EXPECT_EQ(ab.adds(), 3u);
+    EXPECT_EQ(ab.lines(), 2u) << "same-line acks must dedupe across ops";
+    ab.commit_fenced();
+  }
+  EXPECT_EQ(Stats::instance().fences.load(), 1u);
+  EXPECT_EQ(Stats::instance().persist_calls.load(), 1u);
+  EXPECT_EQ(Stats::instance().persisted_lines.load(), 2u);
+  EXPECT_EQ(Stats::instance().coalesced_fences_saved.load(), 2u);
+  EXPECT_EQ(Stats::instance().coalesced_lines_saved.load(), 1u);
+}
+
+TEST_F(AckBatchTest, CommittedAcksSurviveCrash) {
+  {
+    AckBatch ab;
+    words_[0] = 11;
+    ack_persist(&words_[0], 8);
+    words_[64] = 22;
+    ack_persist(&words_[64], 8);
+    ab.commit_fenced();
+  }
+  words_[128] = 33;  // never acked
+  pool_->simulate_crash();
+  EXPECT_EQ(words_[0], 11u);
+  EXPECT_EQ(words_[64], 22u);
+  EXPECT_EQ(words_[128], 0u);
+}
+
+TEST_F(AckBatchTest, TakenLinesAreNotDurableUntilTheGroupFence) {
+  // take_lines() models handing the batch to a group-commit ticket: the
+  // scope no longer owes durability, so a crash before the committer's
+  // fence drops the writes — exactly the unacked-op-in-flight semantics.
+  std::vector<const void*> lines;
+  {
+    AckBatch ab;
+    words_[0] = 5;
+    ack_persist(&words_[0], 8);
+    lines = ab.take_lines();
+  }
+  EXPECT_EQ(lines.size(), 1u);
+  EXPECT_EQ(Stats::instance().fences.load(), 0u) << "no fence before commit";
+  auto copy = lines;  // the committer's side of the handoff
+  pool_->simulate_crash();
+  EXPECT_EQ(words_[0], 0u) << "un-fenced ticket lines must not survive";
+  // After the committer flushes + fences, the line is durable.
+  words_[0] = 5;
+  flush_lines(copy.data(), copy.size());
+  fence();
+  pool_->simulate_crash();
+  EXPECT_EQ(words_[0], 5u);
+}
+
+TEST_F(AckBatchTest, NoOpenScopeFallsBackToImmediatePersist) {
+  // The embedded API path: without a scope, ack_persist IS persist, so
+  // every mutation is durable at return.
+  words_[0] = 7;
+  ack_persist(&words_[0], 8);
+  EXPECT_EQ(Stats::instance().persist_calls.load(), 1u);
+  EXPECT_EQ(Stats::instance().fences.load(), 1u);
+  pool_->simulate_crash();
+  EXPECT_EQ(words_[0], 7u);
+}
+
+TEST_F(AckBatchTest, KillSwitchBypassesAnOpenScope) {
+  // UPSL_DISABLE_MOD_WRITES restores the legacy ordered write path even if
+  // a batch scope is open: nothing defers, nothing is recorded.
+  set_mod_writes_for_testing(false);
+  {
+    AckBatch ab;
+    words_[0] = 9;
+    ack_persist(&words_[0], 8);
+    EXPECT_EQ(ab.lines(), 0u);
+    EXPECT_EQ(Stats::instance().persist_calls.load(), 1u);
+    EXPECT_EQ(Stats::instance().fences.load(), 1u);
+  }
+  EXPECT_EQ(Stats::instance().fences.load(), 1u) << "empty scope: no fence";
+  pool_->simulate_crash();
+  EXPECT_EQ(words_[0], 9u);
+}
+
+TEST_F(AckBatchTest, EmptyCommitStillFencesAsTheAckGate) {
+  // A batch whose ops all persisted eagerly (e.g. MOD off) still uses
+  // commit_fenced() as the acknowledgement gate: the fence must be issued.
+  AckBatch ab;
+  ab.commit_fenced();
+  EXPECT_EQ(Stats::instance().fences.load(), 1u);
+  EXPECT_EQ(Stats::instance().persist_calls.load(), 0u);
+}
+
+TEST_F(AckBatchTest, DestructorIsTheSafetyNet) {
+  {
+    AckBatch ab;
+    words_[0] = 13;
+    ack_persist(&words_[0], 8);
+    // no explicit commit; normal (non-crash) exit must still flush+fence
+  }
+  EXPECT_EQ(Stats::instance().fences.load(), 1u);
+  pool_->simulate_crash();
+  EXPECT_EQ(words_[0], 13u);
+}
+
+TEST_F(AckBatchTest, NestedScopesRestoreTheOuterOne) {
+  AckBatch outer;
+  EXPECT_EQ(AckBatch::current(), &outer);
+  {
+    AckBatch inner;
+    EXPECT_EQ(AckBatch::current(), &inner);
+    words_[0] = 1;
+    ack_persist(&words_[0], 8);
+    EXPECT_EQ(inner.lines(), 1u);
+    inner.commit_fenced();
+  }
+  EXPECT_EQ(AckBatch::current(), &outer);
+  words_[8] = 2;
+  ack_persist(&words_[8], 8);
+  EXPECT_EQ(outer.lines(), 1u);
+  outer.commit_fenced();
+}
+
+TEST(Persist, GroupCommitHistogramBuckets) {
+  Stats::instance().reset();
+  Stats::instance().note_group_commit(1);
+  Stats::instance().note_group_commit(2);
+  Stats::instance().note_group_commit(5);
+  Stats::instance().note_group_commit(16);
+  Stats::instance().note_group_commit(40);
+  const StatsSnapshot s = Stats::instance().snapshot();
+  EXPECT_EQ(s.group_commits, 5u);
+  EXPECT_EQ(s.group_commit_mutations, 64u);
+  EXPECT_EQ(s.group_commit_hist[0], 1u);  // <=1
+  EXPECT_EQ(s.group_commit_hist[1], 1u);  // <=2
+  EXPECT_EQ(s.group_commit_hist[3], 1u);  // <=8 (5 lands here)
+  EXPECT_EQ(s.group_commit_hist[4], 1u);  // <=16
+  EXPECT_EQ(s.group_commit_hist[5], 1u);  // >16
+  EXPECT_NEAR(s.fences_per_mutation(), 5.0 / 64.0, 1e-9);
+  EXPECT_NE(s.to_json().find("group_commit_batch_hist"), std::string::npos);
 }
 
 TEST(Persist, PersistCountsItsFence) {

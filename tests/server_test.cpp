@@ -14,6 +14,7 @@
 
 #include <chrono>
 #include <csignal>
+#include <cstdlib>
 #include <thread>
 
 #include "server/client.hpp"
@@ -425,6 +426,103 @@ TEST(ServerLoopback, UnackedInFlightWriteIsAtomicAcrossCrash) {
   const auto v = store.search(kKey);
   if (v.has_value())
     EXPECT_EQ(*v, kValue) << "in-flight PUT applied but torn";
+}
+
+// ---- cross-connection group commit ----------------------------------------
+
+TEST(ServerLoopback, GroupCommitStatsSurfaceInStatsVerb) {
+  if (std::getenv("UPSL_DISABLE_GROUP_COMMIT") != nullptr)
+    GTEST_SKIP() << "group commit disabled by env";
+  ServerFixture f;
+  ASSERT_TRUE(f.srv->group_commit_enabled());
+  Client c = f.connect();
+  std::vector<Response> resp;
+  for (std::uint64_t k = 1; k <= 64; ++k) c.queue({Opcode::kPut, k, k});
+  c.flush(&resp);
+  ASSERT_EQ(resp.size(), 64u);
+  EXPECT_GE(f.srv->stats().group_commit_batches.load(), 1u)
+      << "acked mutation batches must have gone through the committer";
+  const std::string stats = c.stats_json();
+  EXPECT_NE(stats.find("\"group_commit\""), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"enabled\": true"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("group_commit_batches"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("group_commit_batch_hist"), std::string::npos)
+      << stats;
+}
+
+TEST(ServerLoopback, GroupCommitKillSwitchFallsBackToBatchFences) {
+  test::ScopedEnv off("UPSL_DISABLE_GROUP_COMMIT", "1");
+  ServerFixture f;
+  EXPECT_FALSE(f.srv->group_commit_enabled());
+  Client c = f.connect();
+  std::vector<Response> resp;
+  for (std::uint64_t k = 1; k <= 32; ++k) c.queue({Opcode::kPut, k, k});
+  c.flush(&resp);
+  ASSERT_EQ(resp.size(), 32u);
+  EXPECT_GE(f.srv->stats().batch_fences.load(), 1u);
+  EXPECT_EQ(f.srv->stats().group_commit_batches.load(), 0u);
+  const std::string stats = c.stats_json();
+  EXPECT_NE(stats.find("\"enabled\": false"), std::string::npos) << stats;
+}
+
+TEST(ServerLoopback, CommitWindowEnvOverride) {
+  test::ScopedEnv win("UPSL_COMMIT_WINDOW_US", "123");
+  ServerFixture f;
+  EXPECT_EQ(f.srv->commit_window_us(), 123u);
+  Client c = f.connect();
+  EXPECT_TRUE(c.put(1, 1).created);
+  EXPECT_EQ(c.get(1), std::optional<std::uint64_t>(1));
+}
+
+TEST(ServerLoopback, ReadsParkedBehindPendingAcksKeepFifoOrder) {
+  // With group commit on, a batch's responses park until the covering fence
+  // retires; later read-only batches on the same connection must queue
+  // behind the parked bytes (FIFO), and every read must see the write it
+  // followed.
+  if (std::getenv("UPSL_DISABLE_GROUP_COMMIT") != nullptr)
+    GTEST_SKIP() << "group commit disabled by env";
+  ServerFixture f(1);
+  ASSERT_TRUE(f.srv->group_commit_enabled());
+  Client c = f.connect();
+  std::vector<Response> resp;
+  for (std::uint64_t round = 0; round < 20; ++round) {
+    for (std::uint64_t k = 1; k <= 10; ++k) {
+      c.queue({Opcode::kPut, k, k + round * 100});
+      c.queue({Opcode::kGet, k});
+    }
+    c.flush(&resp);
+    ASSERT_EQ(resp.size(), 20u);
+    for (std::uint64_t k = 1; k <= 10; ++k) {
+      std::uint64_t v = 0;
+      ASSERT_EQ(resp[k * 2 - 1].status, Status::kOk);
+      ASSERT_TRUE(resp[k * 2 - 1].value_u64(&v));
+      EXPECT_EQ(v, k + round * 100) << "round " << round << " key " << k;
+    }
+  }
+}
+
+TEST(ServerLoopback, GroupCommitDrainReleasesEveryParkedAck) {
+  // A drain racing parked acks must not lose responses: the worker waits on
+  // the committer barrier and flushes everything before exiting.
+  ServerFixture f(2);
+  Client a = f.connect();
+  Client b = f.connect();
+  std::vector<Response> ra, rb;
+  for (std::uint64_t k = 1; k <= 100; ++k) {
+    a.queue({Opcode::kPut, k, k});
+    b.queue({Opcode::kPut, 1000 + k, k});
+  }
+  a.flush(&ra);
+  b.flush(&rb);
+  ASSERT_EQ(ra.size(), 100u);
+  ASSERT_EQ(rb.size(), 100u);
+  f.stop_server();
+  f.harness.crash_and_reopen();
+  for (std::uint64_t k = 1; k <= 100; ++k) {
+    EXPECT_EQ(f.harness.store().search(k), std::optional<std::uint64_t>(k));
+    EXPECT_EQ(f.harness.store().search(1000 + k),
+              std::optional<std::uint64_t>(k));
+  }
 }
 
 }  // namespace
