@@ -26,6 +26,7 @@
 #include "common/cpu_features.hpp"
 #include "common/histogram.hpp"
 #include "common/simd.hpp"
+#include "core/shard_set.hpp"
 #include "core/upskiplist.hpp"
 #include "lockskiplist/lock_skiplist.hpp"
 #include "ycsb/runner.hpp"
@@ -204,6 +205,66 @@ class UPSLAdapter : public ycsb::KVAdapter {
  private:
   std::vector<std::unique_ptr<pmem::Pool>> pools_;
   std::unique_ptr<core::UPSkipList> store_;
+};
+
+/// N-shard variant of UPSLAdapter: one anonymous pool per shard (pool id =
+/// shard index) behind a core::ShardSet, with each member's chunk budget
+/// sized for its SHARE of the record count (records / shards, plus slack for
+/// hash imbalance) — not the full key space per shard. Backs the sharded
+/// server benches; shards = 1 is the unsharded baseline.
+class UPSLShardedAdapter : public ycsb::KVAdapter {
+ public:
+  explicit UPSLShardedAdapter(std::uint64_t records, std::uint32_t shards,
+                              std::uint32_t keys_per_node = 256,
+                              unsigned max_threads = 16) {
+    riv::Runtime::instance().reset();
+    core::Options opts;
+    opts.keys_per_node = keys_per_node;
+    opts.max_height = 32;
+    opts.max_threads = max_threads;
+    opts.chunk.chunk_size = 4ull << 20;
+    // Per-shard key-space share: uniform hashing lands records/shards keys
+    // on each member (50% slack covers the binomial spread and growth).
+    const std::uint64_t shard_records =
+        (records / std::max(1u, shards)) * 3 / 2 + 1024;
+    const std::uint64_t node_bytes =
+        core::NodeLayout{keys_per_node, opts.max_height}.node_size();
+    const std::uint64_t need =
+        shard_records * 3 * node_bytes / std::max(1u, keys_per_node / 2) +
+        (opts.chunk.chunk_size * (max_threads + 4)) + (256ull << 20) / 8;
+    opts.chunk.max_chunks = static_cast<std::uint32_t>(
+        std::max<std::uint64_t>(32, need / opts.chunk.chunk_size));
+    const std::uint64_t pool_bytes = (4ull << 20) + opts.chunk.root_size +
+                                     opts.chunk.max_chunks *
+                                         opts.chunk.chunk_size;
+    std::vector<std::vector<pmem::Pool*>> shard_pools;
+    for (std::uint32_t i = 0; i < shards; ++i) {
+      pools_.push_back(pmem::Pool::create_anonymous(
+          static_cast<std::uint16_t>(i), pool_bytes, {}));
+      shard_pools.push_back({pools_.back().get()});
+    }
+    set_ = core::ShardSet::create(std::move(shard_pools), opts);
+  }
+  ~UPSLShardedAdapter() override {
+    set_.reset();
+    pools_.clear();
+    riv::Runtime::instance().reset();
+  }
+
+  std::optional<std::uint64_t> insert(std::uint64_t k, std::uint64_t v) override {
+    return set_->insert(k, v);
+  }
+  std::optional<std::uint64_t> search(std::uint64_t k) override {
+    return set_->search(k);
+  }
+  std::optional<std::uint64_t> remove(std::uint64_t k) override {
+    return set_->remove(k);
+  }
+  core::ShardSet& set() { return *set_; }
+
+ private:
+  std::vector<std::unique_ptr<pmem::Pool>> pools_;
+  std::unique_ptr<core::ShardSet> set_;
 };
 
 class BzAdapter : public ycsb::KVAdapter {

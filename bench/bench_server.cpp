@@ -18,7 +18,9 @@
 //
 // Knobs: UPSL_BENCH_RECORDS (preload size, default 20000), UPSL_BENCH_OPS
 // (ops per workload, default 40000), UPSL_SERVER_CLIENTS (threads, default
-// 4), UPSL_SERVER_DEPTH (pipeline depth, default 16).
+// 4), UPSL_SERVER_DEPTH (pipeline depth, default 16), UPSL_SHARDS
+// (self-hosted shard count, default 1; each shard's store is sized for its
+// share of the key space).
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -44,7 +46,7 @@ struct Target {
   std::uint16_t port = 0;
   bool self_hosted = false;
   // Self-hosted backing (empty when driving an external server).
-  std::unique_ptr<bench::UPSLAdapter> adapter;
+  std::unique_ptr<bench::UPSLShardedAdapter> adapter;
   std::unique_ptr<server::Server> server;
 };
 
@@ -148,6 +150,8 @@ int main() {
       static_cast<unsigned>(bench::env_u64("UPSL_SERVER_CLIENTS", 4));
   const auto depth =
       static_cast<std::uint32_t>(bench::env_u64("UPSL_SERVER_DEPTH", 16));
+  const auto shards = static_cast<std::uint32_t>(
+      std::max<std::uint64_t>(1, bench::env_u64("UPSL_SHARDS", 1)));
 
   Target target;
   const char* addr = std::getenv("UPSL_SERVER_ADDR");
@@ -161,21 +165,25 @@ int main() {
   } else {
     target.self_hosted = true;
     ThreadRegistry::instance().bind(0);
-    target.adapter = std::make_unique<bench::UPSLAdapter>(
-        records, 1, 64, /*max_threads=*/clients + 8);
+    // UPSL_SHARDS legs self-host the sharded server; each member store is
+    // sized for its per-shard share of the key space, and every shard must
+    // have thread slots for every worker id (routed ops run anywhere).
     server::ServerOptions sopts;
-    sopts.port = 0;  // ephemeral
+    sopts.port = 0;  // ephemeral (per shard)
     sopts.workers = 4;
+    target.adapter = std::make_unique<bench::UPSLShardedAdapter>(
+        records, shards, 64,
+        /*max_threads=*/sopts.first_thread_id + shards * sopts.workers + 4);
     target.server =
-        std::make_unique<server::Server>(target.adapter->store(), sopts);
+        std::make_unique<server::Server>(target.adapter->set(), sopts);
     if (!target.server->start()) {
       std::fprintf(stderr, "cannot start in-process server\n");
       return 1;
     }
     target.host = "127.0.0.1";
     target.port = target.server->port();
-    std::printf("self-hosted server on 127.0.0.1:%u (4 workers)\n",
-                target.port);
+    std::printf("self-hosted server on 127.0.0.1:%u (%u shard%s x 4 workers)\n",
+                target.port, shards, shards == 1 ? "" : "s");
   }
 
   bench::print_header("upsl-serve closed-loop load",
@@ -212,6 +220,7 @@ int main() {
     cfg.emplace_back("depth", std::to_string(depth));
     cfg.emplace_back("records", std::to_string(records));
     cfg.emplace_back("mode", target.self_hosted ? "self-hosted" : "external");
+    if (target.self_hosted) cfg.emplace_back("shards", std::to_string(shards));
     bench::append_build_config(cfg);
     out.add(std::string("server_") + spec.name, std::move(cfg), ops_s,
             r.latency.histogram());

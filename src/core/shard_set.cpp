@@ -1,0 +1,137 @@
+#include "core/shard_set.hpp"
+
+#include <chrono>
+#include <exception>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+namespace upsl::core {
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+std::unique_ptr<ShardSet> ShardSet::create(
+    std::vector<std::vector<pmem::Pool*>> pools, const Options& opts) {
+  if (pools.empty()) throw std::invalid_argument("shard set needs >= 1 shard");
+  auto set = std::unique_ptr<ShardSet>(new ShardSet);
+  const auto n = static_cast<std::uint32_t>(pools.size());
+  set->shards_.resize(n);
+  set->open_ns_.assign(n, 0);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    Options o = opts;
+    o.shard_count = n;
+    o.shard_index = i;
+    set->shards_[i] = UPSkipList::create(std::move(pools[i]), o);
+  }
+  return set;
+}
+
+std::unique_ptr<ShardSet> ShardSet::open(
+    std::vector<std::vector<pmem::Pool*>> pools) {
+  if (pools.empty()) throw std::invalid_argument("shard set needs >= 1 shard");
+  auto set = std::unique_ptr<ShardSet>(new ShardSet);
+  const auto n = static_cast<std::uint32_t>(pools.size());
+  set->shards_.resize(n);
+  set->open_ns_.assign(n, 0);
+
+  // Parallel recovery: each shard's open touches only its own pools and
+  // allocator state; the RIV runtime's setup calls serialize internally.
+  // Exceptions (bad root, topology mismatch) are captured per shard and the
+  // first one rethrown after every thread has joined.
+  std::vector<std::exception_ptr> errors(n);
+  std::vector<std::thread> openers;
+  openers.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    openers.emplace_back([&, i] {
+      try {
+        const std::uint64_t t0 = now_ns();
+        set->shards_[i] = UPSkipList::open(std::move(pools[i]));
+        set->open_ns_[i] = now_ns() - t0;
+        // The durable topology is authoritative: refuse a pool set that is
+        // not the exact member this position claims, so a swapped or
+        // re-counted shard file can never serve the wrong key partition.
+        const UPSkipList& s = *set->shards_[i];
+        if (s.shard_count() != n || s.shard_index() != i)
+          throw std::runtime_error(
+              "shard topology mismatch: store at position " +
+              std::to_string(i) + " of " + std::to_string(n) +
+              " recorded shard " + std::to_string(s.shard_index()) + " of " +
+              std::to_string(s.shard_count()));
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : openers) t.join();
+  for (auto& e : errors)
+    if (e) std::rethrow_exception(e);
+  return set;
+}
+
+std::size_t scan_merged(UPSkipList* const* shards, std::uint32_t n,
+                        std::uint64_t lo, std::uint64_t hi, std::size_t limit,
+                        std::vector<ScanEntry>& out) {
+  if (n == 1) {
+    std::vector<ScanEntry> run;
+    shards[0]->scan(lo, hi, run);
+    const std::size_t take =
+        limit == 0 ? run.size() : std::min(limit, run.size());
+    out.insert(out.end(), run.begin(), run.begin() + take);
+    return take;
+  }
+
+  // Every shard holds a slice of any key range (hash partition), so all of
+  // them are scanned; each run comes back sorted, and the merge below picks
+  // the globally smallest head until the limit is met. Shard counts are
+  // small, so a linear head scan beats a heap.
+  std::vector<std::vector<ScanEntry>> runs(n);
+  for (std::uint32_t i = 0; i < n; ++i) shards[i]->scan(lo, hi, runs[i]);
+
+  std::vector<std::size_t> heads(n, 0);
+  std::size_t produced = 0;
+  while (limit == 0 || produced < limit) {
+    std::uint32_t best = n;
+    std::uint64_t best_key = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (heads[i] >= runs[i].size()) continue;
+      const std::uint64_t k = runs[i][heads[i]].key;
+      if (best == n || k < best_key) {
+        best = i;
+        best_key = k;
+      }
+    }
+    if (best == n) break;  // all runs exhausted
+    out.push_back(runs[best][heads[best]++]);
+    ++produced;
+  }
+  return produced;
+}
+
+std::size_t ShardSet::scan(std::uint64_t lo, std::uint64_t hi,
+                           std::size_t limit, std::vector<ScanEntry>& out) {
+  std::vector<UPSkipList*> ptrs;
+  ptrs.reserve(shards_.size());
+  for (auto& s : shards_) ptrs.push_back(s.get());
+  return scan_merged(ptrs.data(), shard_count(), lo, hi, limit, out);
+}
+
+std::size_t ShardSet::count_keys() {
+  std::size_t total = 0;
+  for (auto& s : shards_) total += s->count_keys();
+  return total;
+}
+
+void ShardSet::check_invariants() {
+  for (auto& s : shards_) s->check_invariants();
+}
+
+}  // namespace upsl::core

@@ -75,6 +75,13 @@ struct StoreRoot {
   /// after the corresponding rebuild completed (mode-switch protocol in
   /// docs/dram-index.md).
   std::uint64_t index_mode;
+  /// Durable shard topology (common/shardmap.hpp): this store is shard
+  /// `shard_index` of a `shard_count`-way key-space partition. 0/0 in
+  /// stores created before sharding, read back as the unsharded 1/0.
+  /// core::ShardSet validates these at open so a mis-assembled pool set
+  /// (wrong count, swapped shard files) is refused instead of served.
+  std::uint64_t shard_count;
+  std::uint64_t shard_index;
 };
 
 constexpr std::size_t kLogsOffset = 128;  // after StoreRoot, line-aligned
@@ -154,11 +161,6 @@ void UPSkipList::attach(std::vector<pmem::Pool*> pools, bool creating,
   for (pmem::Pool* p : pools_)
     chunk_allocs_.push_back(std::make_unique<alloc::ChunkAllocator>(*p));
 
-  // Single-pool stores skip the RIV pool-lookup stage (§4.3.1): this is the
-  // "striped device" configuration of the evaluation.
-  riv::Runtime::instance().set_single_pool_mode(pools_.size() == 1,
-                                                pools_[0]->id());
-
   StoreRoot* root = root_of(*chunk_allocs_[0]);
   char* root_area = chunk_allocs_[0]->root_area();
 
@@ -185,6 +187,8 @@ void UPSkipList::attach(std::vector<pmem::Pool*> pools, bool creating,
     root->sorted_splits = opts->sorted_splits ? 1 : 0;
     root->index_mode =
         (opts->dram_index && !dram_index_disabled_by_env()) ? 1 : 0;
+    root->shard_count = opts->shard_count;
+    root->shard_index = opts->shard_index;
     persist(root_area, need);
   } else {
     if (pm_load(root->magic) != kStoreMagic)
@@ -198,7 +202,20 @@ void UPSkipList::attach(std::vector<pmem::Pool*> pools, bool creating,
     opts_.recovery_budget =
         static_cast<std::uint32_t>(root->recovery_budget);
     opts_.sorted_splits = root->sorted_splits != 0;
+    // Legacy stores (root memset at create, fields never written) read 0.
+    opts_.shard_count =
+        root->shard_count == 0 ? 1
+                               : static_cast<std::uint32_t>(root->shard_count);
+    opts_.shard_index = static_cast<std::uint32_t>(root->shard_index);
   }
+
+  // Single-pool stores skip the RIV pool-lookup stage (§4.3.1): this is the
+  // "striped device" configuration of the evaluation. A shard-set member
+  // never takes it, even with one pool — single-pool mode aliases every
+  // dispatch entry to this pool's table, which would corrupt RIV resolution
+  // for the sibling shards living in the same process.
+  riv::Runtime::instance().set_single_pool_mode(
+      pools_.size() == 1 && opts_.shard_count <= 1, pools_[0]->id());
 
   epoch_word_ = &root->epoch_id;
 

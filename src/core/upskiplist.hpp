@@ -50,6 +50,15 @@ struct Options {
   /// recorded durably in the store root so reopens know whether the PMEM
   /// towers are trustworthy.
   bool dram_index = true;
+  /// Horizontal sharding topology (common/shardmap.hpp): this store is shard
+  /// `shard_index` of a `shard_count`-way key-space partition. Both are
+  /// persisted in the store root so a reopen can validate that the pools on
+  /// disk form the topology the caller is assembling (core::ShardSet does).
+  /// A shard-set member never runs the single-pool RIV fast path even with
+  /// one pool, because the process hosts sibling shards with other pool ids.
+  /// shard_count <= 1 is the unsharded legacy configuration.
+  std::uint32_t shard_count = 1;
+  std::uint32_t shard_index = 0;
   alloc::ChunkAllocatorConfig chunk;
 };
 
@@ -125,6 +134,11 @@ class UPSkipList {
   std::uint32_t num_pools() const {
     return static_cast<std::uint32_t>(pools_.size());
   }
+
+  /// Durable shard topology recorded in the store root (>= 1 / index within
+  /// it). Legacy stores created before sharding read back as 1 / 0.
+  std::uint32_t shard_count() const { return opts_.shard_count; }
+  std::uint32_t shard_index() const { return opts_.shard_index; }
 
   /// True iff this handle runs with the volatile DRAM search layer (index
   /// levels in DRAM, data level as sole durable ground truth).

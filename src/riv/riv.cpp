@@ -15,13 +15,16 @@ void Runtime::configure_pool(std::uint16_t pool_id, std::uint32_t max_chunks,
   table->chunk_base = std::make_unique<std::atomic<char*>[]>(max_chunks);
   for (std::uint32_t i = 0; i < max_chunks; ++i)
     table->chunk_base[i].store(nullptr, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(setup_mu_);
   tables_[pool_id] = std::move(table);
-  if (single_pool_mode_ && single_table_ == nullptr)
+  if (single_pool_mode_.load(std::memory_order_relaxed) &&
+      single_table_ == nullptr)
     single_table_ = tables_[pool_id].get();
   rebuild_dispatch();
 }
 
 void Runtime::invalidate_pool(std::uint16_t pool_id) {
+  std::lock_guard<std::mutex> lock(setup_mu_);
   PoolTable* table = tables_[pool_id].get();
   if (table == nullptr) return;
   pmem::Pool* pool = pmem::PoolRegistry::instance().by_id(pool_id);
@@ -32,33 +35,37 @@ void Runtime::invalidate_pool(std::uint16_t pool_id) {
 }
 
 void Runtime::reset() {
-  for (auto& t : tables_) t.reset();
+  std::lock_guard<std::mutex> lock(setup_mu_);
   single_table_ = nullptr;
-  single_pool_mode_ = false;
-  rebuild_dispatch();
+  single_pool_mode_.store(false, std::memory_order_relaxed);
+  // Unhook the dispatch slots before destroying the tables they point at.
+  for (auto& slot : dispatch_) slot.store(nullptr, std::memory_order_release);
+  for (auto& t : tables_) t.reset();
 }
 
 void Runtime::set_single_pool_mode(bool on, std::uint16_t pool_id) {
-  single_pool_mode_ = on;
+  std::lock_guard<std::mutex> lock(setup_mu_);
+  single_pool_mode_.store(on, std::memory_order_relaxed);
   single_table_ = on ? tables_[pool_id].get() : nullptr;
   rebuild_dispatch();
 }
 
 void Runtime::rebuild_dispatch() {
-  if (single_pool_mode_ && single_table_ != nullptr) {
+  if (single_pool_mode_.load(std::memory_order_relaxed) &&
+      single_table_ != nullptr) {
     // Single-pool stores never look at the pool field, so aliasing every
     // slot to the one table removes the mode branch from to_ptr.
-    for (auto& slot : dispatch_) slot = single_table_;
+    for (auto& slot : dispatch_) slot.store(single_table_, std::memory_order_release);
   } else {
     for (int i = 0; i < pmem::PoolRegistry::kMaxPools; ++i)
-      dispatch_[i] = tables_[i].get();
+      dispatch_[i].store(tables_[i].get(), std::memory_order_release);
   }
 }
 
 void* Runtime::try_to_ptr(std::uint64_t riv) noexcept {
   if (riv == kNull) return nullptr;
   const Decoded d = decode(riv);
-  PoolTable* table = dispatch_[d.pool];
+  PoolTable* table = dispatch_[d.pool].load(std::memory_order_relaxed);
   if (table == nullptr || d.chunk >= table->max_chunks) return nullptr;
   char* chunk_base = table->chunk_base[d.chunk].load(std::memory_order_acquire);
   if (chunk_base == nullptr) {

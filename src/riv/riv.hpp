@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 
 #include "common/compiler.hpp"
@@ -86,7 +87,10 @@ class Runtime {
   }
 
   /// Prepare the DRAM-side lookup state for a pool. Must be called once per
-  /// pool before any dereference (single-threaded setup phase).
+  /// pool before any dereference through it. Setup calls (configure /
+  /// invalidate / reset / mode) serialize on an internal mutex so parallel
+  /// shard recovery can configure disjoint pools concurrently; dereferences
+  /// through already-configured pools stay lock-free throughout.
   void configure_pool(std::uint16_t pool_id, std::uint32_t max_chunks,
                       ChunkResolver resolver);
 
@@ -101,7 +105,9 @@ class Runtime {
   /// Enable the single-pool fast path: all RIV values are assumed to carry
   /// this pool id and the pool-lookup stage is skipped.
   void set_single_pool_mode(bool on, std::uint16_t pool_id = 0);
-  bool single_pool_mode() const { return single_pool_mode_; }
+  bool single_pool_mode() const {
+    return single_pool_mode_.load(std::memory_order_relaxed);
+  }
 
   /// Hot path: RIV value -> virtual address. riv must be non-null and refer
   /// to an allocated chunk.
@@ -112,7 +118,7 @@ class Runtime {
   /// used to pay (§4.3.1) is gone from the dereference entirely.
   UPSL_ALWAYS_INLINE void* to_ptr(std::uint64_t riv) {
     const Decoded d = decode(riv);
-    PoolTable* table = dispatch_[d.pool];
+    PoolTable* table = dispatch_[d.pool].load(std::memory_order_relaxed);
     if (UPSL_UNLIKELY(table == nullptr)) throw_pool_not_configured();
     if (UPSL_UNLIKELY(d.chunk >= table->max_chunks))
       throw_chunk_out_of_range();
@@ -161,11 +167,14 @@ class Runtime {
 
   std::unique_ptr<PoolTable> tables_[pmem::PoolRegistry::kMaxPools];
   /// What to_ptr consults: tables_[i].get() per pool, or the single pool's
-  /// table in every slot when single-pool mode is on. Rebuilt on any
-  /// configuration change (single-threaded setup phases only).
-  PoolTable* dispatch_[pmem::PoolRegistry::kMaxPools] = {};
+  /// table in every slot when single-pool mode is on. Rebuilt under
+  /// setup_mu_ on any configuration change; slots are atomic (relaxed loads
+  /// — a plain mov on x86) so parallel shard recovery can configure its
+  /// pools while sibling shards are already dereferencing theirs.
+  std::atomic<PoolTable*> dispatch_[pmem::PoolRegistry::kMaxPools] = {};
   PoolTable* single_table_ = nullptr;
-  bool single_pool_mode_ = false;
+  std::atomic<bool> single_pool_mode_{false};
+  std::mutex setup_mu_;
 };
 
 /// Typed one-word persistent pointer. Trivially copyable so it can live in

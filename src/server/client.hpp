@@ -12,6 +12,12 @@
 // All methods throw std::runtime_error on transport errors (connection
 // refused/reset, short reads, malformed responses); kNotFound is not an
 // error, it is a result.
+//
+// Against a sharded server, a plain Client pointed at any shard's port still
+// works (the server routes in-process); ShardedClient below fetches the
+// shard map once via TOPOLOGY and routes each key to its owning shard
+// locally — saving the cross-shard hop — while pipelining per shard and
+// reassembling responses in submission order.
 #pragma once
 
 #include <arpa/inet.h>
@@ -28,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "common/shardmap.hpp"
 #include "server/protocol.hpp"
 
 namespace upsl::server {
@@ -151,6 +158,17 @@ class Client {
     return json;
   }
 
+  /// Fetches the server's shard map: shard count, hash kind, and the port
+  /// each shard listens on (same host). ShardedClient uses this to route.
+  Response::Topology topology() {
+    const Response r = roundtrip({Opcode::kTopology});
+    expect_ok(r, "TOPOLOGY");
+    Response::Topology topo;
+    if (!r.topology(&topo))
+      throw std::runtime_error("upsl client: malformed TOPOLOGY payload");
+    return topo;
+  }
+
   /// Runs the server-side structural check. Returns the JSON report; *ok
   /// (when non-null) says whether the check passed. Both the pass and the
   /// fail report come back as a blob — only a malformed frame throws.
@@ -235,6 +253,129 @@ class Client {
   std::vector<std::uint8_t> sendbuf_;
   std::size_t queued_ = 0;
   std::vector<std::uint8_t> recvbuf_;
+};
+
+/// Topology-aware client: one Client per shard, each key routed locally by
+/// the fixed hash the TOPOLOGY verb announced. One-shot ops go straight to
+/// the owning shard; queue()/flush() pipelines per shard and reassembles
+/// the responses in submission order, so callers see exactly the Client
+/// contract with the cross-shard hops removed.
+///
+/// Key-less verbs (SCAN, STATS, VALIDATE, PING) go to shard 0 — any shard
+/// answers them for the whole store (SCAN is merged server-side).
+class ShardedClient {
+ public:
+  ShardedClient() = default;
+  ShardedClient(const ShardedClient&) = delete;
+  ShardedClient& operator=(const ShardedClient&) = delete;
+
+  /// Connects to `port` (any shard), fetches the shard map, then opens one
+  /// connection per shard. False on connect failure; throws on a malformed
+  /// or unsupported topology.
+  bool connect(const std::string& host, std::uint16_t port) {
+    close();
+    Client probe;
+    if (!probe.connect(host, port)) return false;
+    topo_ = probe.topology();
+    if (topo_.hash_kind != kShardHashKindFixed)
+      throw std::runtime_error("upsl client: unknown shard hash kind " +
+                               std::to_string(topo_.hash_kind));
+    clients_ = std::vector<Client>(topo_.shard_count);
+    for (std::uint32_t s = 0; s < topo_.shard_count; ++s)
+      if (!clients_[s].connect(host, topo_.ports[s])) {
+        close();
+        return false;
+      }
+    return true;
+  }
+
+  bool connected() const { return !clients_.empty(); }
+
+  void close() {
+    clients_.clear();
+    order_.clear();
+    topo_ = {};
+  }
+
+  std::uint32_t shard_count() const { return topo_.shard_count; }
+  const Response::Topology& topology() const { return topo_; }
+
+  /// The shard that owns `key`, per the announced map.
+  std::uint32_t shard_of(std::uint64_t key) const {
+    return shard_of_key(key, topo_.shard_count);
+  }
+
+  /// Direct access to one shard's connection (tests, admin fan-out).
+  Client& shard(std::uint32_t s) { return clients_[s]; }
+
+  // ---- pipelining (same contract as Client::queue/flush) ------------------
+
+  void queue(const Request& req) {
+    const std::uint32_t s = route(req);
+    clients_[s].queue(req);
+    order_.push_back(s);
+  }
+
+  std::size_t queued() const { return order_.size(); }
+
+  /// Flushes every shard's pipeline and reassembles the responses in the
+  /// order the requests were queued. Each per-shard stream is FIFO, so the
+  /// i-th queued request on shard s is shard s's i-th response.
+  void flush(std::vector<Response>* out) {
+    std::vector<std::vector<Response>> per_shard(clients_.size());
+    for (std::uint32_t s = 0; s < clients_.size(); ++s)
+      if (clients_[s].queued() > 0) clients_[s].flush(&per_shard[s]);
+    out->clear();
+    out->reserve(order_.size());
+    std::vector<std::size_t> cursor(clients_.size(), 0);
+    for (const std::uint32_t s : order_)
+      out->push_back(std::move(per_shard[s][cursor[s]++]));
+    order_.clear();
+  }
+
+  // ---- one-shot operations (forwarded to the owning shard) ----------------
+
+  bool ping() { return clients_[0].ping(); }
+
+  std::optional<std::uint64_t> get(std::uint64_t key) {
+    return clients_[shard_of(key)].get(key);
+  }
+
+  Client::PutResult put(std::uint64_t key, std::uint64_t value) {
+    return clients_[shard_of(key)].put(key, value);
+  }
+
+  std::optional<std::uint64_t> remove(std::uint64_t key) {
+    return clients_[shard_of(key)].remove(key);
+  }
+
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> scan(
+      std::uint64_t lo, std::uint64_t hi, std::uint32_t limit = 0) {
+    return clients_[0].scan(lo, hi, limit);
+  }
+
+  std::string stats_json() { return clients_[0].stats_json(); }
+
+  std::string validate_json(bool* ok = nullptr) {
+    return clients_[0].validate_json(ok);
+  }
+
+ private:
+  std::uint32_t route(const Request& req) const {
+    switch (req.op) {
+      case Opcode::kGet:
+      case Opcode::kPut:
+      case Opcode::kUpdate:
+      case Opcode::kRemove:
+        return shard_of(req.key);
+      default:
+        return 0;  // key-less verbs: any shard answers for the whole store
+    }
+  }
+
+  Response::Topology topo_;
+  std::vector<Client> clients_;
+  std::vector<std::uint32_t> order_;  // owning shard of each queued request
 };
 
 /// Parses "host:port" (e.g. "127.0.0.1:7707"). Returns false on bad input.

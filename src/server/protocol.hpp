@@ -23,6 +23,16 @@
 //   VALIDATE req: empty                  resp kOk: u32 len, len JSON bytes
 //                                             (structural check report);
 //                                             kError: same blob, check threw
+//   TOPOLOGY req: empty                  resp kOk: u32 shard_count,
+//                                             u32 hash_kind,
+//                                             shard_count x u32 port
+//                                             (the durable shard map: key k
+//                                             lives on shard
+//                                             shard_of_key(k, shard_count),
+//                                             reachable on the given port of
+//                                             the same host; hash_kind names
+//                                             the hash — see
+//                                             common/shardmap.hpp)
 //
 // Framing rules (enforced by the parser, tested in tests/server_test.cpp):
 // a body length larger than kMaxBody, an unknown opcode, or a payload whose
@@ -62,6 +72,7 @@ enum class Opcode : std::uint8_t {
   kStats = 6,
   kPing = 7,
   kValidate = 8,
+  kTopology = 9,
 };
 
 enum class Status : std::uint8_t {
@@ -116,6 +127,31 @@ struct Response {
     out->assign(reinterpret_cast<const char*>(payload.data()) + 4, len);
     return true;
   }
+
+  /// TOPOLOGY payload: the durable shard map plus where each shard listens.
+  struct Topology {
+    std::uint32_t shard_count = 0;
+    std::uint32_t hash_kind = 0;
+    std::vector<std::uint16_t> ports;  // one per shard, same host
+  };
+
+  bool topology(Topology* out) const {
+    if (payload.size() < 8) return false;
+    std::uint32_t count = 0;
+    std::memcpy(&count, payload.data(), 4);
+    std::memcpy(&out->hash_kind, payload.data() + 4, 4);
+    if (count == 0 || payload.size() != 8 + 4ull * count) return false;
+    out->shard_count = count;
+    out->ports.clear();
+    out->ports.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      std::uint32_t port = 0;
+      std::memcpy(&port, payload.data() + 8 + 4ull * i, 4);
+      if (port > 0xffff) return false;
+      out->ports.push_back(static_cast<std::uint16_t>(port));
+    }
+    return true;
+  }
 };
 
 enum class ParseResult {
@@ -164,6 +200,7 @@ inline int request_payload_bytes(Opcode op) {
     case Opcode::kStats:
     case Opcode::kPing:
     case Opcode::kValidate:
+    case Opcode::kTopology:
       return 0;
   }
   return -1;
@@ -194,6 +231,7 @@ inline void encode_request(const Request& req, std::vector<std::uint8_t>& out) {
     case Opcode::kStats:
     case Opcode::kPing:
     case Opcode::kValidate:
+    case Opcode::kTopology:
       break;
   }
 }
@@ -233,6 +271,7 @@ inline ParseResult parse_request(const std::uint8_t* data, std::size_t n,
     case Opcode::kStats:
     case Opcode::kPing:
     case Opcode::kValidate:
+    case Opcode::kTopology:
       break;
   }
   *consumed = kHeaderBytes + body;
@@ -266,6 +305,20 @@ inline void encode_response_scan(
     put_u64(out, entries[i].first);
     put_u64(out, entries[i].second);
   }
+}
+
+inline void encode_response_topology(std::uint32_t shard_count,
+                                     std::uint32_t hash_kind,
+                                     const std::uint16_t* ports,
+                                     std::vector<std::uint8_t>& out) {
+  put_u32(out,
+          static_cast<std::uint32_t>(kBodyPrefixBytes + 8 + 4ull * shard_count));
+  out.push_back(static_cast<std::uint8_t>(Status::kOk));
+  out.insert(out.end(), 3, 0);
+  put_u32(out, shard_count);
+  put_u32(out, hash_kind);
+  for (std::uint32_t i = 0; i < shard_count; ++i)
+    put_u32(out, static_cast<std::uint32_t>(ports[i]));
 }
 
 inline void encode_response_blob(Status st, const std::string& blob,

@@ -7,16 +7,20 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
+#include <pthread.h>
+#include <sched.h>
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <deque>
 #include <unordered_map>
 
+#include "common/shardmap.hpp"
 #include "common/thread_registry.hpp"
 #include "pmem/ack_batch.hpp"
 #include "pmem/persist.hpp"
@@ -34,6 +38,11 @@ void on_stop_signal(int) { g_signal_stop.store(true, std::memory_order_release);
 bool set_nonblocking(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
   return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+bool shard_pin_disabled_by_env() {
+  const char* v = std::getenv("UPSL_DISABLE_SHARD_PIN");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
 }
 
 #ifndef EPOLLEXCLUSIVE
@@ -64,14 +73,23 @@ struct Server::Conn {
 };
 
 struct Server::Worker {
+  unsigned shard = 0;  // which shard's listen socket / committer this serves
   int epoll_fd = -1;
-  int event_fd = -1;  // poked by the group committer after each fence
+  int event_fd = -1;  // poked by the shard's group committer after each fence
   std::unordered_map<int, Conn> conns;
 };
 
 Server::Server(core::UPSkipList& store, ServerOptions opts)
-    : store_(store), opts_(std::move(opts)) {
+    : stores_{&store}, opts_(std::move(opts)) {
   if (opts_.workers == 0) opts_.workers = 1;
+}
+
+Server::Server(core::ShardSet& shards, ServerOptions opts)
+    : opts_(std::move(opts)) {
+  if (opts_.workers == 0) opts_.workers = 1;
+  stores_.reserve(shards.shard_count());
+  for (std::uint32_t i = 0; i < shards.shard_count(); ++i)
+    stores_.push_back(&shards.shard(i));
 }
 
 Server::~Server() {
@@ -97,61 +115,88 @@ void Server::reset_signal_stop_for_testing() {
 }
 
 bool Server::start() {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
-  if (listen_fd_ < 0) return false;
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-
-  sockaddr_in addr = {};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(opts_.port);
-  if (::inet_pton(AF_INET, opts_.host.c_str(), &addr.sin_addr) != 1 ||
-      ::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
-      ::listen(listen_fd_, 256) != 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  const auto shards = static_cast<std::uint32_t>(stores_.size());
+  auto fail = [&] {
+    for (auto& w : workers_) {
+      if (w->event_fd >= 0) ::close(w->event_fd);
+      if (w->epoll_fd >= 0) ::close(w->epoll_fd);
+    }
+    workers_.clear();
+    gcs_.clear();
+    for (const int fd : listen_fds_)
+      if (fd >= 0) ::close(fd);
+    listen_fds_.clear();
+    bound_ports_.clear();
     return false;
+  };
+
+  // One listen socket per shard: shard s on base port + s, or each on its
+  // own ephemeral port when the base is 0.
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    const int fd =
+        ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (fd < 0) return fail();
+    listen_fds_.push_back(fd);
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_port =
+        htons(opts_.port == 0 ? 0
+                              : static_cast<std::uint16_t>(opts_.port + s));
+    if (::inet_pton(AF_INET, opts_.host.c_str(), &addr.sin_addr) != 1 ||
+        ::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+        ::listen(fd, 256) != 0) {
+      return fail();
+    }
+    socklen_t len = sizeof addr;
+    ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+    bound_ports_.push_back(ntohs(addr.sin_port));
   }
-  socklen_t len = sizeof addr;
-  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
-  bound_port_ = ntohs(addr.sin_port);
 
   window_us_ = commit_window_us_from_env(opts_.commit_window_us);
-  if (opts_.group_commit && !group_commit_disabled_by_env())
-    gc_ = std::make_unique<GroupCommit>(window_us_);
+  if (opts_.group_commit && !group_commit_disabled_by_env()) {
+    // One committer per shard, so commit traffic scales with the shards
+    // instead of funneling through one thread. Correctness does not depend
+    // on which committer fences a batch — SFENCE is CPU-global, so any
+    // shard's fence also retires the flushes a cross-shard routed op left
+    // behind in the same batch.
+    gcs_.reserve(shards);
+    for (std::uint32_t s = 0; s < shards; ++s)
+      gcs_.push_back(std::make_unique<GroupCommit>(window_us_));
+  }
 
-  for (unsigned i = 0; i < opts_.workers; ++i) {
-    auto w = std::make_unique<Worker>();
-    w->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
-    if (w->epoll_fd >= 0 && gc_ != nullptr)
-      w->event_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
-    if (w->epoll_fd < 0 || (gc_ != nullptr && w->event_fd < 0)) {
-      if (w->epoll_fd >= 0) ::close(w->epoll_fd);
-      for (auto& prev : workers_) {
-        if (prev->event_fd >= 0) ::close(prev->event_fd);
-        ::close(prev->epoll_fd);
+  shard_ops_ = std::make_unique<std::atomic<std::uint64_t>[]>(shards);
+  for (std::uint32_t s = 0; s < shards; ++s)
+    shard_ops_[s].store(0, std::memory_order_relaxed);
+
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    for (unsigned i = 0; i < opts_.workers; ++i) {
+      auto w = std::make_unique<Worker>();
+      w->shard = s;
+      w->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+      if (w->epoll_fd >= 0 && !gcs_.empty())
+        w->event_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+      if (w->epoll_fd < 0 || (!gcs_.empty() && w->event_fd < 0)) {
+        if (w->epoll_fd >= 0) ::close(w->epoll_fd);
+        return fail();
       }
-      workers_.clear();
-      gc_.reset();
-      ::close(listen_fd_);
-      listen_fd_ = -1;
-      return false;
+      epoll_event ev = {};
+      ev.events = EPOLLIN | EPOLLEXCLUSIVE;
+      ev.data.fd = listen_fds_[s];
+      ::epoll_ctl(w->epoll_fd, EPOLL_CTL_ADD, listen_fds_[s], &ev);
+      if (w->event_fd >= 0) {
+        epoll_event eev = {};
+        eev.events = EPOLLIN;
+        eev.data.fd = w->event_fd;
+        ::epoll_ctl(w->epoll_fd, EPOLL_CTL_ADD, w->event_fd, &eev);
+        gcs_[s]->add_notify_fd(w->event_fd);
+      }
+      workers_.push_back(std::move(w));
     }
-    epoll_event ev = {};
-    ev.events = EPOLLIN | EPOLLEXCLUSIVE;
-    ev.data.fd = listen_fd_;
-    ::epoll_ctl(w->epoll_fd, EPOLL_CTL_ADD, listen_fd_, &ev);
-    if (w->event_fd >= 0) {
-      epoll_event eev = {};
-      eev.events = EPOLLIN;
-      eev.data.fd = w->event_fd;
-      ::epoll_ctl(w->epoll_fd, EPOLL_CTL_ADD, w->event_fd, &eev);
-      gc_->add_notify_fd(w->event_fd);
-    }
-    workers_.push_back(std::move(w));
   }
   started_ = true;
-  for (unsigned i = 0; i < opts_.workers; ++i)
+  for (unsigned i = 0; i < shards * opts_.workers; ++i)
     threads_.emplace_back([this, i] { worker_main(i); });
   return true;
 }
@@ -163,17 +208,17 @@ void Server::wait() {
   if (started_ && !stopped_) {
     stopped_ = true;
     // Workers have drained (every parked ack released via barrier), so the
-    // committer has nothing pending; stop it before tearing down its
+    // committers have nothing pending; stop them before tearing down their
     // notification fds.
-    if (gc_ != nullptr) gc_->shutdown();
+    for (auto& gc : gcs_) gc->shutdown();
     for (auto& w : workers_) {
       if (w->event_fd >= 0) ::close(w->event_fd);
       ::close(w->epoll_fd);
     }
     workers_.clear();
-    if (listen_fd_ >= 0) {
-      ::close(listen_fd_);
-      listen_fd_ = -1;
+    for (int& fd : listen_fds_) {
+      if (fd >= 0) ::close(fd);
+      fd = -1;
     }
     // Drain complete: everything executed is already durable (the store
     // persists per operation); a final fence orders the shutdown for any
@@ -182,10 +227,37 @@ void Server::wait() {
   }
 }
 
-void Server::worker_main(unsigned index) {
-  ThreadRegistry::instance().bind(
-      static_cast<int>(opts_.first_thread_id + index));
-  Worker& w = *workers_[index];
+GroupCommit* Server::shard_gc(const Worker& w) const {
+  return gcs_.empty() ? nullptr : gcs_[w.shard].get();
+}
+
+/// Best-effort NUMA-style pinning: split the hardware threads into
+/// shard_count equal contiguous groups and confine this shard's workers to
+/// its group, keeping them (and their allocations) local to the node the
+/// shard's pools were placed on. Contiguous CPU ranges approximate nodes the
+/// same way the "virtual NUMA node" pools do; a real libnuma topology walk
+/// would slot in here. No-op when the machine cannot give every shard at
+/// least one CPU, or when disabled (option / UPSL_DISABLE_SHARD_PIN).
+void Server::maybe_pin_to_shard(unsigned shard) const {
+  if (!opts_.pin_shards || stores_.size() <= 1 || shard_pin_disabled_by_env())
+    return;
+  const unsigned hw = std::thread::hardware_concurrency();
+  const unsigned per = hw / static_cast<unsigned>(stores_.size());
+  if (per == 0) return;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  for (unsigned c = shard * per; c < (shard + 1) * per; ++c)
+    CPU_SET(c, &set);
+  ::pthread_setaffinity_np(::pthread_self(), sizeof set, &set);
+}
+
+void Server::worker_main(unsigned global_index) {
+  Worker& w = *workers_[global_index];
+  ThreadRegistry::instance().bind(static_cast<int>(
+      opts_.first_thread_id + w.shard * opts_.workers +
+      (global_index % opts_.workers)));
+  maybe_pin_to_shard(w.shard);
+  const int listen_fd = listen_fds_[w.shard];
   epoll_event events[64];
   bool draining = false;
 
@@ -193,10 +265,10 @@ void Server::worker_main(unsigned index) {
     if (!draining &&
         (stop_.load(std::memory_order_acquire) || signal_stop_requested())) {
       draining = true;
-      // Every worker sees the same flag; each deregisters the shared listen
-      // fd from its own epoll set. shutdown() on the listen fd is left to
+      // Every worker sees the same flag; each deregisters its shard's listen
+      // fd from its own epoll set. shutdown() on the listen fds is left to
       // wait() — workers may still be mid-accept.
-      ::epoll_ctl(w.epoll_fd, EPOLL_CTL_DEL, listen_fd_, nullptr);
+      ::epoll_ctl(w.epoll_fd, EPOLL_CTL_DEL, listen_fd, nullptr);
       drain_worker(w);
       return;
     }
@@ -207,9 +279,9 @@ void Server::worker_main(unsigned index) {
     }
     for (int i = 0; i < n; ++i) {
       const int fd = events[i].data.fd;
-      if (fd == listen_fd_) {
+      if (fd == listen_fd) {
         while (true) {
-          const int cfd = ::accept4(listen_fd_, nullptr, nullptr,
+          const int cfd = ::accept4(listen_fd, nullptr, nullptr,
                                     SOCK_NONBLOCK | SOCK_CLOEXEC);
           if (cfd < 0) break;  // EAGAIN (or a raced accept) — done for now
           const int one = 1;
@@ -302,6 +374,9 @@ bool Server::execute_batch(Worker& w, Conn& c) {
   // ack-gating line flushes are collected here — deduped across the whole
   // pipelined batch, not per op — and commit below under a single fence, or
   // ride a group-commit ticket that shares that fence across connections.
+  // Cross-shard routed mutations land here too; the fence that retires the
+  // batch is CPU-global, so durability does not depend on which shard's
+  // committer issues it.
   pmem::AckBatch ab;
   while (executed < opts_.max_batch) {
     Request req;
@@ -317,7 +392,7 @@ bool Server::execute_batch(Worker& w, Conn& c) {
     off += consumed;
     ++executed;
     bool op_mutated = false;
-    execute_one(req, c.out, &op_mutated);
+    execute_one(w, req, c.out, &op_mutated);
     if (op_mutated) ++mutations;
   }
   if (off > 0) c.in.erase(c.in.begin(), c.in.begin() + off);
@@ -325,12 +400,13 @@ bool Server::execute_batch(Worker& w, Conn& c) {
 
   stats_.frames.fetch_add(executed, std::memory_order_relaxed);
   stats_.batches.fetch_add(1, std::memory_order_relaxed);
+  GroupCommit* gc = shard_gc(w);
   if (mutations > 0) {
-    if (gc_ != nullptr) {
+    if (gc != nullptr) {
       // Group commit: hand the deferred lines to the committer and park
       // this batch's response bytes behind the returned ticket. The
       // eventfd wakeup releases them once the covering fence retires.
-      const std::uint64_t ticket = gc_->submit(ab.take_lines(), mutations);
+      const std::uint64_t ticket = gc->submit(ab.take_lines(), mutations);
       c.pending_acks.emplace_back(ticket, c.out.size());
       stats_.group_commit_batches.fetch_add(1, std::memory_order_relaxed);
     } else {
@@ -354,12 +430,24 @@ bool Server::execute_batch(Worker& w, Conn& c) {
   return c.fd >= 0 && executed == opts_.max_batch && !c.in.empty();
 }
 
-void Server::execute_one(const Request& req, std::vector<std::uint8_t>& out,
-                         bool* mutated) {
+void Server::execute_one(Worker& w, const Request& req,
+                         std::vector<std::uint8_t>& out, bool* mutated) {
+  const auto shards = static_cast<std::uint32_t>(stores_.size());
+  // Dispatch-layer routing: the key, not the arrival socket, picks the
+  // store. A request that arrived on the wrong shard's port is still served
+  // (topology-unaware clients keep working); it is just counted as a
+  // cross-shard hop.
+  auto route = [&](std::uint64_t key) -> core::UPSkipList& {
+    const std::uint32_t s = shard_of_key(key, shards);
+    shard_ops_[s].fetch_add(1, std::memory_order_relaxed);
+    if (s != w.shard)
+      stats_.cross_shard_ops.fetch_add(1, std::memory_order_relaxed);
+    return *stores_[s];
+  };
   switch (req.op) {
     case Opcode::kGet: {
       stats_.gets.fetch_add(1, std::memory_order_relaxed);
-      const auto v = store_.search(req.key);
+      const auto v = route(req.key).search(req.key);
       if (v)
         encode_response_value(Status::kOk, *v, out);
       else
@@ -369,7 +457,7 @@ void Server::execute_one(const Request& req, std::vector<std::uint8_t>& out,
     case Opcode::kPut:
     case Opcode::kUpdate: {
       stats_.puts.fetch_add(1, std::memory_order_relaxed);
-      const auto old = store_.insert(req.key, req.value);
+      const auto old = route(req.key).insert(req.key, req.value);
       *mutated = true;
       if (old)
         encode_response_value(Status::kOk, *old, out);
@@ -379,7 +467,7 @@ void Server::execute_one(const Request& req, std::vector<std::uint8_t>& out,
     }
     case Opcode::kRemove: {
       stats_.removes.fetch_add(1, std::memory_order_relaxed);
-      const auto old = store_.remove(req.key);
+      const auto old = route(req.key).remove(req.key);
       if (old) {
         *mutated = true;
         encode_response_value(Status::kOk, *old, out);
@@ -393,15 +481,16 @@ void Server::execute_one(const Request& req, std::vector<std::uint8_t>& out,
       const std::uint32_t limit =
           std::min(req.limit == 0 ? kMaxScanEntries : req.limit,
                    kMaxScanEntries);
+      // Cross-shard k-way merge: any shard answers a SCAN over the whole
+      // key space, in global key order (core::scan_merged).
       std::vector<core::ScanEntry> entries;
-      store_.scan(req.key, req.value, entries);
+      core::scan_merged(stores_.data(), shards, req.key, req.value, limit,
+                        entries);
       std::vector<std::pair<std::uint64_t, std::uint64_t>> kv;
-      const std::uint32_t count =
-          std::min<std::uint64_t>(entries.size(), limit);
-      kv.reserve(count);
-      for (std::uint32_t i = 0; i < count; ++i)
-        kv.emplace_back(entries[i].key, entries[i].value);
-      encode_response_scan(kv.data(), count, out);
+      kv.reserve(entries.size());
+      for (const auto& e : entries) kv.emplace_back(e.key, e.value);
+      encode_response_scan(kv.data(), static_cast<std::uint32_t>(kv.size()),
+                           out);
       break;
     }
     case Opcode::kStats:
@@ -410,17 +499,29 @@ void Server::execute_one(const Request& req, std::vector<std::uint8_t>& out,
     case Opcode::kPing:
       encode_response_empty(Status::kOk, out);
       break;
+    case Opcode::kTopology:
+      // The durable shard map, straight from the stores' roots: count,
+      // hash kind, and where each shard listens. What ShardedClient routes
+      // by.
+      encode_response_topology(shards, kShardHashKindFixed,
+                               bound_ports_.data(), out);
+      break;
     case Opcode::kValidate: {
       // Admin op: full structural check (per-node sorting, level nesting,
-      // bottom-level order). Best run against a quiescent store — a check
-      // racing live writers can report transient states.
+      // bottom-level order) across every shard. Best run against a
+      // quiescent store — a check racing live writers can report transient
+      // states.
       std::string json;
       Status st = Status::kOk;
       try {
-        store_.check_invariants();
-        json = "{\"valid\": true, \"nodes\": " +
-               std::to_string(store_.count_nodes()) +
-               ", \"epoch\": " + std::to_string(store_.epoch()) + "}";
+        std::size_t nodes = 0;
+        for (core::UPSkipList* s : stores_) {
+          s->check_invariants();
+          nodes += s->count_nodes();
+        }
+        json = "{\"valid\": true, \"nodes\": " + std::to_string(nodes) +
+               ", \"epoch\": " + std::to_string(stores_[0]->epoch()) +
+               ", \"shards\": " + std::to_string(shards) + "}";
       } catch (const std::exception& e) {
         st = Status::kError;
         std::string msg;
@@ -468,7 +569,7 @@ void Server::flush_out(Worker& w, Conn& c) {
 }
 
 void Server::release_committed(Worker& w) {
-  const std::uint64_t committed = gc_->committed();
+  const std::uint64_t committed = shard_gc(w)->committed();
   for (auto it = w.conns.begin(); it != w.conns.end();) {
     Conn& c = it->second;
     if (c.fd >= 0 && !c.pending_acks.empty()) {
@@ -502,6 +603,7 @@ void Server::close_conn(Worker& w, Conn& c) {
 void Server::drain_worker(Worker& w) {
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::seconds(opts_.drain_timeout_sec);
+  GroupCommit* gc = shard_gc(w);
   std::vector<int> fds;
   fds.reserve(w.conns.size());
   for (auto& [fd, conn] : w.conns) fds.push_back(fd);
@@ -523,10 +625,10 @@ void Server::drain_worker(Worker& w) {
     while (execute_batch(w, c)) {
     }
     if (c.fd < 0) continue;
-    if (gc_ != nullptr && !c.pending_acks.empty()) {
+    if (gc != nullptr && !c.pending_acks.empty()) {
       // Every parked ticket is already submitted; wait for the covering
       // fence so the drain never sends an un-durable ack.
-      gc_->barrier();
+      gc->barrier();
       c.sendable_end = c.out.size();
       c.pending_acks.clear();
     }
@@ -563,17 +665,39 @@ std::string Server::stats_json() const {
   json += u64("gets", s.gets.load(std::memory_order_relaxed)) + ", ";
   json += u64("puts", s.puts.load(std::memory_order_relaxed)) + ", ";
   json += u64("removes", s.removes.load(std::memory_order_relaxed)) + ", ";
-  json += u64("scans", s.scans.load(std::memory_order_relaxed));
+  json += u64("scans", s.scans.load(std::memory_order_relaxed)) + ", ";
+  json += u64("cross_shard_ops",
+              s.cross_shard_ops.load(std::memory_order_relaxed));
   json += "}, ";
-  json += u64("epoch", store_.epoch()) + ", ";
+  // Shard 0's epoch/index stay at the top level for pre-sharding consumers;
+  // the "shards" array is the full per-shard picture. The trailing "pmem"
+  // rollup is process-global (pmem::Stats is one singleton), i.e. already
+  // the merged view across every shard's pools and committers.
+  json += u64("epoch", stores_[0]->epoch()) + ", ";
   json += "\"index\": {";
   json += std::string("\"dram\": ") +
-          (store_.dram_index_enabled() ? "true" : "false") + ", ";
-  json += u64("entries", store_.index_entries()) + ", ";
-  json += u64("rebuild_ns", store_.last_index_rebuild_ns());
+          (stores_[0]->dram_index_enabled() ? "true" : "false") + ", ";
+  json += u64("entries", stores_[0]->index_entries()) + ", ";
+  json += u64("rebuild_ns", stores_[0]->last_index_rebuild_ns());
   json += "}, ";
+  json += u64("shard_count", stores_.size()) + ", ";
+  json += "\"shards\": [";
+  for (std::size_t i = 0; i < stores_.size(); ++i) {
+    const core::UPSkipList* st = stores_[i];
+    if (i > 0) json += ", ";
+    json += "{";
+    json += u64("port", bound_ports_.size() > i ? bound_ports_[i] : 0) + ", ";
+    json += u64("epoch", st->epoch()) + ", ";
+    json += u64("ops", shard_ops_ != nullptr
+                           ? shard_ops_[i].load(std::memory_order_relaxed)
+                           : 0) + ", ";
+    json += u64("index_entries", st->index_entries()) + ", ";
+    json += u64("index_rebuild_ns", st->last_index_rebuild_ns());
+    json += "}";
+  }
+  json += "], ";
   json += "\"group_commit\": {";
-  json += std::string("\"enabled\": ") + (gc_ != nullptr ? "true" : "false") +
+  json += std::string("\"enabled\": ") + (!gcs_.empty() ? "true" : "false") +
           ", ";
   json += std::string("\"mod_writes\": ") +
           (pmem::mod_writes_enabled() ? "true" : "false") + ", ";

@@ -1,10 +1,27 @@
-// upsl-serve: a multi-threaded epoll TCP front-end over one UPSkipList.
+// upsl-serve: a multi-threaded epoll TCP front-end over a sharded store.
 //
-// Threading model: N worker threads, each with its own epoll instance. The
-// (non-blocking) listen socket is registered level-triggered in every
-// worker's epoll set with EPOLLEXCLUSIVE, so the kernel wakes one worker per
-// pending connection; the accepting worker owns the connection for its whole
-// life — per-connection state is never shared between threads.
+// Sharding (docs/server.md): the key space is hash-partitioned across N
+// independent UPSkipList shards (common/shardmap.hpp). Shard s gets its own
+// listen socket (base port + s, or its own ephemeral port), its own group of
+// worker threads, and its own group committer — shards share nothing but
+// the process. Worker groups are pinned, best-effort, to disjoint CPU
+// groups approximating one (virtual) NUMA node per shard, so each shard's
+// threads stay local to the node its pools were placed on.
+//
+// Routing: the dispatch layer routes every single-key request by its key to
+// the owning shard, whatever socket it arrived on — so a topology-unaware
+// (pre-sharding) client talking only to the base port is still served
+// correctly, just with cross-shard hops (counted in stats). A routed client
+// fetches the shard map once via the TOPOLOGY verb and sends each key to
+// its owner directly (ShardedClient in client.hpp). SCAN answers with a
+// cross-shard k-way merge in global key order from any shard. N=1 is
+// bit-compatible with the pre-sharding server.
+//
+// Threading model (per shard): W worker threads, each with its own epoll
+// instance. The (non-blocking) listen socket is registered level-triggered
+// in every worker's epoll set with EPOLLEXCLUSIVE, so the kernel wakes one
+// worker per pending connection; the accepting worker owns the connection
+// for its whole life — per-connection state is never shared between threads.
 //
 // Pipelining: a wakeup drains the socket, parses every complete frame that
 // arrived, executes the whole batch back-to-back against the store, and only
@@ -14,22 +31,24 @@
 // contained a mutation before any response byte leaves — acknowledgements
 // are ordered after durability with one fence per batch, not one per op.
 //
-// Lifecycle: construct over an already-recovered store (the caller runs
-// Pool::open + UPSkipList::open first — the listen socket must not exist
-// before recovery has run), start(), then wait(). stop() — or a SIGTERM/
-// SIGINT routed through install_signal_handlers() — triggers a graceful
-// drain: the listen socket closes (no new connections), every worker
-// executes the requests already buffered on its connections, flushes
+// Lifecycle: construct over already-recovered stores (the caller runs
+// Pool::open + UPSkipList/ShardSet::open first — the listen sockets must not
+// exist before recovery has run), start(), then wait(). stop() — or a
+// SIGTERM/SIGINT routed through install_signal_handlers() — triggers a
+// graceful drain: the listen sockets close (no new connections), every
+// worker executes the requests already buffered on its connections, flushes
 // pending responses, fences, and exits. wait() returns once all workers are
 // done.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "core/shard_set.hpp"
 #include "core/upskiplist.hpp"
 
 namespace upsl::server {
@@ -38,12 +57,16 @@ class GroupCommit;
 
 struct ServerOptions {
   std::string host = "127.0.0.1";
-  /// 0 = let the kernel pick an ephemeral port (query it via port()).
+  /// Base port: shard s listens on port + s. 0 = let the kernel pick an
+  /// ephemeral port per shard (query them via port(shard)).
   std::uint16_t port = 0;
+  /// Worker threads per shard.
   unsigned workers = 4;
-  /// ThreadRegistry slot of worker 0; workers bind first_thread_id..+workers.
-  /// Keep distinct from the ids other threads in the process use, and below
-  /// the store's Options::max_threads.
+  /// ThreadRegistry slot of shard 0's worker 0; shard s's worker i binds
+  /// first_thread_id + s * workers + i. Keep the whole range distinct from
+  /// the ids other threads in the process use, and below every shard's
+  /// Options::max_threads — a routed request may execute against any shard
+  /// under any worker's id.
   unsigned first_thread_id = 1;
   /// Most frames executed per connection per wakeup; a connection with more
   /// buffered input is revisited before the next epoll_wait so one noisy
@@ -53,12 +76,18 @@ struct ServerOptions {
   unsigned drain_timeout_sec = 5;
   /// Cross-connection group commit (docs/write-path.md): mutation batches
   /// from all connections within a commit window share one ack fence issued
-  /// by a dedicated committer thread; responses park until the covering
-  /// fence retires. UPSL_DISABLE_GROUP_COMMIT=1 overrides this to off.
+  /// by a dedicated committer thread (one per shard); responses park until
+  /// the covering fence retires. UPSL_DISABLE_GROUP_COMMIT=1 overrides this
+  /// to off.
   bool group_commit = true;
   /// How long the committer accumulates batches before fencing, in
   /// microseconds. UPSL_COMMIT_WINDOW_US overrides.
   std::uint32_t commit_window_us = 50;
+  /// Pin each shard's workers to that shard's CPU group (hardware threads
+  /// split evenly across shards, approximating one NUMA node per shard).
+  /// Skipped automatically when the machine is too small to give every
+  /// shard at least one CPU; UPSL_DISABLE_SHARD_PIN=1 overrides to off.
+  bool pin_shards = true;
 };
 
 /// Monotonic serving counters, exposed through the STATS command.
@@ -76,21 +105,35 @@ struct ServerStats {
   std::atomic<std::uint64_t> puts{0};
   std::atomic<std::uint64_t> removes{0};
   std::atomic<std::uint64_t> scans{0};
+  /// Single-key ops that arrived on one shard's socket but were owned by
+  /// another shard (topology-unaware client, or a stale map). Routed
+  /// in-process — correct, just not NUMA-local.
+  std::atomic<std::uint64_t> cross_shard_ops{0};
 };
 
 class Server {
  public:
+  /// Unsharded (N=1) server over one store — the pre-sharding configuration.
   Server(core::UPSkipList& store, ServerOptions opts);
+  /// Sharded server: one listen socket + worker group + committer per shard.
+  /// The ShardSet must outlive the server.
+  Server(core::ShardSet& shards, ServerOptions opts);
   ~Server();
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Binds, listens and spawns the workers. False (with errno intact) if the
+  /// Binds, listens and spawns the workers. False (with errno intact) if a
   /// socket could not be set up; no threads are running then.
   bool start();
 
-  /// Port actually bound (resolves port 0). Valid after start().
-  std::uint16_t port() const { return bound_port_; }
+  /// Port actually bound for shard 0 (resolves port 0). Valid after start().
+  std::uint16_t port() const { return bound_ports_.empty() ? 0 : bound_ports_[0]; }
+  /// Port shard `s` listens on. Valid after start().
+  std::uint16_t port(std::uint32_t s) const { return bound_ports_[s]; }
+
+  std::uint32_t shard_count() const {
+    return static_cast<std::uint32_t>(stores_.size());
+  }
 
   /// Request a graceful drain. Safe to call from any thread, repeatedly.
   void stop() { stop_.store(true, std::memory_order_release); }
@@ -102,10 +145,10 @@ class Server {
 
   const ServerStats& stats() const { return stats_; }
 
-  /// True iff this server runs with the cross-connection group committer
+  /// True iff this server runs with the cross-connection group committers
   /// (option on and not killed by UPSL_DISABLE_GROUP_COMMIT). Valid after
   /// start().
-  bool group_commit_enabled() const { return gc_ != nullptr; }
+  bool group_commit_enabled() const { return !gcs_.empty(); }
 
   /// Effective commit window (env override applied). Valid after start().
   std::uint32_t commit_window_us() const { return window_us_; }
@@ -121,31 +164,35 @@ class Server {
   struct Conn;
   struct Worker;
 
-  void worker_main(unsigned index);
+  void worker_main(unsigned global_index);
   void handle_readable(Worker& w, Conn& c);
   bool execute_batch(Worker& w, Conn& c);
-  void execute_one(const struct Request& req, std::vector<std::uint8_t>& out,
-                   bool* mutated);
+  void execute_one(Worker& w, const struct Request& req,
+                   std::vector<std::uint8_t>& out, bool* mutated);
   void flush_out(Worker& w, Conn& c);
   void close_conn(Worker& w, Conn& c);
   void drain_worker(Worker& w);
   /// Release every parked ack covered by the committer's progress and push
   /// the freed bytes out (eventfd wakeup path).
   void release_committed(Worker& w);
+  GroupCommit* shard_gc(const Worker& w) const;
+  void maybe_pin_to_shard(unsigned shard) const;
   std::string stats_json() const;
 
-  core::UPSkipList& store_;
+  std::vector<core::UPSkipList*> stores_;  // one per shard; non-owning
   ServerOptions opts_;
-  int listen_fd_ = -1;
-  std::uint16_t bound_port_ = 0;
+  std::vector<int> listen_fds_;            // one per shard
+  std::vector<std::uint16_t> bound_ports_; // one per shard
   std::atomic<bool> stop_{false};
   bool started_ = false;
   bool stopped_ = false;
   std::vector<std::thread> threads_;
-  std::vector<std::unique_ptr<Worker>> workers_;
-  std::unique_ptr<GroupCommit> gc_;  // null = per-batch fencing
+  std::vector<std::unique_ptr<Worker>> workers_;  // shard-major order
+  std::vector<std::unique_ptr<GroupCommit>> gcs_;  // empty = per-batch fencing
   std::uint32_t window_us_ = 0;
   ServerStats stats_;
+  /// Requests executed against each shard (wherever they arrived).
+  std::unique_ptr<std::atomic<std::uint64_t>[]> shard_ops_;
 };
 
 }  // namespace upsl::server

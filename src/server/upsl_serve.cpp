@@ -1,13 +1,20 @@
 // upsl-serve — the network front-end binary.
 //
 //   upsl-serve [--pool PATH] [--host H] [--port P] [--workers N]
-//              [--pool-mb MB] [--keys-per-node K]
+//              [--pool-mb MB] [--keys-per-node K] [--shards S]
+//
+// Sharding: --shards S (or UPSL_SHARDS; default 1) partitions the key space
+// across S independent stores. Shard 0 keeps the exact legacy pool path, so
+// S=1 is bit-compatible with a pre-sharding deployment; S>1 uses
+// "<pool>.shard<i>" per member and listens on port..port+S-1. A reopen
+// validates the durable topology recorded in every shard's root — changing
+// S over an existing store is refused rather than mis-routed.
 //
 // Startup order is the recovery contract made visible: open (or create) the
-// pool, run UPSkipList::open — which bumps the failure-free epoch and arms
-// the deferred repair/allocator-recovery machinery — and only then bind the
-// listen socket. A client that can connect is therefore guaranteed to be
-// talking to a recovered store.
+// pools, run ShardSet::open — which recovers every shard in parallel, bumps
+// each failure-free epoch and arms the deferred repair/allocator-recovery
+// machinery — and only then bind the listen sockets. A client that can
+// connect is therefore guaranteed to be talking to a recovered store.
 //
 // SIGTERM/SIGINT trigger a graceful drain: stop accepting, execute the
 // requests already received, flush their responses, fence, exit 0.
@@ -16,8 +23,10 @@
 #include <cstring>
 #include <filesystem>
 #include <string>
+#include <vector>
 
 #include "common/thread_registry.hpp"
+#include "core/shard_set.hpp"
 #include "core/upskiplist.hpp"
 #include "pmem/ack_batch.hpp"
 #include "server/group_commit.hpp"
@@ -32,7 +41,16 @@ struct Args {
   unsigned workers = 4;
   std::size_t pool_mb = 512;
   std::uint32_t keys_per_node = 64;
+  std::uint32_t shards = 0;  // 0 = UPSL_SHARDS env, else 1
 };
+
+std::uint32_t shards_from_env() {
+  if (const char* v = std::getenv("UPSL_SHARDS")) {
+    const unsigned long n = std::strtoul(v, nullptr, 10);
+    if (n >= 1 && n <= 64) return static_cast<std::uint32_t>(n);
+  }
+  return 1;
+}
 
 bool parse_args(int argc, char** argv, Args* a) {
   for (int i = 1; i < argc; ++i) {
@@ -54,14 +72,25 @@ bool parse_args(int argc, char** argv, Args* a) {
     } else if (flag == "--keys-per-node" && (v = next()) != nullptr) {
       a->keys_per_node = static_cast<std::uint32_t>(
           std::strtoul(v, nullptr, 10));
+    } else if (flag == "--shards" && (v = next()) != nullptr) {
+      a->shards = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
     } else {
       std::fprintf(stderr,
                    "usage: upsl-serve [--pool PATH] [--host H] [--port P] "
-                   "[--workers N] [--pool-mb MB] [--keys-per-node K]\n");
+                   "[--workers N] [--pool-mb MB] [--keys-per-node K] "
+                   "[--shards S]\n");
       return false;
     }
   }
-  return a->workers > 0;
+  if (a->shards == 0) a->shards = shards_from_env();
+  return a->workers > 0 && a->shards >= 1 && a->shards <= 64;
+}
+
+/// Shard i's pool file: the bare legacy path for a 1-shard deployment (so
+/// existing stores keep working), "<pool>.shard<i>" otherwise.
+std::string shard_pool_path(const Args& a, std::uint32_t i) {
+  if (a.shards == 1) return a.pool;
+  return a.pool + ".shard" + std::to_string(i);
 }
 
 }  // namespace
@@ -75,37 +104,77 @@ int main(int argc, char** argv) {
 
   core::Options opts;
   opts.keys_per_node = args.keys_per_node;
-  opts.max_threads = args.workers + 4;
+  // Any worker may execute a routed op against any shard, so every shard
+  // must have arena room for every worker id (plus main and committers).
+  opts.max_threads = args.shards * args.workers + 4;
   opts.chunk.chunk_size = 1 << 20;
-  const std::size_t budget = args.pool_mb << 20;
+  // --pool-mb is the TOTAL data budget: split it across the shards.
+  const std::size_t budget = (args.pool_mb << 20) / args.shards;
   opts.chunk.max_chunks = static_cast<std::uint32_t>(
       std::max<std::size_t>(32, budget / opts.chunk.chunk_size));
   const std::size_t pool_size = (8ull << 20) + opts.chunk.root_size +
                                 std::size_t{opts.chunk.max_chunks} *
                                     opts.chunk.chunk_size;
 
-  // Phase 1: open the pool and recover BEFORE any socket exists.
-  std::unique_ptr<pmem::Pool> pool;
-  std::unique_ptr<core::UPSkipList> store;
-  if (std::filesystem::exists(args.pool)) {
-    pool = pmem::Pool::open(args.pool, 0);
-    store = core::UPSkipList::open({pool.get()});
-    std::printf("upsl-serve: recovered %s (epoch %llu)\n", args.pool.c_str(),
-                static_cast<unsigned long long>(store->epoch()));
-    // Recovery-before-bind includes the search-layer rebuild: report its
-    // cost so restart-latency regressions are visible in the startup log.
-    if (store->dram_index_enabled()) {
-      std::printf("upsl-serve: dram index rebuilt (%zu entries, %.3f ms)\n",
-                  store->index_entries(),
-                  static_cast<double>(store->last_index_rebuild_ns()) / 1e6);
-    } else {
-      std::printf("upsl-serve: dram index disabled (persistent towers)\n");
-    }
-  } else {
-    pool = pmem::Pool::create(args.pool, 0, pool_size);
-    store = core::UPSkipList::create({pool.get()}, opts);
-    std::printf("upsl-serve: created %s (%zu MiB)\n", args.pool.c_str(),
+  // Phase 1: open the pools and recover BEFORE any socket exists. All
+  // shards must agree on existence — a half-present set is a config error.
+  std::vector<std::unique_ptr<pmem::Pool>> pools;
+  std::vector<std::vector<pmem::Pool*>> shard_pools;
+  unsigned existing = 0;
+  for (std::uint32_t i = 0; i < args.shards; ++i)
+    if (std::filesystem::exists(shard_pool_path(args, i))) ++existing;
+  if (existing != 0 && existing != args.shards) {
+    std::fprintf(stderr,
+                 "upsl-serve: %u of %u shard pools exist; refusing a "
+                 "partial shard set\n",
+                 existing, args.shards);
+    return 1;
+  }
+
+  const bool create = existing == 0;
+  for (std::uint32_t i = 0; i < args.shards; ++i) {
+    const std::string path = shard_pool_path(args, i);
+    pools.push_back(create ? pmem::Pool::create(path, i, pool_size)
+                           : pmem::Pool::open(path, i));
+    shard_pools.push_back({pools.back().get()});
+  }
+
+  std::unique_ptr<core::ShardSet> set;
+  try {
+    set = create ? core::ShardSet::create(std::move(shard_pools), opts)
+                 : core::ShardSet::open(std::move(shard_pools));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "upsl-serve: cannot open shard set: %s\n", e.what());
+    return 1;
+  }
+
+  if (create) {
+    std::printf("upsl-serve: created %s (%u shard%s x %zu MiB)\n",
+                args.pool.c_str(), args.shards, args.shards == 1 ? "" : "s",
                 pool_size >> 20);
+  } else {
+    std::printf("upsl-serve: recovered %s (%u shard%s, parallel open)\n",
+                args.pool.c_str(), args.shards, args.shards == 1 ? "" : "s");
+    // Recovery-before-bind includes each shard's search-layer rebuild:
+    // report the per-shard costs so restart-latency regressions (and shard
+    // imbalance) are visible in the startup log.
+    for (std::uint32_t i = 0; i < args.shards; ++i) {
+      core::UPSkipList& s = set->shard(i);
+      if (s.dram_index_enabled()) {
+        std::printf(
+            "upsl-serve: shard %u: epoch %llu, open %.3f ms, dram index "
+            "rebuilt (%zu entries, %.3f ms)\n",
+            i, static_cast<unsigned long long>(s.epoch()),
+            static_cast<double>(set->open_ns(i)) / 1e6, s.index_entries(),
+            static_cast<double>(s.last_index_rebuild_ns()) / 1e6);
+      } else {
+        std::printf(
+            "upsl-serve: shard %u: epoch %llu, open %.3f ms, dram index "
+            "disabled (persistent towers)\n",
+            i, static_cast<unsigned long long>(s.epoch()),
+            static_cast<double>(set->open_ns(i)) / 1e6);
+      }
+    }
   }
 
   // Phase 2: serve.
@@ -113,15 +182,22 @@ int main(int argc, char** argv) {
   sopts.host = args.host;
   sopts.port = args.port;
   sopts.workers = args.workers;
-  server::Server srv(*store, sopts);
+  server::Server srv(*set, sopts);
   server::Server::install_signal_handlers();
   if (!srv.start()) {
     std::fprintf(stderr, "upsl-serve: cannot listen on %s:%u: %s\n",
                  args.host.c_str(), args.port, std::strerror(errno));
     return 1;
   }
-  std::printf("upsl-serve: listening on %s:%u (%u workers)\n",
-              args.host.c_str(), srv.port(), args.workers);
+  if (args.shards == 1) {
+    std::printf("upsl-serve: listening on %s:%u (%u workers)\n",
+                args.host.c_str(), srv.port(), args.workers);
+  } else {
+    std::printf(
+        "upsl-serve: listening on %s:%u-%u (%u shards x %u workers)\n",
+        args.host.c_str(), srv.port(0), srv.port(args.shards - 1),
+        args.shards, args.workers);
+  }
   // Write-path report (docs/write-path.md): which ordering mode the store
   // runs with and whether acks share fences across connections.
   std::printf("upsl-serve: mod write path %s, group commit %s (window %u us)\n",
@@ -133,11 +209,12 @@ int main(int argc, char** argv) {
   srv.wait();  // returns after a signal-triggered drain
 
   const auto& st = srv.stats();
-  std::printf("upsl-serve: drained (%llu frames, %llu batches, %llu conns); "
-              "bye\n",
+  std::printf("upsl-serve: drained (%llu frames, %llu batches, %llu conns, "
+              "%llu cross-shard ops); bye\n",
               static_cast<unsigned long long>(st.frames.load()),
               static_cast<unsigned long long>(st.batches.load()),
-              static_cast<unsigned long long>(st.connections_accepted.load()));
+              static_cast<unsigned long long>(st.connections_accepted.load()),
+              static_cast<unsigned long long>(st.cross_shard_ops.load()));
   const auto pm = pmem::Stats::instance().snapshot();
   if (pm.group_commits > 0) {
     std::printf("upsl-serve: %llu group commits covered %llu mutations "

@@ -276,13 +276,218 @@ IterOutcome run_iteration(std::uint64_t seed, pmem::CrashMode first_mode,
   return out;
 }
 
+/// Sharded torture iteration: the same three-phase campaign against a 4-way
+/// ShardSet. Mutations route by key, so the injected crash lands while
+/// in-flight ops are spread across every shard; with `group_commit`, each
+/// shard runs its own committer (the server's per-shard arrangement) and an
+/// op waits on the committer of the shard that owns its key. Reopen is the
+/// parallel ShardSet::open, which re-validates the durable topology every
+/// cycle; verification is the global oracle (each key lives on exactly one
+/// shard, so per-key durable linearizability is per-shard durable
+/// linearizability) plus per-shard structural and leak checks.
+IterOutcome run_sharded_iteration(std::uint64_t seed, pmem::CrashMode first_mode,
+                                  bool group_commit = false) {
+  constexpr std::uint32_t kShards = 4;
+  const int threads = torture_threads();
+  Xoshiro256 rng(seed);
+  test::ShardHarness h(kShards, test::small_options(/*keys_per_node=*/4,
+                                                    /*max_height=*/10,
+                                                    /*max_threads=*/8));
+  DurableOracle oracle(static_cast<std::uint32_t>(threads));
+  std::atomic<std::uint64_t> next_value{1};
+  const std::uint64_t keyspace = 120 + rng.next_below(200);
+
+  for (std::uint64_t i = 0; i < keyspace / 3; ++i) {
+    const std::uint64_t key = 1 + rng.next_below(keyspace);
+    const std::uint64_t val = next_value.fetch_add(1);
+    oracle.invoke(0, EvKind::kWrite, key, val);
+    oracle.ack(0, h.set().insert(key, val));
+  }
+  h.mark_persisted();
+
+  // One committer per shard, like the server: a mutation's ack lines go to
+  // the committer of the shard that owns the key. SFENCE is CPU-global, so
+  // each committer's fence is a valid covering fence for its batch even
+  // while sibling shards mutate concurrently.
+  std::vector<std::unique_ptr<server::GroupCommit>> gcs;
+  if (group_commit)
+    for (std::uint32_t s = 0; s < kShards; ++s)
+      gcs.push_back(std::make_unique<server::GroupCommit>(20));
+  auto mutate = [&](std::uint64_t key,
+                    auto&& op) -> std::optional<std::uint64_t> {
+    if (gcs.empty()) return op();
+    server::GroupCommit* gc = gcs[h.set().shard_of(key)].get();
+    std::optional<std::uint64_t> r;
+    std::uint64_t ticket;
+    {
+      pmem::AckBatch ab;
+      r = op();
+      ticket = gc->submit(ab.take_lines(), 1);
+    }
+    gc->wait_durable(ticket);
+    return r;
+  };
+
+  // ---- phase 1: concurrent routed workload, one injected crash -----------
+  CrashPoints::ArmSpec spec;
+  spec.quiesce = true;
+  if (rng.next_below(3) == 0) {
+    spec.probability = 1.0 / 128.0;
+    spec.seed = seed;
+  } else {
+    spec.skip = 10 + rng.next_below(250);
+  }
+  spec.thread = rng.next_below(4) == 0
+                    ? -1
+                    : static_cast<int>(rng.next_below(
+                          static_cast<std::uint64_t>(threads)));
+  CrashPoints::instance().arm(spec);
+
+  auto worker = [&](int t) {
+    ThreadRegistry::instance().bind(t);
+    Xoshiro256 trng(seed * 1000003 + static_cast<std::uint64_t>(t));
+    const auto tid = static_cast<std::uint32_t>(t);
+    try {
+      for (int op = 0; op < 600; ++op) {
+        CrashPoints::instance().poll();
+        const std::uint64_t key = 1 + trng.next_below(keyspace);
+        const std::uint64_t dice = trng.next_below(100);
+        if (dice < 50) {
+          const std::uint64_t val = next_value.fetch_add(1);
+          oracle.invoke(tid, EvKind::kWrite, key, val);
+          oracle.ack(tid, mutate(key, [&] { return h.set().insert(key, val); }));
+        } else if (dice < 80) {
+          oracle.invoke(tid, EvKind::kRead, key);
+          oracle.ack(tid, h.set().search(key));
+        } else if (dice < 95) {
+          oracle.invoke(tid, EvKind::kRemove, key);
+          oracle.ack(tid, mutate(key, [&] { return h.set().remove(key); }));
+        } else {
+          std::vector<core::ScanEntry> out;  // cross-shard merge stress
+          h.set().scan(1, keyspace, 0, out);
+        }
+      }
+    } catch (const CrashException&) {
+    }
+  };
+  {
+    std::vector<std::thread> ws;
+    for (int t = 0; t < threads; ++t) ws.emplace_back(worker, t);
+    for (auto& w : ws) w.join();
+  }
+  for (auto& gc : gcs) gc->abandon();
+  IterOutcome out;
+  out.main_crash_fired = CrashPoints::instance().fired();
+  CrashPoints::instance().reset();
+  oracle.on_crash();
+
+  // Every cycle re-runs the parallel recovery and re-validates the durable
+  // shard topology (a mismatch throws out of ShardSet::open and fails the
+  // test via the harness).
+  const auto reopen_checked = [&](pmem::CrashMode mode, std::uint64_t s) {
+    const std::uint64_t rebuilds0 =
+        pmem::Stats::instance().snapshot().index_rebuilds;
+    h.crash_and_reopen(mode, s);
+    if (h.set().shard(0).dram_index_enabled()) {
+      EXPECT_GE(pmem::Stats::instance().snapshot().index_rebuilds,
+                rebuilds0 + kShards)
+          << "reopen did not rebuild every shard's DRAM index [seed=" << seed
+          << "]";
+    }
+  };
+  reopen_checked(first_mode, seed ^ 0x9e3779b97f4a7c15ULL);
+
+  // ---- phase 2: re-crash the recovery itself ----------------------------
+  const int nested = static_cast<int>(rng.next_below(4));
+  for (int round = 0; round < nested; ++round) {
+    CrashPoints::ArmSpec rspec;
+    rspec.tag = crash_tag(
+        kRecoveryPoints[rng.next_below(std::size(kRecoveryPoints))]);
+    rspec.skip = rng.next_below(20);
+    rspec.quiesce = true;
+    CrashPoints::instance().arm(rspec);
+
+    auto driver = [&](int t) {
+      ThreadRegistry::instance().bind(t);
+      Xoshiro256 trng(seed * 7919 + static_cast<std::uint64_t>(round * 131 + t));
+      const auto tid = static_cast<std::uint32_t>(t);
+      try {
+        for (int op = 0; op < 40; ++op) {
+          CrashPoints::instance().poll();
+          const std::uint64_t key = 1 + trng.next_below(keyspace);
+          if (trng.next_below(2) == 0) {
+            const std::uint64_t val = next_value.fetch_add(1);
+            oracle.invoke(tid, EvKind::kWrite, key, val);
+            oracle.ack(tid, h.set().insert(key, val));
+          } else {
+            oracle.invoke(tid, EvKind::kRead, key);
+            oracle.ack(tid, h.set().search(key));
+          }
+        }
+      } catch (const CrashException&) {
+      }
+    };
+    std::vector<std::thread> ds;
+    for (int t = 0; t < threads; ++t) ds.emplace_back(driver, t);
+    for (auto& d : ds) d.join();
+
+    if (CrashPoints::instance().fired()) ++out.nested_crashes_fired;
+    CrashPoints::instance().reset();
+    oracle.on_crash();
+    const pmem::CrashMode mode =
+        (round % 2 == 0) ? pmem::CrashMode::kRandomEvict : first_mode;
+    reopen_checked(mode, seed + static_cast<std::uint64_t>(round) + 1);
+  }
+
+  // ---- phase 3: quiesced verification -----------------------------------
+  CrashPoints::instance().reset();
+  // check_no_leaks needs every (thread id, shard) pair to have re-allocated
+  // once: any worker may have allocated on any shard pre-crash (routed
+  // ops), so each tickler thread inserts a run of fresh keys *owned by each
+  // shard* — scan a disjoint candidate range for keys the map sends to s.
+  for (int t = 0; t < threads; ++t) {
+    std::thread tickler([&, t] {
+      ThreadRegistry::instance().bind(t);
+      for (std::uint32_t s = 0; s < kShards; ++s) {
+        std::uint64_t k = 1'000'000 + static_cast<std::uint64_t>(t) * 100'000;
+        for (int placed = 0; placed < 8; ++k) {
+          if (h.set().shard_of(k) != s) continue;
+          h.set().insert(k, next_value.fetch_add(1));
+          ++placed;
+        }
+      }
+    });
+    tickler.join();
+  }
+  for (int pass = 0; pass < 3; ++pass)
+    for (std::uint64_t k = 1; k <= keyspace; ++k) h.set().search(k);
+
+  const DurableOracle::Verdict verdict =
+      oracle.verify([&](std::uint64_t key) { return h.set().search(key); });
+  EXPECT_TRUE(verdict.ok) << "oracle: " << verdict.reason
+                          << " [seed=" << seed << "]";
+  for (std::uint32_t s = 0; s < kShards; ++s) {
+    EXPECT_NO_THROW(h.set().shard(s).check_invariants())
+        << "shard " << s << " [seed=" << seed << "]";
+    try {
+      h.set().shard(s).check_no_leaks();
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << "shard " << s << ": " << e.what() << " [seed=" << seed
+                    << "]\n"
+                    << h.set().shard(s).leak_report();
+    }
+  }
+  return out;
+}
+
 /// Runs `iters` seeded iterations under `mode` and reports the failing seed
 /// (the CI greps for "failing seed" on error).
 void run_shard(const char* shard, std::uint64_t seed_base,
-               pmem::CrashMode mode, bool group_commit = false) {
+               pmem::CrashMode mode, bool group_commit = false,
+               bool sharded_store = false) {
   const std::uint64_t iters = env_u64("UPSL_TORTURE_ITERS", 50);
   // An explicit UPSL_TORTURE_SEED0 is an absolute seed (what a failure
-  // message printed); the default campaign offsets each shard so the six
+  // message printed); the default campaign offsets each shard so the seven
   // shards cover disjoint seed ranges.
   const bool explicit_seed = std::getenv("UPSL_TORTURE_SEED0") != nullptr;
   const std::uint64_t seed0 =
@@ -293,7 +498,9 @@ void run_shard(const char* shard, std::uint64_t seed_base,
     const std::uint64_t seed = seed0 + i;
     SCOPED_TRACE(std::string(shard) + " iteration " + std::to_string(i) +
                  " seed " + std::to_string(seed));
-    const IterOutcome out = run_iteration(seed, mode, group_commit);
+    const IterOutcome out = sharded_store
+                                ? run_sharded_iteration(seed, mode, group_commit)
+                                : run_iteration(seed, mode, group_commit);
     fired += out.main_crash_fired ? 1 : 0;
     nested_fired += static_cast<std::uint64_t>(out.nested_crashes_fired);
     if (::testing::Test::HasFailure()) {
@@ -354,6 +561,15 @@ TEST(CrashTorture, DiscardModePersistentTowers) {
 TEST(CrashTorture, DiscardModeGroupCommit) {
   run_shard("discard-groupcommit", 500'000,
             pmem::CrashMode::kDiscardUnflushed, /*group_commit=*/true);
+}
+
+// Sharded-store shard: the whole campaign against a 4-way ShardSet with
+// per-shard group committers — crashes land with in-flight mutations spread
+// across shards, every reopen runs the parallel recovery and re-validates
+// the durable topology, and the leak/invariant checks run per shard.
+TEST(CrashTorture, DiscardModeShardedStore) {
+  run_shard("discard-sharded", 600'000, pmem::CrashMode::kDiscardUnflushed,
+            /*group_commit=*/true, /*sharded_store=*/true);
 }
 
 }  // namespace

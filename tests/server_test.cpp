@@ -525,5 +525,215 @@ TEST(ServerLoopback, GroupCommitDrainReleasesEveryParkedAck) {
   }
 }
 
+// ---- sharded server -------------------------------------------------------
+
+/// ServerFixture's sharded sibling: a ShardSet over per-shard pools with the
+/// server fronting all of them. Worker ids: first_thread_id 8, shards x
+/// workers consecutive slots — clear of the ids test bodies bind and below
+/// the stores' max_threads.
+struct ShardedServerFixture {
+  explicit ShardedServerFixture(unsigned shards = 4, unsigned workers = 1)
+      : harness(shards, test::small_options(16, 12, 16)) {
+    start_server(workers);
+  }
+
+  ~ShardedServerFixture() {
+    stop_server();
+    Server::reset_signal_stop_for_testing();
+  }
+
+  void start_server(unsigned workers = 1) {
+    ServerOptions o;
+    o.workers = workers;
+    o.first_thread_id = 8;
+    srv = std::make_unique<Server>(harness.set(), o);
+    ASSERT_TRUE(srv->start());
+  }
+
+  void stop_server() {
+    if (srv != nullptr) {
+      srv->stop();
+      srv->wait();
+      srv.reset();
+    }
+  }
+
+  test::ShardHarness harness;
+  std::unique_ptr<Server> srv;
+};
+
+TEST(ShardedServer, TopologyVerbAnnouncesTheShardMap) {
+  ShardedServerFixture f(4);
+  Client c;
+  ASSERT_TRUE(c.connect("127.0.0.1", f.srv->port()));
+  const Response::Topology topo = c.topology();
+  EXPECT_EQ(topo.shard_count, 4u);
+  EXPECT_EQ(topo.hash_kind, kShardHashKindFixed);
+  ASSERT_EQ(topo.ports.size(), 4u);
+  // Every announced port is this server's and actually serves.
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(topo.ports[s], f.srv->port(s));
+    Client per;
+    ASSERT_TRUE(per.connect("127.0.0.1", topo.ports[s]));
+    EXPECT_TRUE(per.ping());
+  }
+}
+
+TEST(ShardedServer, UnshardedTopologyIsSingleEntry) {
+  ServerFixture f;  // plain 1-store server
+  Client c = f.connect();
+  const Response::Topology topo = c.topology();
+  EXPECT_EQ(topo.shard_count, 1u);
+  EXPECT_EQ(topo.hash_kind, kShardHashKindFixed);
+  ASSERT_EQ(topo.ports.size(), 1u);
+  EXPECT_EQ(topo.ports[0], f.srv->port());
+}
+
+TEST(ShardedServer, EveryKeyReachesTheMappedShard) {
+  ShardedServerFixture f(4);
+  ShardedClient c;
+  ASSERT_TRUE(c.connect("127.0.0.1", f.srv->port()));
+  ASSERT_EQ(c.shard_count(), 4u);
+
+  constexpr std::uint64_t kN = 400;
+  for (std::uint64_t k = 1; k <= kN; ++k)
+    EXPECT_TRUE(c.put(k, k * 5).created);
+
+  // A routed client never pays a cross-shard hop...
+  EXPECT_EQ(f.srv->stats().cross_shard_ops.load(), 0u);
+  // ...because each key landed in exactly the store the map names.
+  for (std::uint64_t k = 1; k <= kN; ++k) {
+    const std::uint32_t owner = c.shard_of(k);
+    for (std::uint32_t s = 0; s < 4; ++s) {
+      const auto v = f.harness.set().shard(s).search(k);
+      if (s == owner)
+        EXPECT_EQ(v, std::optional<std::uint64_t>(k * 5));
+      else
+        EXPECT_EQ(v, std::nullopt);
+    }
+  }
+  for (std::uint64_t k = 1; k <= kN; ++k)
+    EXPECT_EQ(c.get(k), std::optional<std::uint64_t>(k * 5));
+}
+
+TEST(ShardedServer, TopologyUnawareClientIsRoutedInProcess) {
+  ShardedServerFixture f(4);
+  // A pre-sharding client pointed at the base port: everything still works,
+  // the server forwards by key and counts the hops.
+  Client c;
+  ASSERT_TRUE(c.connect("127.0.0.1", f.srv->port()));
+  for (std::uint64_t k = 1; k <= 200; ++k)
+    EXPECT_TRUE(c.put(k, k + 9).created);
+  for (std::uint64_t k = 1; k <= 200; ++k)
+    EXPECT_EQ(c.get(k), std::optional<std::uint64_t>(k + 9));
+  // ~3/4 of uniformly hashed keys belong to the other three shards.
+  EXPECT_GT(f.srv->stats().cross_shard_ops.load(), 0u);
+  const std::string stats = c.stats_json();
+  EXPECT_NE(stats.find("\"cross_shard_ops\""), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"shard_count\": 4"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"shards\": ["), std::string::npos) << stats;
+}
+
+TEST(ShardedServer, ShardedPipelineKeepsSubmissionOrder) {
+  ShardedServerFixture f(4);
+  ShardedClient c;
+  ASSERT_TRUE(c.connect("127.0.0.1", f.srv->port()));
+  constexpr std::uint64_t kN = 300;
+  std::vector<Response> resp;
+  // Interleave PUT and GET of the same key: both route to the same shard
+  // connection, so per-shard FIFO guarantees the read sees the write, and
+  // flush() must reassemble the global submission order across shards.
+  for (std::uint64_t k = 1; k <= kN; ++k) {
+    c.queue({Opcode::kPut, k, k * 2});
+    c.queue({Opcode::kGet, k});
+  }
+  c.flush(&resp);
+  ASSERT_EQ(resp.size(), 2 * kN);
+  for (std::uint64_t k = 1; k <= kN; ++k) {
+    EXPECT_EQ(resp[2 * (k - 1)].status, Status::kCreated) << "key " << k;
+    std::uint64_t v = 0;
+    ASSERT_EQ(resp[2 * (k - 1) + 1].status, Status::kOk) << "key " << k;
+    ASSERT_TRUE(resp[2 * (k - 1) + 1].value_u64(&v));
+    EXPECT_EQ(v, k * 2) << "response misordered for key " << k;
+  }
+}
+
+TEST(ShardedServer, ScanMergesAcrossShardsInKeyOrder) {
+  ShardedServerFixture f(4);
+  ShardedClient c;
+  ASSERT_TRUE(c.connect("127.0.0.1", f.srv->port()));
+  for (std::uint64_t k = 1; k <= 300; ++k) c.put(k, k * 11);
+  // Tombstone a stripe so the merge must skip holes on every shard.
+  for (std::uint64_t k = 5; k <= 300; k += 5) c.remove(k);
+
+  const auto all = c.scan(1, 300);
+  ASSERT_EQ(all.size(), 240u);
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_NE(all[i].first % 5, 0u);
+    EXPECT_EQ(all[i].second, all[i].first * 11);
+    if (i > 0) {
+      EXPECT_LT(all[i - 1].first, all[i].first);
+    }
+  }
+
+  // Any shard's socket answers for the whole key space, with the limit
+  // applied to the merged stream.
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    Client per;
+    ASSERT_TRUE(per.connect("127.0.0.1", f.srv->port(s)));
+    const auto limited = per.scan(1, 300, 10);
+    ASSERT_EQ(limited.size(), 10u);
+    EXPECT_EQ(limited.front().first, 1u);
+    EXPECT_EQ(limited.back().first, 12u);  // 5 and 10 tombstoned
+  }
+}
+
+TEST(ShardedServer, ValidateAggregatesAcrossShards) {
+  ShardedServerFixture f(4);
+  ShardedClient c;
+  ASSERT_TRUE(c.connect("127.0.0.1", f.srv->port()));
+  for (std::uint64_t k = 1; k <= 200; ++k) c.put(k, k);
+  bool ok = false;
+  const std::string report = c.validate_json(&ok);
+  EXPECT_TRUE(ok) << report;
+  EXPECT_NE(report.find("\"valid\": true"), std::string::npos) << report;
+  EXPECT_NE(report.find("\"shards\": 4"), std::string::npos) << report;
+}
+
+TEST(ShardedServer, DrainThenRestartRecoversAllAckedWritesPerShard) {
+  constexpr std::uint64_t kN = 400;
+  ShardedServerFixture f(4, 1);
+  {
+    ShardedClient c;
+    ASSERT_TRUE(c.connect("127.0.0.1", f.srv->port()));
+    std::vector<Response> resp;
+    for (std::uint64_t k = 1; k <= kN; ++k) c.queue({Opcode::kPut, k, k * 13});
+    c.flush(&resp);
+    ASSERT_EQ(resp.size(), kN);  // every write acknowledged
+  }
+
+  f.stop_server();
+  // Power-cut + reopen of the whole shard set: unflushed lines dropped,
+  // pools re-mapped, parallel recovery re-validates the durable topology.
+  f.harness.crash_and_reopen();
+
+  f.start_server(1);
+  {
+    ShardedClient c;
+    ASSERT_TRUE(c.connect("127.0.0.1", f.srv->port()));
+    std::vector<Response> resp;
+    for (std::uint64_t k = 1; k <= kN; ++k) c.queue({Opcode::kGet, k});
+    c.flush(&resp);
+    ASSERT_EQ(resp.size(), kN);
+    for (std::uint64_t k = 1; k <= kN; ++k) {
+      std::uint64_t v = 0;
+      ASSERT_EQ(resp[k - 1].status, Status::kOk)
+          << "acknowledged PUT of key " << k << " lost across restart";
+      ASSERT_TRUE(resp[k - 1].value_u64(&v));
+      EXPECT_EQ(v, k * 13) << "torn value for key " << k;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace upsl::server

@@ -1,0 +1,212 @@
+// ShardSet tests: durable topology validation, parallel recovery, key
+// routing, and the cross-shard k-way scan merge (docs/server.md).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <thread>
+
+#include "core/shard_set.hpp"
+#include "test_util.hpp"
+
+namespace upsl::core {
+namespace {
+
+using test::ShardHarness;
+using test::small_options;
+
+class ShardSetTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ShardSetTest, RoutedOpsLandOnTheMappedShard) {
+  ShardHarness h(GetParam());
+  ShardSet& set = h.set();
+  for (std::uint64_t k = 1; k <= 500; ++k)
+    ASSERT_FALSE(set.insert(k, k * 3).has_value());
+  for (std::uint64_t k = 1; k <= 500; ++k)
+    ASSERT_EQ(*set.search(k), k * 3);
+
+  // Every key must live on exactly the shard the fixed hash names — probe
+  // each member store directly.
+  for (std::uint64_t k = 1; k <= 500; ++k) {
+    const std::uint32_t owner = set.shard_of(k);
+    for (std::uint32_t s = 0; s < set.shard_count(); ++s) {
+      if (s == owner)
+        EXPECT_EQ(*set.shard(s).search(k), k * 3);
+      else
+        EXPECT_FALSE(set.shard(s).search(k).has_value());
+    }
+  }
+  EXPECT_EQ(set.count_keys(), 500u);
+  set.check_invariants();
+}
+
+TEST_P(ShardSetTest, KeysSpreadAcrossAllShards) {
+  ShardHarness h(GetParam());
+  if (GetParam() < 2) GTEST_SKIP() << "needs >= 2 shards";
+  ShardSet& set = h.set();
+  // Sequential keys — the worst case for a range partition — must hit every
+  // shard under the avalanche hash.
+  std::set<std::uint32_t> hit;
+  for (std::uint64_t k = 1; k <= 256; ++k) hit.insert(set.shard_of(k));
+  EXPECT_EQ(hit.size(), set.shard_count());
+}
+
+TEST_P(ShardSetTest, TopologyPersistsAcrossReopen) {
+  ShardHarness h(GetParam());
+  for (std::uint64_t k = 1; k <= 200; ++k) h.set().insert(k, k);
+  h.clean_reopen();
+  EXPECT_EQ(h.set().shard_count(), GetParam());
+  for (std::uint32_t s = 0; s < h.set().shard_count(); ++s) {
+    EXPECT_EQ(h.set().shard(s).shard_count(), GetParam());
+    EXPECT_EQ(h.set().shard(s).shard_index(), s);
+  }
+  for (std::uint64_t k = 1; k <= 200; ++k) ASSERT_EQ(*h.set().search(k), k);
+}
+
+TEST(ShardSetTopology, SwappedShardPoolsAreRefused) {
+  ShardHarness h(4);
+  for (std::uint64_t k = 1; k <= 100; ++k) h.set().insert(k, k);
+
+  // Reassemble with shards 1 and 2 swapped: every store opens fine on its
+  // own, but position != durable shard_index, so the set must refuse —
+  // otherwise those shards would serve each other's key partitions.
+  auto pools = h.shard_pools();
+  std::swap(pools[1], pools[2]);
+  EXPECT_THROW(h.clean_reopen_with(std::move(pools)), std::runtime_error);
+
+  // The correct arrangement still opens and serves everything.
+  h.clean_reopen_with(h.shard_pools());
+  for (std::uint64_t k = 1; k <= 100; ++k) ASSERT_EQ(*h.set().search(k), k);
+}
+
+TEST(ShardSetTopology, WrongShardCountIsRefused) {
+  ShardHarness h(4);
+  for (std::uint64_t k = 1; k <= 100; ++k) h.set().insert(k, k);
+
+  // Opening a 2-member subset of a durable 4-way topology must throw: each
+  // root records shard_count = 4, which disagrees with the 2-way set being
+  // assembled.
+  auto pools = h.shard_pools();
+  pools.resize(2);
+  EXPECT_THROW(h.clean_reopen_with(std::move(pools)), std::runtime_error);
+
+  h.clean_reopen_with(h.shard_pools());
+  EXPECT_EQ(h.set().shard_count(), 4u);
+  for (std::uint64_t k = 1; k <= 100; ++k) ASSERT_EQ(*h.set().search(k), k);
+}
+
+TEST_P(ShardSetTest, ParallelCrashRecovery) {
+  ShardHarness h(GetParam());
+  std::map<std::uint64_t, std::uint64_t> acked;
+  for (std::uint64_t k = 1; k <= 400; ++k) {
+    h.set().insert(k, k * 7);
+    acked[k] = k * 7;
+  }
+  h.mark_persisted();
+  h.crash_and_reopen();
+  for (const auto& [k, v] : acked) ASSERT_EQ(*h.set().search(k), v);
+  for (std::uint32_t s = 0; s < h.set().shard_count(); ++s) {
+    EXPECT_GE(h.set().shard(s).epoch(), 2u);
+    EXPECT_GT(h.set().open_ns(s), 0u);
+  }
+  h.set().check_invariants();
+}
+
+// ---- cross-shard scan merge ------------------------------------------------
+
+TEST_P(ShardSetTest, ScanMergesInGlobalKeyOrderAcrossShardBoundaries) {
+  ShardHarness h(GetParam());
+  ShardSet& set = h.set();
+  // Non-contiguous keys so shard runs interleave arbitrarily.
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t k = 5; k <= 1200; k += 7) {
+    set.insert(k, k + 1);
+    keys.push_back(k);
+  }
+  std::vector<ScanEntry> out;
+  const std::size_t n = set.scan(1, 2000, 0, out);
+  ASSERT_EQ(n, keys.size());
+  ASSERT_EQ(out.size(), keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(out[i].key, keys[i]);
+    EXPECT_EQ(out[i].value, keys[i] + 1);
+    if (i > 0) {
+      EXPECT_LT(out[i - 1].key, out[i].key);
+    }
+  }
+
+  // Sub-range + limit: first 10 keys >= 40.
+  out.clear();
+  const std::size_t m = set.scan(40, 2000, 10, out);
+  ASSERT_EQ(m, 10u);
+  std::vector<std::uint64_t> expect;
+  for (const std::uint64_t k : keys)
+    if (k >= 40 && expect.size() < 10) expect.push_back(k);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(out[i].key, expect[i]);
+}
+
+TEST_P(ShardSetTest, ScanSkipsTombstonedKeys) {
+  ShardHarness h(GetParam());
+  ShardSet& set = h.set();
+  for (std::uint64_t k = 1; k <= 300; ++k) set.insert(k, k);
+  // Tombstone every third key — removals land on whatever shard owns them,
+  // so the merge must drop holes from every run.
+  for (std::uint64_t k = 3; k <= 300; k += 3)
+    ASSERT_TRUE(set.remove(k).has_value());
+  std::vector<ScanEntry> out;
+  set.scan(1, 300, 0, out);
+  ASSERT_EQ(out.size(), 200u);
+  for (const auto& e : out) EXPECT_NE(e.key % 3, 0u);
+  for (std::size_t i = 1; i < out.size(); ++i)
+    EXPECT_LT(out[i - 1].key, out[i].key);
+}
+
+TEST_P(ShardSetTest, ScanWithEmptyShards) {
+  ShardHarness h(GetParam());
+  ShardSet& set = h.set();
+  // Insert exactly one key: every other shard is empty, and the merge must
+  // neither block on nor invent entries for the empty runs.
+  set.insert(42, 4242);
+  std::vector<ScanEntry> out;
+  EXPECT_EQ(set.scan(1, 1000, 0, out), 1u);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].key, 42u);
+  EXPECT_EQ(out[0].value, 4242u);
+
+  // Fully empty set (the key removed): zero entries, no throw.
+  set.remove(42);
+  out.clear();
+  EXPECT_EQ(set.scan(1, 1000, 0, out), 0u);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_P(ShardSetTest, ConcurrentRoutedInsertsAcrossShards) {
+  ShardHarness h(GetParam(), small_options(8, 12, 16));
+  ShardSet& set = h.set();
+  constexpr unsigned kThreads = 4;
+  constexpr std::uint64_t kPerThread = 300;
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ThreadRegistry::instance().bind(static_cast<int>(t + 1));
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        const std::uint64_t k = 1 + t * kPerThread + i;
+        set.insert(k, k * 2);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  ThreadRegistry::instance().bind(0);
+  EXPECT_EQ(set.count_keys(), kThreads * kPerThread);
+  for (std::uint64_t k = 1; k <= kThreads * kPerThread; ++k)
+    ASSERT_EQ(*set.search(k), k * 2);
+  set.check_invariants();
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, ShardSetTest, ::testing::Values(1u, 2u, 4u),
+                         [](const auto& info) {
+                           return "shards" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace upsl::core

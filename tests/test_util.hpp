@@ -11,6 +11,7 @@
 
 #include "common/crashpoint.hpp"
 #include "common/thread_registry.hpp"
+#include "core/shard_set.hpp"
 #include "core/upskiplist.hpp"
 #include "pmem/pool.hpp"
 #include "riv/riv.hpp"
@@ -133,6 +134,90 @@ class StoreHarness {
   std::filesystem::path dir_;
   std::vector<std::unique_ptr<pmem::Pool>> pools_;
   std::unique_ptr<core::UPSkipList> store_;
+};
+
+/// StoreHarness's sharded sibling: one pool per shard, a ShardSet over them,
+/// and the same in-process crash/restart semantics. Shard i's pool gets
+/// pool id i so the set exercises real multi-pool RIV dispatch.
+class ShardHarness {
+ public:
+  explicit ShardHarness(unsigned shards, core::Options opts = small_options(),
+                        bool crash_tracking = true)
+      : opts_(opts), tracking_(crash_tracking) {
+    dir_ = std::filesystem::path("/tmp") /
+           ("upsl_shard_test_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter_++));
+    std::filesystem::create_directories(dir_);
+    for (unsigned i = 0; i < shards; ++i) {
+      pools_.push_back(pmem::Pool::create(
+          (dir_ / ("shard" + std::to_string(i))).string(),
+          static_cast<std::uint16_t>(i), pool_size_for(opts_),
+          {.crash_tracking = tracking_}));
+    }
+    ThreadRegistry::instance().bind(0);
+    set_ = core::ShardSet::create(shard_pools(), opts_);
+    mark_persisted();
+  }
+
+  ~ShardHarness() {
+    set_.reset();
+    pools_.clear();
+    riv::Runtime::instance().reset();
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+    CrashPoints::instance().reset();
+  }
+
+  core::ShardSet& set() { return *set_; }
+  std::uint32_t shard_count() const {
+    return static_cast<std::uint32_t>(pools_.size());
+  }
+  /// Per-shard singleton pool sets, in shard order (for ShardSet::open).
+  std::vector<std::vector<pmem::Pool*>> shard_pools() {
+    std::vector<std::vector<pmem::Pool*>> v;
+    for (auto& p : pools_) v.push_back({p.get()});
+    return v;
+  }
+
+  void mark_persisted() {
+    for (auto& p : pools_) p->mark_all_persisted();
+  }
+
+  /// Power failure + restart across every shard: unflushed lines are lost,
+  /// DRAM-side state is rebuilt, pools are re-mapped at new addresses, each
+  /// shard's epoch is bumped, and the durable topology is re-validated by
+  /// the parallel ShardSet::open.
+  void crash_and_reopen(pmem::CrashMode mode = pmem::CrashMode::kDiscardUnflushed,
+                        std::uint64_t seed = 1) {
+    set_.reset();
+    for (auto& p : pools_) p->simulate_crash(mode, seed);
+    for (auto& p : pools_) p->remap();
+    riv::Runtime::instance().reset();
+    set_ = core::ShardSet::open(shard_pools());
+  }
+
+  /// Clean restart (everything flushed first).
+  void clean_reopen() { clean_reopen_with(shard_pools()); }
+
+  /// Clean restart over an explicit pool arrangement — for topology-mismatch
+  /// tests (swapped shard files, wrong count). Propagates whatever
+  /// ShardSet::open throws; the harness then holds no set until the next
+  /// successful reopen.
+  void clean_reopen_with(std::vector<std::vector<pmem::Pool*>> pools) {
+    mark_persisted();
+    set_.reset();
+    for (auto& p : pools_) p->remap();
+    riv::Runtime::instance().reset();
+    set_ = core::ShardSet::open(std::move(pools));
+  }
+
+ private:
+  static inline std::atomic<int> counter_{0};
+  core::Options opts_;
+  bool tracking_;
+  std::filesystem::path dir_;
+  std::vector<std::unique_ptr<pmem::Pool>> pools_;
+  std::unique_ptr<core::ShardSet> set_;
 };
 
 }  // namespace upsl::test
