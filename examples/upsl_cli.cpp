@@ -40,6 +40,14 @@ struct KV {
   std::uint64_t value;
 };
 
+/// One RESOLVE answer (docs/detectability.md): did (client_id, seq) apply,
+/// and what durable result did it return?
+struct ResolveAnswer {
+  std::uint32_t state;         // detect::ResolveResult::State numbering
+  bool has_previous;
+  std::uint64_t result;
+};
+
 /// What the shared command loop needs from a store, local or remote.
 /// Transport/storage errors surface as exceptions (caught per command).
 class CliBackend {
@@ -53,6 +61,10 @@ class CliBackend {
   virtual std::vector<KV> scan(std::uint64_t lo, std::uint64_t hi) = 0;
   virtual std::size_t count() = 0;
   virtual std::string stats() = 0;
+  /// Queries the durable session table for one (client_id, seq); `key`
+  /// routes to the owning shard in remote mode, ignored locally.
+  virtual ResolveAnswer resolve(std::uint64_t client_id, std::uint64_t seq,
+                                std::uint64_t key) = 0;
   /// Full structural check; returns a JSON report and sets *ok. Never
   /// throws for a failed check — that is a result, not an error.
   virtual std::string validate(bool* ok) = 0;
@@ -113,6 +125,12 @@ class LocalBackend : public CliBackend {
                   static_cast<unsigned long long>(d.persisted_lines),
                   static_cast<unsigned long long>(d.fences));
     return buf;
+  }
+  ResolveAnswer resolve(std::uint64_t client_id, std::uint64_t seq,
+                        std::uint64_t /*key*/) override {
+    const detect::ResolveResult r = store_->sessions().resolve(client_id, seq);
+    return {static_cast<std::uint32_t>(r.state), r.has_previous != 0,
+            r.result};
   }
   std::string validate(bool* ok) override {
     // Mirror the server's VALIDATE JSON so scripts can parse either mode.
@@ -188,6 +206,11 @@ class RemoteBackend : public CliBackend {
       if (lo == 0) return total;  // wrapped: last key was 2^64-1
     }
   }
+  ResolveAnswer resolve(std::uint64_t client_id, std::uint64_t seq,
+                        std::uint64_t key) override {
+    const auto r = client_.resolve(client_id, seq, key);
+    return {r.state, r.has_previous != 0, r.result};
+  }
   std::string stats() override { return client_.stats_json(); }
   std::string validate(bool* ok) override { return client_.validate_json(ok); }
   std::string banner() override { return "connected to " + addr_; }
@@ -201,7 +224,8 @@ class RemoteBackend : public CliBackend {
 int command_loop(CliBackend& be) {
   std::printf("%s\n", be.banner().c_str());
   std::printf("commands: put <k> <v> | get <k> | del <k> | scan <lo> <hi> | "
-              "count | stats | validate | quit\n");
+              "resolve <client_id> <seq> [key] | count | stats | validate | "
+              "quit\n");
   std::string line;
   while (std::printf("> "), std::fflush(stdout), std::getline(std::cin, line)) {
     std::istringstream is(line);
@@ -243,6 +267,36 @@ int command_loop(CliBackend& be) {
                       static_cast<unsigned long long>(e.key),
                       static_cast<unsigned long long>(e.value));
         std::printf("(%zu entries)\n", entries.size());
+      } else if (cmd == "resolve") {
+        // Exactly-once triage after a crash or dropped connection: did my
+        // (client_id, seq) mutation land, and what did it return?
+        std::uint64_t cid = 0;
+        std::uint64_t seq = 0;
+        std::uint64_t key = 0;
+        if (!(is >> cid >> seq))
+          throw std::invalid_argument("resolve <client_id> <seq> [key]");
+        is >> key;  // optional shard-routing key; 0 = arrival shard
+        const ResolveAnswer a = be.resolve(cid, seq, key);
+        switch (a.state) {
+          case 0:
+            std::printf("unknown session\n");
+            break;
+          case 1:
+            std::printf("not applied (safe to replay seq %llu)\n",
+                        static_cast<unsigned long long>(seq));
+            break;
+          case 2:
+            if (a.has_previous) {
+              std::printf("applied, returned %llu\n",
+                          static_cast<unsigned long long>(a.result));
+            } else {
+              std::printf("applied, no previous value\n");
+            }
+            break;
+          default:
+            std::printf("applied, result aged out of the ring\n");
+            break;
+        }
       } else if (cmd == "count") {
         std::printf("%zu keys\n", be.count());
       } else if (cmd == "stats") {

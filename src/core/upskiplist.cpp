@@ -98,6 +98,16 @@ std::size_t magazines_offset(std::size_t num_pools, std::size_t arenas_per_pool)
   return arenas_offset() + sizeof(alloc::ArenaHeader) * num_pools * arenas_per_pool;
 }
 
+/// The durable client-session table (src/detect) occupies the root-area tail
+/// after the magazine descriptors, rounded up to a cache line. Stores whose
+/// root area is too small simply run without detectability (the table region
+/// reads back without its magic, exactly like a legacy store).
+std::size_t sessions_offset(std::size_t num_pools, std::size_t arenas_per_pool) {
+  const std::size_t off = magazines_offset(num_pools, arenas_per_pool) +
+                          sizeof(alloc::MagazineDesc) * kMaxThreads;
+  return (off + 63) & ~std::size_t{63};
+}
+
 StoreRoot* root_of(alloc::ChunkAllocator& ca) {
   return reinterpret_cast<StoreRoot*>(ca.root_area());
 }
@@ -244,12 +254,26 @@ void UPSkipList::attach(std::vector<pmem::Pool*> pools, bool creating,
   block_alloc_->set_block_reachability_fn(
       [this](std::uint64_t riv) { return block_reachable(riv); });
 
+  const std::size_t sess_off = sessions_offset(
+      pools_.size(), static_cast<std::size_t>(root->arenas_per_pool));
+  const std::size_t sess_bytes =
+      sess_off < chunk_allocs_[0]->root_size()
+          ? chunk_allocs_[0]->root_size() - sess_off
+          : 0;
+
   if (creating) {
     block_alloc_->bootstrap();
     init_sentinels();
     root->head_riv = head_riv_;
     root->tail_riv = tail_riv_;
     persist(root, sizeof(*root));
+    // Session table before the magic: a crash mid-create leaves an
+    // unopenable store, never one missing its detectability region.
+    if (sess_bytes > 0) {
+      sessions_ = detect::SessionTable::format(root_area + sess_off,
+                                               sess_bytes,
+                                               opts->session_slots);
+    }
     // Magic last: a crash mid-create leaves an unopenable store, never a
     // half-initialized one.
     pm_store(root->magic, kStoreMagic);
@@ -265,6 +289,26 @@ void UPSkipList::attach(std::vector<pmem::Pool*> pools, bool creating,
     // Stores too small for magazine descriptors never run that sync, so
     // their (few, tiny) free lists are repaired eagerly instead.
     if (mags == nullptr) block_alloc_->repair_tails();
+  }
+
+  // Session-table recovery scan, run alongside the DRAM-index rebuild below
+  // (both are open-time, read-mostly passes over disjoint regions). The scan
+  // is tiny — a few KiB census seeding the claim counter — so the thread is
+  // about overlap, not speed-up of the scan itself.
+  std::thread session_recovery;
+  // Joins on every exit from attach — the rebuilds below may throw (crash
+  // injection arms recovery paths) and an unjoined std::thread terminates.
+  struct JoinGuard {
+    std::thread& t;
+    ~JoinGuard() {
+      if (t.joinable()) t.join();
+    }
+  } join_guard{session_recovery};
+  if (!creating && sess_bytes > 0) {
+    session_recovery = std::thread([this, root_area, sess_off, sess_bytes] {
+      sessions_ =
+          detect::SessionTable::recover(root_area + sess_off, sess_bytes);
+    });
   }
 
   // Index-mode selection (docs/dram-index.md): the durable index_mode flag
@@ -1225,6 +1269,68 @@ std::optional<std::uint64_t> UPSkipList::remove(std::uint64_t key) {
     node.read_unlock();
     return removed;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Detectable mutations (docs/detectability.md)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Shared dedup preamble: true if the outcome is already decided by the
+/// session table (replayed seq, or detectability unavailable → run plain).
+bool detect_dedup(detect::SessionTable& sessions, std::int32_t slot,
+                  std::uint64_t seq, bool* plain,
+                  UPSkipList::DetectOutcome* out) {
+  using State = detect::ResolveResult::State;
+  *plain = !sessions.valid() || !detect::detect_enabled() || slot < 0;
+  if (*plain) return false;
+  const detect::ResolveResult r =
+      sessions.lookup(static_cast<std::uint32_t>(slot), seq);
+  if (r.state == State::kApplied) {
+    out->duplicate = true;
+    if (r.has_previous != 0) out->previous = r.result;
+    return true;
+  }
+  if (r.state == State::kAppliedUnknown) {
+    out->duplicate = true;
+    out->result_known = false;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+UPSkipList::DetectOutcome UPSkipList::insert_detect(std::uint64_t key,
+                                                    std::uint64_t value,
+                                                    std::int32_t slot,
+                                                    std::uint64_t seq) {
+  DetectOutcome out;
+  bool plain = false;
+  if (detect_dedup(sessions_, slot, seq, &plain, &out)) return out;
+  out.previous = insert(key, value);
+  if (plain) return out;
+  // The record's lines join the ambient AckBatch: slot and mutation become
+  // durable under the same ack fence / group-commit ticket.
+  sessions_.record(static_cast<std::uint32_t>(slot), seq,
+                   out.previous.has_value() ? 1 : 0,
+                   out.previous.value_or(0));
+  return out;
+}
+
+UPSkipList::DetectOutcome UPSkipList::remove_detect(std::uint64_t key,
+                                                    std::int32_t slot,
+                                                    std::uint64_t seq) {
+  DetectOutcome out;
+  bool plain = false;
+  if (detect_dedup(sessions_, slot, seq, &plain, &out)) return out;
+  out.previous = remove(key);
+  if (plain) return out;
+  sessions_.record(static_cast<std::uint32_t>(slot), seq,
+                   out.previous.has_value() ? 1 : 0,
+                   out.previous.value_or(0));
+  return out;
 }
 
 // ---------------------------------------------------------------------------

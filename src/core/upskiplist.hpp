@@ -31,6 +31,7 @@
 #include "common/rng.hpp"
 #include "core/dram_index.hpp"
 #include "core/node.hpp"
+#include "detect/session_table.hpp"
 
 namespace upsl::core {
 
@@ -59,6 +60,11 @@ struct Options {
   /// shard_count <= 1 is the unsharded legacy configuration.
   std::uint32_t shard_count = 1;
   std::uint32_t shard_index = 0;
+  /// Cap on durable client-session slots (docs/detectability.md). 0 = the
+  /// SessionTable default (256); the table additionally shrinks to whatever
+  /// fits in the root area after the allocator metadata. Tests use tiny caps
+  /// to exercise slot eviction under client churn.
+  std::uint32_t session_slots = 0;
   alloc::ChunkAllocatorConfig chunk;
 };
 
@@ -94,6 +100,33 @@ class UPSkipList {
 
   /// Remove (§4.6): tombstones the value. Returns the removed value.
   std::optional<std::uint64_t> remove(std::uint64_t key);
+
+  /// Outcome of a detectable mutation (docs/detectability.md).
+  struct DetectOutcome {
+    /// True: `seq` was already applied for this session — the mutation did
+    /// NOT run again; `previous` replays the original durable answer.
+    bool duplicate = false;
+    /// False only for a duplicate whose entry aged out of the result ring:
+    /// the op is known applied but its original answer is gone.
+    bool result_known = true;
+    std::optional<std::uint64_t> previous;
+  };
+
+  /// Detectable upsert: dedups (slot, seq) against the session table, runs
+  /// insert() when new, and records the durable result through the ambient
+  /// pmem::AckBatch — the slot update rides the same ack fence/group-commit
+  /// ticket as the mutation itself. With an invalid slot or the
+  /// UPSL_DISABLE_DETECT kill switch set, degrades to plain insert().
+  DetectOutcome insert_detect(std::uint64_t key, std::uint64_t value,
+                              std::int32_t slot, std::uint64_t seq);
+
+  /// Detectable remove; same contract as insert_detect.
+  DetectOutcome remove_detect(std::uint64_t key, std::int32_t slot,
+                              std::uint64_t seq);
+
+  /// Durable client-session table (invalid on legacy stores whose root area
+  /// predates it, or when the root area is too small for even one slot).
+  detect::SessionTable& sessions() { return sessions_; }
 
   /// Range scan over [lo, hi] in key order (extension; §7 future work).
   /// Per-node atomic (validated by split counters), not globally atomic.
@@ -272,6 +305,7 @@ class UPSkipList {
   std::uint64_t tail_riv_ = 0;
   std::unique_ptr<DramIndex> index_;  // volatile; null in persistent mode
   std::uint64_t last_rebuild_ns_ = 0;
+  detect::SessionTable sessions_;  // view over pool 0's root area
 };
 
 }  // namespace upsl::core

@@ -1,0 +1,231 @@
+#include "detect/session_table.hpp"
+
+#include <cstring>
+#include <limits>
+#include <memory>
+
+#include "common/crashpoint.hpp"
+#include "pmem/ack_batch.hpp"
+#include "pmem/persist.hpp"
+
+namespace upsl::detect {
+
+namespace {
+constexpr std::uint64_t kTableMagic = 0x5550534c44455443ull;  // "UPSLDETC"
+}  // namespace
+
+struct alignas(64) SessionTable::TableHeader {
+  std::uint64_t magic;
+  std::uint64_t slot_count;
+  std::uint64_t ring_size;
+  std::uint64_t reserved[5];
+  static_assert(kHeaderBytes == 64);
+};
+
+struct alignas(64) SessionTable::SlotHeader {
+  std::uint64_t client_id;      // 0 = free slot
+  std::uint64_t session_epoch;  // monotonic claim stamp (eviction order)
+  std::uint64_t last_seq;       // highest applied seq for this session
+  std::uint64_t reserved[5];
+};
+
+struct alignas(32) SessionTable::RingEntry {
+  std::uint64_t seq;  // published last: seq == entry's identity, 0 = empty
+  std::uint64_t result;
+  std::uint64_t has_previous;
+  std::uint64_t reserved;
+};
+
+SessionTable::SlotHeader* SessionTable::slot_header(std::uint32_t slot) const {
+  return reinterpret_cast<SlotHeader*>(base_ + kHeaderBytes +
+                                       std::size_t{slot} * kSlotBytes);
+}
+
+SessionTable::RingEntry* SessionTable::ring_entry(std::uint32_t slot,
+                                                  std::uint64_t seq) const {
+  auto* ring = reinterpret_cast<RingEntry*>(
+      base_ + kHeaderBytes + std::size_t{slot} * kSlotBytes +
+      sizeof(SlotHeader));
+  return &ring[seq % kRingSize];
+}
+
+SessionTable SessionTable::format(char* base, std::size_t bytes,
+                                  std::uint32_t max_slots) {
+  static_assert(sizeof(TableHeader) == kHeaderBytes);
+  static_assert(sizeof(SlotHeader) == 64);
+  static_assert(sizeof(RingEntry) == 32);
+  static_assert(kSlotBytes == sizeof(SlotHeader) + kRingSize * sizeof(RingEntry));
+  if (max_slots == 0) max_slots = kDefaultMaxSlots;
+  if (base == nullptr || bytes < kHeaderBytes + kSlotBytes) return {};
+  std::uint32_t fit =
+      static_cast<std::uint32_t>((bytes - kHeaderBytes) / kSlotBytes);
+  std::uint32_t slots = fit < max_slots ? fit : max_slots;
+
+  std::size_t total = kHeaderBytes + std::size_t{slots} * kSlotBytes;
+  std::memset(base, 0, total);
+  auto* hdr = reinterpret_cast<TableHeader*>(base);
+  hdr->slot_count = slots;
+  hdr->ring_size = kRingSize;
+  pmem::persist(base, total);
+  // Magic last: a crash mid-format leaves a region that recover() rejects.
+  pmem::pm_store(hdr->magic, kTableMagic);
+  pmem::persist(&hdr->magic, sizeof(hdr->magic));
+
+  SessionTable t;
+  t.base_ = base;
+  t.slot_count_ = slots;
+  t.next_stamp_ = std::make_shared<std::uint64_t>(1);
+  t.claim_mu_ = std::make_shared<std::mutex>();
+  return t;
+}
+
+SessionTable SessionTable::recover(char* base, std::size_t bytes) {
+  if (base == nullptr || bytes < kHeaderBytes + kSlotBytes) return {};
+  auto* hdr = reinterpret_cast<TableHeader*>(base);
+  if (pmem::pm_load(hdr->magic) != kTableMagic) return {};  // legacy store
+  std::uint64_t slots = hdr->slot_count;
+  if (hdr->ring_size != kRingSize || slots == 0 ||
+      kHeaderBytes + slots * kSlotBytes > bytes) {
+    return {};
+  }
+
+  SessionTable t;
+  t.base_ = base;
+  t.slot_count_ = static_cast<std::uint32_t>(slots);
+  t.claim_mu_ = std::make_shared<std::mutex>();
+
+  // Recovery scan: live-session census plus the maximum durable claim stamp,
+  // which seeds the in-DRAM claim counter (no durable counter to maintain on
+  // the claim path). O(slots) over a few KiB — cheap enough to run alongside
+  // the DRAM-index rebuild at open.
+  std::uint64_t max_epoch = 0;
+  std::uint32_t live = 0;
+  for (std::uint32_t s = 0; s < t.slot_count_; ++s) {
+    SlotHeader* sh = t.slot_header(s);
+    std::uint64_t epoch = pmem::pm_load(sh->session_epoch);
+    if (epoch > max_epoch) max_epoch = epoch;
+    if (pmem::pm_load(sh->client_id) != 0) ++live;
+  }
+  t.recovered_ = live;
+  t.next_stamp_ = std::make_shared<std::uint64_t>(max_epoch + 1);
+  return t;
+}
+
+std::int32_t SessionTable::slot_of(std::uint64_t client_id) const {
+  if (!valid() || client_id == 0) return -1;
+  for (std::uint32_t s = 0; s < slot_count_; ++s) {
+    if (pmem::pm_load(slot_header(s)->client_id) == client_id) {
+      return static_cast<std::int32_t>(s);
+    }
+  }
+  return -1;
+}
+
+std::int32_t SessionTable::open_session(std::uint64_t client_id) {
+  if (!valid() || !detect_enabled() || client_id == 0) return -1;
+  std::lock_guard<std::mutex> lk(*claim_mu_);
+
+  // Reconnect: the client's previous slot keeps last_seq and the result
+  // ring, so replays from before the drop still deduplicate.
+  std::int32_t existing = slot_of(client_id);
+  if (existing >= 0) return existing;
+
+  // Claim a free slot, or evict the session with the oldest claim stamp.
+  std::int32_t victim = -1;
+  std::uint64_t victim_epoch = std::numeric_limits<std::uint64_t>::max();
+  for (std::uint32_t s = 0; s < slot_count_; ++s) {
+    SlotHeader* sh = slot_header(s);
+    if (pmem::pm_load(sh->client_id) == 0) {
+      victim = static_cast<std::int32_t>(s);
+      break;
+    }
+    std::uint64_t epoch = pmem::pm_load(sh->session_epoch);
+    if (epoch < victim_epoch) {
+      victim_epoch = epoch;
+      victim = static_cast<std::int32_t>(s);
+    }
+  }
+  if (victim < 0) return -1;
+
+  SlotHeader* sh = slot_header(static_cast<std::uint32_t>(victim));
+
+  // Crash-safe claim order. (1) retire the old owner so a crash never leaves
+  // two slots for one client or a client over stale state; (2) reset the
+  // dedup state and stamp the new epoch; (3) publish the new client_id.
+  // Each step persists eagerly — session open is a rare path.
+  pmem::pm_store(sh->client_id, std::uint64_t{0});
+  pmem::persist(&sh->client_id, sizeof(sh->client_id));
+
+  pmem::pm_store(sh->last_seq, std::uint64_t{0});
+  pmem::pm_store(sh->session_epoch, (*next_stamp_)++);
+  for (std::uint32_t i = 0; i < kRingSize; ++i) {
+    RingEntry* e = ring_entry(static_cast<std::uint32_t>(victim), i);
+    pmem::pm_store(e->seq, std::uint64_t{0});
+  }
+  pmem::persist(sh, kSlotBytes);
+  UPSL_CRASH_POINT("detect.slot_claimed");
+
+  pmem::pm_store(sh->client_id, client_id);
+  pmem::persist(&sh->client_id, sizeof(sh->client_id));
+  return victim;
+}
+
+std::uint64_t SessionTable::client_id(std::uint32_t slot) const {
+  return pmem::pm_load(slot_header(slot)->client_id);
+}
+
+std::uint64_t SessionTable::session_epoch(std::uint32_t slot) const {
+  return pmem::pm_load(slot_header(slot)->session_epoch);
+}
+
+std::uint64_t SessionTable::last_seq(std::uint32_t slot) const {
+  return pmem::pm_load(slot_header(slot)->last_seq);
+}
+
+ResolveResult SessionTable::lookup(std::uint32_t slot,
+                                   std::uint64_t seq) const {
+  ResolveResult r;
+  SlotHeader* sh = slot_header(slot);
+  if (seq > pmem::pm_load(sh->last_seq)) {
+    r.state = ResolveResult::State::kNotApplied;
+    return r;
+  }
+  RingEntry* e = ring_entry(slot, seq);
+  if (pmem::pm_load(e->seq) == seq) {
+    r.state = ResolveResult::State::kApplied;
+    r.has_previous = static_cast<std::uint32_t>(pmem::pm_load(e->has_previous));
+    r.result = pmem::pm_load(e->result);
+    return r;
+  }
+  // seq <= last_seq but the ring moved on: definitely applied (per-session
+  // seqs are issued and recorded in order), original result evicted.
+  r.state = ResolveResult::State::kAppliedUnknown;
+  return r;
+}
+
+void SessionTable::record(std::uint32_t slot, std::uint64_t seq,
+                          std::uint32_t has_previous, std::uint64_t result) {
+  RingEntry* e = ring_entry(slot, seq);
+  pmem::pm_store(e->result, result);
+  pmem::pm_store(e->has_previous, std::uint64_t{has_previous});
+  pmem::pm_store(e->seq, seq);
+  pmem::ack_persist(e, sizeof(RingEntry));
+
+  SlotHeader* sh = slot_header(slot);
+  if (seq > pmem::pm_load(sh->last_seq)) {
+    pmem::pm_store(sh->last_seq, seq);
+    pmem::ack_persist(&sh->last_seq, sizeof(sh->last_seq));
+  }
+  UPSL_CRASH_POINT("detect.slot_published");
+}
+
+ResolveResult SessionTable::resolve(std::uint64_t client_id,
+                                    std::uint64_t seq) const {
+  ResolveResult r;
+  if (!valid() || !detect_enabled()) return r;
+  std::int32_t slot = slot_of(client_id);
+  if (slot < 0) return r;  // kUnknownSession
+  return lookup(static_cast<std::uint32_t>(slot), seq);
+}
+
+}  // namespace upsl::detect

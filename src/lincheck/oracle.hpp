@@ -67,11 +67,13 @@ class DurableOracle {
     for (auto& v : per_thread_) v.reserve(4096);
   }
 
-  /// Worker side (thread `tid` only; one op open per thread at a time).
-  /// Record the invoke, call the store, record the ack; dying between the
-  /// two leaves the op pending, which is precisely its durability status.
-  void invoke(std::uint32_t tid, EvKind kind, std::uint64_t key,
-              std::uint64_t arg = 0) {
+  /// Worker side (thread `tid` only). Record the invoke, call the store,
+  /// record the ack; dying between the two leaves the op pending, which is
+  /// precisely its durability status. Returns the per-thread event index so
+  /// pipelining harnesses (several ops in flight per thread) can ack or
+  /// resolve each op individually via ack_at/resolve_*.
+  std::size_t invoke(std::uint32_t tid, EvKind kind, std::uint64_t key,
+                     std::uint64_t arg = 0) {
     Event ev;
     ev.kind = kind;
     ev.key = key;
@@ -79,15 +81,48 @@ class DurableOracle {
     ev.gen = gen_.load(std::memory_order_relaxed);
     ev.inv_ts = clock_.fetch_add(1, std::memory_order_relaxed);
     per_thread_[tid].push_back(ev);
+    return per_thread_[tid].size() - 1;
   }
 
   /// Ack the open op of `tid` with the store's return (previous value for
-  /// writes/removes, read value for reads; absent -> leave 0).
+  /// writes/removes, read value for reads; absent -> leave 0). Legacy
+  /// one-op-per-thread form: completes the most recent invoke.
   void ack(std::uint32_t tid, std::optional<std::uint64_t> ret) {
-    Event& ev = per_thread_[tid].back();
+    ack_at(tid, per_thread_[tid].size() - 1, ret);
+  }
+
+  /// Ack a specific in-flight op by its invoke() index.
+  void ack_at(std::uint32_t tid, std::size_t idx,
+              std::optional<std::uint64_t> ret) {
+    Event& ev = per_thread_[tid][idx];
     ev.ret = ret.value_or(kInitialValue);
     ev.resp_ts = clock_.fetch_add(1, std::memory_order_relaxed);
     ev.completed = true;
+  }
+
+  /// Exactly-once resolution (docs/detectability.md): a post-crash RESOLVE
+  /// answered "applied" with the op's durable result. Completes the pending
+  /// event with that result. The generation stays the invocation's — the op
+  /// took effect before the crash that interrupted its ack — while resp_ts
+  /// advances the shared clock, keeping the global order monotonic.
+  void resolve_applied(std::uint32_t tid, std::size_t idx,
+                       std::optional<std::uint64_t> ret) {
+    ack_at(tid, idx, ret);
+  }
+
+  /// Exactly-once resolution: RESOLVE answered "not applied". The event
+  /// deliberately stays in the history as in-flight: "not applied" promises
+  /// no *durable* effect (replaying is safe), but the op did execute in
+  /// DRAM before the crash, so concurrently committed ops may have legally
+  /// observed its value — exactly what an uncompleted event models (it may
+  /// linearize before the crash that killed it, §2.2). The harness replays
+  /// the op over the same key as a fresh completed event, so the recovered
+  /// state can never end on the unresolved value; if the store lied and the
+  /// replay was silently deduplicated, the replay's acked write goes
+  /// missing and verify() flags it.
+  void resolve_not_applied(std::uint32_t tid, std::size_t idx) {
+    (void)tid;
+    (void)idx;
   }
 
   /// Call after joining the workers of a crashed phase, before driving the

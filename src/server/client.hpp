@@ -29,6 +29,7 @@
 #include <cerrno>
 #include <cstdint>
 #include <cstdlib>
+#include <iterator>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -38,6 +39,25 @@
 #include "server/protocol.hpp"
 
 namespace upsl::server {
+
+/// A dropped connection mid-pipeline, with the precise split the resolve
+/// path needs: `acked` responses were fully received (those ops are durable
+/// and their results delivered), the remaining `unresolved` requests have no
+/// response — each may or may not have been applied. Client::unresolved_ops()
+/// returns exactly those, in order, and resolve_unresolved() answers them
+/// through the session table. Subclasses std::runtime_error so legacy
+/// catch sites keep working.
+struct PipelineError : std::runtime_error {
+  std::size_t acked;
+  std::size_t unresolved;
+  PipelineError(const std::string& what, std::size_t acked_in,
+                std::size_t unresolved_in)
+      : std::runtime_error(what + " (" + std::to_string(acked_in) +
+                           " acked, " + std::to_string(unresolved_in) +
+                           " unresolved)"),
+        acked(acked_in),
+        unresolved(unresolved_in) {}
+};
 
 class Client {
  public:
@@ -67,6 +87,9 @@ class Client {
 
   bool connected() const { return fd_ >= 0; }
 
+  /// Closes the socket and drops the unsent queue. Session identity, the
+  /// sequence counter, and any unresolved ops from a failed flush survive —
+  /// they are exactly what reconnect-and-resolve needs.
   void close() {
     if (fd_ >= 0) {
       ::close(fd_);
@@ -75,31 +98,168 @@ class Client {
     sendbuf_.clear();
     queued_ = 0;
     recvbuf_.clear();
+    inflight_.clear();
   }
 
   // ---- pipelining ---------------------------------------------------------
 
+  /// One request queued in the current pipeline, as remembered for the
+  /// resolve path. Detectable ops carry their stamped seq; plain ops are
+  /// remembered too (to keep the acked/unresolved split exact) but cannot
+  /// be resolved after a drop.
+  struct QueuedOp {
+    Opcode op = Opcode::kPing;
+    bool detectable = false;
+    std::uint64_t seq = 0;
+    std::uint64_t key = 0;
+    std::uint64_t value = 0;
+  };
+
   void queue(const Request& req) {
     encode_request(req, sendbuf_);
     ++queued_;
+    inflight_.push_back(QueuedOp{req.op, false, req.seq, req.key, req.value});
   }
 
   std::size_t queued() const { return queued_; }
 
   /// Sends every queued request, reads exactly as many responses. Clears the
-  /// queue. Throws on any transport or framing error.
+  /// queue. A transport or framing failure throws PipelineError carrying the
+  /// exact acked/unresolved split; the responses received before the failure
+  /// are left in *out, and unresolved_ops() returns the rest of the pipeline.
   void flush(std::vector<Response>* out) {
     const std::size_t n = queued_;
-    send_all(sendbuf_.data(), sendbuf_.size());
-    sendbuf_.clear();
-    queued_ = 0;
     out->clear();
     out->reserve(n);
+    try {
+      send_all(sendbuf_.data(), sendbuf_.size());
+    } catch (const std::runtime_error& e) {
+      fail_pipeline(e.what(), 0, n);
+    }
+    sendbuf_.clear();
+    queued_ = 0;
     for (std::size_t i = 0; i < n; ++i) {
       Response resp;
-      read_response(&resp);
+      try {
+        read_response(&resp);
+      } catch (const std::runtime_error& e) {
+        fail_pipeline(e.what(), i, n);
+      }
       out->push_back(std::move(resp));
     }
+    inflight_.clear();
+  }
+
+  struct PutResult {
+    bool created = false;
+    std::uint64_t old_value = 0;  // valid iff !created
+  };
+
+  // ---- detectable sessions (docs/detectability.md) ------------------------
+
+  /// Opens (or reattaches) the durable session for `client_id` on this
+  /// connection and returns its claim epoch. A new identity resets the
+  /// sequence counter and forgets prior unresolved ops; re-HELLOing the
+  /// same identity after a reconnect keeps both, so the resolve path works.
+  std::uint64_t hello(std::uint64_t client_id) {
+    const Response r = roundtrip({Opcode::kHello, 0, 0, 0, 0, client_id});
+    expect_ok(r, "HELLO");
+    if (client_id != client_id_) {
+      seq_ = 0;
+      unresolved_.clear();
+    }
+    client_id_ = client_id;
+    return extract_u64(r, "HELLO");
+  }
+
+  std::uint64_t session_client_id() const { return client_id_; }
+  std::uint64_t last_issued_seq() const { return seq_; }
+
+  /// Queue detectable mutations with automatic sequence stamping. Requires
+  /// a prior hello(). Keep no more than SessionTable::kRingSize (8) of
+  /// these un-acked per session, or a replayed op's original result may age
+  /// out of the durable result ring.
+  void queue_dput(std::uint64_t key, std::uint64_t value) {
+    queue_detect({Opcode::kDPut, key, value, 0, ++seq_, 0});
+  }
+  void queue_dupdate(std::uint64_t key, std::uint64_t value) {
+    queue_detect({Opcode::kDUpdate, key, value, 0, ++seq_, 0});
+  }
+  void queue_dremove(std::uint64_t key) {
+    queue_detect({Opcode::kDRemove, key, 0, 0, ++seq_, 0});
+  }
+
+  /// Replays an op from unresolved_ops()/resolve_unresolved() with its
+  /// ORIGINAL seq: if it landed before the drop after all, the server
+  /// deduplicates and answers with the original durable result.
+  void requeue(const QueuedOp& op) {
+    queue_detect({op.op, op.key, op.value, 0, op.seq, 0});
+  }
+
+  /// One-shot detectable upsert; exactly-once under replay.
+  PutResult dput(std::uint64_t key, std::uint64_t value) {
+    queue_dput(key, value);
+    std::vector<Response> r;
+    flush(&r);
+    if (r[0].status == Status::kCreated) return {true, 0};
+    expect_ok(r[0], "DPUT");
+    return {false, extract_u64(r[0], "DPUT")};
+  }
+
+  /// One-shot detectable remove; exactly-once under replay.
+  std::optional<std::uint64_t> dremove(std::uint64_t key) {
+    queue_dremove(key);
+    std::vector<Response> r;
+    flush(&r);
+    if (r[0].status == Status::kNotFound) return std::nullopt;
+    expect_ok(r[0], "DREMOVE");
+    return extract_u64(r[0], "DREMOVE");
+  }
+
+  /// Queries the durable result slot for one (client_id, seq); `key` routes
+  /// to the owning shard (0 = the connected shard).
+  Response::Resolve resolve(std::uint64_t client_id, std::uint64_t seq,
+                            std::uint64_t key = 0) {
+    Request req{Opcode::kResolve, key, 0, 0, seq, client_id};
+    const Response r = roundtrip(req);
+    expect_ok(r, "RESOLVE");
+    Response::Resolve res;
+    if (!r.resolve(&res))
+      throw std::runtime_error("upsl client: malformed RESOLVE payload");
+    return res;
+  }
+
+  /// The pipeline tail a failed flush() left without responses, in send
+  /// order. Valid until the next flush()/resolve_unresolved().
+  const std::vector<QueuedOp>& unresolved_ops() const { return unresolved_; }
+
+  /// The answer for one formerly-unresolved op.
+  struct ResolvedOp {
+    QueuedOp op;
+    bool resolvable = false;   // false: plain op, no durable identity
+    Response::Resolve answer;  // valid iff resolvable
+  };
+
+  /// Reconnect-and-resolve: queries the session table for every op the last
+  /// failed flush() left unresolved, in order, and consumes the list. Call
+  /// after connect() + hello(same client_id). Detectable ops get a
+  /// definitive applied / not-applied answer with the original result;
+  /// plain ops come back with resolvable=false (their fate is unknowable —
+  /// that is what the detectable variants exist for).
+  std::vector<ResolvedOp> resolve_unresolved() {
+    std::vector<ResolvedOp> out;
+    out.reserve(unresolved_.size());
+    for (const QueuedOp& op : unresolved_) {
+      ResolvedOp r;
+      r.op = op;
+      if (op.detectable) {
+        r.resolvable = true;
+        r.answer = resolve(client_id_, op.seq, op.key);
+      }
+      out.push_back(r);
+    }
+    unresolved_.clear();
+    return out;
   }
 
   // ---- one-shot operations ------------------------------------------------
@@ -115,11 +275,6 @@ class Client {
     expect_ok(r, "GET");
     return extract_u64(r, "GET");
   }
-
-  struct PutResult {
-    bool created = false;
-    std::uint64_t old_value = 0;  // valid iff !created
-  };
 
   PutResult put(std::uint64_t key, std::uint64_t value) {
     const Response r = roundtrip({Opcode::kPut, key, value});
@@ -184,6 +339,25 @@ class Client {
   }
 
  private:
+  void queue_detect(const Request& req) {
+    if (client_id_ == 0)
+      throw std::logic_error(
+          "upsl client: detectable op without a hello() session");
+    encode_request(req, sendbuf_);
+    ++queued_;
+    inflight_.push_back(QueuedOp{req.op, true, req.seq, req.key, req.value});
+  }
+
+  [[noreturn]] void fail_pipeline(const char* what, std::size_t acked,
+                                  std::size_t n) {
+    unresolved_.assign(inflight_.begin() + static_cast<std::ptrdiff_t>(acked),
+                       inflight_.end());
+    inflight_.clear();
+    sendbuf_.clear();
+    queued_ = 0;
+    throw PipelineError(what, acked, n - acked);
+  }
+
   Response roundtrip(const Request& req) {
     if (queued_ != 0)
       throw std::logic_error(
@@ -253,6 +427,12 @@ class Client {
   std::vector<std::uint8_t> sendbuf_;
   std::size_t queued_ = 0;
   std::vector<std::uint8_t> recvbuf_;
+  // Detectable-session state. Survives close()/reconnect on purpose: the
+  // identity and counter are durable concepts, the socket is not.
+  std::uint64_t client_id_ = 0;
+  std::uint64_t seq_ = 0;  // last issued seq (never reused, even replayed)
+  std::vector<QueuedOp> inflight_;    // one entry per currently queued frame
+  std::vector<QueuedOp> unresolved_;  // tail of the last failed flush()
 };
 
 /// Topology-aware client: one Client per shard, each key routed locally by
@@ -271,16 +451,19 @@ class ShardedClient {
 
   /// Connects to `port` (any shard), fetches the shard map, then opens one
   /// connection per shard. False on connect failure; throws on a malformed
-  /// or unsupported topology.
+  /// or unsupported topology. Reconnecting against the same topology reuses
+  /// the per-shard Client objects, so their detectable-session state (seq
+  /// counters, unresolved ops) survives for the resolve path.
   bool connect(const std::string& host, std::uint16_t port) {
-    close();
     Client probe;
     if (!probe.connect(host, port)) return false;
     topo_ = probe.topology();
     if (topo_.hash_kind != kShardHashKindFixed)
       throw std::runtime_error("upsl client: unknown shard hash kind " +
                                std::to_string(topo_.hash_kind));
-    clients_ = std::vector<Client>(topo_.shard_count);
+    if (clients_.size() != topo_.shard_count)
+      clients_ = std::vector<Client>(topo_.shard_count);
+    order_.clear();
     for (std::uint32_t s = 0; s < topo_.shard_count; ++s)
       if (!clients_[s].connect(host, topo_.ports[s])) {
         close();
@@ -360,6 +543,64 @@ class ShardedClient {
     return clients_[0].validate_json(ok);
   }
 
+  // ---- detectable sessions ------------------------------------------------
+
+  /// Opens the session on every shard (each connection HELLOs the same
+  /// client identity; slots live per shard). Returns shard 0's epoch.
+  std::uint64_t hello(std::uint64_t client_id) {
+    std::uint64_t epoch0 = 0;
+    for (std::uint32_t s = 0; s < clients_.size(); ++s) {
+      const std::uint64_t e = clients_[s].hello(client_id);
+      if (s == 0) epoch0 = e;
+    }
+    return epoch0;
+  }
+
+  /// Detectable mutations route by key; each shard connection stamps seqs
+  /// from its own counter, keeping every per-shard stream monotonic.
+  void queue_dput(std::uint64_t key, std::uint64_t value) {
+    const std::uint32_t s = shard_of(key);
+    clients_[s].queue_dput(key, value);
+    order_.push_back(s);
+  }
+  void queue_dupdate(std::uint64_t key, std::uint64_t value) {
+    const std::uint32_t s = shard_of(key);
+    clients_[s].queue_dupdate(key, value);
+    order_.push_back(s);
+  }
+  void queue_dremove(std::uint64_t key) {
+    const std::uint32_t s = shard_of(key);
+    clients_[s].queue_dremove(key);
+    order_.push_back(s);
+  }
+
+  Client::PutResult dput(std::uint64_t key, std::uint64_t value) {
+    return clients_[shard_of(key)].dput(key, value);
+  }
+
+  std::optional<std::uint64_t> dremove(std::uint64_t key) {
+    return clients_[shard_of(key)].dremove(key);
+  }
+
+  Response::Resolve resolve(std::uint64_t client_id, std::uint64_t seq,
+                            std::uint64_t key) {
+    return clients_[shard_of(key)].resolve(client_id, seq, key);
+  }
+
+  /// Reconnect-and-resolve across the fleet: after a reconnect() + hello(),
+  /// collects each shard connection's unresolved detectable ops and answers
+  /// them from the shard's session table. Order within a shard is send
+  /// order; shards are concatenated in shard order.
+  std::vector<Client::ResolvedOp> resolve_unresolved() {
+    std::vector<Client::ResolvedOp> out;
+    for (auto& c : clients_) {
+      auto part = c.resolve_unresolved();
+      out.insert(out.end(), std::make_move_iterator(part.begin()),
+                 std::make_move_iterator(part.end()));
+    }
+    return out;
+  }
+
  private:
   std::uint32_t route(const Request& req) const {
     switch (req.op) {
@@ -367,7 +608,12 @@ class ShardedClient {
       case Opcode::kPut:
       case Opcode::kUpdate:
       case Opcode::kRemove:
+      case Opcode::kDPut:
+      case Opcode::kDUpdate:
+      case Opcode::kDRemove:
         return shard_of(req.key);
+      case Opcode::kResolve:
+        return req.key == 0 ? 0 : shard_of(req.key);
       default:
         return 0;  // key-less verbs: any shard answers for the whole store
     }

@@ -34,6 +34,32 @@
 //                                             the hash — see
 //                                             common/shardmap.hpp)
 //
+// Detectable exactly-once extension (docs/detectability.md):
+//
+//   HELLO   req: u64 client_id           resp kOk: u64 session_epoch
+//                                             (opens/reattaches the durable
+//                                             session on the serving shard;
+//                                             client_id 0 is invalid ->
+//                                             kError)
+//   DPUT    req: u64 seq, u64 key,       same responses as PUT; a replayed
+//                u64 value                    seq is deduplicated and answers
+//   DUPDATE req: u64 seq, u64 key,       with the original durable result
+//                u64 value                    (kError empty = applied but the
+//   DREMOVE req: u64 seq, u64 key        result aged out of the ring — only
+//                                             possible when replaying beyond
+//                                             the session's result window)
+//   RESOLVE req: u64 client_id, u64 seq, resp kOk: u32 state, u32 has_prev,
+//                u64 key                      u64 result. state: 0 = unknown
+//                                             session, 1 = not applied,
+//                                             2 = applied (result follows),
+//                                             3 = applied, result unknown.
+//                                             key routes the query to the
+//                                             owning shard (0 = this shard).
+//
+// DPUT/DUPDATE/DREMOVE take the session the connection last opened with
+// HELLO; issuing them before a HELLO is kError. Sequence numbers are chosen
+// by the client, strictly increasing per session.
+//
 // Framing rules (enforced by the parser, tested in tests/server_test.cpp):
 // a body length larger than kMaxBody, an unknown opcode, or a payload whose
 // size does not match the opcode is a protocol violation — the server closes
@@ -73,6 +99,11 @@ enum class Opcode : std::uint8_t {
   kPing = 7,
   kValidate = 8,
   kTopology = 9,
+  kHello = 10,
+  kResolve = 11,
+  kDPut = 12,
+  kDUpdate = 13,
+  kDRemove = 14,
 };
 
 enum class Status : std::uint8_t {
@@ -84,9 +115,11 @@ enum class Status : std::uint8_t {
 
 struct Request {
   Opcode op = Opcode::kPing;
-  std::uint64_t key = 0;    // GET/PUT/UPDATE/REMOVE key; SCAN lo
-  std::uint64_t value = 0;  // PUT/UPDATE value; SCAN hi
+  std::uint64_t key = 0;    // GET/PUT/UPDATE/REMOVE/D* key; SCAN lo; RESOLVE route
+  std::uint64_t value = 0;  // PUT/UPDATE/DPUT/DUPDATE value; SCAN hi
   std::uint32_t limit = 0;  // SCAN max entries
+  std::uint64_t seq = 0;        // D* / RESOLVE sequence number
+  std::uint64_t client_id = 0;  // HELLO / RESOLVE session identity
 };
 
 /// A parsed response: status plus the raw opcode-specific payload. Typed
@@ -134,6 +167,21 @@ struct Response {
     std::uint32_t hash_kind = 0;
     std::vector<std::uint16_t> ports;  // one per shard, same host
   };
+
+  /// RESOLVE payload: the session table's answer for one (client_id, seq).
+  struct Resolve {
+    std::uint32_t state = 0;  // detect::ResolveResult::State numeric values
+    std::uint32_t has_previous = 0;
+    std::uint64_t result = 0;
+  };
+
+  bool resolve(Resolve* out) const {
+    if (payload.size() != 16) return false;
+    std::memcpy(&out->state, payload.data(), 4);
+    std::memcpy(&out->has_previous, payload.data() + 4, 4);
+    std::memcpy(&out->result, payload.data() + 8, 8);
+    return true;
+  }
 
   bool topology(Topology* out) const {
     if (payload.size() < 8) return false;
@@ -202,6 +250,15 @@ inline int request_payload_bytes(Opcode op) {
     case Opcode::kValidate:
     case Opcode::kTopology:
       return 0;
+    case Opcode::kHello:
+      return 8;
+    case Opcode::kResolve:
+      return 24;
+    case Opcode::kDPut:
+    case Opcode::kDUpdate:
+      return 24;
+    case Opcode::kDRemove:
+      return 16;
   }
   return -1;
 }
@@ -233,6 +290,24 @@ inline void encode_request(const Request& req, std::vector<std::uint8_t>& out) {
     case Opcode::kValidate:
     case Opcode::kTopology:
       break;
+    case Opcode::kHello:
+      put_u64(out, req.client_id);
+      break;
+    case Opcode::kResolve:
+      put_u64(out, req.client_id);
+      put_u64(out, req.seq);
+      put_u64(out, req.key);
+      break;
+    case Opcode::kDPut:
+    case Opcode::kDUpdate:
+      put_u64(out, req.seq);
+      put_u64(out, req.key);
+      put_u64(out, req.value);
+      break;
+    case Opcode::kDRemove:
+      put_u64(out, req.seq);
+      put_u64(out, req.key);
+      break;
   }
 }
 
@@ -253,6 +328,8 @@ inline ParseResult parse_request(const std::uint8_t* data, std::size_t n,
   out->key = 0;
   out->value = 0;
   out->limit = 0;
+  out->seq = 0;
+  out->client_id = 0;
   switch (op) {
     case Opcode::kGet:
     case Opcode::kRemove:
@@ -272,6 +349,24 @@ inline ParseResult parse_request(const std::uint8_t* data, std::size_t n,
     case Opcode::kPing:
     case Opcode::kValidate:
     case Opcode::kTopology:
+      break;
+    case Opcode::kHello:
+      out->client_id = get_u64(p);
+      break;
+    case Opcode::kResolve:
+      out->client_id = get_u64(p);
+      out->seq = get_u64(p + 8);
+      out->key = get_u64(p + 16);
+      break;
+    case Opcode::kDPut:
+    case Opcode::kDUpdate:
+      out->seq = get_u64(p);
+      out->key = get_u64(p + 8);
+      out->value = get_u64(p + 16);
+      break;
+    case Opcode::kDRemove:
+      out->seq = get_u64(p);
+      out->key = get_u64(p + 8);
       break;
   }
   *consumed = kHeaderBytes + body;
@@ -319,6 +414,18 @@ inline void encode_response_topology(std::uint32_t shard_count,
   put_u32(out, hash_kind);
   for (std::uint32_t i = 0; i < shard_count; ++i)
     put_u32(out, static_cast<std::uint32_t>(ports[i]));
+}
+
+inline void encode_response_resolve(std::uint32_t state,
+                                    std::uint32_t has_previous,
+                                    std::uint64_t result,
+                                    std::vector<std::uint8_t>& out) {
+  put_u32(out, kBodyPrefixBytes + 16);
+  out.push_back(static_cast<std::uint8_t>(Status::kOk));
+  out.insert(out.end(), 3, 0);
+  put_u32(out, state);
+  put_u32(out, has_previous);
+  put_u64(out, result);
 }
 
 inline void encode_response_blob(Status st, const std::string& blob,

@@ -68,6 +68,13 @@ struct Server::Conn {
   std::size_t sendable_end = 0;  // bytes released for sending
   std::deque<std::pair<std::uint64_t, std::size_t>> pending_acks;
   bool want_write = false;  // EPOLLOUT currently registered
+  /// Detectable session (docs/detectability.md): the client identity the
+  /// connection last opened with HELLO (0 = none), plus this client's
+  /// session slot on each shard, opened lazily as detectable mutations
+  /// route there. Slots are per-shard because the session table lives in
+  /// each shard's own pool — routing stays shard-local.
+  std::uint64_t client_id = 0;
+  std::vector<std::int32_t> session_slots;
 
   bool has_pending_out() const { return out_off < sendable_end; }
 };
@@ -392,7 +399,7 @@ bool Server::execute_batch(Worker& w, Conn& c) {
     off += consumed;
     ++executed;
     bool op_mutated = false;
-    execute_one(w, req, c.out, &op_mutated);
+    execute_one(w, c, req, c.out, &op_mutated);
     if (op_mutated) ++mutations;
   }
   if (off > 0) c.in.erase(c.in.begin(), c.in.begin() + off);
@@ -430,19 +437,48 @@ bool Server::execute_batch(Worker& w, Conn& c) {
   return c.fd >= 0 && executed == opts_.max_batch && !c.in.empty();
 }
 
-void Server::execute_one(Worker& w, const Request& req,
+void Server::execute_one(Worker& w, Conn& c, const Request& req,
                          std::vector<std::uint8_t>& out, bool* mutated) {
   const auto shards = static_cast<std::uint32_t>(stores_.size());
   // Dispatch-layer routing: the key, not the arrival socket, picks the
   // store. A request that arrived on the wrong shard's port is still served
   // (topology-unaware clients keep working); it is just counted as a
   // cross-shard hop.
-  auto route = [&](std::uint64_t key) -> core::UPSkipList& {
+  auto route_idx = [&](std::uint64_t key) -> std::uint32_t {
     const std::uint32_t s = shard_of_key(key, shards);
     shard_ops_[s].fetch_add(1, std::memory_order_relaxed);
     if (s != w.shard)
       stats_.cross_shard_ops.fetch_add(1, std::memory_order_relaxed);
-    return *stores_[s];
+    return s;
+  };
+  auto route = [&](std::uint64_t key) -> core::UPSkipList& {
+    return *stores_[route_idx(key)];
+  };
+  // The connection's session slot on shard s, opened on first use. The slot
+  // index is a pure cache — the durable identity is (client_id, seq); a
+  // reconnect re-finds the same slot through open_session.
+  auto session_slot = [&](std::uint32_t s) -> std::int32_t {
+    if (c.session_slots.size() != shards) c.session_slots.assign(shards, -1);
+    if (c.session_slots[s] < 0)
+      c.session_slots[s] = stores_[s]->sessions().open_session(c.client_id);
+    return c.session_slots[s];
+  };
+  // Shared tail of DPUT/DUPDATE/DREMOVE: count a dedup hit, encode the
+  // (original or fresh) result with PUT/REMOVE response shapes.
+  auto finish_detect = [&](const core::UPSkipList::DetectOutcome& r,
+                           Status fresh_empty_status) {
+    *mutated = !r.duplicate;  // a fresh op always dirtied the session slot
+    if (r.duplicate)
+      stats_.detect_dups.fetch_add(1, std::memory_order_relaxed);
+    if (!r.result_known) {
+      // Applied, but the answer aged out of the session's result ring —
+      // only reachable by replaying past the ring window.
+      encode_response_empty(Status::kError, out);
+    } else if (r.previous) {
+      encode_response_value(Status::kOk, *r.previous, out);
+    } else {
+      encode_response_empty(fresh_empty_status, out);
+    }
   };
   switch (req.op) {
     case Opcode::kGet: {
@@ -530,6 +566,66 @@ void Server::execute_one(Worker& w, const Request& req,
         json = "{\"valid\": false, \"error\": \"" + msg + "\"}";
       }
       encode_response_blob(st, json, out);
+      break;
+    }
+    case Opcode::kHello: {
+      stats_.hellos.fetch_add(1, std::memory_order_relaxed);
+      if (req.client_id == 0) {
+        encode_response_empty(Status::kError, out);
+        break;
+      }
+      c.client_id = req.client_id;
+      c.session_slots.assign(shards, -1);
+      // Open the session on the arrival shard eagerly (the common
+      // single-shard case resolves everything here); other shards open
+      // lazily as detectable mutations route to them. A slot of -1 (legacy
+      // store, tiny root area, or UPSL_DISABLE_DETECT) still answers kOk
+      // with epoch 0: the session is accepted but detectable ops degrade
+      // to plain ones.
+      const std::int32_t slot = session_slot(w.shard);
+      encode_response_value(
+          Status::kOk,
+          slot >= 0 ? stores_[w.shard]->sessions().session_epoch(
+                          static_cast<std::uint32_t>(slot))
+                    : 0,
+          out);
+      break;
+    }
+    case Opcode::kResolve: {
+      stats_.resolves.fetch_add(1, std::memory_order_relaxed);
+      // key routes to the shard owning the op being asked about (sessions
+      // are per shard); key 0 = the arrival shard.
+      const std::uint32_t s =
+          req.key == 0 ? w.shard : shard_of_key(req.key, shards);
+      const detect::ResolveResult r =
+          stores_[s]->sessions().resolve(req.client_id, req.seq);
+      encode_response_resolve(static_cast<std::uint32_t>(r.state),
+                              r.has_previous, r.result, out);
+      break;
+    }
+    case Opcode::kDPut:
+    case Opcode::kDUpdate: {
+      stats_.puts.fetch_add(1, std::memory_order_relaxed);
+      if (c.client_id == 0) {  // no HELLO on this connection
+        encode_response_empty(Status::kError, out);
+        break;
+      }
+      const std::uint32_t s = route_idx(req.key);
+      finish_detect(stores_[s]->insert_detect(req.key, req.value,
+                                              session_slot(s), req.seq),
+                    Status::kCreated);
+      break;
+    }
+    case Opcode::kDRemove: {
+      stats_.removes.fetch_add(1, std::memory_order_relaxed);
+      if (c.client_id == 0) {
+        encode_response_empty(Status::kError, out);
+        break;
+      }
+      const std::uint32_t s = route_idx(req.key);
+      finish_detect(stores_[s]->remove_detect(req.key, session_slot(s),
+                                              req.seq),
+                    Status::kNotFound);
       break;
     }
   }
@@ -668,6 +764,19 @@ std::string Server::stats_json() const {
   json += u64("scans", s.scans.load(std::memory_order_relaxed)) + ", ";
   json += u64("cross_shard_ops",
               s.cross_shard_ops.load(std::memory_order_relaxed));
+  json += "}, ";
+  json += "\"detect\": {";
+  json += std::string("\"enabled\": ") +
+          (detect::detect_enabled() && stores_[0]->sessions().valid()
+               ? "true"
+               : "false") + ", ";
+  json += u64("session_slots", stores_[0]->sessions().slot_count()) + ", ";
+  json += u64("recovered_sessions",
+              stores_[0]->sessions().recovered_sessions()) + ", ";
+  json += u64("hellos", s.hellos.load(std::memory_order_relaxed)) + ", ";
+  json += u64("resolves", s.resolves.load(std::memory_order_relaxed)) + ", ";
+  json += u64("dedup_hits",
+              s.detect_dups.load(std::memory_order_relaxed));
   json += "}, ";
   // Shard 0's epoch/index stay at the top level for pre-sharding consumers;
   // the "shards" array is the full per-shard picture. The trailing "pmem"

@@ -105,6 +105,11 @@ struct ServerStats {
   std::atomic<std::uint64_t> puts{0};
   std::atomic<std::uint64_t> removes{0};
   std::atomic<std::uint64_t> scans{0};
+  /// Detectable-session traffic (docs/detectability.md): HELLO handshakes,
+  /// RESOLVE queries, and replayed (deduplicated) detectable mutations.
+  std::atomic<std::uint64_t> hellos{0};
+  std::atomic<std::uint64_t> resolves{0};
+  std::atomic<std::uint64_t> detect_dups{0};
   /// Single-key ops that arrived on one shard's socket but were owned by
   /// another shard (topology-unaware client, or a stale map). Routed
   /// in-process — correct, just not NUMA-local.
@@ -167,7 +172,7 @@ class Server {
   void worker_main(unsigned global_index);
   void handle_readable(Worker& w, Conn& c);
   bool execute_batch(Worker& w, Conn& c);
-  void execute_one(Worker& w, const struct Request& req,
+  void execute_one(Worker& w, Conn& c, const struct Request& req,
                    std::vector<std::uint8_t>& out, bool* mutated);
   void flush_out(Worker& w, Conn& c);
   void close_conn(Worker& w, Conn& c);

@@ -480,6 +480,281 @@ IterOutcome run_sharded_iteration(std::uint64_t seed, pmem::CrashMode first_mode
   return out;
 }
 
+/// Detectable-sessions iteration (docs/detectability.md): workers are
+/// durable client sessions pipelining 1–4 detectable mutations per
+/// group-commit ticket. After the crash the harness replays the server's
+/// reconnect-and-resolve protocol and holds the campaign to *exactly-once*
+/// instead of either-outcome: every un-acked detectable op is resolved
+/// through the session table, the per-session answers must form an applied
+/// prefix of the issued seq order, resolved-applied ops feed the oracle
+/// their durable results, resolved not-applied ops are cancelled and
+/// replayed with the *same* seq (the replay must not dedup), and every op
+/// still inside the result ring is probed with a duplicate replay that must
+/// return the original result without re-applying. Discard mode only: a
+/// detectable op's session record and its publish/ack lines ride one commit
+/// ticket, so dropping un-fenced lines keeps them in agreement; random
+/// eviction can persist one side without the other — the table stays
+/// structurally sound there (detect_test sweeps those crash points), but the
+/// strict op/record coupling this shard asserts does not hold.
+IterOutcome run_detect_iteration(std::uint64_t seed) {
+  // The shard *is* the detect campaign: pin the kill switch on so the CI's
+  // UPSL_DISABLE_DETECT matrix leg doesn't silently degrade it to plain ops.
+  test::ScopedDetect detect_on(true);
+  const int threads = torture_threads();
+  Xoshiro256 rng(seed);
+  test::StoreHarness h(test::small_options(/*keys_per_node=*/4,
+                                           /*max_height=*/10,
+                                           /*max_threads=*/8));
+  DurableOracle oracle(static_cast<std::uint32_t>(threads));
+  std::atomic<std::uint64_t> next_value{1};
+  const std::uint64_t keyspace = 120 + rng.next_below(200);
+
+  for (std::uint64_t i = 0; i < keyspace / 3; ++i) {
+    const std::uint64_t key = 1 + rng.next_below(keyspace);
+    const std::uint64_t val = next_value.fetch_add(1);
+    oracle.invoke(0, EvKind::kWrite, key, val);
+    oracle.ack(0, h.store().insert(key, val));
+  }
+  h.mark_persisted();
+
+  // One issued detectable op: the seq stamped on the wire, its oracle event
+  // index, and — once the covering fence retires or a post-crash RESOLVE
+  // answers — the result the client holds for it.
+  struct IssuedOp {
+    std::uint64_t seq = 0;
+    std::size_t ev = 0;
+    bool is_insert = true;
+    std::uint64_t key = 0;
+    std::uint64_t value = 0;
+    std::optional<std::uint64_t> prev;
+  };
+  struct SessionLog {
+    std::uint64_t client_id = 0;
+    std::vector<IssuedOp> ops;  // issue order == seq order
+    std::size_t acked = 0;      // ops[0..acked) fence-covered and acked
+  };
+  std::vector<SessionLog> logs(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t)
+    logs[static_cast<std::size_t>(t)].client_id =
+        1000 + static_cast<std::uint64_t>(t);
+
+  auto gc = std::make_unique<server::GroupCommit>(20);
+
+  // ---- phase 1: pipelined detectable workload, one injected crash --------
+  CrashPoints::ArmSpec spec;
+  spec.quiesce = true;
+  if (rng.next_below(3) == 0) {
+    spec.probability = 1.0 / 128.0;
+    spec.seed = seed;
+  } else {
+    spec.skip = 10 + rng.next_below(250);
+  }
+  spec.thread = rng.next_below(4) == 0
+                    ? -1
+                    : static_cast<int>(rng.next_below(
+                          static_cast<std::uint64_t>(threads)));
+  CrashPoints::instance().arm(spec);
+
+  auto worker = [&](int t) {
+    ThreadRegistry::instance().bind(t);
+    SessionLog& log = logs[static_cast<std::size_t>(t)];
+    Xoshiro256 trng(seed * 1000003 + static_cast<std::uint64_t>(t));
+    const auto tid = static_cast<std::uint32_t>(t);
+    try {
+      const std::int32_t slot = h.store().sessions().open_session(log.client_id);
+      if (slot < 0) {
+        ADD_FAILURE() << "session table refused client " << log.client_id
+                      << " [seed=" << seed << "]";
+        return;
+      }
+      std::uint64_t seq = 0;
+      for (int batch = 0; batch < 150; ++batch) {
+        CrashPoints::instance().poll();
+        // Pipeline k ops under one AckBatch/ticket; keep k well below the
+        // result-ring depth (8) so no pending result can age out.
+        const int k = 1 + static_cast<int>(trng.next_below(4));
+        const std::size_t first = log.ops.size();
+        std::uint64_t ticket;
+        {
+          pmem::AckBatch ab;
+          for (int i = 0; i < k; ++i) {
+            IssuedOp op;
+            op.seq = ++seq;
+            op.key = 1 + trng.next_below(keyspace);
+            op.is_insert = trng.next_below(100) < 70;
+            if (op.is_insert) {
+              op.value = next_value.fetch_add(1);
+              op.ev = oracle.invoke(tid, EvKind::kWrite, op.key, op.value);
+            } else {
+              op.ev = oracle.invoke(tid, EvKind::kRemove, op.key);
+            }
+            // Log before the call: dying mid-op leaves it issued-unresolved.
+            log.ops.push_back(op);
+            const core::UPSkipList::DetectOutcome r =
+                op.is_insert
+                    ? h.store().insert_detect(op.key, op.value, slot, op.seq)
+                    : h.store().remove_detect(op.key, slot, op.seq);
+            EXPECT_FALSE(r.duplicate)
+                << "fresh seq " << op.seq << " deduped [seed=" << seed << "]";
+            log.ops.back().prev = r.previous;
+          }
+          ticket = gc->submit(ab.take_lines(), static_cast<std::uint64_t>(k));
+        }
+        gc->wait_durable(ticket);
+        for (std::size_t i = first; i < log.ops.size(); ++i)
+          oracle.ack_at(tid, log.ops[i].ev, log.ops[i].prev);
+        log.acked = log.ops.size();
+      }
+    } catch (const CrashException&) {
+      // Died at a crash point; its un-acked tail stays issued-unresolved.
+    }
+  };
+  {
+    std::vector<std::thread> ws;
+    for (int t = 0; t < threads; ++t) ws.emplace_back(worker, t);
+    for (auto& w : ws) w.join();
+  }
+  gc->abandon();
+  IterOutcome out;
+  out.main_crash_fired = CrashPoints::instance().fired();
+  CrashPoints::instance().reset();
+  oracle.on_crash();
+
+  {
+    const std::uint64_t rebuilds0 =
+        pmem::Stats::instance().snapshot().index_rebuilds;
+    h.crash_and_reopen(pmem::CrashMode::kDiscardUnflushed,
+                       seed ^ 0x9e3779b97f4a7c15ULL);
+    if (h.store().dram_index_enabled()) {
+      EXPECT_GT(pmem::Stats::instance().snapshot().index_rebuilds, rebuilds0)
+          << "reopen did not rebuild the DRAM index [seed=" << seed << "]";
+    }
+  }
+  EXPECT_TRUE(h.store().sessions().valid())
+      << "session table did not recover [seed=" << seed << "]";
+
+  // ---- phase 2: reconnect-and-resolve, exactly-once ----------------------
+  for (int t = 0; t < threads; ++t) {
+    std::thread resolver([&, t] {
+      ThreadRegistry::instance().bind(t);
+      SessionLog& log = logs[static_cast<std::size_t>(t)];
+      if (log.ops.empty()) return;
+      const auto tid = static_cast<std::uint32_t>(t);
+      const std::int32_t slot = h.store().sessions().open_session(log.client_id);
+      if (slot < 0) {
+        ADD_FAILURE() << "session " << log.client_id
+                      << " vanished across the crash [seed=" << seed << "]";
+        return;
+      }
+      bool not_applied_seen = false;
+      for (std::size_t i = log.acked; i < log.ops.size(); ++i) {
+        IssuedOp& op = log.ops[i];
+        const detect::ResolveResult r =
+            h.store().sessions().resolve(log.client_id, op.seq);
+        switch (r.state) {
+          case detect::ResolveResult::State::kApplied:
+            // Exactly-once: per-session answers must be an applied prefix of
+            // the issued order (a later op durable while an earlier one was
+            // dropped would mean an op outran its predecessor's fence).
+            EXPECT_FALSE(not_applied_seen)
+                << "seq " << op.seq << " applied after an earlier seq was "
+                << "not [seed=" << seed << "]";
+            op.prev = r.has_previous != 0
+                          ? std::optional<std::uint64_t>(r.result)
+                          : std::nullopt;
+            oracle.resolve_applied(tid, op.ev, op.prev);
+            break;
+          case detect::ResolveResult::State::kNotApplied: {
+            not_applied_seen = true;
+            oracle.resolve_not_applied(tid, op.ev);
+            // Replay with the same seq and a fresh payload — the durable
+            // answer said the original never took effect, so the replay must
+            // apply (a dedup here would be a lost mutation).
+            core::UPSkipList::DetectOutcome d;
+            std::size_t ev;
+            if (op.is_insert) {
+              op.value = next_value.fetch_add(1);
+              ev = oracle.invoke(tid, EvKind::kWrite, op.key, op.value);
+              d = h.store().insert_detect(op.key, op.value, slot, op.seq);
+            } else {
+              ev = oracle.invoke(tid, EvKind::kRemove, op.key);
+              d = h.store().remove_detect(op.key, slot, op.seq);
+            }
+            EXPECT_FALSE(d.duplicate)
+                << "replay of not-applied seq " << op.seq
+                << " deduped [seed=" << seed << "]";
+            oracle.ack_at(tid, ev, d.previous);
+            op.prev = d.previous;
+            break;
+          }
+          case detect::ResolveResult::State::kAppliedUnknown:
+            ADD_FAILURE() << "seq " << op.seq << " aged out of the result "
+                          << "ring with <= 4 ops in flight [seed=" << seed
+                          << "]";
+            oracle.resolve_not_applied(tid, op.ev);
+            break;
+          case detect::ResolveResult::State::kUnknownSession:
+            ADD_FAILURE() << "session " << log.client_id
+                          << " unknown though it issued ops [seed=" << seed
+                          << "]";
+            oracle.resolve_not_applied(tid, op.ev);
+            break;
+        }
+      }
+      // Duplicate probes: every op still inside the ring window must dedup —
+      // same seq, different payload, byte-identical original result, and no
+      // second application (a re-applied payload would surface as a
+      // never-written value in the oracle's readback).
+      const std::uint64_t highest = log.ops.back().seq;
+      for (const IssuedOp& op : log.ops) {
+        if (op.seq + detect::SessionTable::kRingSize <= highest) continue;
+        const core::UPSkipList::DetectOutcome d =
+            op.is_insert ? h.store().insert_detect(
+                               op.key, next_value.fetch_add(1), slot, op.seq)
+                         : h.store().remove_detect(op.key, slot, op.seq);
+        EXPECT_TRUE(d.duplicate)
+            << "probe of seq " << op.seq << " re-applied [seed=" << seed
+            << "]";
+        EXPECT_TRUE(d.result_known)
+            << "probe of seq " << op.seq << " lost its result [seed=" << seed
+            << "]";
+        EXPECT_TRUE(d.previous == op.prev)
+            << "probe of seq " << op.seq
+            << " returned a different result [seed=" << seed << "]";
+      }
+    });
+    resolver.join();
+  }
+
+  // ---- phase 3: quiesced verification -----------------------------------
+  CrashPoints::instance().reset();
+  for (int t = 0; t < threads; ++t) {
+    std::thread tickler([&, t] {
+      ThreadRegistry::instance().bind(t);
+      const std::uint64_t base =
+          1'000'000 + static_cast<std::uint64_t>(t) * 10'000;
+      for (std::uint64_t i = 0; i < 8; ++i)
+        h.store().insert(base + i, next_value.fetch_add(1));
+    });
+    tickler.join();
+  }
+  for (int pass = 0; pass < 3; ++pass)
+    for (std::uint64_t k = 1; k <= keyspace; ++k) h.store().search(k);
+
+  const DurableOracle::Verdict verdict = oracle.verify(
+      [&](std::uint64_t key) { return h.store().search(key); });
+  EXPECT_TRUE(verdict.ok) << "oracle: " << verdict.reason
+                          << " [seed=" << seed << "]";
+  EXPECT_NO_THROW(h.store().check_invariants()) << "[seed=" << seed << "]";
+  try {
+    h.store().check_no_leaks();
+  } catch (const std::exception& e) {
+    ADD_FAILURE() << e.what() << " [seed=" << seed << "]\n"
+                  << h.store().leak_report();
+  }
+  return out;
+}
+
 /// Runs `iters` seeded iterations under `mode` and reports the failing seed
 /// (the CI greps for "failing seed" on error).
 void run_shard(const char* shard, std::uint64_t seed_base,
@@ -487,7 +762,7 @@ void run_shard(const char* shard, std::uint64_t seed_base,
                bool sharded_store = false) {
   const std::uint64_t iters = env_u64("UPSL_TORTURE_ITERS", 50);
   // An explicit UPSL_TORTURE_SEED0 is an absolute seed (what a failure
-  // message printed); the default campaign offsets each shard so the seven
+  // message printed); the default campaign offsets each shard so the eight
   // shards cover disjoint seed ranges.
   const bool explicit_seed = std::getenv("UPSL_TORTURE_SEED0") != nullptr;
   const std::uint64_t seed0 =
@@ -570,6 +845,40 @@ TEST(CrashTorture, DiscardModeGroupCommit) {
 TEST(CrashTorture, DiscardModeShardedStore) {
   run_shard("discard-sharded", 600'000, pmem::CrashMode::kDiscardUnflushed,
             /*group_commit=*/true, /*sharded_store=*/true);
+}
+
+// Detectable-sessions shard: phase 1 runs pipelined detectable mutations
+// through the group committer, and the post-crash phase upgrades the oracle
+// from either-outcome to exactly-once — every un-acked op is resolved
+// through the durable session table, not-applied ops replay under the same
+// seq, and duplicate probes must return original results without
+// re-applying. No nested recovery re-crash: the resolve/replay protocol
+// itself is the recovery under test (run_detect_iteration for the details).
+TEST(CrashTorture, DiscardModeDetectableSessions) {
+  const std::uint64_t iters = env_u64("UPSL_TORTURE_ITERS", 50);
+  const bool explicit_seed = std::getenv("UPSL_TORTURE_SEED0") != nullptr;
+  const std::uint64_t seed0 =
+      explicit_seed ? env_u64("UPSL_TORTURE_SEED0", 1) : 1 + 700'000;
+  std::uint64_t fired = 0;
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    const std::uint64_t seed = seed0 + i;
+    SCOPED_TRACE("discard-detect iteration " + std::to_string(i) + " seed " +
+                 std::to_string(seed));
+    const IterOutcome out = run_detect_iteration(seed);
+    fired += out.main_crash_fired ? 1 : 0;
+    if (::testing::Test::HasFailure()) {
+      std::fprintf(stderr,
+                   "\n*** crash_torture failing seed: %llu (shard "
+                   "discard-detect, reproduce with UPSL_TORTURE_SEED0=%llu "
+                   "UPSL_TORTURE_ITERS=1) ***\n\n",
+                   static_cast<unsigned long long>(seed),
+                   static_cast<unsigned long long>(seed));
+      return;
+    }
+  }
+  EXPECT_GE(fired * 5, iters * 4)
+      << "main crash fired in only " << fired << "/" << iters
+      << " iterations";
 }
 
 }  // namespace

@@ -1,0 +1,330 @@
+// Durable client-session table tests (docs/detectability.md): format /
+// recover roundtrips, (client_id, seq) dedup semantics, result-ring aging,
+// session churn under a tiny slot cap with epoch-ordered eviction, the
+// UPSL_DISABLE_DETECT kill switch, and crash sweeps of the two session
+// crash points — detect.slot_claimed (mid-claim) and detect.slot_published
+// (mid-record) — under both crash modes.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "common/crashpoint.hpp"
+#include "core/upskiplist.hpp"
+#include "pmem/ack_batch.hpp"
+#include "test_util.hpp"
+
+namespace upsl::core {
+namespace {
+
+using detect::ResolveResult;
+using detect::SessionTable;
+using test::ScopedDetect;
+using test::small_options;
+using test::StoreHarness;
+using State = ResolveResult::State;
+
+TEST(Detect, FormatRecoverRoundtrip) {
+  ScopedDetect on(true);
+  StoreHarness h;
+  SessionTable& t = h.store().sessions();
+  ASSERT_TRUE(t.valid());
+  EXPECT_GT(t.slot_count(), 0u);
+  EXPECT_EQ(t.recovered_sessions(), 0u);
+
+  const std::int32_t slot = t.open_session(42);
+  ASSERT_GE(slot, 0);
+  auto r = h.store().insert_detect(10, 100, slot, /*seq=*/1);
+  EXPECT_FALSE(r.duplicate);
+  EXPECT_EQ(r.previous, std::nullopt);
+  r = h.store().insert_detect(10, 200, slot, /*seq=*/2);
+  EXPECT_FALSE(r.duplicate);
+  EXPECT_EQ(r.previous, std::optional<std::uint64_t>(100));
+
+  h.clean_reopen();
+  SessionTable& t2 = h.store().sessions();
+  ASSERT_TRUE(t2.valid());
+  EXPECT_EQ(t2.recovered_sessions(), 1u);
+  // Reconnect lands on the same durable slot with its dedup state intact.
+  EXPECT_EQ(t2.open_session(42), slot);
+  const ResolveResult res = t2.resolve(42, 2);
+  EXPECT_EQ(res.state, State::kApplied);
+  EXPECT_EQ(res.has_previous, 1u);
+  EXPECT_EQ(res.result, 100u);
+}
+
+TEST(Detect, DedupReplaysOriginalResult) {
+  ScopedDetect on(true);
+  StoreHarness h;
+  const std::int32_t slot = h.store().sessions().open_session(7);
+  ASSERT_GE(slot, 0);
+
+  auto first = h.store().insert_detect(5, 55, slot, 1);
+  EXPECT_FALSE(first.duplicate);
+  // Same seq, different payload: the mutation must NOT run again and the
+  // answer must be byte-identical to the original.
+  auto dup = h.store().insert_detect(5, 999, slot, 1);
+  EXPECT_TRUE(dup.duplicate);
+  EXPECT_TRUE(dup.result_known);
+  EXPECT_EQ(dup.previous, first.previous);
+  EXPECT_EQ(*h.store().search(5), 55u);
+
+  auto rm = h.store().remove_detect(5, slot, 2);
+  EXPECT_FALSE(rm.duplicate);
+  EXPECT_EQ(rm.previous, std::optional<std::uint64_t>(55));
+  auto rmdup = h.store().remove_detect(5, slot, 2);
+  EXPECT_TRUE(rmdup.duplicate);
+  EXPECT_EQ(rmdup.previous, std::optional<std::uint64_t>(55));
+  EXPECT_FALSE(h.store().contains(5));
+
+  // A detectable remove of an absent key still dirties the session slot:
+  // its not-found answer must dedup like any other result.
+  auto miss = h.store().remove_detect(777, slot, 3);
+  EXPECT_FALSE(miss.duplicate);
+  EXPECT_EQ(miss.previous, std::nullopt);
+  auto missdup = h.store().remove_detect(777, slot, 3);
+  EXPECT_TRUE(missdup.duplicate);
+  EXPECT_EQ(missdup.previous, std::nullopt);
+
+  EXPECT_EQ(h.store().sessions().resolve(9999, 1).state,
+            State::kUnknownSession);
+  EXPECT_EQ(h.store().sessions().resolve(7, 50).state, State::kNotApplied);
+}
+
+TEST(Detect, ResultRingAgesOutToAppliedUnknown) {
+  ScopedDetect on(true);
+  StoreHarness h;
+  const std::int32_t slot = h.store().sessions().open_session(7);
+  ASSERT_GE(slot, 0);
+  for (std::uint64_t seq = 1; seq <= SessionTable::kRingSize + 2; ++seq)
+    h.store().insert_detect(seq, seq * 10, slot, seq);
+
+  // seq 1's ring entry was overwritten by seq 1 + kRingSize: known applied,
+  // result gone. The mutation still must not re-run.
+  EXPECT_EQ(h.store().sessions().resolve(7, 1).state, State::kAppliedUnknown);
+  auto d = h.store().insert_detect(1, 424242, slot, 1);
+  EXPECT_TRUE(d.duplicate);
+  EXPECT_FALSE(d.result_known);
+  EXPECT_EQ(*h.store().search(1), 10u);
+
+  // Recent seqs still replay exact results.
+  const auto r =
+      h.store().sessions().resolve(7, SessionTable::kRingSize + 2);
+  EXPECT_EQ(r.state, State::kApplied);
+  EXPECT_EQ(r.has_previous, 0u);
+}
+
+TEST(Detect, SessionChurnEvictsOldestEpochAndResetsDedup) {
+  ScopedDetect on(true);
+  core::Options o = small_options();
+  o.session_slots = 2;  // tiny cap so three clients churn the table
+  StoreHarness h(o);
+  SessionTable& t = h.store().sessions();
+  ASSERT_TRUE(t.valid());
+  ASSERT_EQ(t.slot_count(), 2u);
+
+  const std::int32_t a = t.open_session(1);
+  const std::int32_t b = t.open_session(2);
+  ASSERT_GE(a, 0);
+  ASSERT_GE(b, 0);
+  ASSERT_NE(a, b);
+  h.store().insert_detect(100, 1000, a, /*seq=*/1);
+
+  // Client 3 must evict the oldest claim (client 1), not client 2.
+  const std::int32_t c = t.open_session(3);
+  EXPECT_EQ(c, a);
+  EXPECT_EQ(t.resolve(1, 1).state, State::kUnknownSession);
+  EXPECT_EQ(t.resolve(2, 1).state, State::kNotApplied);
+
+  // Client 1 reconnects onto a freshly claimed slot (evicting client 2 now):
+  // its old seqs are gone — the new session starts a clean dedup window, so
+  // seq 1 is "not applied" again rather than a stale kApplied hit.
+  const std::int32_t a2 = t.open_session(1);
+  EXPECT_EQ(a2, b);
+  EXPECT_EQ(t.resolve(1, 1).state, State::kNotApplied);
+  auto d = h.store().insert_detect(100, 2000, a2, /*seq=*/1);
+  EXPECT_FALSE(d.duplicate);
+  EXPECT_EQ(d.previous, std::optional<std::uint64_t>(1000));
+
+  // Claim stamps survive recovery: a post-reopen claim must not reuse an
+  // epoch that would invert the eviction order.
+  const std::uint64_t pre =
+      t.session_epoch(static_cast<std::uint32_t>(a2));
+  h.clean_reopen();
+  SessionTable& t2 = h.store().sessions();
+  EXPECT_EQ(t2.recovered_sessions(), 2u);
+  const std::int32_t e = t2.open_session(9);
+  ASSERT_GE(e, 0);
+  EXPECT_GT(t2.session_epoch(static_cast<std::uint32_t>(e)), pre);
+}
+
+TEST(Detect, KillSwitchDegradesToPlainOps) {
+  ScopedDetect off(false);
+  StoreHarness h;
+  // Table may exist durably, but the switch turns every entry point into
+  // the plain path: no sessions, no dedup, no resolve answers.
+  EXPECT_EQ(h.store().sessions().open_session(42), -1);
+  auto r1 = h.store().insert_detect(10, 100, /*slot=*/-1, /*seq=*/1);
+  EXPECT_FALSE(r1.duplicate);
+  auto r2 = h.store().insert_detect(10, 200, /*slot=*/-1, /*seq=*/1);
+  EXPECT_FALSE(r2.duplicate);  // same seq applied twice: plain semantics
+  EXPECT_EQ(r2.previous, std::optional<std::uint64_t>(100));
+  EXPECT_EQ(*h.store().search(10), 200u);
+  EXPECT_EQ(h.store().sessions().resolve(42, 1).state,
+            State::kUnknownSession);
+}
+
+/// Crash mid-claim (detect.slot_claimed fires after the victim was retired
+/// and the slot reset, before the new client_id is published): after
+/// recovery the slot must be free, neither the evictee nor the claimant may
+/// resolve, and both can open fresh sessions.
+class DetectClaimCrash : public ::testing::TestWithParam<pmem::CrashMode> {};
+
+TEST_P(DetectClaimCrash, MidClaimLeavesNoOwner) {
+  ScopedDetect on(true);
+  core::Options o = small_options();
+  o.session_slots = 1;  // every new client evicts the incumbent
+  StoreHarness h(o);
+  const std::int32_t a = h.store().sessions().open_session(1);
+  ASSERT_EQ(a, 0);
+  h.store().insert_detect(100, 1000, a, /*seq=*/1);
+  h.mark_persisted();
+
+  CrashPoints::instance().arm(crash_tag("detect.slot_claimed"));
+  EXPECT_THROW(h.store().sessions().open_session(2), CrashException);
+  CrashPoints::instance().reset();
+  h.crash_and_reopen(GetParam());
+
+  SessionTable& t = h.store().sessions();
+  ASSERT_TRUE(t.valid());
+  // The incumbent was durably retired before the crash point and the new
+  // owner never published: the table holds no session for either client.
+  EXPECT_EQ(t.recovered_sessions(), 0u);
+  EXPECT_EQ(t.resolve(1, 1).state, State::kUnknownSession);
+  EXPECT_EQ(t.resolve(2, 1).state, State::kUnknownSession);
+  // Both clients can claim fresh sessions with clean dedup windows.
+  const std::int32_t b = t.open_session(2);
+  ASSERT_GE(b, 0);
+  auto d = h.store().insert_detect(200, 2000, b, /*seq=*/1);
+  EXPECT_FALSE(d.duplicate);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, DetectClaimCrash,
+                         ::testing::Values(pmem::CrashMode::kDiscardUnflushed,
+                                           pmem::CrashMode::kRandomEvict),
+                         [](const auto& info) {
+                           return info.param ==
+                                          pmem::CrashMode::kDiscardUnflushed
+                                      ? "discard"
+                                      : "evict";
+                         });
+
+/// Crash mid-record, eager path (no AckBatch open): ring entry and last_seq
+/// persist before detect.slot_published fires, so in discard mode the op is
+/// exactly-once *applied* — sweep the firing across several seqs.
+TEST(DetectPublishCrash, EagerPathRecordIsDurable) {
+  for (std::uint64_t fire_at = 0; fire_at < 4; ++fire_at) {
+    SCOPED_TRACE("fire_at=" + std::to_string(fire_at));
+    ScopedDetect on(true);
+    StoreHarness h;
+    const std::int32_t slot = h.store().sessions().open_session(7);
+    ASSERT_GE(slot, 0);
+    h.mark_persisted();
+
+    CrashPoints::instance().arm(crash_tag("detect.slot_published"), fire_at);
+    std::uint64_t seq = 0;
+    std::optional<std::uint64_t> results[8];
+    try {
+      for (;;) {
+        ++seq;
+        results[seq] = h.store()
+                           .insert_detect(seq, seq * 10, slot, seq)
+                           .previous;
+      }
+    } catch (const CrashException&) {
+    }
+    CrashPoints::instance().reset();
+    ASSERT_EQ(seq, fire_at + 1);
+    h.crash_and_reopen(pmem::CrashMode::kDiscardUnflushed);
+
+    SessionTable& t = h.store().sessions();
+    ASSERT_TRUE(t.valid());
+    ASSERT_EQ(t.open_session(7), slot);
+    // Every seq — including the one whose ack was interrupted — recorded
+    // eagerly before the crash point: all resolve applied, exact results.
+    for (std::uint64_t s = 1; s <= seq; ++s) {
+      const ResolveResult r = t.resolve(7, s);
+      EXPECT_EQ(r.state, State::kApplied) << "seq " << s;
+      EXPECT_EQ(r.has_previous, 0u) << "seq " << s;
+      EXPECT_EQ(*h.store().search(s), s * 10) << "seq " << s;
+    }
+    EXPECT_EQ(t.resolve(7, seq + 1).state, State::kNotApplied);
+  }
+}
+
+/// Crash mid-record, deferred path (AckBatch open, the server's MOD/group-
+/// commit arrangement): the record lines die with the un-fenced batch, so
+/// in discard mode the interrupted op resolves *not applied* and the replay
+/// under the same seq must run. In random-evict mode the record and the
+/// publish can survive independently — only structural recovery and a legal
+/// resolve answer are asserted (this is why the exactly-once torture shard
+/// pins discard mode).
+class DetectPublishCrashDeferred
+    : public ::testing::TestWithParam<pmem::CrashMode> {};
+
+TEST_P(DetectPublishCrashDeferred, UnfencedRecordResolvesExactlyOnce) {
+  if (!pmem::mod_writes_enabled())
+    GTEST_SKIP() << "legacy ordered write path: nothing defers";
+  ScopedDetect on(true);
+  StoreHarness h;
+  const std::int32_t slot = h.store().sessions().open_session(7);
+  ASSERT_GE(slot, 0);
+  // An acked op before the crash: its record must survive regardless.
+  h.store().insert_detect(1, 10, slot, /*seq=*/1);
+  h.mark_persisted();
+
+  CrashPoints::instance().arm(crash_tag("detect.slot_published"));
+  try {
+    pmem::AckBatch ab;  // deferred: lines die un-fenced, like a dead server
+    h.store().insert_detect(2, 20, slot, /*seq=*/2);
+    FAIL() << "detect.slot_published did not fire";
+  } catch (const CrashException&) {
+  }
+  CrashPoints::instance().reset();
+  h.crash_and_reopen(GetParam());
+
+  SessionTable& t = h.store().sessions();
+  ASSERT_TRUE(t.valid());
+  ASSERT_EQ(t.open_session(7), slot);
+  EXPECT_EQ(t.resolve(7, 1).state, State::kApplied);
+  const ResolveResult r = t.resolve(7, 2);
+  if (GetParam() == pmem::CrashMode::kDiscardUnflushed) {
+    // Both the record and the op's ack lines rode the abandoned batch:
+    // exactly-once says not applied, and the replay must not dedup.
+    ASSERT_EQ(r.state, State::kNotApplied);
+    auto d = h.store().insert_detect(2, 20, slot, /*seq=*/2);
+    EXPECT_FALSE(d.duplicate);
+    EXPECT_EQ(*h.store().search(2), 20u);
+    EXPECT_EQ(t.resolve(7, 2).state, State::kApplied);
+  } else {
+    // Random eviction may persist either side independently; the table must
+    // still answer one of the two legal states and accept a replay cycle.
+    EXPECT_TRUE(r.state == State::kNotApplied || r.state == State::kApplied);
+    if (r.state == State::kNotApplied)
+      h.store().insert_detect(2, 20, slot, /*seq=*/2);
+    EXPECT_EQ(t.resolve(7, 2).state, State::kApplied);
+  }
+  h.store().check_invariants();
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, DetectPublishCrashDeferred,
+                         ::testing::Values(pmem::CrashMode::kDiscardUnflushed,
+                                           pmem::CrashMode::kRandomEvict),
+                         [](const auto& info) {
+                           return info.param ==
+                                          pmem::CrashMode::kDiscardUnflushed
+                                      ? "discard"
+                                      : "evict";
+                         });
+
+}  // namespace
+}  // namespace upsl::core

@@ -58,10 +58,17 @@ TEST_P(MultiPool, CrashRecoveryAcrossPools) {
   std::map<std::uint64_t, std::uint64_t> acked;
   CrashPoints::instance().arm(/*any=*/0, 200);
   Xoshiro256 rng(13);
-  // The operation in flight at the crash was never acknowledged; under
-  // strict linearizability it may take effect or not (its value word can be
-  // durable before the ack, e.g. a crash right after update_value's
-  // persist), so the check below accepts either outcome for that one key.
+  // Detectable mutations (docs/detectability.md): every insert carries
+  // (client_id, seq), so the op in flight at the crash is not an
+  // either-outcome hole any more — the durable session table answers
+  // exactly which outcome happened, and a not-applied op replays under the
+  // same seq. Plain (non-detectable) ops keep the legacy either-outcome
+  // tolerance; see CrashTorture.DiscardModeShard* for that campaign.
+  test::ScopedDetect detect_on(true);
+  constexpr std::uint64_t kClient = 77;
+  const std::int32_t slot = h.store().sessions().open_session(kClient);
+  ASSERT_GE(slot, 0);
+  std::uint64_t seq = 0;
   std::uint64_t inflight_key = 0;
   std::uint64_t inflight_value = 0;
   try {
@@ -70,24 +77,53 @@ TEST_P(MultiPool, CrashRecoveryAcrossPools) {
       const std::uint64_t value = 1 + (rng.next() >> 1);
       inflight_key = key;
       inflight_value = value;
-      h.store().insert(key, value);
+      ++seq;
+      h.store().insert_detect(key, value, slot, seq);
       acked[key] = value;
     }
   } catch (const CrashException&) {
   }
   CrashPoints::instance().disarm();
   h.crash_and_reopen();
+
+  // Reconnect-and-resolve: the session survives the crash, and the resolve
+  // answer decides the in-flight key's exact value.
+  const std::int32_t rslot = h.store().sessions().open_session(kClient);
+  ASSERT_EQ(rslot, slot) << "session lost its durable slot across the crash";
+  const detect::ResolveResult r = h.store().sessions().resolve(kClient, seq);
+  switch (r.state) {
+    case detect::ResolveResult::State::kApplied:
+      // The durable result must replay the key's previous acked value.
+      if (const auto it = acked.find(inflight_key); it != acked.end()) {
+        EXPECT_EQ(r.has_previous, 1u);
+        EXPECT_EQ(r.result, it->second);
+      } else {
+        EXPECT_EQ(r.has_previous, 0u);
+      }
+      break;
+    case detect::ResolveResult::State::kNotApplied: {
+      // Replay with the same seq and payload; it must apply, not dedup.
+      const auto d =
+          h.store().insert_detect(inflight_key, inflight_value, rslot, seq);
+      EXPECT_FALSE(d.duplicate);
+      break;
+    }
+    default:
+      FAIL() << "in-flight seq " << seq << " resolved to state "
+             << static_cast<int>(r.state) << " with one op in flight";
+  }
+  // Either way the in-flight mutation has now been applied exactly once.
+  acked[inflight_key] = inflight_value;
   for (const auto& [k, v] : acked) {
     auto got = h.store().search(k);
     ASSERT_TRUE(got.has_value()) << k;
-    if (k == inflight_key) {
-      EXPECT_TRUE(*got == v || *got == inflight_value)
-          << "key " << k << ": got " << *got << ", want acked " << v
-          << " or in-flight " << inflight_value;
-    } else {
-      EXPECT_EQ(*got, v) << k;
-    }
+    EXPECT_EQ(*got, v) << k;
   }
+  // A duplicate replay of the now-resolved seq must return the original
+  // durable answer without mutating.
+  const auto dup = h.store().insert_detect(inflight_key, 0xdead, rslot, seq);
+  EXPECT_TRUE(dup.duplicate);
+  EXPECT_EQ(*h.store().search(inflight_key), inflight_value);
   for (std::uint64_t k = 5001; k <= 5100; ++k) h.store().insert(k, k);
   h.store().check_invariants();
   h.store().check_no_leaks();

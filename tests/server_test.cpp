@@ -735,5 +735,306 @@ TEST(ShardedServer, DrainThenRestartRecoversAllAckedWritesPerShard) {
   }
 }
 
+// ---- detectable sessions --------------------------------------------------
+
+TEST(ServerProtocol, DetectRequestRoundTrip) {
+  const Request cases[] = {
+      {Opcode::kHello, 0, 0, 0, /*seq=*/0, /*client_id=*/42},
+      {Opcode::kResolve, /*key=*/9, 0, 0, /*seq=*/3, /*client_id=*/42},
+      {Opcode::kDPut, 7, 700, 0, /*seq=*/5},
+      {Opcode::kDUpdate, 8, 800, 0, /*seq=*/6},
+      {Opcode::kDRemove, 9, 0, 0, /*seq=*/7},
+  };
+  for (const Request& in : cases) {
+    std::vector<std::uint8_t> buf;
+    encode_request(in, buf);
+    Request out;
+    std::size_t consumed = 0;
+    ASSERT_EQ(parse_request(buf.data(), buf.size(), &out, &consumed),
+              ParseResult::kOk);
+    EXPECT_EQ(consumed, buf.size());
+    EXPECT_EQ(static_cast<int>(out.op), static_cast<int>(in.op));
+    EXPECT_EQ(out.key, in.key);
+    EXPECT_EQ(out.value, in.value);
+    EXPECT_EQ(out.seq, in.seq);
+    EXPECT_EQ(out.client_id, in.client_id);
+  }
+}
+
+TEST(ServerProtocol, ResolveResponseRoundTrip) {
+  std::vector<std::uint8_t> buf;
+  encode_response_resolve(2, 1, 123, buf);
+  Response r;
+  std::size_t consumed = 0;
+  ASSERT_EQ(parse_response(buf.data(), buf.size(), &r, &consumed),
+            ParseResult::kOk);
+  EXPECT_EQ(r.status, Status::kOk);
+  Response::Resolve res;
+  ASSERT_TRUE(r.resolve(&res));
+  EXPECT_EQ(res.state, 2u);
+  EXPECT_EQ(res.has_previous, 1u);
+  EXPECT_EQ(res.result, 123u);
+}
+
+/// Reads one complete response frame off a raw socket.
+Response recv_response(int fd) {
+  std::vector<std::uint8_t> buf;
+  std::uint8_t tmp[256];
+  Response r;
+  std::size_t consumed = 0;
+  for (;;) {
+    const ssize_t n = ::recv(fd, tmp, sizeof tmp, 0);
+    if (n <= 0) {
+      ADD_FAILURE() << "connection closed while waiting for a response";
+      return r;
+    }
+    buf.insert(buf.end(), tmp, tmp + n);
+    const ParseResult pr = parse_response(buf.data(), buf.size(), &r, &consumed);
+    if (pr == ParseResult::kOk) return r;
+    if (pr == ParseResult::kBad) {
+      ADD_FAILURE() << "malformed response frame";
+      return r;
+    }
+  }
+}
+
+TEST(ServerLoopback, HelloDputDedupAndResolve) {
+  test::ScopedDetect on(true);
+  ServerFixture f;
+  Client c = f.connect();
+  EXPECT_GT(c.hello(42), 0u);
+  EXPECT_EQ(c.session_client_id(), 42u);
+
+  auto p1 = c.dput(5, 50);  // seq 1
+  EXPECT_TRUE(p1.created);
+  auto p2 = c.dput(5, 51);  // seq 2
+  EXPECT_FALSE(p2.created);
+  EXPECT_EQ(p2.old_value, 50u);
+  EXPECT_EQ(c.last_issued_seq(), 2u);
+  EXPECT_EQ(c.dremove(777), std::nullopt);  // seq 3: not-found is durable too
+
+  // RESOLVE replays the durable answers.
+  EXPECT_EQ(c.resolve(42, 1).state, 2u);  // applied, no previous
+  EXPECT_EQ(c.resolve(42, 1).has_previous, 0u);
+  const Response::Resolve r2 = c.resolve(42, 2);
+  EXPECT_EQ(r2.state, 2u);
+  EXPECT_EQ(r2.has_previous, 1u);
+  EXPECT_EQ(r2.result, 50u);
+  EXPECT_EQ(c.resolve(9999, 1).state, 0u);  // unknown session
+  EXPECT_EQ(c.resolve(42, 50).state, 1u);   // never issued: not applied
+
+  // A second connection with the same identity replays the same seqs: every
+  // answer must be byte-identical to the original and nothing re-applies.
+  Client d;
+  ASSERT_TRUE(d.connect("127.0.0.1", f.srv->port()));
+  EXPECT_GT(d.hello(42), 0u);
+  auto q1 = d.dput(5, 999);  // seq 1 replay
+  EXPECT_TRUE(q1.created);
+  auto q2 = d.dput(5, 888);  // seq 2 replay
+  EXPECT_FALSE(q2.created);
+  EXPECT_EQ(q2.old_value, 50u);
+  EXPECT_EQ(d.get(5), std::optional<std::uint64_t>(51));
+  EXPECT_EQ(d.dremove(777), std::nullopt);  // seq 3 replay
+  EXPECT_GE(f.srv->stats().detect_dups.load(), 3u);
+  EXPECT_GE(f.srv->stats().hellos.load(), 2u);
+  const std::string stats = c.stats_json();
+  EXPECT_NE(stats.find("\"detect\""), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"dedup_hits\""), std::string::npos) << stats;
+}
+
+TEST(ServerLoopback, DetectFrameAbuseIsRejectedNotFatal) {
+  test::ScopedDetect on(true);
+  ServerFixture f;
+
+  // Detectable mutation without a HELLO: error response, connection lives.
+  const int fd = raw_connect(f.srv->port());
+  ASSERT_GE(fd, 0);
+  std::vector<std::uint8_t> frame;
+  encode_request({Opcode::kDPut, 1, 10, 0, /*seq=*/1}, frame);
+  ASSERT_EQ(::send(fd, frame.data(), frame.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(frame.size()));
+  EXPECT_EQ(recv_response(fd).status, Status::kError);
+  // HELLO with the reserved client_id 0: same contract.
+  frame.clear();
+  encode_request({Opcode::kHello, 0, 0, 0, 0, /*client_id=*/0}, frame);
+  ASSERT_EQ(::send(fd, frame.data(), frame.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(frame.size()));
+  EXPECT_EQ(recv_response(fd).status, Status::kError);
+  ::close(fd);
+
+  // Malformed RESOLVE (payload too short for client_id+seq+key): protocol
+  // error, the server closes the connection and keeps serving.
+  const int bad = raw_connect(f.srv->port());
+  ASSERT_GE(bad, 0);
+  std::vector<std::uint8_t> junk;
+  put_u32(junk, kBodyPrefixBytes + 8);
+  junk.push_back(static_cast<std::uint8_t>(Opcode::kResolve));
+  junk.insert(junk.end(), 3, 0);
+  put_u64(junk, 42);
+  ASSERT_EQ(::send(bad, junk.data(), junk.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(junk.size()));
+  char buf[16];
+  EXPECT_EQ(::recv(bad, buf, sizeof buf, 0), 0)
+      << "server must close a connection after a malformed RESOLVE";
+  ::close(bad);
+
+  EXPECT_GE(f.srv->stats().protocol_errors.load(), 1u);
+  Client good;
+  ASSERT_TRUE(good.connect("127.0.0.1", f.srv->port()));
+  EXPECT_TRUE(good.ping());
+}
+
+TEST(ServerLoopback, DetectKillSwitchKeepsServing) {
+  test::ScopedDetect off(false);
+  ServerFixture f;
+  Client c = f.connect();
+  // HELLO still succeeds (epoch 0 = degraded) so a detect-aware client can
+  // talk to a kill-switched server; mutations run as plain ops.
+  EXPECT_EQ(c.hello(42), 0u);
+  EXPECT_TRUE(c.dput(5, 50).created);   // seq 1
+  auto again = c.dput(5, 51);           // seq 2 — but also no dedup state
+  EXPECT_FALSE(again.created);
+  EXPECT_EQ(again.old_value, 50u);
+  EXPECT_EQ(c.resolve(42, 1).state, 0u);  // no sessions: unknown
+  const std::string stats = c.stats_json();
+  EXPECT_NE(stats.find("\"detect\""), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"enabled\": false"), std::string::npos) << stats;
+}
+
+TEST(ServerLoopback, DetectSessionsSurviveRestartAndDedupReplays) {
+  test::ScopedDetect on(true);
+  ServerFixture f(1);
+  {
+    Client c = f.connect();
+    EXPECT_GT(c.hello(42), 0u);
+    EXPECT_TRUE(c.dput(5, 50).created);   // seq 1
+    EXPECT_FALSE(c.dput(5, 51).created);  // seq 2
+  }
+  f.stop_server();
+  f.harness.crash_and_reopen();
+  f.start_server(1);
+
+  // A fresh client process with the same identity re-sends from seq 1 (the
+  // classic at-least-once retry storm): the recovered session table turns
+  // it into exactly-once.
+  Client c = f.connect();
+  EXPECT_GT(c.hello(42), 0u);
+  auto q1 = c.dput(5, 999);  // seq 1 replay
+  EXPECT_TRUE(q1.created);   // original durable answer
+  auto q2 = c.dput(5, 888);  // seq 2 replay
+  EXPECT_FALSE(q2.created);
+  EXPECT_EQ(q2.old_value, 50u);
+  EXPECT_EQ(c.get(5), std::optional<std::uint64_t>(51));
+  const Response::Resolve r = c.resolve(42, 2);
+  EXPECT_EQ(r.state, 2u);
+  EXPECT_EQ(r.result, 50u);
+}
+
+TEST(ServerLoopback, DroppedPipelineReportsExactSplitAndResolves) {
+  test::ScopedDetect on(true);
+  ServerFixture f(1);
+  Client c = f.connect();
+  EXPECT_GT(c.hello(42), 0u);
+  EXPECT_TRUE(c.dput(1, 10).created);  // seq 1, acked baseline
+
+  // Queue a detectable pipeline, then take the server down before flushing:
+  // the flush must fail with the exact acked/unresolved split, and the
+  // un-answered ops must be recoverable through reconnect-and-resolve.
+  c.queue_dput(2, 20);   // seq 2
+  c.queue_dremove(1);    // seq 3
+  c.queue_dput(3, 30);   // seq 4
+  f.stop_server();
+  std::vector<Response> resp;
+  bool threw = false;
+  try {
+    c.flush(&resp);
+  } catch (const PipelineError& e) {
+    threw = true;
+    EXPECT_EQ(e.acked, 0u);
+    EXPECT_EQ(e.unresolved, 3u);
+    EXPECT_EQ(c.unresolved_ops().size(), 3u);
+  }
+  ASSERT_TRUE(threw) << "flush into a dead server must raise PipelineError";
+
+  // Restart over the same store; same identity keeps the seq counter and
+  // the unresolved tail.
+  f.harness.crash_and_reopen();
+  f.start_server(1);
+  ASSERT_TRUE(c.connect("127.0.0.1", f.srv->port()));
+  EXPECT_GT(c.hello(42), 0u);
+  EXPECT_EQ(c.last_issued_seq(), 4u);
+
+  auto resolved = c.resolve_unresolved();
+  ASSERT_EQ(resolved.size(), 3u);
+  for (const Client::ResolvedOp& ro : resolved) {
+    ASSERT_TRUE(ro.resolvable);
+    // The pipeline never left the client: the durable answer is not-applied
+    // for each, and each replays under its original seq.
+    EXPECT_EQ(ro.answer.state, 1u) << "seq " << ro.op.seq;
+    c.requeue(ro.op);
+  }
+  c.flush(&resp);
+  ASSERT_EQ(resp.size(), 3u);
+  EXPECT_EQ(c.get(2), std::optional<std::uint64_t>(20));
+  EXPECT_EQ(c.get(1), std::nullopt);  // the requeued dremove applied
+  EXPECT_EQ(c.get(3), std::optional<std::uint64_t>(30));
+  EXPECT_EQ(c.unresolved_ops().size(), 0u);
+}
+
+TEST(ShardedServer, DetectableSessionsRouteAndResolveAcrossShards) {
+  test::ScopedDetect on(true);
+  ShardedServerFixture f(4);
+  ShardedClient c;
+  ASSERT_TRUE(c.connect("127.0.0.1", f.srv->port()));
+  EXPECT_GT(c.hello(42), 0u);
+
+  constexpr std::uint64_t kN = 100;
+  for (std::uint64_t k = 1; k <= kN; ++k)
+    EXPECT_TRUE(c.dput(k, k * 3).created);
+  for (std::uint64_t k = 1; k <= kN; ++k)
+    EXPECT_EQ(c.get(k), std::optional<std::uint64_t>(k * 3));
+
+  // RESOLVE routes by key: the last op of every shard's stream is still in
+  // that shard's result ring (earlier seqs have aged out of the 8-deep
+  // ring, which is why the replay below uses a short stream).
+  std::vector<std::uint64_t> seq_of_shard(4, 0);
+  std::vector<std::uint64_t> last_key(4, 0);
+  for (std::uint64_t k = 1; k <= kN; ++k) {
+    const std::uint32_t s = c.shard_of(k);
+    seq_of_shard[s] += 1;
+    last_key[s] = k;
+  }
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    if (last_key[s] == 0) continue;
+    const Response::Resolve r = c.resolve(42, seq_of_shard[s], last_key[s]);
+    EXPECT_EQ(r.state, 2u) << "shard " << s;
+  }
+
+  // Replay storm on a second identity, kept within the result-ring window
+  // (two keys per shard): a fresh connection re-sending the same key order
+  // restamps identical per-shard seq streams, so every dput must dedup and
+  // replay its original answer.
+  std::vector<std::uint64_t> keys;
+  std::vector<unsigned> per_shard(4, 0);
+  for (std::uint64_t k = 1000; keys.size() < 8; ++k) {
+    const std::uint32_t s = c.shard_of(k);
+    if (per_shard[s] >= 2) continue;
+    per_shard[s] += 1;
+    keys.push_back(k);
+  }
+  ShardedClient e;
+  ASSERT_TRUE(e.connect("127.0.0.1", f.srv->port()));
+  EXPECT_GT(e.hello(43), 0u);
+  for (const std::uint64_t k : keys) EXPECT_TRUE(e.dput(k, k * 7).created);
+  ShardedClient g;
+  ASSERT_TRUE(g.connect("127.0.0.1", f.srv->port()));
+  EXPECT_GT(g.hello(43), 0u);
+  for (const std::uint64_t k : keys)
+    EXPECT_TRUE(g.dput(k, k * 7 + 1).created);  // original answers replayed
+  for (const std::uint64_t k : keys)
+    EXPECT_EQ(g.get(k), std::optional<std::uint64_t>(k * 7));
+  EXPECT_GE(f.srv->stats().detect_dups.load(), keys.size());
+}
+
 }  // namespace
 }  // namespace upsl::server

@@ -44,6 +44,18 @@ class ScopedEnv {
   bool had_ = false;
 };
 
+/// Pin the detect kill switch for a test scope regardless of the CI env
+/// matrix (UPSL_DISABLE_DETECT): tests that assert detectable-session
+/// behaviour force it on, the kill-switch test forces it off, and the
+/// destructor restores env-driven behaviour either way.
+class ScopedDetect {
+ public:
+  explicit ScopedDetect(bool on) { detect::set_detect_for_testing(on); }
+  ~ScopedDetect() { detect::reset_detect_for_testing(); }
+  ScopedDetect(const ScopedDetect&) = delete;
+  ScopedDetect& operator=(const ScopedDetect&) = delete;
+};
+
 inline core::Options small_options(std::uint32_t keys_per_node = 8,
                                    std::uint32_t max_height = 12,
                                    std::uint32_t max_threads = 8) {
