@@ -185,6 +185,12 @@ std::uint64_t SessionTable::last_seq(std::uint32_t slot) const {
 ResolveResult SessionTable::lookup(std::uint32_t slot,
                                    std::uint64_t seq) const {
   ResolveResult r;
+  // seq 0 is the ring's empty sentinel, never issued: on a fresh slot it
+  // would alias an all-zero RingEntry and answer kApplied with result 0.
+  if (seq == 0) {
+    r.state = ResolveResult::State::kNotApplied;
+    return r;
+  }
   SlotHeader* sh = slot_header(slot);
   if (seq > pmem::pm_load(sh->last_seq)) {
     r.state = ResolveResult::State::kNotApplied;
@@ -205,6 +211,7 @@ ResolveResult SessionTable::lookup(std::uint32_t slot,
 
 void SessionTable::record(std::uint32_t slot, std::uint64_t seq,
                           std::uint32_t has_previous, std::uint64_t result) {
+  if (seq == 0) return;  // reserved sentinel, nothing durable to say
   RingEntry* e = ring_entry(slot, seq);
   pmem::pm_store(e->result, result);
   pmem::pm_store(e->has_previous, std::uint64_t{has_previous});

@@ -137,13 +137,16 @@ class SessionTable {
 
   /// Dedup probe for the executor: what does the slot say about `seq`?
   /// (kUnknownSession is never returned here — the caller holds the slot.)
+  /// Valid seqs start at 1; 0 is the ring's empty sentinel and always
+  /// answers kNotApplied.
   ResolveResult lookup(std::uint32_t slot, std::uint64_t seq) const;
 
   /// Persist (seq, status, result) into the slot's ring and advance
   /// last_seq. Lines go through pmem::ack_persist: inside an AckBatch scope
   /// they ride the batch/group-commit ack fence; standalone they persist
-  /// immediately. Call only with seq > last_seq(slot), from the single
-  /// thread owning the session.
+  /// immediately. Call only with seq > last_seq(slot) and seq >= 1 (0 is
+  /// the reserved empty sentinel — a no-op here), from the single thread
+  /// owning the session.
   void record(std::uint32_t slot, std::uint64_t seq, std::uint32_t has_previous,
               std::uint64_t result);
 

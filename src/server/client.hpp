@@ -65,7 +65,24 @@ class Client {
   ~Client() { close(); }
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
-  Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  /// Moves the socket AND the whole session state — identity, sequence
+  /// counter, queued/unresolved ops. Leaving any of those behind would let
+  /// the moved-to client restamp already-recorded seqs, which the server
+  /// dedups into stale answers instead of applying fresh mutations.
+  Client(Client&& other) noexcept
+      : fd_(other.fd_),
+        sendbuf_(std::move(other.sendbuf_)),
+        queued_(other.queued_),
+        recvbuf_(std::move(other.recvbuf_)),
+        client_id_(other.client_id_),
+        seq_(other.seq_),
+        inflight_(std::move(other.inflight_)),
+        unresolved_(std::move(other.unresolved_)) {
+    other.fd_ = -1;
+    other.queued_ = 0;
+    other.client_id_ = 0;
+    other.seq_ = 0;
+  }
 
   /// Connects (IPv4). Returns false on failure, errno intact.
   bool connect(const std::string& host, std::uint16_t port) {
@@ -504,16 +521,47 @@ class ShardedClient {
   /// Flushes every shard's pipeline and reassembles the responses in the
   /// order the requests were queued. Each per-shard stream is FIFO, so the
   /// i-th queued request on shard s is shard s's i-th response.
+  ///
+  /// Failure contract (mirrors Client::flush, per shard): every shard is
+  /// flushed even when one fails — a shard skipped after another's error
+  /// would strand its queued ops unsent, unacked, and invisible to the
+  /// resolve path. A failed shard parks its unanswered tail in that
+  /// Client's unresolved_ops() (resolve_unresolved() covers the union).
+  /// *out receives every response that did arrive, in submission order
+  /// with the lost ones absent — the requests missing from *out are
+  /// exactly those in the per-shard unresolved lists. The aggregate
+  /// PipelineError carries acked = responses delivered, unresolved = ops
+  /// parked for resolution, and the queue is left empty either way.
   void flush(std::vector<Response>* out) {
+    const std::size_t n = order_.size();
     std::vector<std::vector<Response>> per_shard(clients_.size());
-    for (std::uint32_t s = 0; s < clients_.size(); ++s)
-      if (clients_[s].queued() > 0) clients_[s].flush(&per_shard[s]);
+    std::size_t failures = 0;
+    std::size_t unresolved = 0;
+    std::string first_error;
+    for (std::uint32_t s = 0; s < clients_.size(); ++s) {
+      if (clients_[s].queued() == 0) continue;
+      try {
+        clients_[s].flush(&per_shard[s]);
+      } catch (const PipelineError& e) {
+        // The shard's acked prefix is already in per_shard[s]; its tail
+        // sits in that Client's unresolved_ops() for the resolve path.
+        if (failures++ == 0) first_error = e.what();
+        unresolved += e.unresolved;
+      }
+    }
     out->clear();
-    out->reserve(order_.size());
+    out->reserve(n);
     std::vector<std::size_t> cursor(clients_.size(), 0);
-    for (const std::uint32_t s : order_)
-      out->push_back(std::move(per_shard[s][cursor[s]++]));
+    for (const std::uint32_t s : order_) {
+      const std::size_t i = cursor[s]++;
+      if (i < per_shard[s].size()) out->push_back(std::move(per_shard[s][i]));
+    }
     order_.clear();
+    if (failures > 0)
+      throw PipelineError("upsl client: " + std::to_string(failures) +
+                              " shard pipeline(s) failed; first: " +
+                              first_error,
+                          n - unresolved, unresolved);
   }
 
   // ---- one-shot operations (forwarded to the owning shard) ----------------
@@ -571,6 +619,15 @@ class ShardedClient {
   void queue_dremove(std::uint64_t key) {
     const std::uint32_t s = shard_of(key);
     clients_[s].queue_dremove(key);
+    order_.push_back(s);
+  }
+
+  /// Replays an op from resolve_unresolved() under its original seq, on the
+  /// shard that owns its key (mirrors Client::requeue, keeping the
+  /// submission-order bookkeeping for the next flush()).
+  void requeue(const Client::QueuedOp& op) {
+    const std::uint32_t s = shard_of(op.key);
+    clients_[s].requeue(op);
     order_.push_back(s);
   }
 

@@ -456,12 +456,22 @@ void Server::execute_one(Worker& w, Conn& c, const Request& req,
   };
   // The connection's session slot on shard s, opened on first use. The slot
   // index is a pure cache — the durable identity is (client_id, seq); a
-  // reconnect re-finds the same slot through open_session.
+  // reconnect re-finds the same slot through open_session. Revalidate the
+  // cache against the slot's current owner on every use: with more live
+  // clients than slots, another connection's open_session can evict this
+  // session and hand the slot to a new identity, and a stale index must
+  // never read or write the new owner's dedup state. (Eviction racing the
+  // op itself is then confined to the instants between this check and the
+  // slot write — versus an unbounded stale cache.)
   auto session_slot = [&](std::uint32_t s) -> std::int32_t {
     if (c.session_slots.size() != shards) c.session_slots.assign(shards, -1);
-    if (c.session_slots[s] < 0)
-      c.session_slots[s] = stores_[s]->sessions().open_session(c.client_id);
-    return c.session_slots[s];
+    std::int32_t slot = c.session_slots[s];
+    if (slot >= 0 && stores_[s]->sessions().client_id(
+                         static_cast<std::uint32_t>(slot)) != c.client_id)
+      slot = -1;  // evicted since cached: reclaim through open_session
+    if (slot < 0) slot = stores_[s]->sessions().open_session(c.client_id);
+    c.session_slots[s] = slot;
+    return slot;
   };
   // Shared tail of DPUT/DUPDATE/DREMOVE: count a dedup hit, encode the
   // (original or fresh) result with PUT/REMOVE response shapes.
@@ -606,7 +616,9 @@ void Server::execute_one(Worker& w, Conn& c, const Request& req,
     case Opcode::kDPut:
     case Opcode::kDUpdate: {
       stats_.puts.fetch_add(1, std::memory_order_relaxed);
-      if (c.client_id == 0) {  // no HELLO on this connection
+      // Reject both the missing HELLO and the reserved seq 0 (the result
+      // ring's empty sentinel — valid seqs start at 1).
+      if (c.client_id == 0 || req.seq == 0) {
         encode_response_empty(Status::kError, out);
         break;
       }
@@ -618,7 +630,7 @@ void Server::execute_one(Worker& w, Conn& c, const Request& req,
     }
     case Opcode::kDRemove: {
       stats_.removes.fetch_add(1, std::memory_order_relaxed);
-      if (c.client_id == 0) {
+      if (c.client_id == 0 || req.seq == 0) {
         encode_response_empty(Status::kError, out);
         break;
       }

@@ -90,6 +90,29 @@ TEST(Detect, DedupReplaysOriginalResult) {
   EXPECT_EQ(h.store().sessions().resolve(7, 50).state, State::kNotApplied);
 }
 
+TEST(Detect, SeqZeroIsReservedNeverAppliedNeverRecorded) {
+  ScopedDetect on(true);
+  StoreHarness h;
+  SessionTable& t = h.store().sessions();
+  const std::int32_t slot = t.open_session(7);
+  ASSERT_GE(slot, 0);
+  const auto uslot = static_cast<std::uint32_t>(slot);
+
+  // On a fresh slot, seq 0 aliases the ring's all-zero empty entries: it
+  // must answer not-applied, never a fabricated "applied with result 0".
+  EXPECT_EQ(t.resolve(7, 0).state, State::kNotApplied);
+
+  // Recording under the reserved seq says nothing durable.
+  t.record(uslot, 0, 1, 123);
+  EXPECT_EQ(t.last_seq(uslot), 0u);
+  EXPECT_EQ(t.resolve(7, 0).state, State::kNotApplied);
+
+  // Real seqs are unaffected, and seq 0 stays not-applied beside them.
+  EXPECT_FALSE(h.store().insert_detect(1, 10, slot, 1).duplicate);
+  EXPECT_EQ(t.resolve(7, 1).state, State::kApplied);
+  EXPECT_EQ(t.resolve(7, 0).state, State::kNotApplied);
+}
+
 TEST(Detect, ResultRingAgesOutToAppliedUnknown) {
   ScopedDetect on(true);
   StoreHarness h;

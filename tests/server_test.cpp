@@ -207,8 +207,9 @@ int raw_connect(std::uint16_t port) {
 /// File-backed store + server harness. The store harness mirrors the crash
 /// tests' procedure (tests/test_util.hpp); the server rides on top.
 struct ServerFixture {
-  explicit ServerFixture(unsigned workers = 2)
-      : harness(test::small_options(16, 12, 16)) {
+  explicit ServerFixture(unsigned workers = 2,
+                         core::Options opts = test::small_options(16, 12, 16))
+      : harness(opts) {
     start_server(workers);
   }
 
@@ -884,6 +885,95 @@ TEST(ServerLoopback, DetectFrameAbuseIsRejectedNotFatal) {
   EXPECT_TRUE(good.ping());
 }
 
+TEST(ServerLoopback, DetectSeqZeroIsRejectedNotExecuted) {
+  test::ScopedDetect on(true);
+  ServerFixture f;
+
+  // seq 0 is the result ring's empty sentinel: a D* frame carrying it must
+  // be rejected outright — executing it would ack a fabricated "duplicate"
+  // answer (state applied, result 0) and silently drop the mutation.
+  const int fd = raw_connect(f.srv->port());
+  ASSERT_GE(fd, 0);
+  std::vector<std::uint8_t> frame;
+  encode_request({Opcode::kHello, 0, 0, 0, 0, /*client_id=*/42}, frame);
+  ASSERT_EQ(::send(fd, frame.data(), frame.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(frame.size()));
+  EXPECT_EQ(recv_response(fd).status, Status::kOk);
+  frame.clear();
+  encode_request({Opcode::kDPut, 1, 10, 0, /*seq=*/0, 42}, frame);
+  ASSERT_EQ(::send(fd, frame.data(), frame.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(frame.size()));
+  EXPECT_EQ(recv_response(fd).status, Status::kError);
+  frame.clear();
+  encode_request({Opcode::kDRemove, 1, 0, 0, /*seq=*/0, 42}, frame);
+  ASSERT_EQ(::send(fd, frame.data(), frame.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(frame.size()));
+  EXPECT_EQ(recv_response(fd).status, Status::kError);
+  ::close(fd);
+
+  Client c = f.connect();
+  EXPECT_EQ(c.get(1), std::nullopt) << "rejected seq-0 DPUT must not apply";
+  // And the table classifies seq 0 as not-applied, never applied-result-0.
+  EXPECT_EQ(c.resolve(42, 0).state, 1u);
+}
+
+TEST(ServerLoopback, SessionEvictionInvalidatesCachedSlot) {
+  test::ScopedDetect on(true);
+  auto opts = test::small_options(16, 12, 16);
+  opts.session_slots = 2;  // force churn with three live clients
+  ServerFixture f(1, opts);
+
+  Client a = f.connect();
+  EXPECT_GT(a.hello(1), 0u);
+  EXPECT_TRUE(a.dput(1, 10).created);  // a: seq 1, slot cached server-side
+
+  // Two more identities exhaust the 2-slot table; a's session (oldest
+  // claim epoch) is evicted and its slot handed to c.
+  Client b = f.connect();
+  EXPECT_GT(b.hello(2), 0u);
+  Client c = f.connect();
+  EXPECT_GT(c.hello(3), 0u);
+
+  // a's connection is still open and still holds the stale slot index. Its
+  // next detectable op must NOT touch c's slot: the server has to notice
+  // the eviction and re-open a's session in a fresh slot.
+  EXPECT_TRUE(a.dput(2, 20).created);  // a: seq 2
+  EXPECT_EQ(a.get(2), std::optional<std::uint64_t>(20));
+
+  // c's dedup state stays pristine: none of a's seqs may appear applied
+  // under c's identity, and c's own ops still stamp from seq 1.
+  EXPECT_EQ(c.resolve(3, 1).state, 1u) << "a's op leaked into c's slot";
+  EXPECT_EQ(c.resolve(3, 2).state, 1u) << "a's op leaked into c's slot";
+  EXPECT_TRUE(c.dput(100, 1000).created);  // c: seq 1
+  EXPECT_EQ(c.resolve(3, 1).state, 2u);
+
+  // a's re-opened session recorded its post-eviction op durably.
+  EXPECT_EQ(a.resolve(1, 2).state, 2u);
+  EXPECT_EQ(a.resolve(1, 2).has_previous, 0u);
+}
+
+TEST(ServerLoopback, MovedClientKeepsSessionStateAndSocket) {
+  test::ScopedDetect on(true);
+  ServerFixture f;
+  Client c = f.connect();
+  EXPECT_GT(c.hello(42), 0u);
+  EXPECT_TRUE(c.dput(1, 10).created);  // seq 1
+
+  // Move the client: identity, seq counter, and socket all transfer. A
+  // move that dropped the counter would restamp seq 1 and the server
+  // would dedup the "new" mutation into the old answer.
+  Client d = std::move(c);
+  EXPECT_FALSE(c.connected());
+  EXPECT_EQ(c.session_client_id(), 0u);
+  EXPECT_TRUE(d.connected());
+  EXPECT_EQ(d.session_client_id(), 42u);
+  EXPECT_EQ(d.last_issued_seq(), 1u);
+
+  EXPECT_TRUE(d.dput(2, 20).created);  // seq 2 — fresh, not a replay
+  EXPECT_EQ(d.get(2), std::optional<std::uint64_t>(20));
+  EXPECT_EQ(d.resolve(42, 2).state, 2u);
+}
+
 TEST(ServerLoopback, DetectKillSwitchKeepsServing) {
   test::ScopedDetect off(false);
   ServerFixture f;
@@ -1034,6 +1124,61 @@ TEST(ShardedServer, DetectableSessionsRouteAndResolveAcrossShards) {
   for (const std::uint64_t k : keys)
     EXPECT_EQ(g.get(k), std::optional<std::uint64_t>(k * 7));
   EXPECT_GE(f.srv->stats().detect_dups.load(), keys.size());
+}
+
+TEST(ShardedServer, FailedShardedFlushStrandsNoShardAndResolves) {
+  test::ScopedDetect on(true);
+  ShardedServerFixture f(4, 1);
+  ShardedClient c;
+  ASSERT_TRUE(c.connect("127.0.0.1", f.srv->port()));
+  EXPECT_GT(c.hello(42), 0u);
+
+  constexpr std::uint64_t kN = 8;
+  std::vector<unsigned> per_shard(4, 0);
+  for (std::uint64_t k = 1; k <= kN; ++k) {
+    c.queue_dput(k, k * 10);
+    per_shard[c.shard_of(k)] += 1;
+  }
+  unsigned shards_used = 0;
+  for (const unsigned n : per_shard) shards_used += n > 0 ? 1 : 0;
+  ASSERT_GE(shards_used, 2u) << "keys must span shards for this test";
+
+  // Kill the whole fleet mid-pipeline: the flush must still visit EVERY
+  // shard (a shard skipped after the first failure would strand its queued
+  // ops — unsent, unacked, and invisible to the resolve path), report the
+  // aggregate split, and leave the queue empty (a stale order book would
+  // index out of bounds on the next flush).
+  f.stop_server();
+  std::vector<Response> resp;
+  bool threw = false;
+  try {
+    c.flush(&resp);
+  } catch (const PipelineError& e) {
+    threw = true;
+    EXPECT_EQ(e.acked + e.unresolved, kN);
+    EXPECT_EQ(e.unresolved, kN);     // server was down: nothing acked
+    EXPECT_EQ(resp.size(), e.acked);  // delivered == aggregate acked
+  }
+  ASSERT_TRUE(threw) << "flush into a dead fleet must raise PipelineError";
+  EXPECT_EQ(c.queued(), 0u);
+
+  // Reconnect-and-resolve must cover the union of every shard's tail.
+  f.harness.crash_and_reopen();
+  f.start_server(1);
+  ASSERT_TRUE(c.connect("127.0.0.1", f.srv->port()));
+  EXPECT_GT(c.hello(42), 0u);
+  auto resolved = c.resolve_unresolved();
+  ASSERT_EQ(resolved.size(), kN)
+      << "every shard's unresolved tail must survive the failed flush";
+  for (const Client::ResolvedOp& ro : resolved) {
+    ASSERT_TRUE(ro.resolvable);
+    EXPECT_EQ(ro.answer.state, 1u) << "key " << ro.op.key;
+    c.requeue(ro.op);
+  }
+  c.flush(&resp);
+  ASSERT_EQ(resp.size(), kN);
+  for (std::uint64_t k = 1; k <= kN; ++k)
+    EXPECT_EQ(c.get(k), std::optional<std::uint64_t>(k * 10));
 }
 
 }  // namespace
