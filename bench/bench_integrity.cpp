@@ -1,0 +1,134 @@
+// Checksum-tax A/B for corruption-aware recovery (BENCH_integrity.json).
+//
+// Two direct-store legs over an identical write-heavy trace (10% read /
+// 60% update / 30% insert, zipfian):
+//
+//   checksums-off — UPSL_DISABLE_CHECKSUMS behaviour: durable stamps are
+//                   written as 0 and never verified (the legacy format).
+//   checksums-on  — default build: CRC32C stamped on every node seal /
+//                   split / publish, magazine claim and session record,
+//                   riding the already-dirty ack lines.
+//
+// The headline metric is mutation-heavy throughput; the acceptance gate for
+// the corruption-aware-recovery PR is a <= 5% throughput tax with checksums
+// on. Legs run best-of-N trials (fresh store each trial) so one cold trial
+// does not fail the gate; persists/op deltas are recorded per leg to show
+// the stamps ride existing lines rather than adding persist calls.
+//
+// Knobs: UPSL_BENCH_RECORDS (default 20000), UPSL_BENCH_OPS (default 40000),
+// UPSL_INTEGRITY_THREADS (default 4), UPSL_INTEGRITY_TRIALS (default 3).
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "bench_common.hpp"
+#include "bench_json.hpp"
+#include "common/checksum.hpp"
+#include "common/thread_registry.hpp"
+#include "ycsb/workload.hpp"
+
+namespace {
+
+using namespace upsl;
+using bench::JsonBenchWriter;
+
+constexpr ycsb::WorkloadSpec kMixedWrite{"mixed-write", 0.10, 0.60, 0.30,
+                                         ycsb::Distribution::kZipfian};
+
+struct LegResult {
+  double mops = 0;  // best trial
+  ycsb::RunStats best;
+  JsonBenchWriter::Config persist_cfg;  // persists/fences per op, best trial
+};
+
+/// One leg: `trials` fresh stores under the given checksum setting, each
+/// playing back the same generated trace; keep the fastest trial (the gate
+/// compares steady-state cost, not allocator warm-up noise).
+LegResult run_leg(bool checksums, std::uint64_t records, std::uint64_t ops,
+                  unsigned threads, unsigned trials) {
+  set_checksums_for_testing(checksums);
+  LegResult leg;
+  const ycsb::Trace trace =
+      ycsb::generate(kMixedWrite, records, ops, threads, /*seed=*/77);
+  for (unsigned trial = 0; trial < trials; ++trial) {
+    bench::UPSLAdapter adapter(records, 1, 64, threads + 4);
+    ycsb::preload(adapter, trace);
+    bench::StatsDelta delta;
+    delta.begin();
+    const ycsb::RunStats stats =
+        ycsb::run_trace(adapter, trace, /*measure_latency=*/true);
+    if (stats.mops() > leg.mops) {
+      leg.mops = stats.mops();
+      leg.best = stats;
+      leg.persist_cfg = delta.per_op(stats.ops);
+    }
+  }
+  reset_checksums_for_testing();
+  return leg;
+}
+
+void add_entry(JsonBenchWriter& out, const char* name, const LegResult& leg,
+               std::uint64_t records, std::uint64_t ops, unsigned threads,
+               JsonBenchWriter::Config extra) {
+  JsonBenchWriter::Config cfg;
+  cfg.emplace_back("records", std::to_string(records));
+  cfg.emplace_back("ops", std::to_string(ops));
+  cfg.emplace_back("threads", std::to_string(threads));
+  cfg.emplace_back("workload", kMixedWrite.name);
+  for (auto& kv : leg.persist_cfg) cfg.push_back(kv);
+  for (auto& kv : extra) cfg.push_back(std::move(kv));
+  bench::append_build_config(cfg);
+  LatencyHistogram lat = leg.best.updates;
+  lat.merge(leg.best.inserts);
+  out.add(name, std::move(cfg), leg.mops * 1e6, lat);
+}
+
+}  // namespace
+
+int main() {
+  bench::apply_persist_delay();
+  const std::uint64_t records = bench::env_u64("UPSL_BENCH_RECORDS", 20000);
+  const std::uint64_t ops = bench::env_u64("UPSL_BENCH_OPS", 40000);
+  const auto threads =
+      static_cast<unsigned>(bench::env_u64("UPSL_INTEGRITY_THREADS", 4));
+  const auto trials =
+      static_cast<unsigned>(bench::env_u64("UPSL_INTEGRITY_TRIALS", 3));
+
+  ThreadRegistry::instance().bind(0);
+  bench::print_header("integrity: checksum tax A/B",
+                      "CRC32C stamps on the durable write path");
+  std::printf("  records=%llu ops=%llu threads=%u trials=%u kernel=%s\n",
+              static_cast<unsigned long long>(records),
+              static_cast<unsigned long long>(ops), threads, trials,
+              crc32c_kernel_name(dispatched_crc32c_kernel()));
+
+  const LegResult off = run_leg(false, records, ops, threads, trials);
+  const LegResult on = run_leg(true, records, ops, threads, trials);
+
+  const double tax =
+      off.mops > 0 ? (off.mops - on.mops) / off.mops * 100.0 : 0.0;
+  std::printf("  %-13s %7.3f Mops/s\n", "checksums-off", off.mops);
+  std::printf("  %-13s %7.3f Mops/s\n", "checksums-on", on.mops);
+  std::printf("  checksum tax: %+.2f%%\n", tax);
+
+  JsonBenchWriter out("integrity");
+  add_entry(out, "checksums-off", off, records, ops, threads,
+            {{"checksums", "off"}});
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f", tax);
+  add_entry(out, "checksums-on", on, records, ops, threads,
+            {{"checksums", "on"},
+             {"tax_pct", buf},
+             {"crc32c_kernel", crc32c_kernel_name(dispatched_crc32c_kernel())}});
+  out.write();
+
+  // Gate (only at meaningful scale — smoke runs with tiny op counts verify
+  // wiring, not statistics): checksums may cost at most 5% of write-heavy
+  // throughput.
+  if (ops >= 20000 && tax > 5.0) {
+    std::fprintf(stderr, "FAIL: checksum tax %.2f%% > 5%% acceptance gate\n",
+                 tax);
+    return 1;
+  }
+  return 0;
+}

@@ -68,6 +68,10 @@ class CliBackend {
   /// Full structural check; returns a JSON report and sets *ok. Never
   /// throws for a failed check — that is a result, not an error.
   virtual std::string validate(bool* ok) = 0;
+  /// Deep integrity check (docs/integrity.md): checksum-verifying re-walk
+  /// plus the quarantine report. *ok = the store is NOT degraded. A
+  /// degraded verdict is a result, not an error.
+  virtual std::string fsck(bool* ok) = 0;
   virtual std::string banner() = 0;
 };
 
@@ -148,6 +152,19 @@ class LocalBackend : public CliBackend {
       return "{\"valid\": false, \"error\": \"" + msg + "\"}";
     }
   }
+  std::string fsck(bool* ok) override {
+    try {
+      const core::IntegrityReport rep = store_->verify_deep();
+      *ok = !rep.degraded();
+      return rep.to_json();
+    } catch (const std::exception& e) {
+      *ok = false;
+      std::string msg;
+      for (const char* c = e.what(); *c != '\0'; ++c)
+        msg += (*c == '"' || *c == '\\') ? ' ' : *c;
+      return "{\"degraded\": true, \"error\": \"" + msg + "\"}";
+    }
+  }
   std::string banner() override {
     char buf[160];
     if (created_) {
@@ -213,6 +230,14 @@ class RemoteBackend : public CliBackend {
   }
   std::string stats() override { return client_.stats_json(); }
   std::string validate(bool* ok) override { return client_.validate_json(ok); }
+  std::string fsck(bool* ok) override {
+    const std::string json = client_.fsck_json(ok);
+    // The wire *ok means "the walk ran"; fold in the report's own verdict
+    // so the CLI prints DEGRADED when quarantine found damage.
+    if (*ok && json.find("\"degraded\": true") != std::string::npos)
+      *ok = false;
+    return json;
+  }
   std::string banner() override { return "connected to " + addr_; }
 
  private:
@@ -225,7 +250,7 @@ int command_loop(CliBackend& be) {
   std::printf("%s\n", be.banner().c_str());
   std::printf("commands: put <k> <v> | get <k> | del <k> | scan <lo> <hi> | "
               "resolve <client_id> <seq> [key] | count | stats | validate | "
-              "quit\n");
+              "fsck | quit\n");
   std::string line;
   while (std::printf("> "), std::fflush(stdout), std::getline(std::cin, line)) {
     std::istringstream is(line);
@@ -305,6 +330,10 @@ int command_loop(CliBackend& be) {
         bool ok = false;
         const std::string report = be.validate(&ok);
         std::printf("%s\n%s\n", ok ? "OK" : "INVALID", report.c_str());
+      } else if (cmd == "fsck") {
+        bool ok = false;
+        const std::string report = be.fsck(&ok);
+        std::printf("%s\n%s\n", ok ? "CLEAN" : "DEGRADED", report.c_str());
       } else if (cmd == "quit" || cmd == "exit") {
         break;
       } else if (!cmd.empty()) {

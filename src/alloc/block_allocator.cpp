@@ -5,6 +5,7 @@
 #include <cstring>
 #include <new>
 
+#include "common/checksum.hpp"
 #include "common/crashpoint.hpp"
 
 namespace upsl::alloc {
@@ -23,6 +24,18 @@ bool trace_on() {
   do { \
     if (trace_on()) std::fprintf(stderr, __VA_ARGS__); \
   } while (0)
+
+/// Integrity stamp over a descriptor's alloc side: (epoch, count,
+/// alloc_rivs). Serialized through a local buffer so the stamp is a pure
+/// function of the covered values, independent of the packed count word.
+std::uint32_t mag_alloc_stamp(std::uint64_t epoch, std::uint32_t count,
+                              const std::uint64_t* rivs) {
+  std::uint64_t words[2 + kMagazineSlots];
+  words[0] = epoch;
+  words[1] = count;
+  for (std::uint32_t i = 0; i < kMagazineSlots; ++i) words[2 + i] = rivs[i];
+  return checksum_stamp(words, sizeof(words));
+}
 }  // namespace
 
 BlockAllocator::BlockAllocator(std::vector<ChunkAllocator*> pools,
@@ -562,7 +575,9 @@ void BlockAllocator::refill_magazine(std::uint32_t pool_idx,
   for (std::uint32_t i = 0; i < n; ++i) pm_store(d.alloc_rivs[i], batch[i]);
   for (std::uint32_t i = n; i < kMagazineSlots; ++i)
     pm_store(d.alloc_rivs[i], std::uint64_t{0});
-  pm_store(d.alloc_count, static_cast<std::uint64_t>(n));
+  std::uint64_t stamped[kMagazineSlots] = {};
+  std::memcpy(stamped, batch, n * sizeof(std::uint64_t));
+  pm_store(d.alloc_count, mag_pack(n, mag_alloc_stamp(epoch, n, stamped)));
   pm_store(d.epoch, epoch);
   persist(&d, sizeof(d));
   UPSL_CRASH_POINT("alloc.mag_refill_logged");
@@ -706,6 +721,40 @@ void BlockAllocator::recover_magazine(int tid) {
       std::fprintf(stderr, " %llu", (unsigned long long)pm_load(d.ret_rivs[i]));
     std::fprintf(stderr, "]\n");
   }
+  // Verify the alloc-side integrity stamp before trusting any riv in the
+  // descriptor. A mismatch means the medium damaged the descriptor after its
+  // persist (refill and retire both write it whole under one fence, and the
+  // crash-mode analysis in docs/integrity.md shows every legal crash leaves
+  // a stamp-consistent or fully-rolled-back image under kDiscardUnflushed);
+  // dereferencing a damaged riv could corrupt live data, so the descriptor
+  // is quarantined instead: reclamation is skipped, the named blocks are
+  // deliberately leaked (bounded at 2 * kMagazineSlots), and the loss is
+  // counted for the integrity report.
+  {
+    std::uint64_t rivs[kMagazineSlots];
+    for (std::uint32_t i = 0; i < kMagazineSlots; ++i)
+      rivs[i] = pm_load(d.alloc_rivs[i]);
+    const std::uint64_t packed = pm_load(d.alloc_count);
+    std::uint64_t words[2 + kMagazineSlots];
+    words[0] = pm_load(d.epoch);
+    words[1] = mag_count_of(packed);
+    for (std::uint32_t i = 0; i < kMagazineSlots; ++i) words[2 + i] = rivs[i];
+    if (!checksum_verify(words, sizeof(words), mag_stamp_of(packed))) {
+      std::uint64_t lost = 0;
+      for (std::uint32_t i = 0; i < kMagazineSlots; ++i) {
+        if (rivs[i] != 0) ++lost;
+        if (pm_load(d.ret_rivs[i]) != 0) ++lost;
+      }
+      ATRACE("[mag_recover tid=%d QUARANTINED, %llu blocks leaked]\n", tid,
+             (unsigned long long)lost);
+      counters_.quarantined_magazines.fetch_add(1, std::memory_order_relaxed);
+      counters_.quarantined_blocks.fetch_add(lost, std::memory_order_relaxed);
+      pmem::Stats::instance().checksum_failures.fetch_add(
+          1, std::memory_order_relaxed);
+      retire_magazine(d);
+      return;
+    }
+  }
   // Alloc entries first: a block can be named by both a stale alloc slot
   // and a stale return slot (popped, handed out, freed again); reclaiming
   // the alloc side first parks it in the free list, where the return-side
@@ -717,20 +766,27 @@ void BlockAllocator::recover_magazine(int tid) {
     reclaim_magazine_block(pm_load(d.ret_rivs[i]));
   // Retire the descriptor for the new epoch. A crash before this persist
   // re-runs both scans — every reclaim guard tolerates re-execution.
+  retire_magazine(d);
+  counters_.magazine_recoveries.fetch_add(1, std::memory_order_relaxed);
+}
+
+void BlockAllocator::retire_magazine(MagazineDesc& d) {
   for (std::uint32_t i = 0; i < kMagazineSlots; ++i) {
     pm_store(d.alloc_rivs[i], std::uint64_t{0});
     pm_store(d.ret_rivs[i], std::uint64_t{0});
   }
-  pm_store(d.alloc_count, std::uint64_t{0});
-  pm_store(d.epoch, current_epoch());
+  const std::uint64_t epoch = current_epoch();
+  static constexpr std::uint64_t kZeroRivs[kMagazineSlots] = {};
+  pm_store(d.alloc_count, mag_pack(0, mag_alloc_stamp(epoch, 0, kZeroRivs)));
+  pm_store(d.epoch, epoch);
   // Dying here (before the persist) rolls the zeroed slots back to the old
   // rivs under kDiscardUnflushed, or leaves a mix under random eviction;
   // either way the epoch stamp is not durable yet, so the next epoch
   // re-enters recover_magazine and the reclaim guards see each surviving
-  // riv at most once more.
+  // riv at most once more (a mixed image can also fail the stamp and be
+  // quarantined — harmless, since this pass already reclaimed every riv).
   UPSL_CRASH_POINT("alloc.mag_recover_retiring");
   persist(&d, sizeof(d));
-  counters_.magazine_recoveries.fetch_add(1, std::memory_order_relaxed);
 }
 
 void BlockAllocator::reclaim_magazine_block(std::uint64_t riv) {

@@ -150,6 +150,11 @@ class BlockAllocator {
     std::atomic<std::uint64_t> refills{0};
     std::atomic<std::uint64_t> return_flushes{0};
     std::atomic<std::uint64_t> magazine_recoveries{0};
+    /// Descriptors whose integrity stamp failed at recovery: reclamation is
+    /// skipped (a garbage riv must not be dereferenced) and the named blocks
+    /// are deliberately leaked, bounded at 2 * kMagazineSlots per descriptor.
+    std::atomic<std::uint64_t> quarantined_magazines{0};
+    std::atomic<std::uint64_t> quarantined_blocks{0};
   };
   const Counters& counters() const { return counters_; }
 
@@ -208,6 +213,7 @@ class BlockAllocator {
   void sync_thread_epoch();
   void repair_tail(std::uint32_t pool_idx, std::uint32_t arena_idx);
   void recover_magazine(int tid);
+  void retire_magazine(MagazineDesc& d);
   void reclaim_magazine_block(std::uint64_t riv);
 
   void log_attempt(LogKind kind, std::uint64_t block, std::uint64_t pred,

@@ -119,6 +119,21 @@ static_assert(sizeof(MagazineDesc) == 4 * kCacheLineSize,
               "magazine descriptors are sized as whole cache lines");
 static_assert(alignof(MagazineDesc) == kCacheLineSize);
 
+/// MagazineDesc has no spare word, so the integrity stamp shares
+/// `alloc_count`: count in the low 32 bits (<= kMagazineSlots), CRC32C stamp
+/// in the high 32. The stamp covers the alloc side only — (epoch, count,
+/// alloc_rivs) — because return entries are written slot-at-a-time without a
+/// fence and are individually re-classified by recovery anyway.
+inline std::uint32_t mag_count_of(std::uint64_t word) {
+  return static_cast<std::uint32_t>(word);
+}
+inline std::uint32_t mag_stamp_of(std::uint64_t word) {
+  return static_cast<std::uint32_t>(word >> 32);
+}
+inline std::uint64_t mag_pack(std::uint32_t count, std::uint32_t stamp) {
+  return (static_cast<std::uint64_t>(stamp) << 32) | count;
+}
+
 struct ChunkAllocatorConfig {
   std::uint64_t chunk_size = 4ull << 20;  // 4 MiB, the thesis' default
   std::uint32_t max_chunks = 64;

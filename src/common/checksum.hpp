@@ -1,0 +1,233 @@
+// CRC32C for durable-state integrity stamps.
+//
+// Crash torture proves the store survives power loss; this layer is for a
+// dishonest medium — bit flips, torn sub-8B writes, dead lines. Every
+// durable metadata surface with a spare word (node header, StoreRoot,
+// MagazineDesc alloc side, session slots, PMDK tx log) carries a CRC32C of
+// its checksummed bytes, stamped with the same persist/ack line the surface
+// already pays, and verified on every recovery path so damage is detected
+// and quarantined instead of trusted.
+//
+// Kernel dispatch mirrors simd.hpp: the binary is built without -msse4.2,
+// the hardware kernel (CRC32 instruction, ~1B/cycle per 8B word) is compiled
+// with a per-function target attribute and selected once from CPUID, with a
+// table-driven software fallback. UPSL_DISABLE_CHECKSUMS=1 is the kill
+// switch: stamps become 0 and verification always passes.
+//
+// Format compatibility both directions rides one convention: the stamp
+// value 0 means "unstamped" (a computed CRC of 0 is mapped to 1, so 0 is
+// never a real stamp). A store written with checksums off verifies clean
+// under a checksums-on reader (every stamp is 0 = unstamped), and a store
+// written with checksums on opens under a checksums-off reader (verification
+// is skipped entirely). Note the useful corollary: CRC32C of an all-zero
+// region is nonzero for any nonzero length, so a zeroed cache line under a
+// real stamp is always detected.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "common/compiler.hpp"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define UPSL_CRC32C_X86 1
+#include <nmmintrin.h>
+#endif
+
+namespace upsl {
+
+/// Thrown when a durable surface fails its integrity stamp and the damage is
+/// unrecoverable in place (e.g. the StoreRoot). Distinct from the
+/// std::runtime_error a topology mismatch raises at ShardSet reopen, so
+/// callers can tell "wrong pool set" from "damaged medium".
+class CorruptionError : public std::runtime_error {
+ public:
+  explicit CorruptionError(const std::string& what)
+      : std::runtime_error("corruption detected: " + what) {}
+};
+
+namespace detail {
+inline std::atomic<int>& checksum_flag() {
+  static std::atomic<int> flag{-1};  // -1 = env not read yet
+  return flag;
+}
+}  // namespace detail
+
+/// Kill switch (same cached-atomic idiom as UPSL_DISABLE_DETECT).
+inline bool checksums_enabled() {
+  int v = detail::checksum_flag().load(std::memory_order_relaxed);
+  if (UPSL_UNLIKELY(v < 0)) {
+    const char* e = std::getenv("UPSL_DISABLE_CHECKSUMS");
+    v = (e != nullptr && e[0] != '\0' && e[0] != '0') ? 0 : 1;
+    detail::checksum_flag().store(v, std::memory_order_relaxed);
+  }
+  return v == 1;
+}
+
+/// In-process kill-switch override for A/B benchmarking and tests.
+inline void set_checksums_for_testing(bool on) {
+  detail::checksum_flag().store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+/// Drop the cached decision so the next use re-reads the environment.
+inline void reset_checksums_for_testing() {
+  detail::checksum_flag().store(-1, std::memory_order_relaxed);
+}
+
+/// Which CRC32C kernel the process runs, best-first.
+enum class Crc32cKernel {
+  kSse42,     // hardware CRC32 instruction
+  kSoftware,  // table-driven portable fallback
+};
+
+inline const char* crc32c_kernel_name(Crc32cKernel k) {
+  return k == Crc32cKernel::kSse42 ? "sse4.2" : "software";
+}
+
+/// Pure decision function (testable without re-execing, like
+/// resolve_simd_level). The kill switch does not demote the kernel — it
+/// skips checksumming entirely — so the only input is the hardware fact.
+inline Crc32cKernel resolve_crc32c_kernel(bool have_sse42) {
+  return have_sse42 ? Crc32cKernel::kSse42 : Crc32cKernel::kSoftware;
+}
+
+namespace detail {
+
+inline bool cpu_has_sse42() {
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  __builtin_cpu_init();
+  return __builtin_cpu_supports("sse4.2") != 0;
+#else
+  return false;
+#endif
+}
+
+/// Castagnoli polynomial (reflected), the one the SSE4.2 instruction bakes
+/// in. Table built once on first use; the benign init race is harmless
+/// (every racer writes identical values).
+inline const std::uint32_t* crc32c_table() {
+  static const auto* table = [] {
+    auto* t = new std::uint32_t[256];
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int b = 0; b < 8; ++b)
+        c = (c & 1) ? (0x82f63b78u ^ (c >> 1)) : (c >> 1);
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+inline std::uint32_t crc32c_software(const void* data, std::size_t len,
+                                     std::uint32_t crc) {
+  const std::uint32_t* t = crc32c_table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  for (std::size_t i = 0; i < len; ++i)
+    crc = t[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+  return ~crc;
+}
+
+#ifdef UPSL_CRC32C_X86
+__attribute__((target("sse4.2"))) inline std::uint32_t crc32c_sse42(
+    const void* data, std::size_t len, std::uint32_t crc) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t c = ~crc;
+  while (len >= 8) {
+    std::uint64_t word;
+    std::memcpy(&word, p, 8);
+    c = _mm_crc32_u64(c, word);
+    p += 8;
+    len -= 8;
+  }
+  std::uint32_t c32 = static_cast<std::uint32_t>(c);
+  while (len > 0) {
+    c32 = _mm_crc32_u8(c32, *p);
+    ++p;
+    --len;
+  }
+  return ~c32;
+}
+#endif
+
+using Crc32cFn = std::uint32_t (*)(const void*, std::size_t, std::uint32_t);
+
+struct Crc32cDispatch {
+  Crc32cFn fn;
+  Crc32cKernel kernel;
+};
+
+inline std::atomic<const Crc32cDispatch*> g_crc32c{nullptr};
+
+inline const Crc32cDispatch* init_crc32c() {
+  static const Crc32cDispatch kSoftware{&crc32c_software,
+                                        Crc32cKernel::kSoftware};
+#ifdef UPSL_CRC32C_X86
+  static const Crc32cDispatch kHw{&crc32c_sse42, Crc32cKernel::kSse42};
+  const Crc32cDispatch* d =
+      resolve_crc32c_kernel(cpu_has_sse42()) == Crc32cKernel::kSse42
+          ? &kHw
+          : &kSoftware;
+#else
+  const Crc32cDispatch* d = &kSoftware;
+#endif
+  g_crc32c.store(d, std::memory_order_release);
+  return d;
+}
+
+UPSL_ALWAYS_INLINE const Crc32cDispatch& crc32c_dispatch() {
+  const Crc32cDispatch* d = g_crc32c.load(std::memory_order_acquire);
+  if (UPSL_UNLIKELY(d == nullptr)) d = init_crc32c();
+  return *d;
+}
+
+}  // namespace detail
+
+/// Raw CRC32C (Castagnoli) of `len` bytes, seedable for incremental use.
+inline std::uint32_t crc32c(const void* data, std::size_t len,
+                            std::uint32_t seed = 0) {
+  return detail::crc32c_dispatch().fn(data, len, seed);
+}
+
+inline Crc32cKernel dispatched_crc32c_kernel() {
+  return detail::crc32c_dispatch().kernel;
+}
+
+/// Test hook: re-resolve the kernel on next use.
+inline void reset_crc32c_dispatch_for_testing() {
+  detail::g_crc32c.store(nullptr, std::memory_order_release);
+}
+
+// ---- stamp/verify conventions ---------------------------------------------
+
+/// A stamp is a CRC32C with 0 reserved to mean "unstamped": a computed 0 is
+/// mapped to 1. Losing one codeword out of 2^32 is a fine trade for
+/// kill-switch format compatibility in both directions.
+inline std::uint32_t checksum_stamp_value(const void* data, std::size_t len) {
+  const std::uint32_t c = crc32c(data, len);
+  return c == 0 ? 1u : c;
+}
+
+/// Stamp for a durable field: the real CRC when checksums are on, 0
+/// (= unstamped) when they are off.
+inline std::uint32_t checksum_stamp(const void* data, std::size_t len) {
+  if (!checksums_enabled()) return 0;
+  return checksum_stamp_value(data, len);
+}
+
+/// Verify a stored stamp. Passes when checksums are off (reader side of the
+/// kill switch) and when the stamp is 0 (writer ran with checksums off).
+inline bool checksum_verify(const void* data, std::size_t len,
+                            std::uint32_t stored) {
+  if (!checksums_enabled()) return true;
+  if (stored == 0) return true;  // unstamped: written with checksums off
+  return stored == checksum_stamp_value(data, len);
+}
+
+}  // namespace upsl

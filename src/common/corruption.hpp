@@ -1,0 +1,193 @@
+// Seeded corruption injection for mapped pool images.
+//
+// CrashPoints (crashpoint.hpp) models *power loss*: threads die at
+// instruction boundaries and unflushed lines vanish. CorruptionPoints is
+// the sibling for a *dishonest medium*: between a crash and the reopen, a
+// test strikes the durable image with the three damage shapes real PM
+// deployments report —
+//
+//   kBitFlip   one flipped bit anywhere in the target range;
+//   kTornWord  a naturally-aligned 8-byte word whose bytes are partially
+//              replaced (models a torn sub-8B write: x86 only guarantees
+//              atomicity for aligned 8B stores, and a powerfail mid-line
+//              can leave any byte-granularity mix);
+//   kZeroLine  a whole 64-byte line reset to zero (dead/remapped line).
+//
+// Strikes are drawn from a seeded xorshift stream so every run is
+// reproducible from (seed, strike count), and every strike is recorded
+// (kind, offset, before/after word) so a failing torture seed prints
+// exactly what was damaged. The injector mutates raw bytes only; the
+// caller owns durability (after Pool::simulate_crash the caller re-syncs
+// the persistence domain, e.g. mark_all_persisted(), so the damage is the
+// durable truth and survives nested re-crashes).
+//
+// Driven by the durable-linearizability oracle in the ninth torture shard,
+// this makes "every acked key is recovered intact or explicitly reported
+// lost — never silently wrong" a checkable invariant.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace upsl {
+
+enum class CorruptionKind : std::uint32_t {
+  kBitFlip = 0,
+  kTornWord = 1,
+  kZeroLine = 2,
+};
+
+inline const char* corruption_kind_name(CorruptionKind k) {
+  switch (k) {
+    case CorruptionKind::kBitFlip:
+      return "bit-flip";
+    case CorruptionKind::kTornWord:
+      return "torn-word";
+    default:
+      return "zero-line";
+  }
+}
+
+/// One applied strike, for diagnostics and failing-seed repro lines.
+struct CorruptionHit {
+  CorruptionKind kind;
+  std::size_t offset;     ///< byte offset of the damaged word/line start
+  std::uint64_t before;   ///< first 8 bytes at `offset` before the strike
+  std::uint64_t after;    ///< same word after the strike
+};
+
+class CorruptionPoints {
+ public:
+  static CorruptionPoints& instance() {
+    static CorruptionPoints cp;
+    return cp;
+  }
+
+  /// Arming descriptor: how many strikes to deal per strike() call, drawn
+  /// from which damage shapes, reproducibly from `seed`.
+  struct ArmSpec {
+    std::uint64_t seed = 1;
+    std::uint32_t strikes = 1;
+    bool bit_flips = true;
+    bool torn_words = true;
+    bool zero_lines = true;
+  };
+
+  void arm(const ArmSpec& spec) {
+    spec_ = spec;
+    state_ = spec.seed ? spec.seed : 1;
+    armed_ = true;
+    hits_.clear();
+  }
+
+  void disarm() { armed_ = false; }
+  bool armed() const { return armed_; }
+
+  /// Deal the armed number of strikes into [base, base+len), uniformly at
+  /// seeded-random offsets. Appends to hits() and returns what this call
+  /// did. No-op (empty) when disarmed or the range is too small.
+  std::vector<CorruptionHit> strike(char* base, std::size_t len) {
+    std::vector<CorruptionHit> done;
+    if (!armed_ || base == nullptr || len < 64) return done;
+    for (std::uint32_t i = 0; i < spec_.strikes; ++i) {
+      CorruptionKind kind = draw_kind();
+      CorruptionHit hit{};
+      switch (kind) {
+        case CorruptionKind::kBitFlip:
+          hit = bit_flip(base, len, next());
+          break;
+        case CorruptionKind::kTornWord:
+          hit = torn_word(base, len, next());
+          break;
+        case CorruptionKind::kZeroLine:
+          hit = zero_line(base, len, next());
+          break;
+      }
+      done.push_back(hit);
+      hits_.push_back(hit);
+    }
+    return done;
+  }
+
+  const std::vector<CorruptionHit>& hits() const { return hits_; }
+
+  void reset() {
+    armed_ = false;
+    hits_.clear();
+  }
+
+  // ---- the three primitive strikes, usable standalone by tests ------------
+
+  /// Flip one seeded-random bit in [base, base+len).
+  static CorruptionHit bit_flip(char* base, std::size_t len,
+                                std::uint64_t draw) {
+    const std::size_t bit = static_cast<std::size_t>(draw % (len * 8));
+    const std::size_t byte = bit / 8;
+    CorruptionHit hit{CorruptionKind::kBitFlip, byte & ~std::size_t{7}, 0, 0};
+    std::memcpy(&hit.before, base + hit.offset, 8);
+    base[byte] = static_cast<char>(base[byte] ^ (1u << (bit % 8)));
+    std::memcpy(&hit.after, base + hit.offset, 8);
+    return hit;
+  }
+
+  /// Tear one naturally-aligned 8-byte word: replace a strict nonempty
+  /// subset of its bytes with pseudorandom garbage.
+  static CorruptionHit torn_word(char* base, std::size_t len,
+                                 std::uint64_t draw) {
+    const std::size_t words = len / 8;
+    const std::size_t off = (static_cast<std::size_t>(draw) % words) * 8;
+    CorruptionHit hit{CorruptionKind::kTornWord, off, 0, 0};
+    std::memcpy(&hit.before, base + off, 8);
+    // 1..7 torn bytes, garbage derived from the same draw so the strike is
+    // a pure function of (range, draw).
+    const unsigned torn = 1 + static_cast<unsigned>((draw >> 32) % 7);
+    std::uint64_t garbage = draw * 0x9e3779b97f4a7c15ull;
+    for (unsigned b = 0; b < torn; ++b) {
+      base[off + b] = static_cast<char>(garbage >> (8 * b));
+    }
+    std::memcpy(&hit.after, base + off, 8);
+    return hit;
+  }
+
+  /// Zero one 64-byte line containing a seeded-random offset.
+  static CorruptionHit zero_line(char* base, std::size_t len,
+                                 std::uint64_t draw) {
+    const std::size_t lines = len / 64;
+    const std::size_t off = (static_cast<std::size_t>(draw) % lines) * 64;
+    CorruptionHit hit{CorruptionKind::kZeroLine, off, 0, 0};
+    std::memcpy(&hit.before, base + off, 8);
+    std::memset(base + off, 0, 64);
+    hit.after = 0;
+    return hit;
+  }
+
+ private:
+  CorruptionKind draw_kind() {
+    // Rejection-free draw over the enabled kinds.
+    CorruptionKind enabled[3];
+    std::uint32_t n = 0;
+    if (spec_.bit_flips) enabled[n++] = CorruptionKind::kBitFlip;
+    if (spec_.torn_words) enabled[n++] = CorruptionKind::kTornWord;
+    if (spec_.zero_lines) enabled[n++] = CorruptionKind::kZeroLine;
+    if (n == 0) return CorruptionKind::kBitFlip;
+    return enabled[next() % n];
+  }
+
+  /// xorshift64*, same generator family as CrashPoints' per-thread streams.
+  std::uint64_t next() {
+    std::uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545f4914f6cdd1dull;
+  }
+
+  ArmSpec spec_{};
+  std::uint64_t state_ = 1;
+  bool armed_ = false;
+  std::vector<CorruptionHit> hits_;
+};
+
+}  // namespace upsl

@@ -134,4 +134,16 @@ void ShardSet::check_invariants() {
   for (auto& s : shards_) s->check_invariants();
 }
 
+IntegrityReport ShardSet::integrity() const {
+  IntegrityReport r;
+  for (const auto& s : shards_) r.merge(s->integrity());
+  return r;
+}
+
+IntegrityReport ShardSet::verify_deep() {
+  IntegrityReport r;
+  for (auto& s : shards_) r.merge(s->verify_deep());
+  return r;
+}
+
 }  // namespace upsl::core

@@ -89,6 +89,15 @@ class ShardSet {
   /// check_invariants on every shard; throws on the first violation.
   void check_invariants();
 
+  /// Merged open-time integrity verdict across members (docs/integrity.md).
+  /// A CorruptionError thrown by a member's open (unrepairable damage)
+  /// propagates out of open() instead, distinct from the runtime_error a
+  /// topology mismatch raises.
+  IntegrityReport integrity() const;
+
+  /// Deep re-verification (fsck) of every member, merged into one report.
+  IntegrityReport verify_deep();
+
  private:
   ShardSet() = default;
 

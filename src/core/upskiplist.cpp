@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/checksum.hpp"
 #include "common/crashpoint.hpp"
 #include "common/simd.hpp"
 #include "pmem/ack_batch.hpp"
@@ -82,10 +83,39 @@ struct StoreRoot {
   /// (wrong count, swapped shard files) is refused instead of served.
   std::uint64_t shard_count;
   std::uint64_t shard_index;
+  /// CRC32C stamp (common/checksum.hpp conventions: 0 = unstamped) over
+  /// every field except magic, epoch_id and the stamp itself. epoch_id is
+  /// excluded because the open-time bump persists a different cache line;
+  /// every *covered* mutable field (head_riv, tail_riv, index_mode) shares
+  /// this word's 64-byte line, so a restamp always commits atomically with
+  /// the field it covers under the line-granular persistence model.
+  std::uint64_t checksum;
 };
 
 constexpr std::size_t kLogsOffset = 128;  // after StoreRoot, line-aligned
 static_assert(sizeof(StoreRoot) <= kLogsOffset);
+static_assert(offsetof(StoreRoot, recovery_budget) == 64 &&
+                  offsetof(StoreRoot, checksum) == 120,
+              "index_mode/head/tail/checksum must share the root's 2nd line");
+
+/// Store-root integrity stamp, over the covered fields in declaration order
+/// with `index_mode` substitutable (the verify fallback tries both legal
+/// values to distinguish a damaged mode flag from deeper damage).
+std::uint32_t root_stamp_with_mode(const StoreRoot& r, std::uint64_t mode) {
+  const std::uint64_t w[13] = {
+      pm_load(r.version),     pm_load(r.num_pools),
+      pm_load(r.arenas_per_pool), pm_load(r.keys_per_node),
+      pm_load(r.max_height),  pm_load(r.block_size),
+      pm_load(r.recovery_budget), pm_load(r.sorted_splits),
+      pm_load(r.head_riv),    pm_load(r.tail_riv),
+      mode,                   pm_load(r.shard_count),
+      pm_load(r.shard_index)};
+  return upsl::checksum_stamp(w, sizeof(w));
+}
+
+std::uint32_t root_stamp(const StoreRoot& r) {
+  return root_stamp_with_mode(r, pm_load(r.index_mode));
+}
 
 std::size_t arenas_offset() {
   return kLogsOffset + sizeof(alloc::ThreadLog) * kMaxThreads;
@@ -134,6 +164,23 @@ unsigned default_rebuild_workers() {
 /// the only prefix the sorted-prefix block search may trust. Every
 /// sorted_count store clamps to this so no kNullKey hole or misordered key
 /// can end up inside [0, sorted_count) (check_invariants asserts it).
+/// Node-header meta word: height in the low byte (NodeView::height masks
+/// with 0xff), CRC32C stamp over the node's immutable identity triple
+/// (self_riv, key0, height) in the high 32 bits. The triple never changes
+/// after make_node — key(0) is the node's routing key, which neither the
+/// split erase loop (erases only keys >= the median, all > key0) nor split
+/// recovery (nulls only keys duplicated in the successor, all > key0) can
+/// touch — so every full-node persist re-flushes an unchanged stamp for
+/// free. The packed word can never collide with MemBlock::kFreeState
+/// (0xf2ee in bits 16..31; a real meta word has zeros there).
+std::uint64_t node_meta_word(std::uint64_t self_riv, std::uint64_t key0,
+                             std::uint32_t height) {
+  const std::uint64_t w[3] = {self_riv, key0, height};
+  return (static_cast<std::uint64_t>(upsl::checksum_stamp(w, sizeof(w)))
+          << 32) |
+         height;
+}
+
 std::uint32_t sorted_run_length(const NodeView& node, std::uint32_t K) {
   std::uint64_t prev_key = 0;
   std::uint32_t run = 0;
@@ -199,12 +246,36 @@ void UPSkipList::attach(std::vector<pmem::Pool*> pools, bool creating,
         (opts->dram_index && !dram_index_disabled_by_env()) ? 1 : 0;
     root->shard_count = opts->shard_count;
     root->shard_index = opts->shard_index;
+    root->checksum = root_stamp(*root);
     persist(root_area, need);
   } else {
     if (pm_load(root->magic) != kStoreMagic)
       throw std::runtime_error("store root not found (wrong pool set?)");
     if (root->num_pools != pools_.size())
       throw std::runtime_error("pool count mismatch with stored root");
+    // Verify the root's integrity stamp before trusting any geometry field.
+    // A mismatch confined to index_mode (the only covered field that flips
+    // during normal operation) is repairable: restore the stamped value and
+    // rebuild the index defensively. Anything else — or a zeroed second
+    // line, which the head/tail null check catches despite the 0-means-
+    // unstamped convention — is unrecoverable damage to the 128-byte root.
+    const auto stored =
+        static_cast<std::uint32_t>(pm_load(root->checksum));
+    if (pm_load(root->head_riv) == 0 || pm_load(root->tail_riv) == 0)
+      throw CorruptionError("store root head/tail sentinel rivs are null");
+    if (checksums_enabled() && stored != 0 && stored != root_stamp(*root)) {
+      pmem::Stats::instance().checksum_failures.fetch_add(
+          1, std::memory_order_relaxed);
+      std::int64_t restored = -1;
+      for (std::uint64_t m : {std::uint64_t{0}, std::uint64_t{1}})
+        if (root_stamp_with_mode(*root, m) == stored) restored = static_cast<std::int64_t>(m);
+      if (restored < 0)
+        throw CorruptionError(
+            "store root checksum mismatch (pool 0 root area damaged)");
+      pm_store(root->index_mode, static_cast<std::uint64_t>(restored));
+      persist(&root->index_mode, sizeof(root->index_mode));
+      integrity_.root_mode_repaired = true;
+    }
     layout_ = NodeLayout{static_cast<std::uint32_t>(root->keys_per_node),
                          static_cast<std::uint32_t>(root->max_height)};
     opts_.keys_per_node = layout_.keys_per_node;
@@ -266,6 +337,7 @@ void UPSkipList::attach(std::vector<pmem::Pool*> pools, bool creating,
     init_sentinels();
     root->head_riv = head_riv_;
     root->tail_riv = tail_riv_;
+    root->checksum = root_stamp(*root);
     persist(root, sizeof(*root));
     // Session table before the magic: a crash mid-create leaves an
     // unopenable store, never one missing its detectability region.
@@ -286,6 +358,11 @@ void UPSkipList::attach(std::vector<pmem::Pool*> pools, bool creating,
     // tails are re-anchored lazily by each thread's first epoch sync.
     pm_store(root->epoch_id, pm_load(root->epoch_id) + 1);
     persist(&root->epoch_id, sizeof(root->epoch_id));
+    // Quarantine walk before anything trusts the level-0 chain: the index
+    // rebuilds below feed node key0s into traversal hints, and a corrupted
+    // key0 entering the hint path turns misses silently wrong. No-op on a
+    // clean store (one header verify per node).
+    if (checksums_enabled()) quarantine_scan();
     // Stores too small for magazine descriptors never run that sync, so
     // their (few, tiny) free lists are repaired eagerly instead.
     if (mags == nullptr) block_alloc_->repair_tails();
@@ -324,18 +401,32 @@ void UPSkipList::attach(std::vector<pmem::Pool*> pools, bool creating,
     index_ = std::make_unique<DramIndex>(layout_.max_height);
     if (!creating) {
       rebuild_dram_index(0);
-      if (pm_load(root->index_mode) != 1) {
+      if (pm_load(root->index_mode) != 1 || integrity_.root_mode_repaired) {
         // PMEM towers go stale from here on; record that durably before
-        // the first un-mirrored insert can run.
+        // the first un-mirrored insert can run. The restamp shares the
+        // flag's cache line, so both commit atomically under one flush.
         pm_store(root->index_mode, std::uint64_t{1});
+        pm_store(root->checksum,
+                 static_cast<std::uint64_t>(root_stamp(*root)));
         persist(&root->index_mode, sizeof(root->index_mode));
       }
     }
-  } else if (!creating && pm_load(root->index_mode) != 0) {
+  } else if (!creating &&
+             (pm_load(root->index_mode) != 0 || integrity_.root_mode_repaired ||
+              integrity_.nodes_quarantined != 0)) {
+    // nodes_quarantined forces the rebuild even in steady tower mode: the
+    // quarantine walk re-bridged level 0 only, and stale tower pointers into
+    // a bridged-around node must not survive into traversal.
     rebuild_persistent_towers();
     pm_store(root->index_mode, std::uint64_t{0});
+    pm_store(root->checksum, static_cast<std::uint64_t>(root_stamp(*root)));
     persist(&root->index_mode, sizeof(root->index_mode));
   }
+
+  // Fold the session-table scan's verdict into the open-time report (the
+  // scan ran concurrently with the rebuilds above; join before reading it).
+  if (session_recovery.joinable()) session_recovery.join();
+  integrity_.sessions_quarantined += sessions_.quarantined_sessions();
 }
 
 std::unique_ptr<UPSkipList> UPSkipList::create(std::vector<pmem::Pool*> pools,
@@ -359,7 +450,7 @@ void UPSkipList::init_sentinels() {
   std::uint64_t tail_riv = 0;
   auto* traw = static_cast<char*>(block_alloc_->allocate(0, 0, &tail_riv));
   NodeView tail(traw, &layout_);
-  pm_store(tail.meta(), static_cast<std::uint64_t>(layout_.max_height));
+  pm_store(tail.meta(), node_meta_word(tail_riv, kTailKey, layout_.max_height));
   pm_store(tail.self_riv(), tail_riv);
   pm_store(tail.epoch_id(), epoch);
   pm_store(tail.key(0), kTailKey);
@@ -371,7 +462,8 @@ void UPSkipList::init_sentinels() {
   std::uint64_t head_riv = 0;
   auto* hraw = static_cast<char*>(block_alloc_->allocate(0, 0, &head_riv));
   NodeView head(hraw, &layout_);
-  pm_store(head.meta(), static_cast<std::uint64_t>(layout_.max_height));
+  // The head's key(0) slot is never written and stays kNullKey.
+  pm_store(head.meta(), node_meta_word(head_riv, kNullKey, layout_.max_height));
   pm_store(head.self_riv(), head_riv);
   pm_store(head.epoch_id(), epoch);
   for (std::uint32_t i = 0; i < layout_.keys_per_node; ++i)
@@ -402,7 +494,7 @@ std::uint64_t UPSkipList::make_node(std::uint64_t pred_riv, std::uint64_t key,
   std::uint64_t riv = 0;
   auto* raw = static_cast<char*>(block_alloc_->allocate(pred_riv, key, &riv));
   NodeView n(raw, &layout_);
-  pm_store(n.meta(), static_cast<std::uint64_t>(height));
+  pm_store(n.meta(), node_meta_word(riv, key, height));
   pm_store(n.self_riv(), riv);
   pm_store(n.sorted_count(), std::uint64_t{1});
   pm_store(n.key(0), key);
@@ -1659,6 +1751,208 @@ bool UPSkipList::log_block_reachable(const alloc::ThreadLog& log) {
     cur = pm_load(v.next(0));
   }
   return false;
+}
+
+// ---------------------------------------------------------------------------
+// Corruption-aware recovery (docs/integrity.md)
+// ---------------------------------------------------------------------------
+
+bool UPSkipList::valid_node_riv(std::uint64_t riv) const {
+  if (riv == 0) return false;
+  const riv::Decoded d = riv::decode(riv);
+  const alloc::ChunkAllocator* ca = nullptr;
+  for (const auto& c : chunk_allocs_)
+    if (c->pool().id() == d.pool) {
+      ca = c.get();
+      break;
+    }
+  if (ca == nullptr) return false;
+  if (d.chunk >= ca->header().max_chunks) return false;
+  if (ca->dir_entry(d.chunk).state != alloc::ChunkState::kAllocated)
+    return false;
+  constexpr std::uint32_t kHdr =
+      static_cast<std::uint32_t>(alloc::ChunkAllocator::kChunkHeaderSize);
+  if (d.offset < kHdr) return false;
+  const std::uint64_t bs = block_alloc_->block_size();
+  const std::uint64_t data_off = d.offset - kHdr;
+  if (data_off % bs != 0) return false;
+  return data_off + bs <= ca->chunk_data_size();
+}
+
+bool UPSkipList::node_header_ok(NodeView v, std::uint64_t riv) const {
+  const std::uint64_t meta = pm_load(v.meta());
+  const auto height = static_cast<std::uint32_t>(meta & 0xff);
+  // Semantic checks first: they hold for every legally written header and
+  // catch a zeroed header line (height 0, self_riv 0) even though a zeroed
+  // stamp reads as "unstamped" under the kill-switch-compatible convention.
+  if (height < 1 || height > layout_.max_height) return false;
+  if ((meta & 0xffffff00ull) != 0) return false;  // bits 8..31 always zero
+  if (pm_load(v.self_riv()) != riv) return false;
+  const std::uint64_t w[3] = {riv, pm_load(v.key(0)), height};
+  return checksum_verify(w, sizeof(w),
+                         static_cast<std::uint32_t>(meta >> 32));
+}
+
+void UPSkipList::quarantine_scan() {
+  // The sentinels anchor everything — there is no structure to repair
+  // around them, so damage there is detected-fatal, not quarantined.
+  if (!valid_node_riv(head_riv_) || !valid_node_riv(tail_riv_) ||
+      !node_header_ok(view(head_riv_), head_riv_) ||
+      !node_header_ok(view(tail_riv_), tail_riv_))
+    throw CorruptionError("sentinel node failed its header integrity check");
+
+  auto& st = pmem::Stats::instance();
+  NodeView pred = view(head_riv_);
+  std::uint64_t last_good_key = kNullKey;  // head's routing key
+  std::uint64_t cur = pm_load(pred.next(0));
+  bool bridging = false;       // at least one node quarantined since `pred`
+  std::uint64_t run_hops = 0;  // consecutive quarantined hops
+  std::uint64_t total = 0;
+
+  auto quarantine = [&](std::uint64_t riv, bool stamp_failed) {
+    integrity_.quarantined_rivs.push_back(riv);
+    ++integrity_.nodes_quarantined;
+    st.quarantined_nodes.fetch_add(1, std::memory_order_relaxed);
+    if (stamp_failed)
+      st.checksum_failures.fetch_add(1, std::memory_order_relaxed);
+  };
+  auto amputate = [&] {
+    // The chain past `pred` is unusable (unresolvable link or a cycle of
+    // damage): bridge straight to the tail and report everything above the
+    // last good key as lost. Conservative, but sound for the contract —
+    // nothing is silently wrong, only explicitly lost.
+    pm_store(pred.next(0), tail_riv_);
+    persist(&pred.next(0), sizeof(std::uint64_t));
+    integrity_.lost.push_back({last_good_key, kTailKey});
+  };
+
+  while (true) {
+    if (cur == tail_riv_) {
+      if (bridging) {
+        pm_store(pred.next(0), tail_riv_);
+        persist(&pred.next(0), sizeof(std::uint64_t));
+        integrity_.lost.push_back({last_good_key, kTailKey});
+      }
+      break;
+    }
+    if (++total > (64ull << 20) || run_hops > 256) {
+      amputate();
+      break;
+    }
+    if (!valid_node_riv(cur)) {
+      // The link itself is garbage: nothing safe to dereference, so the
+      // rest of the chain is unreachable.
+      quarantine(cur, /*stamp_failed=*/false);
+      amputate();
+      break;
+    }
+    NodeView v = view(cur);
+    const bool header_ok = node_header_ok(v, cur);
+    const std::uint64_t k0 = pm_load(v.key(0));
+    // A good node must also sit in key order: a stamped-valid node whose
+    // key0 is not strictly above the last good key means the *link* was
+    // redirected (e.g. into an earlier node, a cycle seed) — hop through
+    // rather than trust it here.
+    if (header_ok && k0 > last_good_key && k0 < kTailKey) {
+      if (bridging) {
+        pm_store(pred.next(0), cur);
+        persist(&pred.next(0), sizeof(std::uint64_t));
+        integrity_.lost.push_back({last_good_key, k0});
+        bridging = false;
+      }
+      ++integrity_.nodes_checked;
+      pred = v;
+      last_good_key = k0;
+      run_hops = 0;
+      cur = pm_load(v.next(0));
+      continue;
+    }
+    quarantine(cur, /*stamp_failed=*/!header_ok);
+    bridging = true;
+    ++run_hops;
+    cur = pm_load(v.next(0));
+  }
+}
+
+IntegrityReport UPSkipList::verify_deep() {
+  IntegrityReport r = integrity_;
+  if (checksums_enabled()) {
+    std::uint64_t last_key = kNullKey;
+    std::uint64_t cur = pm_load(view(head_riv_).next(0));
+    std::uint64_t total = 0;
+    while (cur != tail_riv_) {
+      if (!valid_node_riv(cur) || ++total > (64ull << 20)) {
+        r.quarantined_rivs.push_back(cur);
+        ++r.nodes_quarantined;
+        r.lost.push_back({last_key, kTailKey});
+        break;
+      }
+      NodeView v = view(cur);
+      if (node_header_ok(v, cur)) {
+        ++r.nodes_checked;
+        last_key = pm_load(v.key(0));
+      } else {
+        r.quarantined_rivs.push_back(cur);
+        ++r.nodes_quarantined;
+        r.lost.push_back({last_key, kTailKey});
+        break;
+      }
+      cur = pm_load(v.next(0));
+    }
+  }
+  const auto& ac = block_alloc_->counters();
+  r.magazines_quarantined +=
+      ac.quarantined_magazines.load(std::memory_order_relaxed);
+  r.blocks_quarantined +=
+      ac.quarantined_blocks.load(std::memory_order_relaxed);
+  return r;
+}
+
+UPSkipList::DurableMap UPSkipList::debug_durable_map() const {
+  const alloc::ChunkAllocator& ca = *chunk_allocs_[0];
+  const auto* root = reinterpret_cast<const StoreRoot*>(ca.root_area());
+  const std::size_t root_off =
+      static_cast<std::size_t>(ca.root_area() - ca.pool().base());
+  const std::size_t num_pools = pm_load(root->num_pools);
+  const std::size_t apc = pm_load(root->arenas_per_pool);
+  const std::size_t sess_off = sessions_offset(num_pools, apc);
+  const std::size_t root_size = ca.root_size();
+  DurableMap m;
+  m.root_off = root_off;
+  m.magazines_off = root_off + magazines_offset(num_pools, apc);
+  m.sessions_off = root_off + sess_off;
+  m.sessions_bytes = sess_off < root_size ? root_size - sess_off : 0;
+  return m;
+}
+
+std::uint64_t UPSkipList::debug_node_riv_for(std::uint64_t key) const {
+  std::uint64_t best = 0;
+  std::uint64_t cur = pm_load(view(head_riv_).next(0));
+  while (cur != tail_riv_) {
+    NodeView v = view(cur);
+    if (pm_load(v.key(0)) > key) break;
+    best = cur;
+    cur = pm_load(v.next(0));
+  }
+  return best;
+}
+
+std::string IntegrityReport::to_json() const {
+  std::ostringstream os;
+  os << "{\"degraded\": " << (degraded() ? "true" : "false")
+     << ", \"nodes_checked\": " << nodes_checked
+     << ", \"nodes_quarantined\": " << nodes_quarantined
+     << ", \"sessions_quarantined\": " << sessions_quarantined
+     << ", \"magazines_quarantined\": " << magazines_quarantined
+     << ", \"blocks_quarantined\": " << blocks_quarantined
+     << ", \"root_mode_repaired\": " << (root_mode_repaired ? "true" : "false")
+     << ", \"lost_ranges\": [";
+  for (std::size_t i = 0; i < lost.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << "{\"lo\": " << lost[i].lo << ", \"hi\": " << lost[i].hi << "}";
+  }
+  os << "]}";
+  return os.str();
 }
 
 }  // namespace upsl::core

@@ -74,6 +74,63 @@ struct ScanEntry {
   std::uint64_t value;
 };
 
+/// What corruption-aware recovery found and did (docs/integrity.md). Damage
+/// is never repaired in place — a node that fails its header stamp is
+/// *quarantined*: the level-0 chain is bridged around it, its key coverage
+/// is reported as a lost range, and its block is deliberately abandoned.
+/// "Every acked key is recovered intact or listed here" is the contract the
+/// corruption-torture shard checks.
+struct IntegrityReport {
+  /// Keys possibly lost to one quarantined node: the *open* interval
+  /// (lo, hi) between the surviving neighbours' first keys. Conservative —
+  /// the damaged node may have held only a subset.
+  struct LostRange {
+    std::uint64_t lo;
+    std::uint64_t hi;
+  };
+  std::vector<LostRange> lost;
+  /// RIVs of quarantined (bridged-around) data nodes.
+  std::vector<std::uint64_t> quarantined_rivs;
+  std::uint64_t nodes_checked = 0;
+  std::uint64_t nodes_quarantined = 0;
+  std::uint64_t sessions_quarantined = 0;
+  std::uint64_t magazines_quarantined = 0;
+  std::uint64_t blocks_quarantined = 0;
+  /// The store-root stamp failed but the damage was confined to index_mode;
+  /// the stamped value was restored and the index rebuilt defensively.
+  bool root_mode_repaired = false;
+
+  /// True when recovery found any damage at all (degraded-mode startup).
+  bool degraded() const {
+    return !lost.empty() || nodes_quarantined != 0 ||
+           sessions_quarantined != 0 || magazines_quarantined != 0 ||
+           blocks_quarantined != 0 || root_mode_repaired;
+  }
+
+  /// True iff `key` falls inside a reported lost range — i.e. the store is
+  /// allowed to have forgotten it.
+  bool covers(std::uint64_t key) const {
+    for (const LostRange& r : lost)
+      if (key > r.lo && key < r.hi) return true;
+    return false;
+  }
+
+  void merge(const IntegrityReport& o) {
+    lost.insert(lost.end(), o.lost.begin(), o.lost.end());
+    quarantined_rivs.insert(quarantined_rivs.end(), o.quarantined_rivs.begin(),
+                            o.quarantined_rivs.end());
+    nodes_checked += o.nodes_checked;
+    nodes_quarantined += o.nodes_quarantined;
+    sessions_quarantined += o.sessions_quarantined;
+    magazines_quarantined += o.magazines_quarantined;
+    blocks_quarantined += o.blocks_quarantined;
+    root_mode_repaired = root_mode_repaired || o.root_mode_repaired;
+  }
+
+  /// Flat JSON object (server STATS "integrity" section, fsck output).
+  std::string to_json() const;
+};
+
 class UPSkipList {
  public:
   /// Formats `pools` and creates an empty store. Pool 0 holds the root.
@@ -186,6 +243,31 @@ class UPSkipList {
   /// (0 if none ran — e.g. freshly created store or index disabled).
   std::uint64_t last_index_rebuild_ns() const { return last_rebuild_ns_; }
 
+  /// What corruption-aware recovery found and repaired around at open time
+  /// (empty on a clean open, and always empty with UPSL_DISABLE_CHECKSUMS).
+  const IntegrityReport& integrity() const { return integrity_; }
+
+  /// Read-only deep integrity check (fsck / VERIFY): re-verifies every
+  /// level-0 node header stamp plus the allocator quarantine counters, and
+  /// merges the open-time report (whose repairs already happened). Requires
+  /// a quiesced store; never mutates durable state.
+  IntegrityReport verify_deep();
+
+  /// fsck/test support: byte offsets of pool 0's durable metadata surfaces
+  /// (from the pool base), so corruption tooling can target strikes exactly.
+  struct DurableMap {
+    std::size_t root_off;       // StoreRoot (two cache lines)
+    std::size_t magazines_off;  // first MagazineDesc (kMaxThreads of them)
+    std::size_t sessions_off;   // session table region
+    std::size_t sessions_bytes; // 0 = store runs without a session table
+  };
+  DurableMap debug_durable_map() const;
+
+  /// fsck/test support: riv of the level-0 data node whose key range covers
+  /// `key` (0 when the store is empty or `key` precedes every node).
+  /// Requires a quiesced store.
+  std::uint64_t debug_node_riv_for(std::uint64_t key) const;
+
   /// Rebuild the DRAM index from the data level with `workers` parallel
   /// stripe builders (0 = UPSL_INDEX_REBUILD_WORKERS or a hardware-sized
   /// default). Requires a quiesced store. Returns the rebuild time in ns;
@@ -292,6 +374,20 @@ class UPSkipList {
   /// bottom level (or is a sentinel). See BlockAllocator::BlockReachabilityFn.
   bool block_reachable(std::uint64_t riv);
 
+  /// Structural validation of a riv before dereferencing it: names a pool
+  /// this store mapped, an ALLOCATED chunk, and a block-aligned offset
+  /// inside it. A corrupted link can encode anything; to_ptr would resolve
+  /// garbage offsets inside a mapped chunk without complaint.
+  bool valid_node_riv(std::uint64_t riv) const;
+  /// Header integrity of the node at `riv` (already riv-validated): sane
+  /// height, self_riv match, plausible epoch, and the CRC32C stamp packed in
+  /// meta's high 32 bits over the immutable (self_riv, key0, height) triple.
+  bool node_header_ok(NodeView v, std::uint64_t riv) const;
+  /// Open-time quarantine walk (docs/integrity.md): verifies every level-0
+  /// node header, bridges the chain around damaged nodes, records lost key
+  /// ranges in integrity_. Runs before any index rebuild can trust key0s.
+  void quarantine_scan();
+
   Xoshiro256& thread_rng();
 
   std::vector<pmem::Pool*> pools_;
@@ -306,6 +402,7 @@ class UPSkipList {
   std::unique_ptr<DramIndex> index_;  // volatile; null in persistent mode
   std::uint64_t last_rebuild_ns_ = 0;
   detect::SessionTable sessions_;  // view over pool 0's root area
+  IntegrityReport integrity_;  // open-time corruption findings/repairs
 };
 
 }  // namespace upsl::core

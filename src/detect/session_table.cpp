@@ -4,6 +4,7 @@
 #include <limits>
 #include <memory>
 
+#include "common/checksum.hpp"
 #include "common/crashpoint.hpp"
 #include "pmem/ack_batch.hpp"
 #include "pmem/persist.hpp"
@@ -12,6 +13,24 @@ namespace upsl::detect {
 
 namespace {
 constexpr std::uint64_t kTableMagic = 0x5550534c44455443ull;  // "UPSLDETC"
+
+// Integrity stamps (docs/integrity.md). The slot-header stamp lives in
+// reserved[0] and covers (client_id, session_epoch, last_seq) — all in the
+// header's single 64B line, so every restamp commits atomically with the
+// field it covers. The ring-entry stamp lives in the entry's reserved word
+// and covers (seq, result, has_previous); a 32B entry never straddles a
+// line, so it too is atomic with its payload.
+std::uint32_t slot_stamp(std::uint64_t client_id, std::uint64_t epoch,
+                         std::uint64_t last_seq) {
+  const std::uint64_t w[3] = {client_id, epoch, last_seq};
+  return checksum_stamp(w, sizeof(w));
+}
+
+std::uint32_t entry_stamp(std::uint64_t seq, std::uint64_t result,
+                          std::uint64_t has_previous) {
+  const std::uint64_t w[3] = {seq, result, has_previous};
+  return checksum_stamp(w, sizeof(w));
+}
 }  // namespace
 
 struct alignas(64) SessionTable::TableHeader {
@@ -102,9 +121,27 @@ SessionTable SessionTable::recover(char* base, std::size_t bytes) {
   std::uint32_t live = 0;
   for (std::uint32_t s = 0; s < t.slot_count_; ++s) {
     SlotHeader* sh = t.slot_header(s);
-    std::uint64_t epoch = pmem::pm_load(sh->session_epoch);
+    const std::uint64_t cid = pmem::pm_load(sh->client_id);
+    const std::uint64_t epoch = pmem::pm_load(sh->session_epoch);
+    const std::uint64_t seq = pmem::pm_load(sh->last_seq);
+    const std::uint64_t w[3] = {cid, epoch, seq};
+    if (!checksum_verify(
+            w, sizeof(w),
+            static_cast<std::uint32_t>(pmem::pm_load(sh->reserved[0])))) {
+      // Quarantine: durably reset the whole slot to free. The session is
+      // reported lost — its client re-handshakes as unknown instead of
+      // deduplicating against damaged state (never silently wrong).
+      char* raw = t.base_ + kHeaderBytes + std::size_t{s} * kSlotBytes;
+      std::memset(raw, 0, kSlotBytes);
+      pmem::persist(raw, kSlotBytes);
+      ++t.quarantined_;
+      auto& st = pmem::Stats::instance();
+      st.checksum_failures.fetch_add(1, std::memory_order_relaxed);
+      st.quarantined_sessions.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
     if (epoch > max_epoch) max_epoch = epoch;
-    if (pmem::pm_load(sh->client_id) != 0) ++live;
+    if (cid != 0) ++live;
   }
   t.recovered_ = live;
   t.next_stamp_ = std::make_shared<std::uint64_t>(max_epoch + 1);
@@ -153,20 +190,30 @@ std::int32_t SessionTable::open_session(std::uint64_t client_id) {
   // two slots for one client or a client over stale state; (2) reset the
   // dedup state and stamp the new epoch; (3) publish the new client_id.
   // Each step persists eagerly — session open is a rare path.
+  // Each step restamps reserved[0] in the same store set it changes; the
+  // header is one line, so the stamp always commits with its covered fields.
   pmem::pm_store(sh->client_id, std::uint64_t{0});
-  pmem::persist(&sh->client_id, sizeof(sh->client_id));
+  pmem::pm_store(sh->reserved[0],
+                 std::uint64_t{slot_stamp(0, pmem::pm_load(sh->session_epoch),
+                                          pmem::pm_load(sh->last_seq))});
+  pmem::persist(sh, sizeof(SlotHeader));
 
+  const std::uint64_t new_epoch = (*next_stamp_)++;
   pmem::pm_store(sh->last_seq, std::uint64_t{0});
-  pmem::pm_store(sh->session_epoch, (*next_stamp_)++);
+  pmem::pm_store(sh->session_epoch, new_epoch);
+  pmem::pm_store(sh->reserved[0], std::uint64_t{slot_stamp(0, new_epoch, 0)});
   for (std::uint32_t i = 0; i < kRingSize; ++i) {
     RingEntry* e = ring_entry(static_cast<std::uint32_t>(victim), i);
     pmem::pm_store(e->seq, std::uint64_t{0});
+    pmem::pm_store(e->reserved, std::uint64_t{0});
   }
   pmem::persist(sh, kSlotBytes);
   UPSL_CRASH_POINT("detect.slot_claimed");
 
   pmem::pm_store(sh->client_id, client_id);
-  pmem::persist(&sh->client_id, sizeof(sh->client_id));
+  pmem::pm_store(sh->reserved[0],
+                 std::uint64_t{slot_stamp(client_id, new_epoch, 0)});
+  pmem::persist(sh, sizeof(SlotHeader));
   return victim;
 }
 
@@ -198,9 +245,22 @@ ResolveResult SessionTable::lookup(std::uint32_t slot,
   }
   RingEntry* e = ring_entry(slot, seq);
   if (pmem::pm_load(e->seq) == seq) {
+    const std::uint64_t result = pmem::pm_load(e->result);
+    const std::uint64_t has_prev = pmem::pm_load(e->has_previous);
+    const std::uint64_t w[3] = {seq, result, has_prev};
+    if (!checksum_verify(
+            w, sizeof(w),
+            static_cast<std::uint32_t>(pmem::pm_load(e->reserved)))) {
+      // Damaged result payload: seq <= last_seq still proves the op was
+      // applied, so dedup stays sound — only the original answer is lost.
+      pmem::Stats::instance().checksum_failures.fetch_add(
+          1, std::memory_order_relaxed);
+      r.state = ResolveResult::State::kAppliedUnknown;
+      return r;
+    }
     r.state = ResolveResult::State::kApplied;
-    r.has_previous = static_cast<std::uint32_t>(pmem::pm_load(e->has_previous));
-    r.result = pmem::pm_load(e->result);
+    r.has_previous = static_cast<std::uint32_t>(has_prev);
+    r.result = result;
     return r;
   }
   // seq <= last_seq but the ring moved on: definitely applied (per-session
@@ -215,13 +275,20 @@ void SessionTable::record(std::uint32_t slot, std::uint64_t seq,
   RingEntry* e = ring_entry(slot, seq);
   pmem::pm_store(e->result, result);
   pmem::pm_store(e->has_previous, std::uint64_t{has_previous});
+  pmem::pm_store(e->reserved, std::uint64_t{entry_stamp(
+                                  seq, result, std::uint64_t{has_previous})});
   pmem::pm_store(e->seq, seq);
   pmem::ack_persist(e, sizeof(RingEntry));
 
   SlotHeader* sh = slot_header(slot);
   if (seq > pmem::pm_load(sh->last_seq)) {
     pmem::pm_store(sh->last_seq, seq);
-    pmem::ack_persist(&sh->last_seq, sizeof(sh->last_seq));
+    pmem::pm_store(
+        sh->reserved[0],
+        std::uint64_t{slot_stamp(pmem::pm_load(sh->client_id),
+                                 pmem::pm_load(sh->session_epoch), seq)});
+    // One line: last_seq and its stamp commit atomically under the same ack.
+    pmem::ack_persist(sh, sizeof(SlotHeader));
   }
   UPSL_CRASH_POINT("detect.slot_published");
 }

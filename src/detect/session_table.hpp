@@ -121,6 +121,10 @@ class SessionTable {
   std::uint32_t slot_count() const { return slot_count_; }
   /// Live sessions found by the recovery scan (diagnostics / startup report).
   std::uint32_t recovered_sessions() const { return recovered_; }
+  /// Slots whose header failed its integrity stamp during recover() and were
+  /// durably reset to free (docs/integrity.md). Their clients re-handshake as
+  /// unknown sessions instead of deduplicating against damaged state.
+  std::uint32_t quarantined_sessions() const { return quarantined_; }
 
   /// Claims (or finds) the slot for `client_id`; reconnecting clients get
   /// their existing slot back with the dedup state intact. A full table
@@ -164,6 +168,7 @@ class SessionTable {
   char* base_ = nullptr;
   std::uint32_t slot_count_ = 0;
   std::uint32_t recovered_ = 0;
+  std::uint32_t quarantined_ = 0;
   /// Next claim stamp (monotonic across the table; recover() seeds it from
   /// the durable maximum). Shared pointer semantics: SessionTable is a view,
   /// copied freely; the mutex/counter live once per store handle.

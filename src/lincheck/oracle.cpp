@@ -52,8 +52,8 @@ DurableOracle::Verdict fail(std::uint64_t key, const std::string& what) {
 }  // namespace
 
 DurableOracle::Verdict DurableOracle::verify(
-    const std::function<std::optional<std::uint64_t>(std::uint64_t)>& lookup)
-    const {
+    const std::function<std::optional<std::uint64_t>(std::uint64_t)>& lookup,
+    const std::function<bool(std::uint64_t)>& reported_lost) const {
   // Group every event by key, preserving nothing about thread interleaving
   // beyond the logical timestamps (the checks are key-local).
   std::map<std::uint64_t, std::vector<const Event*>> by_key;
@@ -68,6 +68,13 @@ DurableOracle::Verdict DurableOracle::verify(
     verdict.keys_checked += 1;
     verdict.ops_checked += ops.size();
     const std::optional<std::uint64_t> observed = lookup(key);
+    // Quarantined loss is explicit, not silent: an absent key inside a
+    // reported lost range skips the readback-dependent durability checks
+    // but keeps its pre-crash history checks. An observed *value* is never
+    // excused.
+    const bool lost_ok =
+        !observed.has_value() && reported_lost && reported_lost(key);
+    if (lost_ok) verdict.keys_reported_lost += 1;
 
     bool any_remove = false;
     for (const Event* ev : ops)
@@ -93,15 +100,17 @@ DurableOracle::Verdict DurableOracle::verify(
         op.resp_ts = ev->resp_ts;
         history.push_back(op);
       }
-      Operation rb{};
-      rb.kind = OpKind::kRead;
-      rb.completed = true;
-      rb.key = key;
-      rb.ret = observed.value_or(kInitialValue);
-      rb.epoch = now_gen;
-      rb.inv_ts = ++readback_ts;
-      rb.resp_ts = ++readback_ts;
-      history.push_back(rb);
+      if (!lost_ok) {
+        Operation rb{};
+        rb.kind = OpKind::kRead;
+        rb.completed = true;
+        rb.key = key;
+        rb.ret = observed.value_or(kInitialValue);
+        rb.epoch = now_gen;
+        rb.inv_ts = ++readback_ts;
+        rb.resp_ts = ++readback_ts;
+        history.push_back(rb);
+      }
       const CheckResult res = check_strict(history);
       if (!res.linearizable) {
         Verdict v;
@@ -126,7 +135,7 @@ DurableOracle::Verdict DurableOracle::verify(
         return fail(key, "recovered value " + std::to_string(*observed) +
                              " survived although a later acked op overwrote "
                              "or removed it");
-    } else {
+    } else if (!lost_ok) {
       // Absence is explainable by a non-superseded remove, or trivially if
       // no insert was ever acknowledged (in-flight inserts may vanish).
       bool acked_insert = false;

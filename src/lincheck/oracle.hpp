@@ -61,6 +61,9 @@ class DurableOracle {
     std::string reason;
     std::size_t keys_checked = 0;
     std::size_t ops_checked = 0;
+    /// Keys whose absence was excused by the `reported_lost` predicate
+    /// (explicitly quarantined by corruption recovery, docs/integrity.md).
+    std::size_t keys_reported_lost = 0;
   };
 
   explicit DurableOracle(std::uint32_t threads) : per_thread_(threads) {
@@ -135,9 +138,19 @@ class DurableOracle {
 
   /// Post-recovery check. `lookup` reads a key from the recovered store
   /// (typically [&](k){ return store.search(k); }). Single-threaded.
+  ///
+  /// `reported_lost` upgrades the contract from "every acked write survives"
+  /// to the corruption-recovery contract "every acked key is recovered
+  /// intact or explicitly reported lost — never silently wrong"
+  /// (docs/integrity.md): a key that reads back absent AND falls in a
+  /// quarantine-reported lost range is excused from the durability check
+  /// (its pre-crash reads are still validated); a key that reads back a
+  /// *value* is held to the full check regardless — damage may lose data,
+  /// never corrupt it silently.
   Verdict verify(
       const std::function<std::optional<std::uint64_t>(std::uint64_t)>&
-          lookup) const;
+          lookup,
+      const std::function<bool(std::uint64_t)>& reported_lost = {}) const;
 
  private:
   std::vector<std::vector<Event>> per_thread_;

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "common/checksum.hpp"
 #include "common/crashpoint.hpp"
 
 namespace upsl::pmdk {
@@ -27,7 +28,10 @@ struct LogEntry {
 struct ObjStore::TxLog {
   std::uint64_t active;   // nonzero while a tx is open (durable)
   std::uint64_t used;     // bytes of valid entries
-  std::uint64_t checksum; // reserved
+  std::uint64_t checksum; // CRC32C stamp over entry bytes [0, used); 0 =
+                          // unstamped (docs/integrity.md). Shares `used`'s
+                          // cache line, so every advance commits atomically
+                          // with the stamp that covers it.
   std::uint64_t pad;
   // entry bytes follow up to tx_log_bytes - 32
 };
@@ -149,8 +153,10 @@ Oid ObjStore::alloc(std::uint64_t size) {
     e->off = off;
     e->len = cap;
     persist(e, sizeof(*e));
-    pm_store(log->used, used + sizeof(LogEntry));
-    persist(&log->used, sizeof(log->used));
+    const std::uint64_t grown = used + sizeof(LogEntry);
+    pm_store(log->checksum, std::uint64_t{upsl::checksum_stamp(base, grown)});
+    pm_store(log->used, grown);
+    persist(&log->used, sizeof(log->used));  // line covers checksum too
   }
   return Oid{pool_.id(), off};
 }
@@ -183,6 +189,7 @@ void ObjStore::tx_begin() {
   if (pm_load(log->active) != 0)
     throw std::logic_error("nested transactions are not supported");
   pm_store(log->used, std::uint64_t{0});
+  pm_store(log->checksum, std::uint64_t{0});  // empty log is unstamped
   persist(&log->used, sizeof(log->used));
   pm_store(log->active, std::uint64_t{1});
   persist(&log->active, sizeof(log->active));
@@ -201,11 +208,18 @@ void ObjStore::tx_add(void* addr, std::uint64_t len) {
   e->off = static_cast<std::uint64_t>(static_cast<char*>(addr) - pool_.base());
   e->len = len;
   std::memcpy(e + 1, addr, len);
-  persist(e, sizeof(LogEntry) + len);
+  // Zero the alignment pad so the bytes under the log checksum are fully
+  // deterministic and persisted (stale pad in an unflushed line would make
+  // a legitimate crash look like corruption).
+  std::memset(reinterpret_cast<char*>(e + 1) + len, 0,
+              align_up(len, 8) - len);
+  persist(e, sizeof(LogEntry) + align_up(len, 8));
   // The entry only becomes part of the log once `used` covers it — a crash
   // between the two leaves a well-formed shorter log.
+  pm_store(log->checksum,
+           std::uint64_t{upsl::checksum_stamp(base, used + need)});
   pm_store(log->used, used + need);
-  persist(&log->used, sizeof(log->used));
+  persist(&log->used, sizeof(log->used));  // line covers checksum too
   UPSL_CRASH_POINT("pmdk.tx_added");
 }
 
@@ -243,6 +257,17 @@ void ObjStore::rollback(TxLog* log) {
   // oldest (pre-transaction) data; release transactional allocations.
   char* base = reinterpret_cast<char*>(log + 1);
   const std::uint64_t used = pm_load(log->used);
+  // Validate before applying: replaying a damaged undo log would spray
+  // garbage over committed heap state. A mismatch is detected-fatal — the
+  // interrupted transaction's atomicity cannot be restored, and silently
+  // skipping the rollback would leave partial writes visible.
+  if (!upsl::checksum_verify(
+          base, used,
+          static_cast<std::uint32_t>(pm_load(log->checksum)))) {
+    pmem::Stats::instance().checksum_failures.fetch_add(
+        1, std::memory_order_relaxed);
+    throw upsl::CorruptionError("pmdk tx undo log failed its checksum");
+  }
   std::vector<LogEntry*> entries;
   std::uint64_t pos = 0;
   while (pos < used) {

@@ -44,6 +44,10 @@ struct StatsSnapshot {
   std::uint64_t group_commits = 0;
   std::uint64_t group_commit_mutations = 0;
   std::uint64_t group_commit_hist[kGroupCommitBuckets] = {};
+  std::uint64_t checksum_failures = 0;
+  std::uint64_t quarantined_nodes = 0;
+  std::uint64_t quarantined_blocks = 0;
+  std::uint64_t quarantined_sessions = 0;
 
   StatsSnapshot operator-(const StatsSnapshot& t0) const {
     StatsSnapshot d{persist_calls - t0.persist_calls,
@@ -60,6 +64,10 @@ struct StatsSnapshot {
                     group_commit_mutations - t0.group_commit_mutations};
     for (std::size_t i = 0; i < kGroupCommitBuckets; ++i)
       d.group_commit_hist[i] = group_commit_hist[i] - t0.group_commit_hist[i];
+    d.checksum_failures = checksum_failures - t0.checksum_failures;
+    d.quarantined_nodes = quarantined_nodes - t0.quarantined_nodes;
+    d.quarantined_blocks = quarantined_blocks - t0.quarantined_blocks;
+    d.quarantined_sessions = quarantined_sessions - t0.quarantined_sessions;
     return d;
   }
 
@@ -94,7 +102,11 @@ struct StatsSnapshot {
            field("index_rebuild_ns", index_rebuild_ns) + ", " +
            field("group_commits", group_commits) + ", " +
            field("group_commit_mutations", group_commit_mutations) + ", " +
-           "\"group_commit_batch_hist\": " + hist + "}";
+           "\"group_commit_batch_hist\": " + hist + ", " +
+           field("checksum_failures", checksum_failures) + ", " +
+           field("quarantined_nodes", quarantined_nodes) + ", " +
+           field("quarantined_blocks", quarantined_blocks) + ", " +
+           field("quarantined_sessions", quarantined_sessions) + "}";
   }
 };
 
@@ -131,6 +143,14 @@ struct Stats {
   std::atomic<std::uint64_t> group_commits{0};
   std::atomic<std::uint64_t> group_commit_mutations{0};
   std::atomic<std::uint64_t> group_commit_hist[StatsSnapshot::kGroupCommitBuckets]{};
+  /// Integrity layer (docs/integrity.md): CRC32C stamp mismatches observed
+  /// on any durable surface, and the damage recovery routed into quarantine
+  /// (lost node key-ranges, deliberately leaked allocator blocks, zeroed
+  /// client-session slots) instead of trusting.
+  std::atomic<std::uint64_t> checksum_failures{0};
+  std::atomic<std::uint64_t> quarantined_nodes{0};
+  std::atomic<std::uint64_t> quarantined_blocks{0};
+  std::atomic<std::uint64_t> quarantined_sessions{0};
 
   static Stats& instance() {
     static Stats s;
@@ -165,6 +185,11 @@ struct Stats {
     for (std::size_t i = 0; i < StatsSnapshot::kGroupCommitBuckets; ++i)
       s.group_commit_hist[i] =
           group_commit_hist[i].load(std::memory_order_relaxed);
+    s.checksum_failures = checksum_failures.load(std::memory_order_relaxed);
+    s.quarantined_nodes = quarantined_nodes.load(std::memory_order_relaxed);
+    s.quarantined_blocks = quarantined_blocks.load(std::memory_order_relaxed);
+    s.quarantined_sessions =
+        quarantined_sessions.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -182,6 +207,10 @@ struct Stats {
     group_commits.store(0, std::memory_order_relaxed);
     group_commit_mutations.store(0, std::memory_order_relaxed);
     for (auto& h : group_commit_hist) h.store(0, std::memory_order_relaxed);
+    checksum_failures.store(0, std::memory_order_relaxed);
+    quarantined_nodes.store(0, std::memory_order_relaxed);
+    quarantined_blocks.store(0, std::memory_order_relaxed);
+    quarantined_sessions.store(0, std::memory_order_relaxed);
   }
 };
 

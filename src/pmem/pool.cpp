@@ -17,20 +17,23 @@ namespace upsl::pmem {
 
 namespace {
 
-[[noreturn]] void throw_errno(const std::string& what) {
-  throw std::system_error(errno, std::generic_category(), what);
+/// Every syscall failure carries the operation AND the pool path — "mmap
+/// pool" alone is useless when a ShardSet opens dozens of files.
+[[noreturn]] void throw_errno(const std::string& what, const std::string& path) {
+  throw std::system_error(errno, std::generic_category(),
+                          what + " '" + path + "'");
 }
 
-char* map_fd(int fd, std::size_t size) {
+char* map_fd(int fd, std::size_t size, const std::string& path) {
   void* p = ::mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
-  if (p == MAP_FAILED) throw_errno("mmap pool");
+  if (p == MAP_FAILED) throw_errno("mmap pool", path);
   return static_cast<char*>(p);
 }
 
 char* map_anonymous(std::size_t size) {
   void* p = ::mmap(nullptr, size, PROT_READ | PROT_WRITE,
                    MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
-  if (p == MAP_FAILED) throw_errno("mmap anonymous pool");
+  if (p == MAP_FAILED) throw_errno("mmap anonymous pool", "<anon>");
   return static_cast<char*>(p);
 }
 
@@ -41,17 +44,17 @@ std::unique_ptr<Pool> Pool::create(const std::string& path, std::uint16_t id,
   if (size == 0 || size % kCacheLineSize != 0)
     throw std::invalid_argument("pool size must be a positive multiple of 64");
   int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) throw_errno("open pool file");
+  if (fd < 0) throw_errno("create pool file", path);
   if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
     ::close(fd);
-    throw_errno("ftruncate pool file");
+    throw_errno("ftruncate pool file", path);
   }
   auto pool = std::unique_ptr<Pool>(new Pool);
   pool->fd_ = fd;
   pool->path_ = path;
   pool->size_ = size;
   pool->id_ = id;
-  pool->base_ = map_fd(fd, size);
+  pool->base_ = map_fd(fd, size, path);
   if (opts.crash_tracking) {
     pool->shadow_ = std::make_unique<char[]>(size);
     std::memset(pool->shadow_.get(), 0, size);
@@ -63,18 +66,26 @@ std::unique_ptr<Pool> Pool::create(const std::string& path, std::uint16_t id,
 std::unique_ptr<Pool> Pool::open(const std::string& path, std::uint16_t id,
                                  PoolOptions opts) {
   int fd = ::open(path.c_str(), O_RDWR);
-  if (fd < 0) throw_errno("open pool file");
+  if (fd < 0) throw_errno("open pool file", path);
   struct stat st {};
   if (::fstat(fd, &st) != 0) {
     ::close(fd);
-    throw_errno("fstat pool file");
+    throw_errno("fstat pool file", path);
+  }
+  if (st.st_size == 0 ||
+      static_cast<std::size_t>(st.st_size) % kCacheLineSize != 0) {
+    ::close(fd);
+    throw std::runtime_error("pool file '" + path +
+                             "' has invalid size " +
+                             std::to_string(st.st_size) +
+                             " (truncated or not a pool)");
   }
   auto pool = std::unique_ptr<Pool>(new Pool);
   pool->fd_ = fd;
   pool->path_ = path;
   pool->size_ = static_cast<std::size_t>(st.st_size);
   pool->id_ = id;
-  pool->base_ = map_fd(fd, pool->size_);
+  pool->base_ = map_fd(fd, pool->size_, path);
   if (opts.crash_tracking) {
     // Everything in the file is durable at open time.
     pool->shadow_ = std::make_unique<char[]>(pool->size_);
@@ -152,7 +163,7 @@ void Pool::mark_all_persisted() {
 void Pool::remap() {
   if (fd_ < 0) throw std::logic_error("remap requires a file-backed pool");
   ::munmap(base_, size_);
-  base_ = map_fd(fd_, size_);
+  base_ = map_fd(fd_, size_, path_);
 }
 
 void PoolRegistry::register_pool(Pool* pool) {

@@ -355,6 +355,22 @@ class Client {
     return json;
   }
 
+  /// Runs the server-side deep integrity check (docs/integrity.md): a
+  /// checksum-verifying re-walk of every shard merged into one report.
+  /// Returns the JSON report; *ok (when non-null) says whether the walk ran
+  /// (read "degraded" inside the JSON for the verdict). Only a malformed
+  /// frame throws.
+  std::string fsck_json(bool* ok = nullptr) {
+    const Response r = roundtrip({Opcode::kFsck});
+    if (r.status != Status::kOk && r.status != Status::kError)
+      throw std::runtime_error("upsl client: unexpected FSCK status");
+    if (ok != nullptr) *ok = r.status == Status::kOk;
+    std::string json;
+    if (!r.blob(&json))
+      throw std::runtime_error("upsl client: malformed FSCK payload");
+    return json;
+  }
+
  private:
   void queue_detect(const Request& req) {
     if (client_id_ == 0)

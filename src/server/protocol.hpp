@@ -60,6 +60,20 @@
 // HELLO; issuing them before a HELLO is kError. Sequence numbers are chosen
 // by the client, strictly increasing per session.
 //
+// Corruption-aware recovery extension (docs/integrity.md):
+//
+//   FSCK    req: empty                   resp kOk: JSON blob — the deep
+//                                             integrity re-check
+//                                             (verify_deep) merged across
+//                                             every shard: checksum census,
+//                                             quarantine counters, and the
+//                                             explicitly-lost key ranges.
+//                                             kOk means the check ran; read
+//                                             "degraded" in the JSON for the
+//                                             verdict. kError: the walk
+//                                             itself failed (blob has the
+//                                             error).
+//
 // Framing rules (enforced by the parser, tested in tests/server_test.cpp):
 // a body length larger than kMaxBody, an unknown opcode, or a payload whose
 // size does not match the opcode is a protocol violation — the server closes
@@ -104,6 +118,7 @@ enum class Opcode : std::uint8_t {
   kDPut = 12,
   kDUpdate = 13,
   kDRemove = 14,
+  kFsck = 15,
 };
 
 enum class Status : std::uint8_t {
@@ -249,6 +264,7 @@ inline int request_payload_bytes(Opcode op) {
     case Opcode::kPing:
     case Opcode::kValidate:
     case Opcode::kTopology:
+    case Opcode::kFsck:
       return 0;
     case Opcode::kHello:
       return 8;
@@ -289,6 +305,7 @@ inline void encode_request(const Request& req, std::vector<std::uint8_t>& out) {
     case Opcode::kPing:
     case Opcode::kValidate:
     case Opcode::kTopology:
+    case Opcode::kFsck:
       break;
     case Opcode::kHello:
       put_u64(out, req.client_id);
@@ -349,6 +366,7 @@ inline ParseResult parse_request(const std::uint8_t* data, std::size_t n,
     case Opcode::kPing:
     case Opcode::kValidate:
     case Opcode::kTopology:
+    case Opcode::kFsck:
       break;
     case Opcode::kHello:
       out->client_id = get_u64(p);

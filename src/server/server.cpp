@@ -578,6 +578,28 @@ void Server::execute_one(Worker& w, Conn& c, const Request& req,
       encode_response_blob(st, json, out);
       break;
     }
+    case Opcode::kFsck: {
+      // Admin op (docs/integrity.md): deep integrity re-check — re-walks
+      // every shard's bottom level verifying checksum stamps, merges the
+      // allocator quarantine counters and the open-time verdict, and
+      // returns the full report (degraded flag, counters, lost key
+      // ranges). Like VALIDATE, best run against a quiescent store.
+      std::string json;
+      Status st = Status::kOk;
+      try {
+        core::IntegrityReport rep;
+        for (core::UPSkipList* s : stores_) rep.merge(s->verify_deep());
+        json = rep.to_json();
+      } catch (const std::exception& e) {
+        st = Status::kError;
+        std::string msg;
+        for (const char* ch = e.what(); *ch != '\0'; ++ch)
+          msg += (*ch == '"' || *ch == '\\') ? ' ' : *ch;
+        json = "{\"degraded\": true, \"error\": \"" + msg + "\"}";
+      }
+      encode_response_blob(st, json, out);
+      break;
+    }
     case Opcode::kHello: {
       stats_.hellos.fetch_add(1, std::memory_order_relaxed);
       if (req.client_id == 0) {
@@ -824,6 +846,13 @@ std::string Server::stats_json() const {
           (pmem::mod_writes_enabled() ? "true" : "false") + ", ";
   json += u64("window_us", window_us_);
   json += "}, ";
+  // Open-time integrity verdict, merged across shards (docs/integrity.md):
+  // what recovery detected and quarantined when these stores attached. The
+  // FSCK opcode re-walks the store for a fresh deep check; this section is
+  // the cheap always-available summary.
+  core::IntegrityReport integ;
+  for (const core::UPSkipList* st : stores_) integ.merge(st->integrity());
+  json += "\"integrity\": " + integ.to_json() + ", ";
   json += "\"pmem\": " + pmem::Stats::instance().snapshot().to_json();
   json += "}";
   return json;

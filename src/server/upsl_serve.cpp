@@ -177,6 +177,23 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Degraded-mode startup report (docs/integrity.md): merge the open-time
+  // integrity verdicts across shards. A degraded store still serves — the
+  // quarantine machinery bridged around the damage — but the operator must
+  // see what was lost before the first client connects.
+  {
+    core::IntegrityReport integ;
+    for (std::uint32_t i = 0; i < args.shards; ++i)
+      integ.merge(set->shard(i).integrity());
+    if (integ.degraded()) {
+      std::fprintf(stderr,
+                   "upsl-serve: DEGRADED: corruption quarantined during "
+                   "recovery; serving around the damage\n"
+                   "upsl-serve: integrity: %s\n",
+                   integ.to_json().c_str());
+    }
+  }
+
   // Phase 2: serve.
   server::ServerOptions sopts;
   sopts.host = args.host;

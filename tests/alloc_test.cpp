@@ -394,8 +394,8 @@ TEST_F(MagazineTest, RefillBatchesPopsUnderOneDescriptorWrite) {
   EXPECT_EQ(balloc_->counters().refills.load(), 1u);
   EXPECT_EQ(balloc_->magazine_cached(0), kMagCap - 1);
   EXPECT_EQ(balloc_->count_all_free_blocks(), total0 - 1);
-  EXPECT_EQ(pmem::pm_load(balloc_->magazine_of(0).alloc_count),
-            static_cast<std::uint64_t>(kMagCap));
+  EXPECT_EQ(mag_count_of(pmem::pm_load(balloc_->magazine_of(0).alloc_count)),
+            kMagCap);
 
   // The cached blocks are handed out with zero persist calls and zero
   // fences: the descriptor write at refill time already covers them.

@@ -26,10 +26,13 @@
 #include <atomic>
 #include <cstdlib>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/checksum.hpp"
+#include "common/corruption.hpp"
 #include "common/crashpoint.hpp"
 #include "common/rng.hpp"
 #include "common/thread_registry.hpp"
@@ -755,6 +758,172 @@ IterOutcome run_detect_iteration(std::uint64_t seed) {
   return out;
 }
 
+/// Corruption-torture iteration (docs/integrity.md): the usual concurrent
+/// workload and injected crash, then — between the crash and the reopen —
+/// a seeded medium strike against a stamp-covered durable surface of one
+/// victim node (header words meta/self_riv/key0, or the whole header line
+/// zeroed). The reopen's quarantine scan must detect the damage, bridge
+/// around it, and report the lost key range; the oracle then holds the
+/// campaign to the corruption contract: every acked key is recovered intact
+/// or explicitly reported lost — never silently wrong. Leak checks are
+/// skipped by design: quarantine leaks the damaged node's blocks on
+/// purpose rather than trusting its contents.
+struct CorruptionOutcome {
+  bool main_crash_fired = false;
+  bool struck = false;
+  bool quarantined = false;
+  std::string strike_desc;
+};
+
+CorruptionOutcome run_corruption_iteration(std::uint64_t seed,
+                                           pmem::CrashMode mode) {
+  // The shard *is* the integrity campaign: pin stamps on so the CI's
+  // UPSL_DISABLE_CHECKSUMS matrix leg doesn't degrade detection to noise.
+  test::ScopedChecksums checksums_on(true);
+  const int threads = torture_threads();
+  Xoshiro256 rng(seed);
+  test::StoreHarness h(test::small_options(/*keys_per_node=*/4,
+                                           /*max_height=*/10,
+                                           /*max_threads=*/8));
+  DurableOracle oracle(static_cast<std::uint32_t>(threads));
+  std::atomic<std::uint64_t> next_value{1};
+  const std::uint64_t keyspace = 120 + rng.next_below(200);
+
+  for (std::uint64_t i = 0; i < keyspace / 3; ++i) {
+    const std::uint64_t key = 1 + rng.next_below(keyspace);
+    const std::uint64_t val = next_value.fetch_add(1);
+    oracle.invoke(0, EvKind::kWrite, key, val);
+    oracle.ack(0, h.store().insert(key, val));
+  }
+
+  // ---- phase 1: concurrent workload, one injected crash ------------------
+  CrashPoints::ArmSpec spec;
+  spec.quiesce = true;
+  if (rng.next_below(3) == 0) {
+    spec.probability = 1.0 / 128.0;
+    spec.seed = seed;
+  } else {
+    spec.skip = 10 + rng.next_below(250);
+  }
+  spec.thread = rng.next_below(4) == 0
+                    ? -1
+                    : static_cast<int>(rng.next_below(
+                          static_cast<std::uint64_t>(threads)));
+  CrashPoints::instance().arm(spec);
+
+  auto worker = [&](int t) {
+    ThreadRegistry::instance().bind(t);
+    Xoshiro256 trng(seed * 1000003 + static_cast<std::uint64_t>(t));
+    const auto tid = static_cast<std::uint32_t>(t);
+    try {
+      for (int op = 0; op < 600; ++op) {
+        CrashPoints::instance().poll();
+        const std::uint64_t key = 1 + trng.next_below(keyspace);
+        const std::uint64_t dice = trng.next_below(100);
+        if (dice < 50) {
+          const std::uint64_t val = next_value.fetch_add(1);
+          oracle.invoke(tid, EvKind::kWrite, key, val);
+          oracle.ack(tid, h.store().insert(key, val));
+        } else if (dice < 85) {
+          oracle.invoke(tid, EvKind::kRead, key);
+          oracle.ack(tid, h.store().search(key));
+        } else {
+          oracle.invoke(tid, EvKind::kRemove, key);
+          oracle.ack(tid, h.store().remove(key));
+        }
+      }
+    } catch (const CrashException&) {
+    }
+  };
+  {
+    std::vector<std::thread> ws;
+    for (int t = 0; t < threads; ++t) ws.emplace_back(worker, t);
+    for (auto& w : ws) w.join();
+  }
+  CorruptionOutcome out;
+  out.main_crash_fired = CrashPoints::instance().fired();
+  CrashPoints::instance().reset();
+  oracle.on_crash();
+
+  // ---- phase 2: strike a stamp-covered surface, then reopen --------------
+  // Victim: the level-0 node (in the pre-crash mapping, still valid until
+  // the remap inside crash_corrupt_reopen) owning a random workload key.
+  // Only stamp-covered header words are struck — meta@24, self_riv@40,
+  // key0@56, or the whole header line — so detection is guaranteed by
+  // design rather than probabilistic (in-node key/value payload is
+  // deliberately uncovered, docs/integrity.md).
+  const std::uint64_t victim_key = 1 + rng.next_below(keyspace);
+  const std::uint64_t victim_riv = h.store().debug_node_riv_for(victim_key);
+  char* victim = victim_riv != 0
+                     ? static_cast<char*>(
+                           riv::Runtime::instance().to_ptr(victim_riv))
+                     : nullptr;
+  const std::uint64_t shape = rng.next_below(4);
+  const std::uint64_t draw = rng.next() | 1;
+  h.crash_corrupt_reopen(
+      [&](std::vector<pmem::Pool*>) {
+        if (victim == nullptr) return;
+        CorruptionHit hit{};
+        switch (shape) {
+          case 0:
+            hit = CorruptionPoints::bit_flip(victim + 24, 8, draw);
+            break;
+          case 1:
+            hit = CorruptionPoints::bit_flip(victim + 40, 8, draw);
+            break;
+          case 2:
+            hit = CorruptionPoints::torn_word(victim + 56, 8, draw);
+            break;
+          default:
+            hit = CorruptionPoints::zero_line(victim, 64, 0);
+        }
+        out.struck = true;
+        std::ostringstream os;
+        os << corruption_kind_name(hit.kind) << " on node riv 0x" << std::hex
+           << victim_riv << " header word +" << std::dec
+           << (shape == 0 ? 24 : shape == 1 ? 40 : shape == 2 ? 56 : 0)
+           << " (before=0x" << std::hex << hit.before << " after=0x"
+           << hit.after << std::dec << ")";
+        out.strike_desc = os.str();
+      },
+      mode, seed ^ 0x9e3779b97f4a7c15ULL);
+
+  // The report must be captured before phase 3: verify_deep() would also
+  // work, but the open-time verdict is what a restarting server acts on.
+  const core::IntegrityReport report = h.store().integrity();
+  out.quarantined = report.degraded();
+  if (out.struck && out.quarantined) {
+    EXPECT_GE(report.nodes_quarantined + (report.root_mode_repaired ? 1 : 0),
+              1u)
+        << "[seed=" << seed << " " << out.strike_desc << "]";
+  }
+
+  // ---- phase 3: quiesced verification ------------------------------------
+  CrashPoints::instance().reset();
+  for (int t = 0; t < threads; ++t) {
+    std::thread tickler([&, t] {
+      ThreadRegistry::instance().bind(t);
+      const std::uint64_t base =
+          1'000'000 + static_cast<std::uint64_t>(t) * 10'000;
+      for (std::uint64_t i = 0; i < 8; ++i)
+        h.store().insert(base + i, next_value.fetch_add(1));
+    });
+    tickler.join();
+  }
+  for (int pass = 0; pass < 3; ++pass)
+    for (std::uint64_t k = 1; k <= keyspace; ++k) h.store().search(k);
+
+  const DurableOracle::Verdict verdict = oracle.verify(
+      [&](std::uint64_t key) { return h.store().search(key); },
+      [&](std::uint64_t key) { return report.covers(key); });
+  EXPECT_TRUE(verdict.ok) << "oracle: " << verdict.reason << " [seed=" << seed
+                          << (out.struck ? " " + out.strike_desc : "") << "]";
+  EXPECT_NO_THROW(h.store().check_invariants())
+      << "[seed=" << seed << (out.struck ? " " + out.strike_desc : "") << "]";
+  // No check_no_leaks: quarantine leaks the victim's blocks on purpose.
+  return out;
+}
+
 /// Runs `iters` seeded iterations under `mode` and reports the failing seed
 /// (the CI greps for "failing seed" on error).
 void run_shard(const char* shard, std::uint64_t seed_base,
@@ -879,6 +1048,56 @@ TEST(CrashTorture, DiscardModeDetectableSessions) {
   EXPECT_GE(fired * 5, iters * 4)
       << "main crash fired in only " << fired << "/" << iters
       << " iterations";
+}
+
+// Corruption-torture shard: crash + seeded medium strike on a stamp-covered
+// node-header surface + reopen, verified against the corruption contract
+// (intact or explicitly reported lost, never silently wrong) in both crash
+// modes. A failure prints the seed AND the exact strike (kind, riv, word,
+// before/after) for one-command reproduction.
+TEST(CrashTorture, CorruptionQuarantine) {
+  const std::uint64_t iters = env_u64("UPSL_TORTURE_ITERS", 50);
+  const bool explicit_seed = std::getenv("UPSL_TORTURE_SEED0") != nullptr;
+  const std::uint64_t seed0 =
+      explicit_seed ? env_u64("UPSL_TORTURE_SEED0", 1) : 1 + 800'000;
+  std::uint64_t fired = 0;
+  std::uint64_t struck = 0;
+  std::uint64_t quarantined = 0;
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    const std::uint64_t seed = seed0 + i;
+    const pmem::CrashMode mode = (seed % 2 == 0)
+                                     ? pmem::CrashMode::kRandomEvict
+                                     : pmem::CrashMode::kDiscardUnflushed;
+    SCOPED_TRACE("discard-corrupt iteration " + std::to_string(i) + " seed " +
+                 std::to_string(seed));
+    const CorruptionOutcome out = run_corruption_iteration(seed, mode);
+    fired += out.main_crash_fired ? 1 : 0;
+    struck += out.struck ? 1 : 0;
+    quarantined += out.quarantined ? 1 : 0;
+    if (::testing::Test::HasFailure()) {
+      std::fprintf(stderr,
+                   "\n*** crash_torture failing seed: %llu (shard "
+                   "discard-corrupt, strike: %s, reproduce with "
+                   "UPSL_TORTURE_SEED0=%llu UPSL_TORTURE_ITERS=1) ***\n\n",
+                   static_cast<unsigned long long>(seed),
+                   out.struck ? out.strike_desc.c_str() : "none",
+                   static_cast<unsigned long long>(seed));
+      return;
+    }
+  }
+  EXPECT_GE(fired * 5, iters * 4)
+      << "main crash fired in only " << fired << "/" << iters
+      << " iterations";
+  // The campaign is only meaningful if strikes actually land on durable
+  // reachable nodes and the quarantine path actually runs.
+  EXPECT_GE(struck * 2, iters)
+      << "medium strike landed in only " << struck << "/" << iters
+      << " iterations";
+  if (iters >= 20) {
+    EXPECT_GT(quarantined, 0u)
+        << "corruption was never detected/quarantined across " << iters
+        << " iterations";
+  }
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/checksum.hpp"
 #include "common/crashpoint.hpp"
 #include "common/thread_registry.hpp"
 #include "core/shard_set.hpp"
@@ -54,6 +55,18 @@ class ScopedDetect {
   ~ScopedDetect() { detect::reset_detect_for_testing(); }
   ScopedDetect(const ScopedDetect&) = delete;
   ScopedDetect& operator=(const ScopedDetect&) = delete;
+};
+
+/// Pin the checksum kill switch for a test scope regardless of the CI env
+/// matrix (UPSL_DISABLE_CHECKSUMS): corruption-detection tests force stamps
+/// on, format-compatibility tests force them off per phase, and the
+/// destructor restores env-driven behaviour either way.
+class ScopedChecksums {
+ public:
+  explicit ScopedChecksums(bool on) { set_checksums_for_testing(on); }
+  ~ScopedChecksums() { reset_checksums_for_testing(); }
+  ScopedChecksums(const ScopedChecksums&) = delete;
+  ScopedChecksums& operator=(const ScopedChecksums&) = delete;
 };
 
 inline core::Options small_options(std::uint32_t keys_per_node = 8,
@@ -138,6 +151,29 @@ class StoreHarness {
     riv::Runtime::instance().reset();
     store_ = core::UPSkipList::open(raw_pools());
   }
+
+  /// Power failure + medium damage + restart: after the crash image settles,
+  /// `strike(pools)` mutates durable bytes directly (bit flips, torn words,
+  /// zeroed lines — common/corruption.hpp), the damage is folded into the
+  /// shadow so it reads as genuinely durable, and the store reopens over it.
+  /// Propagates whatever open() throws (e.g. upsl::CorruptionError); the
+  /// harness then holds no store until the next successful reopen.
+  template <typename Strike>
+  void crash_corrupt_reopen(Strike&& strike,
+                            pmem::CrashMode mode =
+                                pmem::CrashMode::kDiscardUnflushed,
+                            std::uint64_t seed = 1) {
+    store_.reset();
+    for (auto& p : pools_) p->simulate_crash(mode, seed);
+    strike(raw_pools());
+    mark_persisted();  // corruption is durable, not an unflushed line
+    for (auto& p : pools_) p->remap();
+    riv::Runtime::instance().reset();
+    store_ = core::UPSkipList::open(raw_pools());
+  }
+
+  /// Whether a store is currently attached (false after a throwing reopen).
+  bool has_store() const { return store_ != nullptr; }
 
  private:
   static inline std::atomic<int> counter_{0};
