@@ -200,6 +200,15 @@ class UPSLAdapter : public ycsb::KVAdapter {
   std::optional<std::uint64_t> remove(std::uint64_t k) override {
     return store_->remove(k);
   }
+  std::size_t scan(std::uint64_t start, std::uint32_t count) override {
+    // thread_local so concurrent run_trace threads don't share the buffer
+    // and the steady state allocates nothing (clear() keeps capacity).
+    thread_local std::vector<core::ScanEntry> buf;
+    buf.clear();
+    std::uint64_t resume = 0;
+    store_->scan_chunk(start, core::kTailKey, count, buf, &resume);
+    return buf.size();
+  }
   core::UPSkipList& store() { return *store_; }
 
  private:
@@ -259,6 +268,11 @@ class UPSLShardedAdapter : public ycsb::KVAdapter {
   }
   std::optional<std::uint64_t> remove(std::uint64_t k) override {
     return set_->remove(k);
+  }
+  std::size_t scan(std::uint64_t start, std::uint32_t count) override {
+    thread_local std::vector<core::ScanEntry> buf;
+    buf.clear();
+    return set_->scan(start, core::kTailKey, count, buf);
   }
   core::ShardSet& set() { return *set_; }
 

@@ -7,8 +7,12 @@
 // round-trip time of the batch the operation rode in — the time from submit
 // to response a closed-loop caller actually observes.
 //
-// Two YCSB mixes are measured at the configured client count: workload B
-// (read-mostly, 95/5) and workload A (update-heavy, 50/50).
+// Three YCSB mixes are measured at the configured client count: workload B
+// (read-mostly, 95/5), workload A (update-heavy, 50/50), and workload E
+// (scan-heavy, 95% short range scans / 5% inserts). Point ops pipeline
+// `depth` deep; a scan flushes whatever is queued first (the streamed SCANS
+// exchange owns the connection until its final chunk) and is timed as its
+// own round trip, first byte to last chunk.
 //
 // Target selection:
 //   UPSL_SERVER_ADDR=host:port  drive an already-running server (CI smoke);
@@ -76,6 +80,7 @@ bool preload(const Target& t, std::uint64_t records) {
 struct WorkloadResult {
   double seconds = 0;
   std::uint64_t ops = 0;
+  std::uint64_t scan_entries = 0;
   bench::LatencyRecorder latency;
   bool ok = true;
 };
@@ -98,6 +103,21 @@ WorkloadResult run_workload(const Target& t, const ycsb::WorkloadSpec& spec,
       ycsb::OpGenerator gen(spec, records, /*seed=*/1000 + i, i, clients);
       std::uint64_t remaining = total_ops / clients;
       std::vector<server::Response> resp;
+      std::uint32_t queued = 0;
+      // Batch round-trip time attributed to every op that rode in the batch.
+      const auto flush_queued = [&] {
+        if (queued == 0) return;
+        const auto s = std::chrono::steady_clock::now();
+        c.flush(&resp);
+        const auto ns = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - s)
+                .count());
+        for (std::uint32_t b = 0; b < queued; ++b) r.latency.record_ns(ns);
+        r.ops += queued;
+        remaining -= queued;
+        queued = 0;
+      };
       try {
         while (remaining > 0) {
           const std::uint32_t batch =
@@ -105,20 +125,32 @@ WorkloadResult run_workload(const Target& t, const ycsb::WorkloadSpec& spec,
                                                                  remaining));
           for (std::uint32_t b = 0; b < batch; ++b) {
             const ycsb::Op op = gen.next();
-            if (op.type == ycsb::OpType::kRead)
+            if (op.type == ycsb::OpType::kScan) {
+              flush_queued();  // scan_stream needs an empty pipeline
+              const auto s = std::chrono::steady_clock::now();
+              r.scan_entries += c.scan_stream(
+                  op.key, ~0ULL,
+                  [](const std::vector<std::pair<std::uint64_t,
+                                                 std::uint64_t>>&) {
+                    return true;
+                  },
+                  op.scan_len);
+              const auto ns = static_cast<std::uint64_t>(
+                  std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - s)
+                      .count());
+              r.latency.record_ns(ns);
+              r.ops += 1;
+              remaining -= 1;
+            } else if (op.type == ycsb::OpType::kRead) {
               c.queue({server::Opcode::kGet, op.key});
-            else
+              ++queued;
+            } else {
               c.queue({server::Opcode::kPut, op.key, op.value});
+              ++queued;
+            }
           }
-          const auto s = std::chrono::steady_clock::now();
-          c.flush(&resp);
-          const auto ns = static_cast<std::uint64_t>(
-              std::chrono::duration_cast<std::chrono::nanoseconds>(
-                  std::chrono::steady_clock::now() - s)
-                  .count());
-          for (std::uint32_t b = 0; b < batch; ++b) r.latency.record_ns(ns);
-          r.ops += batch;
-          remaining -= batch;
+          flush_queued();
         }
       } catch (const std::exception& e) {
         std::fprintf(stderr, "client %u: %s\n", i, e.what());
@@ -134,6 +166,7 @@ WorkloadResult run_workload(const Target& t, const ycsb::WorkloadSpec& spec,
                       .count();
   for (const WorkloadResult& r : per_thread) {
     total.ops += r.ops;
+    total.scan_entries += r.scan_entries;
     total.latency.merge(r.latency);
     total.ok = total.ok && r.ok;
   }
@@ -198,7 +231,8 @@ int main() {
 
   JsonBenchWriter out("server");
   bool all_ok = true;
-  for (const ycsb::WorkloadSpec& spec : {ycsb::kWorkloadB, ycsb::kWorkloadA}) {
+  for (const ycsb::WorkloadSpec& spec :
+       {ycsb::kWorkloadB, ycsb::kWorkloadA, ycsb::kWorkloadE}) {
     bench::StatsDelta delta;
     delta.begin();
     const WorkloadResult r =
@@ -212,6 +246,11 @@ int main() {
         static_cast<unsigned long long>(r.latency.p50_ns()),
         static_cast<unsigned long long>(r.latency.p99_ns()),
         static_cast<unsigned long long>(r.latency.p999_ns()));
+    if (r.scan_entries > 0)
+      std::printf("  %-16s %8.0f scanned entries/s\n", "",
+                  r.seconds > 0
+                      ? static_cast<double>(r.scan_entries) / r.seconds
+                      : 0);
 
     JsonBenchWriter::Config cfg;
     if (target.self_hosted) cfg = delta.per_op(std::max<std::uint64_t>(r.ops, 1));
@@ -220,6 +259,8 @@ int main() {
     cfg.emplace_back("depth", std::to_string(depth));
     cfg.emplace_back("records", std::to_string(records));
     cfg.emplace_back("mode", target.self_hosted ? "self-hosted" : "external");
+    if (r.scan_entries > 0)
+      cfg.emplace_back("scan_entries", std::to_string(r.scan_entries));
     if (target.self_hosted) cfg.emplace_back("shards", std::to_string(shards));
     bench::append_build_config(cfg);
     out.add(std::string("server_") + spec.name, std::move(cfg), ops_s,

@@ -29,6 +29,14 @@
 //                   ascending (nulls may appear anywhere); requires
 //                   target != kNullKey (0). Returns -1 early once a key
 //                   greater than target proves the target absent.
+//   range_mask_u64  set bit i of the output mask for every i in [0, count)
+//                   with lo <= keys[i] <= hi, and return the number of set
+//                   bits. No ordering assumption; count <= 64 * mask words
+//                   provided by the caller. Callers pass lo >= 1 so kNullKey
+//                   holes (0) are rejected by the range check itself — the
+//                   kernel needs no null special case. This is the SCAN
+//                   filter: one pass over a node's key array replaces the
+//                   per-slot bounds branches of the scalar scan loop.
 #pragma once
 
 #include <atomic>
@@ -46,6 +54,9 @@ namespace upsl::simd {
 
 using FindFn = std::int32_t (*)(const std::uint64_t*, std::uint32_t,
                                 std::uint32_t, std::uint64_t);
+using RangeMaskFn = std::uint32_t (*)(const std::uint64_t*, std::uint32_t,
+                                      std::uint64_t, std::uint64_t,
+                                      std::uint64_t*);
 
 // ---- scalar kernels (portable reference) ----------------------------------
 
@@ -67,6 +78,22 @@ inline std::int32_t find_sorted_u64_scalar(const std::uint64_t* keys,
     if (k > target) return -1;  // nulls (0) never trip this: target >= 1
   }
   return -1;
+}
+
+inline std::uint32_t range_mask_u64_scalar(const std::uint64_t* keys,
+                                           std::uint32_t count,
+                                           std::uint64_t lo, std::uint64_t hi,
+                                           std::uint64_t* mask) {
+  for (std::uint32_t w = 0; w < (count + 63) / 64; ++w) mask[w] = 0;
+  std::uint32_t matches = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint64_t k = keys[i];
+    if (k >= lo && k <= hi) {
+      mask[i >> 6] |= 1ULL << (i & 63);
+      ++matches;
+    }
+  }
+  return matches;
 }
 
 // ---- x86 kernels ----------------------------------------------------------
@@ -154,15 +181,58 @@ __attribute__((target("avx2"))) inline std::int32_t find_sorted_u64_avx2(
   return -1;
 }
 
+/// Range filter: 8 keys per iteration, one mask byte written per pair of
+/// vectors. Signed compares are turned unsigned with the same sign-bit bias
+/// as find_sorted_u64_avx2; in-range is the complement of (below-lo OR
+/// above-hi), so each lane costs two compares, one OR and no blends.
+__attribute__((target("avx2"))) inline std::uint32_t range_mask_u64_avx2(
+    const std::uint64_t* keys, std::uint32_t count, std::uint64_t lo,
+    std::uint64_t hi, std::uint64_t* mask) {
+  const __m256i bias = _mm256_set1_epi64x(static_cast<long long>(1ULL << 63));
+  const __m256i lob =
+      _mm256_xor_si256(_mm256_set1_epi64x(static_cast<long long>(lo)), bias);
+  const __m256i hib =
+      _mm256_xor_si256(_mm256_set1_epi64x(static_cast<long long>(hi)), bias);
+  for (std::uint32_t w = 0; w < (count + 63) / 64; ++w) mask[w] = 0;
+  std::uint32_t matches = 0;
+  std::uint32_t i = 0;
+  for (; i + 8 <= count; i += 8) {
+    const __m256i a = _mm256_xor_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i)), bias);
+    const __m256i b = _mm256_xor_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i + 4)),
+        bias);
+    const int outa = _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_or_si256(
+        _mm256_cmpgt_epi64(lob, a), _mm256_cmpgt_epi64(a, hib))));
+    const int outb = _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_or_si256(
+        _mm256_cmpgt_epi64(lob, b), _mm256_cmpgt_epi64(b, hib))));
+    const unsigned m =
+        ~static_cast<unsigned>(outa | (outb << 4)) & 0xffu;
+    // i is a multiple of 8 here, so the byte never straddles a mask word.
+    mask[i >> 6] |= static_cast<std::uint64_t>(m) << (i & 63);
+    matches += static_cast<unsigned>(__builtin_popcount(m));
+  }
+  for (; i < count; ++i) {
+    const std::uint64_t k = keys[i];
+    if (k >= lo && k <= hi) {
+      mask[i >> 6] |= 1ULL << (i & 63);
+      ++matches;
+    }
+  }
+  return matches;
+}
+
 #endif  // UPSL_SIMD_X86
 
 // ---- one-time runtime dispatch --------------------------------------------
 
-/// The kernel set for one SIMD level. SSE2 keeps the scalar sorted kernel:
-/// emulating unsigned 64-bit greater-than in SSE2 costs more than it saves.
+/// The kernel set for one SIMD level. SSE2 keeps the scalar sorted and range
+/// kernels: emulating unsigned 64-bit greater-than in SSE2 costs more than
+/// it saves.
 struct Kernels {
   FindFn find;
   FindFn find_sorted;
+  RangeMaskFn range_mask;
   SimdLevel level;
 };
 
@@ -170,11 +240,14 @@ namespace detail {
 
 inline constexpr Kernels kScalarKernels{&find_u64_scalar,
                                         &find_sorted_u64_scalar,
+                                        &range_mask_u64_scalar,
                                         SimdLevel::kScalar};
 #ifdef UPSL_SIMD_X86
 inline constexpr Kernels kSse2Kernels{&find_u64_sse2, &find_sorted_u64_scalar,
+                                      &range_mask_u64_scalar,
                                       SimdLevel::kSse2};
 inline constexpr Kernels kAvx2Kernels{&find_u64_avx2, &find_sorted_u64_avx2,
+                                      &range_mask_u64_avx2,
                                       SimdLevel::kAvx2};
 #endif
 
@@ -225,6 +298,14 @@ UPSL_ALWAYS_INLINE std::int32_t find_sorted_u64(const std::uint64_t* keys,
                                                 std::uint32_t end,
                                                 std::uint64_t target) {
   return kernels().find_sorted(keys, begin, end, target);
+}
+
+UPSL_ALWAYS_INLINE std::uint32_t range_mask_u64(const std::uint64_t* keys,
+                                                std::uint32_t count,
+                                                std::uint64_t lo,
+                                                std::uint64_t hi,
+                                                std::uint64_t* mask) {
+  return kernels().range_mask(keys, count, lo, hi, mask);
 }
 
 }  // namespace upsl::simd

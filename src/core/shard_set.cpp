@@ -77,41 +77,105 @@ std::unique_ptr<ShardSet> ShardSet::open(
   return set;
 }
 
-std::size_t scan_merged(UPSkipList* const* shards, std::uint32_t n,
-                        std::uint64_t lo, std::uint64_t hi, std::size_t limit,
-                        std::vector<ScanEntry>& out) {
-  if (n == 1) {
-    std::vector<ScanEntry> run;
-    shards[0]->scan(lo, hi, run);
-    const std::size_t take =
-        limit == 0 ? run.size() : std::min(limit, run.size());
-    out.insert(out.end(), run.begin(), run.begin() + take);
-    return take;
+namespace {
+// Default per-shard chunk pulled by the incremental merge: large enough to
+// amortize the head re-walk scan_chunk pays per refill, small enough that a
+// limited scan never does much more per-shard work than it emits.
+constexpr std::size_t kDefaultRefill = 2048;
+}  // namespace
+
+MergedScanCursor::MergedScanCursor(UPSkipList* const* shards, std::uint32_t n,
+                                   std::uint64_t lo, std::uint64_t hi,
+                                   std::size_t refill)
+    : shards_(shards),
+      n_(n),
+      hi_(hi),
+      refill_(refill == 0 ? kDefaultRefill : refill),
+      runs_(n) {
+  for (auto& r : runs_) r.resume = lo == 0 ? 1 : lo;
+  if (lo > hi) for (auto& r : runs_) r.drained = true;
+}
+
+void MergedScanCursor::refill(std::uint32_t i) {
+  Run& r = runs_[i];
+  r.buf.clear();
+  r.head = 0;
+  std::uint64_t resume = 0;
+  shards_[i]->scan_chunk(r.resume, hi_, refill_, r.buf, &resume);
+  r.resume = resume;
+  if (resume == 0) r.drained = true;
+  // scan_chunk can legitimately return 0 entries with a nonzero resume key
+  // only if every key in the walked nodes was tombstoned; loop until the
+  // shard either yields entries or drains so the merge invariant (non-empty
+  // buffer unless drained) holds.
+  while (!r.drained && r.buf.empty()) {
+    shards_[i]->scan_chunk(r.resume, hi_, refill_, r.buf, &resume);
+    r.resume = resume;
+    if (resume == 0) r.drained = true;
   }
+}
 
-  // Every shard holds a slice of any key range (hash partition), so all of
-  // them are scanned; each run comes back sorted, and the merge below picks
-  // the globally smallest head until the limit is met. Shard counts are
-  // small, so a linear head scan beats a heap.
-  std::vector<std::vector<ScanEntry>> runs(n);
-  for (std::uint32_t i = 0; i < n; ++i) shards[i]->scan(lo, hi, runs[i]);
-
-  std::vector<std::size_t> heads(n, 0);
+std::size_t MergedScanCursor::next(std::size_t max_entries,
+                                   std::vector<ScanEntry>& out) {
   std::size_t produced = 0;
-  while (limit == 0 || produced < limit) {
-    std::uint32_t best = n;
+  while (produced < max_entries) {
+    // Keep every live shard's buffer non-empty so the head pick is safe.
+    std::uint32_t best = n_;
     std::uint64_t best_key = 0;
-    for (std::uint32_t i = 0; i < n; ++i) {
-      if (heads[i] >= runs[i].size()) continue;
-      const std::uint64_t k = runs[i][heads[i]].key;
-      if (best == n || k < best_key) {
+    for (std::uint32_t i = 0; i < n_; ++i) {
+      Run& r = runs_[i];
+      if (r.head >= r.buf.size()) {
+        if (r.drained) continue;
+        refill(i);
+        if (r.head >= r.buf.size()) continue;  // drained with nothing left
+      }
+      const std::uint64_t k = r.buf[r.head].key;
+      if (best == n_ || k < best_key) {
         best = i;
         best_key = k;
       }
     }
-    if (best == n) break;  // all runs exhausted
-    out.push_back(runs[best][heads[best]++]);
+    if (best == n_) break;  // all shards exhausted
+    out.push_back(runs_[best].buf[runs_[best].head++]);
     ++produced;
+  }
+  return produced;
+}
+
+bool MergedScanCursor::exhausted() const {
+  for (const auto& r : runs_)
+    if (!r.drained || r.head < r.buf.size()) return false;
+  return true;
+}
+
+std::uint64_t MergedScanCursor::resume_key() const {
+  std::uint64_t best = 0;
+  for (const auto& r : runs_) {
+    std::uint64_t candidate = 0;
+    if (r.head < r.buf.size())
+      candidate = r.buf[r.head].key;
+    else if (!r.drained)
+      candidate = r.resume;
+    if (candidate != 0 && (best == 0 || candidate < best)) best = candidate;
+  }
+  return best;
+}
+
+std::size_t scan_merged(UPSkipList* const* shards, std::uint32_t n,
+                        std::uint64_t lo, std::uint64_t hi, std::size_t limit,
+                        std::vector<ScanEntry>& out) {
+  // Every shard holds a slice of any key range (hash partition), so all of
+  // them participate; the cursor pulls bounded per-shard chunks and merges
+  // incrementally, so a limited scan stops pulling once the limit is met.
+  MergedScanCursor cursor(shards, n, lo, hi,
+                          limit == 0 ? 0 : std::min(limit, kDefaultRefill));
+  std::size_t produced = 0;
+  while (limit == 0 || produced < limit) {
+    const std::size_t want =
+        limit == 0 ? kDefaultRefill : std::min(kDefaultRefill, limit - produced);
+    const std::size_t got = cursor.next(want, out);
+    if (got == 0) break;
+    produced += got;
   }
   return produced;
 }

@@ -39,6 +39,57 @@ std::size_t scan_merged(UPSkipList* const* shards, std::uint32_t n,
                         std::uint64_t lo, std::uint64_t hi, std::size_t limit,
                         std::vector<ScanEntry>& out);
 
+/// Incremental cross-shard k-way merge (docs/scan.md). Instead of
+/// materializing every shard's full run before merging, the cursor pulls
+/// bounded chunks from each shard on demand (UPSkipList::scan_chunk) and
+/// emits merged output as soon as every shard has a buffered head — so the
+/// server's first SCAN frame leaves before any shard has been fully
+/// scanned, and a scan truncated by a limit never does more per-shard work
+/// than roughly the limit itself.
+///
+/// Merge invariant: a shard's buffer always holds that shard's smallest
+/// un-emitted keys (its chunk covers a contiguous key range and is
+/// refilled the moment it empties), so the linear head pick is globally
+/// correct. Shards partition the key space, so no cross-shard dedup is
+/// needed.
+class MergedScanCursor {
+ public:
+  /// `refill` is the per-shard chunk size requested from scan_chunk
+  /// (0 picks a default). The shard array must outlive the cursor.
+  MergedScanCursor(UPSkipList* const* shards, std::uint32_t n,
+                   std::uint64_t lo, std::uint64_t hi,
+                   std::size_t refill = 0);
+
+  /// Appends up to `max_entries` merged entries (in global key order,
+  /// continuing where the previous call stopped) to `out`. Returns the
+  /// number appended; 0 means the range is exhausted.
+  std::size_t next(std::size_t max_entries, std::vector<ScanEntry>& out);
+
+  /// True once every shard's range is fully emitted.
+  bool exhausted() const;
+
+  /// Smallest key not yet emitted — the `lo` a brand-new cursor (possibly
+  /// in a later request) would need to continue this scan. Only meaningful
+  /// while !exhausted().
+  std::uint64_t resume_key() const;
+
+ private:
+  struct Run {
+    std::vector<ScanEntry> buf;
+    std::size_t head = 0;      // next un-emitted index into buf
+    std::uint64_t resume = 0;  // next scan_chunk lo for this shard
+    bool drained = false;      // shard range exhausted
+  };
+
+  void refill(std::uint32_t i);
+
+  UPSkipList* const* shards_;
+  std::uint32_t n_;
+  std::uint64_t hi_;
+  std::size_t refill_;
+  std::vector<Run> runs_;
+};
+
 class ShardSet {
  public:
   /// Formats every shard's pools and creates the member stores. `pools[i]`

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
@@ -1431,26 +1432,52 @@ UPSkipList::DetectOutcome UPSkipList::remove_detect(std::uint64_t key,
 
 std::size_t UPSkipList::scan(std::uint64_t lo, std::uint64_t hi,
                              std::vector<ScanEntry>& out) {
+  std::uint64_t resume = 0;
+  return scan_chunk(lo, hi, 0, out, &resume);
+}
+
+std::size_t UPSkipList::scan_chunk(std::uint64_t lo, std::uint64_t hi,
+                                   std::size_t limit,
+                                   std::vector<ScanEntry>& out,
+                                   std::uint64_t* resume_key) {
+  *resume_key = 0;
   if (lo > hi) return 0;
+  if (lo == kNullKey) lo = 1;                // kNullKey is never a user key
+  if (hi >= kTailKey) hi = kTailKey - 1;     // keeps hi + 1 overflow-free
+  if (limit == 0) limit = std::numeric_limits<std::size_t>::max();
   std::uint64_t preds[64];
   std::uint64_t succs[64];
-  traverse(lo == kNullKey ? 1 : lo, preds, succs, opts_.recovery_budget);
+  traverse(lo, preds, succs, opts_.recovery_budget);
   std::uint64_t cur_riv = preds[0];
   const std::size_t before = out.size();
-  std::vector<std::pair<std::uint64_t, std::uint64_t>> snapshot(
-      layout_.keys_per_node);
+
+  // One kernel call covers up to 1024 keys (16 mask words on the stack);
+  // larger nodes are filtered in blocks. No heap allocation on this path.
+  constexpr std::uint32_t kBlock = 1024;
+  std::uint64_t mask[kBlock / 64];
+  const std::uint32_t kpn = layout_.keys_per_node;
+  std::uint64_t nodes_visited = 0;
+  std::uint64_t kernel_calls = 0;
 
   SpinGuard walk_guard("scan.walk");
   while (cur_riv != 0) {
     walk_guard.tick();
     NodeView node = view(cur_riv);
     if (node.is_tail()) break;
-    if (node.first_key() > hi) break;
-    if (cur_riv != head_riv_) {
-      // Per-node atomic snapshot, validated by the split counter.
-      SpinGuard guard("scan.snapshot");
+    if (node.first_key() > hi) break;  // rest of the level is beyond hi
+    std::uint64_t next_riv = 0;
+    if (cur_riv == head_riv_) {
+      next_riv = pm_load(node.next(0));
+    } else {
+      ++nodes_visited;
+      const std::size_t node_start = out.size();
+      // Per-node atomic filter, validated by the split counter: the kernel
+      // reads the key slots with plain loads, and any concurrent split
+      // bumps the counter and sends us around again.
+      SpinGuard guard("scan.filter");
       while (true) {
         guard.tick();
+        out.resize(node_start);  // discard a half-filtered failed attempt
         const std::uint64_t sc = pm_load(node.split_count());
         if (node.write_locked()) {
           // A durably locked node from a dead epoch never unlocks by
@@ -1459,15 +1486,59 @@ std::size_t UPSkipList::scan(std::uint64_t lo, std::uint64_t hi,
           check_for_recovery(0, cur_riv, node, &recoveries, ~0u);
           continue;
         }
-        for (std::uint32_t i = 0; i < layout_.keys_per_node; ++i)
-          snapshot[i] = {pm_load(node.key(i)), pm_load(node.value(i))};
+        next_riv = pm_load(node.next(0));
+        // Overlap the successor's key-line fetches with this node's filter.
+        std::uint64_t next_first = kTailKey;
+        if (next_riv != 0) {
+          NodeView next = view(next_riv);
+          prefetch_keys(next);
+          if (!next.is_tail()) next_first = next.first_key();
+        }
+        // Fully-inside fast path: internal keys lie in (first_key,
+        // next.first_key), so when those bounds already sit inside [lo, hi]
+        // the kernel only has to reject kNullKey holes — no per-key range
+        // compare against the caller's bounds at all.
+        std::uint64_t flo = lo;
+        std::uint64_t fhi = hi;
+        if (node.first_key() >= lo && next_first <= hi + 1) {
+          flo = 1;
+          fhi = kTailKey;
+        }
+        const std::uint64_t* keys = node.keys();
+        for (std::uint32_t base = 0; base < kpn; base += kBlock) {
+          const std::uint32_t blk = std::min(kBlock, kpn - base);
+          simd::range_mask_u64(keys + base, blk, flo, fhi, mask);
+          ++kernel_calls;
+          for (std::uint32_t w = 0; w < (blk + 63) / 64; ++w) {
+            std::uint64_t bits = mask[w];
+            while (bits != 0) {
+              const std::uint32_t idx =
+                  base + w * 64 +
+                  static_cast<std::uint32_t>(__builtin_ctzll(bits));
+              bits &= bits - 1;
+              // Under an unchanged split counter a claimed slot's key is
+              // immutable, so this re-read matches what the kernel saw.
+              const std::uint64_t k = pm_load(node.key(idx));
+              const std::uint64_t v = pm_load(node.value(idx));
+              if (v != kTombstone) out.push_back({k, v});
+            }
+          }
+        }
         if (pm_load(node.split_count()) == sc) break;
       }
-      for (const auto& [k, v] : snapshot)
-        if (k != kNullKey && k >= lo && k <= hi && v != kTombstone)
-          out.push_back({k, v});
+      if (out.size() - before >= limit) {
+        // Stop at a node boundary: every key below next_first is covered,
+        // so the continuation picks up exactly there.
+        if (next_riv != 0) {
+          NodeView next = view(next_riv);
+          if (!next.is_tail() && next.first_key() <= hi)
+            *resume_key = next.first_key();
+        }
+        cur_riv = 0;
+        continue;
+      }
     }
-    cur_riv = pm_load(node.next(0));
+    cur_riv = next_riv;
   }
 
   std::sort(out.begin() + static_cast<std::ptrdiff_t>(before), out.end(),
@@ -1482,6 +1553,12 @@ std::size_t UPSkipList::scan(std::uint64_t lo, std::uint64_t hi,
     first[w++] = first[r];
   }
   out.resize(before + w);
+
+  auto& st = pmem::Stats::instance();
+  st.scan_nodes_visited.fetch_add(nodes_visited, std::memory_order_relaxed);
+  st.simd_scan_filters.fetch_add(kernel_calls, std::memory_order_relaxed);
+  st.scan_entries_returned.fetch_add(w, std::memory_order_relaxed);
+  st.scan_chunks.fetch_add(1, std::memory_order_relaxed);
   return w;
 }
 

@@ -187,8 +187,22 @@ class UPSkipList {
 
   /// Range scan over [lo, hi] in key order (extension; §7 future work).
   /// Per-node atomic (validated by split counters), not globally atomic.
+  /// Filters whole nodes with the SIMD range-mask kernel (docs/scan.md) and
+  /// appends to `out` without any internal heap allocation.
   std::size_t scan(std::uint64_t lo, std::uint64_t hi,
                    std::vector<ScanEntry>& out);
+
+  /// Cursor-style bounded scan: like scan(), but stops at the first node
+  /// boundary once at least `limit` entries have been appended (so a chunk
+  /// may exceed `limit` by up to keys_per_node - 1 entries; size request
+  /// frames accordingly). On return *resume_key is the smallest key the
+  /// walk has NOT covered — pass it back as `lo` to continue — or 0 when
+  /// [lo, hi] is exhausted. Chunks from successive calls cover disjoint,
+  /// ascending key ranges, so concatenating them needs no re-sort/dedup.
+  /// limit == 0 means unbounded (identical to scan()).
+  std::size_t scan_chunk(std::uint64_t lo, std::uint64_t hi,
+                         std::size_t limit, std::vector<ScanEntry>& out,
+                         std::uint64_t* resume_key);
 
   /// Number of live (non-tombstoned) keys — O(n) diagnostic walk.
   std::size_t count_keys();

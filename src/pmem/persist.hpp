@@ -48,6 +48,10 @@ struct StatsSnapshot {
   std::uint64_t quarantined_nodes = 0;
   std::uint64_t quarantined_blocks = 0;
   std::uint64_t quarantined_sessions = 0;
+  std::uint64_t scan_nodes_visited = 0;
+  std::uint64_t scan_entries_returned = 0;
+  std::uint64_t scan_chunks = 0;
+  std::uint64_t simd_scan_filters = 0;
 
   StatsSnapshot operator-(const StatsSnapshot& t0) const {
     StatsSnapshot d{persist_calls - t0.persist_calls,
@@ -68,6 +72,10 @@ struct StatsSnapshot {
     d.quarantined_nodes = quarantined_nodes - t0.quarantined_nodes;
     d.quarantined_blocks = quarantined_blocks - t0.quarantined_blocks;
     d.quarantined_sessions = quarantined_sessions - t0.quarantined_sessions;
+    d.scan_nodes_visited = scan_nodes_visited - t0.scan_nodes_visited;
+    d.scan_entries_returned = scan_entries_returned - t0.scan_entries_returned;
+    d.scan_chunks = scan_chunks - t0.scan_chunks;
+    d.simd_scan_filters = simd_scan_filters - t0.simd_scan_filters;
     return d;
   }
 
@@ -106,7 +114,11 @@ struct StatsSnapshot {
            field("checksum_failures", checksum_failures) + ", " +
            field("quarantined_nodes", quarantined_nodes) + ", " +
            field("quarantined_blocks", quarantined_blocks) + ", " +
-           field("quarantined_sessions", quarantined_sessions) + "}";
+           field("quarantined_sessions", quarantined_sessions) + ", " +
+           field("scan_nodes_visited", scan_nodes_visited) + ", " +
+           field("scan_entries_returned", scan_entries_returned) + ", " +
+           field("scan_chunks", scan_chunks) + ", " +
+           field("simd_scan_filters", simd_scan_filters) + "}";
   }
 };
 
@@ -151,6 +163,13 @@ struct Stats {
   std::atomic<std::uint64_t> quarantined_nodes{0};
   std::atomic<std::uint64_t> quarantined_blocks{0};
   std::atomic<std::uint64_t> quarantined_sessions{0};
+  /// Scan path (docs/scan.md): data-level nodes walked by SCAN, entries
+  /// emitted to callers, chunks produced by the cursor API, and invocations
+  /// of the SIMD range-filter kernel (one per <=1024-key block).
+  std::atomic<std::uint64_t> scan_nodes_visited{0};
+  std::atomic<std::uint64_t> scan_entries_returned{0};
+  std::atomic<std::uint64_t> scan_chunks{0};
+  std::atomic<std::uint64_t> simd_scan_filters{0};
 
   static Stats& instance() {
     static Stats s;
@@ -190,6 +209,11 @@ struct Stats {
     s.quarantined_blocks = quarantined_blocks.load(std::memory_order_relaxed);
     s.quarantined_sessions =
         quarantined_sessions.load(std::memory_order_relaxed);
+    s.scan_nodes_visited = scan_nodes_visited.load(std::memory_order_relaxed);
+    s.scan_entries_returned =
+        scan_entries_returned.load(std::memory_order_relaxed);
+    s.scan_chunks = scan_chunks.load(std::memory_order_relaxed);
+    s.simd_scan_filters = simd_scan_filters.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -211,6 +235,10 @@ struct Stats {
     quarantined_nodes.store(0, std::memory_order_relaxed);
     quarantined_blocks.store(0, std::memory_order_relaxed);
     quarantined_sessions.store(0, std::memory_order_relaxed);
+    scan_nodes_visited.store(0, std::memory_order_relaxed);
+    scan_entries_returned.store(0, std::memory_order_relaxed);
+    scan_chunks.store(0, std::memory_order_relaxed);
+    simd_scan_filters.store(0, std::memory_order_relaxed);
   }
 };
 

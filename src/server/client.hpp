@@ -29,6 +29,7 @@
 #include <cerrno>
 #include <cstdint>
 #include <cstdlib>
+#include <functional>
 #include <iterator>
 #include <optional>
 #include <stdexcept>
@@ -307,9 +308,77 @@ class Client {
     return extract_u64(r, "REMOVE");
   }
 
-  /// Scan [lo, hi]; limit 0 = server maximum. The server truncates at its
-  /// kMaxScanEntries cap, so size()==limit (or the cap) may mean "more".
+  /// Scan [lo, hi]; limit 0 = everything in range. Runs over the chunked
+  /// SCANS verb (docs/scan.md): the response arrives as a stream of frames
+  /// reassembled here, and when the server truncates at its per-request cap
+  /// the scan resumes transparently from the final frame's resume_key — so,
+  /// unlike the legacy buffered verb, limit 0 really is the whole range.
   std::vector<std::pair<std::uint64_t, std::uint64_t>> scan(
+      std::uint64_t lo, std::uint64_t hi, std::uint32_t limit = 0) {
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+    scan_stream(
+        lo, hi,
+        [&out](const std::vector<std::pair<std::uint64_t, std::uint64_t>>& e) {
+          out.insert(out.end(), e.begin(), e.end());
+          return true;
+        },
+        limit);
+    return out;
+  }
+
+  /// Streaming scan: `cb` is invoked once per (non-empty) chunk, in global
+  /// key order, as the frames arrive off the wire — the first entries are
+  /// delivered before the server has finished walking the range. Returning
+  /// false from `cb` stops the scan early (the current response is still
+  /// drained to keep the connection's framing intact, but no follow-up
+  /// request is issued). `chunk` requests a per-frame entry count (0 =
+  /// server default). Returns the total number of entries delivered.
+  std::size_t scan_stream(
+      std::uint64_t lo, std::uint64_t hi,
+      const std::function<
+          bool(const std::vector<std::pair<std::uint64_t, std::uint64_t>>&)>&
+          cb,
+      std::uint32_t limit = 0, std::uint32_t chunk = 0) {
+    if (queued_ != 0)
+      throw std::logic_error(
+          "upsl client: one-shot call with requests still queued");
+    std::size_t total = 0;
+    std::uint64_t cur = lo;
+    bool keep = true;
+    while (true) {
+      Request req{Opcode::kScanStream, cur, hi};
+      req.limit =
+          limit == 0 ? 0 : static_cast<std::uint32_t>(limit - total);
+      req.chunk = chunk;
+      std::vector<std::uint8_t> frame;
+      encode_request(req, frame);
+      send_all(frame.data(), frame.size());
+      std::uint64_t resume = 0;
+      while (true) {
+        Response r;
+        read_response(&r);
+        expect_ok(r, "SCANS");
+        Response::ScanChunk ck;
+        if (!r.scan_chunk(&ck))
+          throw std::runtime_error("upsl client: malformed SCANS chunk");
+        total += ck.entries.size();
+        if (keep && !ck.entries.empty()) keep = cb(ck.entries);
+        if (ck.final_chunk) {
+          resume = ck.resume_key;
+          break;
+        }
+      }
+      if (!keep || resume == 0 || (limit != 0 && total >= limit)) break;
+      cur = resume;  // server hit its per-request cap: continue from there
+    }
+    return total;
+  }
+
+  /// Legacy single-frame SCAN (the pre-chunking verb, kept for A/B
+  /// comparison and old servers): the server buffers the whole response
+  /// before sending, and truncation at kMaxScanEntries is silent —
+  /// size()==limit (or the cap) may mean "more".
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> scan_buffered(
       std::uint64_t lo, std::uint64_t hi, std::uint32_t limit = 0) {
     Request req{Opcode::kScan, lo, hi};
     req.limit = limit;
@@ -599,6 +668,15 @@ class ShardedClient {
   std::vector<std::pair<std::uint64_t, std::uint64_t>> scan(
       std::uint64_t lo, std::uint64_t hi, std::uint32_t limit = 0) {
     return clients_[0].scan(lo, hi, limit);
+  }
+
+  std::size_t scan_stream(
+      std::uint64_t lo, std::uint64_t hi,
+      const std::function<
+          bool(const std::vector<std::pair<std::uint64_t, std::uint64_t>>&)>&
+          cb,
+      std::uint32_t limit = 0, std::uint32_t chunk = 0) {
+    return clients_[0].scan_stream(lo, hi, cb, limit, chunk);
   }
 
   std::string stats_json() { return clients_[0].stats_json(); }

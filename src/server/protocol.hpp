@@ -18,6 +18,27 @@
 //                                            kNotFound: empty
 //   SCAN    req: u64 lo, u64 hi, u32 max resp kOk: u32 count,
 //                                            count x (u64 key, u64 value)
+//   SCANS   req: u64 lo, u64 hi,         resp: 1..N chunk frames, each
+//                u32 max, u32 chunk           kOk: u32 count, u32 flags,
+//                                             u64 resume_key, count x
+//                                             (u64 key, u64 value).
+//                                             flags bit0 set marks the final
+//                                             frame of the response; on it,
+//                                             resume_key 0 means [lo, hi] is
+//                                             exhausted, nonzero means the
+//                                             scan was truncated (per-request
+//                                             cap) and a follow-up SCANS with
+//                                             lo = resume_key continues
+//                                             exactly where it stopped.
+//                                             Non-final frames carry
+//                                             resume_key 0. max caps total
+//                                             entries for this request
+//                                             (0 or > kMaxScanEntries =
+//                                             kMaxScanEntries); chunk sizes
+//                                             the individual frames (0 =
+//                                             kDefaultScanChunk, clamped to
+//                                             kMaxScanChunkEntries). See
+//                                             docs/scan.md.
 //   STATS   req: empty                   resp kOk: u32 len, len JSON bytes
 //   PING    req: empty                   resp kOk: empty
 //   VALIDATE req: empty                  resp kOk: u32 len, len JSON bytes
@@ -97,8 +118,21 @@ namespace upsl::server {
 inline constexpr std::uint32_t kMaxBody = 1u << 20;
 
 /// Cap on entries in one SCAN response so the reply always fits kMaxBody
-/// (8-byte count header + 16 bytes per entry, with slack).
+/// (8-byte count header + 16 bytes per entry, with slack). Also the
+/// per-request entry cap for SCANS — but there truncation is resumable via
+/// the final frame's resume_key instead of silent.
 inline constexpr std::uint32_t kMaxScanEntries = 60000;
+
+/// Per-frame entry bounds for chunked SCANS responses. The max keeps one
+/// chunk frame comfortably inside kMaxBody (20-byte header + 16 bytes per
+/// entry = 512 KiB + 20 at the cap).
+inline constexpr std::uint32_t kMaxScanChunkEntries = 32768;
+inline constexpr std::uint32_t kDefaultScanChunk = 2048;
+
+/// SCANS chunk-frame flags.
+inline constexpr std::uint32_t kScanChunkFinal = 1u << 0;
+
+using ScanEntryPair = std::pair<std::uint64_t, std::uint64_t>;
 
 inline constexpr std::size_t kHeaderBytes = 4;  // the u32 length prefix
 inline constexpr std::size_t kBodyPrefixBytes = 4;  // opcode/status + pad
@@ -119,6 +153,7 @@ enum class Opcode : std::uint8_t {
   kDUpdate = 13,
   kDRemove = 14,
   kFsck = 15,
+  kScanStream = 16,
 };
 
 enum class Status : std::uint8_t {
@@ -132,9 +167,12 @@ struct Request {
   Opcode op = Opcode::kPing;
   std::uint64_t key = 0;    // GET/PUT/UPDATE/REMOVE/D* key; SCAN lo; RESOLVE route
   std::uint64_t value = 0;  // PUT/UPDATE/DPUT/DUPDATE value; SCAN hi
-  std::uint32_t limit = 0;  // SCAN max entries
+  std::uint32_t limit = 0;  // SCAN/SCANS max entries
   std::uint64_t seq = 0;        // D* / RESOLVE sequence number
   std::uint64_t client_id = 0;  // HELLO / RESOLVE session identity
+  // Appended last so existing positional aggregate initializers keep their
+  // meaning.
+  std::uint32_t chunk = 0;  // SCANS per-frame entry count (0 = default)
 };
 
 /// A parsed response: status plus the raw opcode-specific payload. Typed
@@ -163,6 +201,34 @@ struct Response {
       std::memcpy(&k, payload.data() + 4 + 16ull * i, 8);
       std::memcpy(&v, payload.data() + 4 + 16ull * i + 8, 8);
       out->emplace_back(k, v);
+    }
+    return true;
+  }
+
+  /// One SCANS chunk frame, decoded.
+  struct ScanChunk {
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> entries;
+    bool final_chunk = false;
+    std::uint64_t resume_key = 0;  // final frame only: 0 = exhausted
+  };
+
+  bool scan_chunk(ScanChunk* out) const {
+    if (payload.size() < 16) return false;
+    std::uint32_t count = 0;
+    std::uint32_t flags = 0;
+    std::memcpy(&count, payload.data(), 4);
+    std::memcpy(&flags, payload.data() + 4, 4);
+    std::memcpy(&out->resume_key, payload.data() + 8, 8);
+    if (payload.size() != 16 + 16ull * count) return false;
+    out->final_chunk = (flags & kScanChunkFinal) != 0;
+    out->entries.clear();
+    out->entries.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      std::uint64_t k = 0;
+      std::uint64_t v = 0;
+      std::memcpy(&k, payload.data() + 16 + 16ull * i, 8);
+      std::memcpy(&v, payload.data() + 16 + 16ull * i + 8, 8);
+      out->entries.emplace_back(k, v);
     }
     return true;
   }
@@ -260,6 +326,8 @@ inline int request_payload_bytes(Opcode op) {
       return 16;
     case Opcode::kScan:
       return 20;
+    case Opcode::kScanStream:
+      return 24;
     case Opcode::kStats:
     case Opcode::kPing:
     case Opcode::kValidate:
@@ -300,6 +368,12 @@ inline void encode_request(const Request& req, std::vector<std::uint8_t>& out) {
       put_u64(out, req.key);
       put_u64(out, req.value);
       put_u32(out, req.limit);
+      break;
+    case Opcode::kScanStream:
+      put_u64(out, req.key);
+      put_u64(out, req.value);
+      put_u32(out, req.limit);
+      put_u32(out, req.chunk);
       break;
     case Opcode::kStats:
     case Opcode::kPing:
@@ -345,6 +419,7 @@ inline ParseResult parse_request(const std::uint8_t* data, std::size_t n,
   out->key = 0;
   out->value = 0;
   out->limit = 0;
+  out->chunk = 0;
   out->seq = 0;
   out->client_id = 0;
   switch (op) {
@@ -361,6 +436,12 @@ inline ParseResult parse_request(const std::uint8_t* data, std::size_t n,
       out->key = get_u64(p);
       out->value = get_u64(p + 8);
       out->limit = get_u32(p + 16);
+      break;
+    case Opcode::kScanStream:
+      out->key = get_u64(p);
+      out->value = get_u64(p + 8);
+      out->limit = get_u32(p + 16);
+      out->chunk = get_u32(p + 20);
       break;
     case Opcode::kStats:
     case Opcode::kPing:
@@ -414,6 +495,24 @@ inline void encode_response_scan(
   out.push_back(static_cast<std::uint8_t>(Status::kOk));
   out.insert(out.end(), 3, 0);
   put_u32(out, count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    put_u64(out, entries[i].first);
+    put_u64(out, entries[i].second);
+  }
+}
+
+/// One SCANS chunk frame. `final_chunk` sets kScanChunkFinal; `resume_key`
+/// is only meaningful on the final frame (0 = range exhausted).
+inline void encode_response_scan_chunk(
+    const ScanEntryPair* entries, std::uint32_t count, bool final_chunk,
+    std::uint64_t resume_key, std::vector<std::uint8_t>& out) {
+  put_u32(out,
+          static_cast<std::uint32_t>(kBodyPrefixBytes + 16 + 16ull * count));
+  out.push_back(static_cast<std::uint8_t>(Status::kOk));
+  out.insert(out.end(), 3, 0);
+  put_u32(out, count);
+  put_u32(out, final_chunk ? kScanChunkFinal : 0u);
+  put_u64(out, final_chunk ? resume_key : 0);
   for (std::uint32_t i = 0; i < count; ++i) {
     put_u64(out, entries[i].first);
     put_u64(out, entries[i].second);

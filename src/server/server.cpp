@@ -26,6 +26,7 @@
 #include "pmem/persist.hpp"
 #include "server/group_commit.hpp"
 #include "server/protocol.hpp"
+#include "server/uring.hpp"
 
 namespace upsl::server {
 
@@ -42,6 +43,11 @@ bool set_nonblocking(int fd) {
 
 bool shard_pin_disabled_by_env() {
   const char* v = std::getenv("UPSL_DISABLE_SHARD_PIN");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+bool iouring_disabled_by_env() {
+  const char* v = std::getenv("UPSL_DISABLE_IOURING");
   return v != nullptr && v[0] != '\0' && v[0] != '0';
 }
 
@@ -76,6 +82,21 @@ struct Server::Conn {
   std::uint64_t client_id = 0;
   std::vector<std::int32_t> session_slots;
 
+  // io_uring plane only (docs/scan.md). Sends must not point into `out`
+  // (it reallocs while the SQE is in flight), so the releasable window is
+  // staged into `sbuf` for the kernel. `pending_ops` counts this
+  // connection's in-flight SQEs (recv/send/cancel); a closed Conn is only
+  // destroyed once it reaches zero — ops hold kernel references to the
+  // buffers they were posted with.
+  std::vector<std::uint8_t> sbuf;
+  std::vector<std::uint8_t> rbuf;  // plain-recv fallback (no fixed slot free)
+  int buf_idx = -1;                // registered recv buffer slot, -1 = none
+  bool recv_armed = false;
+  bool send_armed = false;
+  bool closing = false;            // fd closed; waiting for pending_ops == 0
+  bool close_after_flush = false;  // peer sent FIN: close once out drains
+  unsigned pending_ops = 0;
+
   bool has_pending_out() const { return out_off < sendable_end; }
 };
 
@@ -84,7 +105,54 @@ struct Server::Worker {
   int epoll_fd = -1;
   int event_fd = -1;  // poked by the shard's group committer after each fence
   std::unordered_map<int, Conn> conns;
+#if UPSL_HAVE_IOURING
+  // io_uring plane state. Connections are keyed by their heap address (not
+  // fd — io_uring completions outlive a close, and the kernel reuses fd
+  // numbers immediately), and SQE user_data carries that address with a
+  // low-bit op tag, so every CQE resolves to a live Conn by construction.
+  Uring ring;
+  bool draining = false;  // suppress re-arms during the graceful drain
+  unsigned inflight = 0;  // SQEs posted whose CQE has not been reaped yet
+  std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> uconns;
+  std::vector<std::vector<std::uint8_t>> fixed_bufs;  // registered recv pool
+  std::vector<int> free_bufs;
+  std::uint64_t efd_val = 0;  // eventfd read target (stable address)
+#endif
 };
+
+#if UPSL_HAVE_IOURING
+namespace {
+
+// SQE user_data layout: either a sentinel (< 8) for per-worker ops, or a
+// Conn* (heap-allocated, so 8-byte aligned) with an op tag in the low bits.
+constexpr std::uint64_t kUdAccept = 1;  // multishot accept
+constexpr std::uint64_t kUdEvent = 2;   // group-committer eventfd read
+constexpr std::uint64_t kUdMisc = 3;    // cancels of the two above
+constexpr std::uint64_t kTagRecv = 1;
+constexpr std::uint64_t kTagSend = 2;
+constexpr std::uint64_t kTagCancel = 3;
+constexpr std::uint64_t kTagMask = 3;
+constexpr unsigned kUringEntries = 1024;
+constexpr unsigned kRecvBufBytes = 64 * 1024;
+constexpr unsigned kFixedBufCount = 16;
+
+std::uint64_t conn_ud(const void* c, std::uint64_t tag) {
+  return reinterpret_cast<std::uint64_t>(c) | tag;
+}
+
+io_uring_sqe* sqe_or_flush(Uring& ring) {
+  io_uring_sqe* sqe = ring.get_sqe();
+  if (sqe == nullptr) {
+    // SQ full: publish what is queued (the kernel consumes SQEs at submit
+    // time) and retry.
+    ring.submit_and_wait(0, 0);
+    sqe = ring.get_sqe();
+  }
+  return sqe;
+}
+
+}  // namespace
+#endif  // UPSL_HAVE_IOURING
 
 Server::Server(core::UPSkipList& store, ServerOptions opts)
     : stores_{&store}, opts_(std::move(opts)) {
@@ -177,6 +245,15 @@ bool Server::start() {
   for (std::uint32_t s = 0; s < shards; ++s)
     shard_ops_[s].store(0, std::memory_order_relaxed);
 
+#if UPSL_HAVE_IOURING
+  // Data-plane selection: option on, no env kill switch, and the kernel
+  // passes the feature probe. Per-worker ring setup below can still fail
+  // (e.g. RLIMIT_MEMLOCK); any failure reverts every worker to epoll — the
+  // planes never mix within one server.
+  use_uring_ = opts_.io_uring && !iouring_disabled_by_env() &&
+               io_uring_available();
+#endif
+
   for (std::uint32_t s = 0; s < shards; ++s) {
     for (unsigned i = 0; i < opts_.workers; ++i) {
       auto w = std::make_unique<Worker>();
@@ -202,9 +279,59 @@ bool Server::start() {
       workers_.push_back(std::move(w));
     }
   }
+
+#if UPSL_HAVE_IOURING
+  if (use_uring_) {
+    for (auto& w : workers_) {
+      if (!w->ring.init(kUringEntries)) {
+        use_uring_ = false;
+        break;
+      }
+      // The eventfd is read through the ring in this mode; clear O_NONBLOCK
+      // so kernels whose eventfd lacks nowait support poll-arm the read
+      // instead of completing it with -EAGAIN (a re-arm busy loop).
+      if (w->event_fd >= 0) {
+        const int fl = ::fcntl(w->event_fd, F_GETFL, 0);
+        if (fl >= 0) ::fcntl(w->event_fd, F_SETFL, fl & ~O_NONBLOCK);
+      }
+      // Registered recv buffers: fixed slots the kernel reads into without
+      // per-op page pinning. Registration failing (memlock limits) is not
+      // fatal — connections beyond the pool fall back to plain RECV anyway.
+      w->fixed_bufs.assign(kFixedBufCount,
+                           std::vector<std::uint8_t>(kRecvBufBytes));
+      std::vector<iovec> iov(kFixedBufCount);
+      for (unsigned b = 0; b < kFixedBufCount; ++b)
+        iov[b] = {w->fixed_bufs[b].data(), kRecvBufBytes};
+      if (w->ring.register_buffers(iov.data(), kFixedBufCount)) {
+        for (int b = kFixedBufCount - 1; b >= 0; --b) w->free_bufs.push_back(b);
+      } else {
+        w->fixed_bufs.clear();
+      }
+    }
+    if (!use_uring_) {
+      // Revert to epoll: tear the rings down and restore the nonblocking
+      // eventfds its loop expects.
+      for (auto& w : workers_) {
+        w->ring.destroy();
+        w->fixed_bufs.clear();
+        w->free_bufs.clear();
+        if (w->event_fd >= 0) set_nonblocking(w->event_fd);
+      }
+    }
+  }
+#endif
+
   started_ = true;
   for (unsigned i = 0; i < shards * opts_.workers; ++i)
-    threads_.emplace_back([this, i] { worker_main(i); });
+    threads_.emplace_back([this, i] {
+#if UPSL_HAVE_IOURING
+      if (use_uring_) {
+        worker_main_uring(i);
+        return;
+      }
+#endif
+      worker_main(i);
+    });
   return true;
 }
 
@@ -399,8 +526,15 @@ bool Server::execute_batch(Worker& w, Conn& c) {
     off += consumed;
     ++executed;
     bool op_mutated = false;
-    execute_one(w, c, req, c.out, &op_mutated);
+    // A SCANS response may stream each chunk frame out as soon as it is
+    // encoded — but only when nothing already in c.out is parked behind an
+    // unretired fence: no mutation earlier in this batch, no outstanding
+    // group-commit ticket. Everything before this op is then read-only
+    // responses, releasable by definition.
+    const bool allow_stream = mutations == 0 && c.pending_acks.empty();
+    execute_one(w, c, req, c.out, &op_mutated, allow_stream);
     if (op_mutated) ++mutations;
+    if (c.fd < 0) return false;  // a streaming flush hit a dead socket
   }
   if (off > 0) c.in.erase(c.in.begin(), c.in.begin() + off);
   if (executed == 0) return false;
@@ -438,7 +572,8 @@ bool Server::execute_batch(Worker& w, Conn& c) {
 }
 
 void Server::execute_one(Worker& w, Conn& c, const Request& req,
-                         std::vector<std::uint8_t>& out, bool* mutated) {
+                         std::vector<std::uint8_t>& out, bool* mutated,
+                         bool allow_stream) {
   const auto shards = static_cast<std::uint32_t>(stores_.size());
   // Dispatch-layer routing: the key, not the arrival socket, picks the
   // store. A request that arrived on the wrong shard's port is still served
@@ -537,6 +672,49 @@ void Server::execute_one(Worker& w, Conn& c, const Request& req,
       for (const auto& e : entries) kv.emplace_back(e.key, e.value);
       encode_response_scan(kv.data(), static_cast<std::uint32_t>(kv.size()),
                            out);
+      break;
+    }
+    case Opcode::kScanStream: {
+      stats_.scans.fetch_add(1, std::memory_order_relaxed);
+      const std::uint32_t limit =
+          std::min(req.limit == 0 ? kMaxScanEntries : req.limit,
+                   kMaxScanEntries);
+      const std::uint32_t chunk =
+          std::min(req.chunk == 0 ? kDefaultScanChunk : req.chunk,
+                   kMaxScanChunkEntries);
+      // Streaming chunked scan (docs/scan.md): an incremental k-way merge
+      // pulls bounded per-shard chunks, and each protocol frame is encoded
+      // (and, when allow_stream permits, flushed) as soon as its entries are
+      // merged — the first frame leaves before any shard has been fully
+      // scanned. Truncation at the per-request cap is resumable: the final
+      // frame carries the smallest un-emitted key.
+      core::MergedScanCursor cursor(stores_.data(), shards, req.key, req.value,
+                                    std::min<std::size_t>(chunk, limit));
+      std::vector<core::ScanEntry> entries;
+      std::vector<ScanEntryPair> kv;
+      std::uint32_t produced = 0;
+      while (true) {
+        entries.clear();
+        kv.clear();
+        const std::size_t want = std::min<std::size_t>(chunk, limit - produced);
+        cursor.next(want, entries);
+        produced += static_cast<std::uint32_t>(entries.size());
+        kv.reserve(entries.size());
+        for (const auto& e : entries) kv.emplace_back(e.key, e.value);
+        const bool exhausted = cursor.exhausted();
+        const bool truncated = produced >= limit && !exhausted;
+        const bool final_chunk = exhausted || truncated;
+        encode_response_scan_chunk(kv.data(),
+                                   static_cast<std::uint32_t>(kv.size()),
+                                   final_chunk,
+                                   truncated ? cursor.resume_key() : 0, out);
+        if (allow_stream && &out == &c.out) {
+          c.sendable_end = out.size();
+          flush_out(w, c);
+          if (c.fd < 0) return;
+        }
+        if (final_chunk) break;
+      }
       break;
     }
     case Opcode::kStats:
@@ -666,6 +844,19 @@ void Server::execute_one(Worker& w, Conn& c, const Request& req,
 }
 
 void Server::flush_out(Worker& w, Conn& c) {
+  if (c.fd < 0) return;
+#if UPSL_HAVE_IOURING
+  if (use_uring_) {
+    if (!w.draining) {
+      uring_flush(w, c);
+      return;
+    }
+    // Draining: fall through to the synchronous path — but never while an
+    // asynchronous send still owns the [out_off, sendable_end) window, or
+    // the same bytes would leave twice.
+    if (c.send_armed) return;
+  }
+#endif
   // Only released bytes ([out_off, sendable_end)) may leave; bytes parked
   // behind an uncommitted ticket wait for the committer's eventfd wakeup.
   while (c.has_pending_out()) {
@@ -687,7 +878,9 @@ void Server::flush_out(Worker& w, Conn& c) {
     c.out_off = 0;
     c.sendable_end = 0;
   }
-  // EPOLLOUT covers kernel backpressure on released bytes only.
+  // EPOLLOUT covers kernel backpressure on released bytes only. (On the
+  // io_uring plane this fd was never registered with epoll; the MOD is a
+  // harmless ENOENT during its synchronous drain.)
   const bool want = c.has_pending_out();
   if (want != c.want_write) {
     epoll_event ev = {};
@@ -700,6 +893,23 @@ void Server::flush_out(Worker& w, Conn& c) {
 
 void Server::release_committed(Worker& w) {
   const std::uint64_t committed = shard_gc(w)->committed();
+#if UPSL_HAVE_IOURING
+  if (use_uring_) {
+    // uring_flush never erases a Conn (teardown is completion-driven), so
+    // iterating the map while flushing is safe.
+    for (auto& [key, cp] : w.uconns) {
+      Conn& c = *cp;
+      if (c.fd < 0 || c.pending_acks.empty()) continue;
+      while (!c.pending_acks.empty() &&
+             c.pending_acks.front().first <= committed) {
+        c.sendable_end = c.pending_acks.front().second;
+        c.pending_acks.pop_front();
+      }
+      flush_out(w, c);
+    }
+    return;
+  }
+#endif
   for (auto it = w.conns.begin(); it != w.conns.end();) {
     Conn& c = it->second;
     if (c.fd >= 0 && !c.pending_acks.empty()) {
@@ -721,6 +931,12 @@ void Server::release_committed(Worker& w) {
 /// does NOT erase it from the worker's map — callers up the stack still hold
 /// a reference; the event/drain loop reaps dead entries.
 void Server::close_conn(Worker& w, Conn& c) {
+#if UPSL_HAVE_IOURING
+  if (use_uring_) {
+    uring_close(w, c);
+    return;
+  }
+#endif
   ::epoll_ctl(w.epoll_fd, EPOLL_CTL_DEL, c.fd, nullptr);
   ::close(c.fd);
   c.fd = -1;
@@ -773,6 +989,351 @@ void Server::drain_worker(Worker& w) {
   }
 }
 
+#if UPSL_HAVE_IOURING
+
+/// Arms (or re-arms) the connection's single outstanding receive: into its
+/// registered fixed-buffer slot when one is held or free, else a plain RECV
+/// into the per-connection fallback buffer.
+void Server::uring_arm_recv(Worker& w, Conn& c) {
+  if (c.fd < 0 || c.closing || c.recv_armed || w.draining) return;
+  io_uring_sqe* sqe = sqe_or_flush(w.ring);
+  if (sqe == nullptr) {
+    close_conn(w, c);
+    return;
+  }
+  if (c.buf_idx < 0 && !w.free_bufs.empty()) {
+    c.buf_idx = w.free_bufs.back();
+    w.free_bufs.pop_back();
+  }
+  if (c.buf_idx >= 0) {
+    Uring::prep_read_fixed(sqe, c.fd, w.fixed_bufs[c.buf_idx].data(),
+                           kRecvBufBytes, static_cast<unsigned>(c.buf_idx),
+                           conn_ud(&c, kTagRecv));
+  } else {
+    if (c.rbuf.size() != kRecvBufBytes) c.rbuf.resize(kRecvBufBytes);
+    Uring::prep_recv(sqe, c.fd, c.rbuf.data(), kRecvBufBytes,
+                     conn_ud(&c, kTagRecv));
+  }
+  c.recv_armed = true;
+  ++c.pending_ops;
+  ++w.inflight;
+}
+
+/// Posts one asynchronous send for the releasable window. The window is
+/// copied into c.sbuf first: c.out may realloc (new responses append) while
+/// the kernel still reads the SQE's buffer.
+void Server::uring_flush(Worker& w, Conn& c) {
+  if (c.fd < 0 || c.closing || c.send_armed || !c.has_pending_out()) return;
+  c.sbuf.assign(c.out.begin() + static_cast<std::ptrdiff_t>(c.out_off),
+                c.out.begin() + static_cast<std::ptrdiff_t>(c.sendable_end));
+  io_uring_sqe* sqe = sqe_or_flush(w.ring);
+  if (sqe == nullptr) return;  // retried on the next completion/release
+  Uring::prep_send(sqe, c.fd, c.sbuf.data(),
+                   static_cast<unsigned>(c.sbuf.size()),
+                   conn_ud(&c, kTagSend));
+  c.send_armed = true;
+  ++c.pending_ops;
+  ++w.inflight;
+}
+
+/// io_uring teardown: in-flight ops hold kernel references to the file and
+/// to the buffers they were posted with, so the fd is closed immediately but
+/// the Conn lives on (closing = true) until every CQE — including the ones
+/// the ASYNC_CANCELs generate — has come back.
+void Server::uring_close(Worker& w, Conn& c) {
+  if (c.fd < 0) return;
+  if (c.recv_armed) {
+    io_uring_sqe* sqe = sqe_or_flush(w.ring);
+    if (sqe != nullptr) {
+      Uring::prep_cancel(sqe, conn_ud(&c, kTagRecv), conn_ud(&c, kTagCancel));
+      ++c.pending_ops;
+      ++w.inflight;
+    }
+  }
+  if (c.send_armed) {
+    io_uring_sqe* sqe = sqe_or_flush(w.ring);
+    if (sqe != nullptr) {
+      Uring::prep_cancel(sqe, conn_ud(&c, kTagSend), conn_ud(&c, kTagCancel));
+      ++c.pending_ops;
+      ++w.inflight;
+    }
+  }
+  ::close(c.fd);
+  c.fd = -1;
+  c.closing = true;
+  stats_.connections_closed.fetch_add(1, std::memory_order_relaxed);
+  uring_reap(w, c);
+}
+
+/// Destroys a closed Conn once its last in-flight op has completed,
+/// returning its fixed-buffer slot to the pool. No-op until then.
+void Server::uring_reap(Worker& w, Conn& c) {
+  if (!c.closing || c.pending_ops > 0) return;
+  if (c.buf_idx >= 0) {
+    w.free_bufs.push_back(c.buf_idx);
+    c.buf_idx = -1;
+  }
+  w.uconns.erase(reinterpret_cast<std::uint64_t>(&c));
+}
+
+void Server::uring_handle_cqe(Worker& w, std::uint64_t user_data, int res,
+                              unsigned flags) {
+  if (user_data == kUdAccept) {
+    // Multishot accept: one SQE produces CQEs until the kernel clears
+    // F_MORE (resource pressure or an error); it stays "in flight" — and
+    // counted once in w.inflight — until then, and is re-armed after.
+    const bool more = (flags & IORING_CQE_F_MORE) != 0;
+    if (!more) --w.inflight;
+    if (res >= 0) {
+      if (w.draining) {
+        ::close(res);
+      } else {
+        const int one = 1;
+        ::setsockopt(res, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+        auto conn = std::make_unique<Conn>();
+        Conn& c = *conn;
+        c.fd = res;
+        w.uconns.emplace(reinterpret_cast<std::uint64_t>(conn.get()),
+                         std::move(conn));
+        stats_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+        uring_arm_recv(w, c);
+      }
+    }
+    if (!more && !w.draining) {
+      io_uring_sqe* sqe = sqe_or_flush(w.ring);
+      if (sqe != nullptr) {
+        Uring::prep_accept_multishot(sqe, listen_fds_[w.shard], kUdAccept);
+        ++w.inflight;
+      }
+    }
+    return;
+  }
+  if (user_data == kUdEvent) {
+    --w.inflight;
+    if (res > 0) release_committed(w);
+    if (!w.draining && w.event_fd >= 0) {
+      io_uring_sqe* sqe = sqe_or_flush(w.ring);
+      if (sqe != nullptr) {
+        Uring::prep_read(sqe, w.event_fd, &w.efd_val, sizeof w.efd_val,
+                         kUdEvent);
+        ++w.inflight;
+      }
+    }
+    return;
+  }
+  if (user_data == kUdMisc) {
+    --w.inflight;
+    return;
+  }
+
+  --w.inflight;
+  const auto it = w.uconns.find(user_data & ~kTagMask);
+  if (it == w.uconns.end()) return;  // unreachable: Conns outlive their ops
+  Conn& c = *it->second;
+  --c.pending_ops;
+  const std::uint64_t tag = user_data & kTagMask;
+  if (tag == kTagCancel) {
+    uring_reap(w, c);
+    return;
+  }
+  if (tag == kTagRecv) {
+    c.recv_armed = false;
+    if (c.closing) {
+      uring_reap(w, c);
+      return;
+    }
+    if (res > 0) {
+      const std::uint8_t* buf =
+          c.buf_idx >= 0 ? w.fixed_bufs[c.buf_idx].data() : c.rbuf.data();
+      c.in.insert(c.in.end(), buf, buf + res);
+      if (c.in.size() > kHeaderBytes + kMaxBody + kRecvBufBytes) {
+        stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        close_conn(w, c);
+        return;
+      }
+      while (execute_batch(w, c)) {
+      }
+      if (c.fd >= 0) uring_arm_recv(w, c);
+      return;
+    }
+    if (res == 0) {
+      // Peer sent FIN. Execute what it already sent; the responses (some
+      // possibly parked behind a commit ticket) drain asynchronously, and
+      // the send/release completions close the socket once out is empty.
+      while (execute_batch(w, c)) {
+      }
+      if (c.fd < 0) return;
+      c.close_after_flush = true;
+      flush_out(w, c);
+      if (c.fd >= 0 && !c.send_armed && !c.has_pending_out() &&
+          c.pending_acks.empty()) {
+        close_conn(w, c);
+      }
+      return;
+    }
+    if (res == -ECANCELED && w.draining) return;  // drain slurps the rest
+    close_conn(w, c);
+    return;
+  }
+  if (tag == kTagSend) {
+    c.send_armed = false;
+    if (c.closing) {
+      uring_reap(w, c);
+      return;
+    }
+    if (res > 0) {
+      c.out_off += static_cast<std::size_t>(res);
+      if (c.out_off == c.out.size() && !c.out.empty()) {
+        c.out.clear();
+        c.out_off = 0;
+        c.sendable_end = 0;
+      }
+      if (c.has_pending_out()) {
+        if (!w.draining) uring_flush(w, c);
+        return;
+      }
+      if (c.close_after_flush && c.pending_acks.empty()) close_conn(w, c);
+      return;
+    }
+    if (res == -ECANCELED && w.draining) return;
+    close_conn(w, c);
+    return;
+  }
+}
+
+void Server::worker_main_uring(unsigned global_index) {
+  Worker& w = *workers_[global_index];
+  ThreadRegistry::instance().bind(static_cast<int>(
+      opts_.first_thread_id + w.shard * opts_.workers +
+      (global_index % opts_.workers)));
+  maybe_pin_to_shard(w.shard);
+
+  // The two long-lived ops: multishot accept on the shard's listen socket,
+  // and a read on the group committer's eventfd (re-armed per firing).
+  if (io_uring_sqe* sqe = sqe_or_flush(w.ring)) {
+    Uring::prep_accept_multishot(sqe, listen_fds_[w.shard], kUdAccept);
+    ++w.inflight;
+  }
+  if (w.event_fd >= 0) {
+    if (io_uring_sqe* sqe = sqe_or_flush(w.ring)) {
+      Uring::prep_read(sqe, w.event_fd, &w.efd_val, sizeof w.efd_val,
+                       kUdEvent);
+      ++w.inflight;
+    }
+  }
+
+  io_uring_cqe cqes[256];
+  while (true) {
+    if (stop_.load(std::memory_order_acquire) || signal_stop_requested()) {
+      drain_worker_uring(w);
+      return;
+    }
+    // Same 50 ms stop-flag cadence as the epoll loop, via EXT_ARG timeout.
+    const int r = w.ring.submit_and_wait(1, 50);
+    if (r < 0 && r != -EINTR) return;  // ring unusable
+    unsigned n;
+    while ((n = w.ring.reap(cqes, 256)) > 0) {
+      for (unsigned i = 0; i < n; ++i)
+        uring_handle_cqe(w, cqes[i].user_data, cqes[i].res, cqes[i].flags);
+    }
+  }
+}
+
+/// Graceful drain, io_uring flavor: cancel the long-lived ops and every
+/// armed receive, let in-flight sends finish delivering, then run the same
+/// synchronous slurp-execute-flush pass as the epoll drain. The Conns are
+/// only destroyed once the kernel holds no reference to their buffers.
+void Server::drain_worker_uring(Worker& w) {
+  w.draining = true;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(opts_.drain_timeout_sec);
+  auto cancel = [&](std::uint64_t target, std::uint64_t as) {
+    io_uring_sqe* sqe = sqe_or_flush(w.ring);
+    if (sqe == nullptr) return false;
+    Uring::prep_cancel(sqe, target, as);
+    ++w.inflight;
+    return true;
+  };
+  cancel(kUdAccept, kUdMisc);
+  if (w.event_fd >= 0) cancel(kUdEvent, kUdMisc);
+  for (auto& [key, cp] : w.uconns) {
+    if (cp->recv_armed &&
+        cancel(conn_ud(cp.get(), kTagRecv), conn_ud(cp.get(), kTagCancel)))
+      ++cp->pending_ops;
+  }
+
+  io_uring_cqe cqes[256];
+  auto reap_all = [&] {
+    unsigned n;
+    while ((n = w.ring.reap(cqes, 256)) > 0) {
+      for (unsigned i = 0; i < n; ++i)
+        uring_handle_cqe(w, cqes[i].user_data, cqes[i].res, cqes[i].flags);
+    }
+  };
+  while (w.inflight > 0 && std::chrono::steady_clock::now() < deadline) {
+    if (w.ring.submit_and_wait(1, 100) < 0 && errno != EINTR) break;
+    reap_all();
+  }
+
+  // Synchronous tail (flush_out takes its epoll-style path now that
+  // w.draining is set): one last slurp, execute, barrier, flush, close.
+  GroupCommit* gc = shard_gc(w);
+  for (auto& [key, cp] : w.uconns) {
+    Conn& c = *cp;
+    if (c.fd < 0) continue;
+    char buf[64 * 1024];
+    while (true) {
+      const ssize_t r = ::recv(c.fd, buf, sizeof buf, 0);
+      if (r > 0) {
+        c.in.insert(c.in.end(), buf, buf + r);
+        continue;
+      }
+      break;
+    }
+    while (execute_batch(w, c)) {
+    }
+    if (c.fd < 0) continue;
+    if (gc != nullptr && !c.pending_acks.empty()) {
+      gc->barrier();
+      c.sendable_end = c.out.size();
+      c.pending_acks.clear();
+    }
+    while (c.has_pending_out() && !c.send_armed &&
+           std::chrono::steady_clock::now() < deadline) {
+      pollfd pfd = {c.fd, POLLOUT, 0};
+      if (::poll(&pfd, 1, 100) <= 0) continue;
+      flush_out(w, c);
+      if (c.fd < 0) break;
+    }
+    if (c.fd >= 0) {
+      ::close(c.fd);
+      c.fd = -1;
+      c.closing = true;
+      stats_.connections_closed.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  // Absolutely no kernel-held buffer references may outlive the Conns:
+  // cancel whatever the deadline left behind and wait the CQEs out —
+  // canceled ops always complete.
+  for (auto& [key, cp] : w.uconns) {
+    if (cp->send_armed &&
+        cancel(conn_ud(cp.get(), kTagSend), conn_ud(cp.get(), kTagCancel)))
+      ++cp->pending_ops;
+    if (cp->recv_armed &&
+        cancel(conn_ud(cp.get(), kTagRecv), conn_ud(cp.get(), kTagCancel)))
+      ++cp->pending_ops;
+  }
+  while (w.inflight > 0) {
+    const int r = w.ring.submit_and_wait(1, 1000);
+    if (r < 0 && r != -EINTR) break;
+    reap_all();
+  }
+  w.uconns.clear();
+}
+
+#endif  // UPSL_HAVE_IOURING
+
 std::string Server::stats_json() const {
   auto u64 = [](const char* k, std::uint64_t v) {
     return "\"" + std::string(k) + "\": " + std::to_string(v);
@@ -780,6 +1341,7 @@ std::string Server::stats_json() const {
   const auto& s = stats_;
   std::string json = "{";
   json += "\"server\": {";
+  json += std::string("\"data_plane\": \"") + data_plane() + "\", ";
   json += u64("connections_accepted",
               s.connections_accepted.load(std::memory_order_relaxed)) + ", ";
   json += u64("connections_closed",

@@ -1,4 +1,9 @@
-// upsl-serve: a multi-threaded epoll TCP front-end over a sharded store.
+// upsl-serve: a multi-threaded TCP front-end over a sharded store, with two
+// interchangeable data planes — classic epoll readiness polling, and an
+// io_uring completion loop (multishot accept, registered-buffer receives,
+// asynchronous sends) selected at runtime when the kernel offers it
+// (docs/scan.md). Everything above the socket layer — batching, routing,
+// group commit, drain — is shared between the planes.
 //
 // Sharding (docs/server.md): the key space is hash-partitioned across N
 // independent UPSkipList shards (common/shardmap.hpp). Shard s gets its own
@@ -88,6 +93,14 @@ struct ServerOptions {
   /// Skipped automatically when the machine is too small to give every
   /// shard at least one CPU; UPSL_DISABLE_SHARD_PIN=1 overrides to off.
   bool pin_shards = true;
+  /// Use the io_uring data plane when the kernel supports it (docs/scan.md):
+  /// multishot accept, registered-buffer receives, and completion-driven
+  /// sends — selected at start() by a runtime probe, falling back to epoll
+  /// on kernels (or seccomp policies) that refuse the ring.
+  /// UPSL_DISABLE_IOURING=1 overrides to off. Batch execution, group-commit
+  /// parking, and the single-owner-connection model are identical on both
+  /// planes.
+  bool io_uring = true;
 };
 
 /// Monotonic serving counters, exposed through the STATS command.
@@ -158,6 +171,10 @@ class Server {
   /// Effective commit window (env override applied). Valid after start().
   std::uint32_t commit_window_us() const { return window_us_; }
 
+  /// The data plane the workers actually run ("io_uring" or "epoll" — the
+  /// probe's verdict, not the option). Valid after start().
+  const char* data_plane() const { return use_uring_ ? "io_uring" : "epoll"; }
+
   /// Route SIGTERM/SIGINT to a process-wide stop flag every running Server
   /// polls (the handler only stores to an atomic — async-signal-safe).
   static void install_signal_handlers();
@@ -172,11 +189,23 @@ class Server {
   void worker_main(unsigned global_index);
   void handle_readable(Worker& w, Conn& c);
   bool execute_batch(Worker& w, Conn& c);
+  /// `allow_stream` permits SCANS to release+flush each chunk frame as soon
+  /// as it is encoded (nothing ahead of it in c.out is waiting on a fence).
   void execute_one(Worker& w, Conn& c, const struct Request& req,
-                   std::vector<std::uint8_t>& out, bool* mutated);
+                   std::vector<std::uint8_t>& out, bool* mutated,
+                   bool allow_stream);
   void flush_out(Worker& w, Conn& c);
   void close_conn(Worker& w, Conn& c);
   void drain_worker(Worker& w);
+  // io_uring plane (docs/scan.md); only called when use_uring_ is set.
+  void worker_main_uring(unsigned global_index);
+  void drain_worker_uring(Worker& w);
+  void uring_handle_cqe(Worker& w, std::uint64_t user_data, int res,
+                        unsigned flags);
+  void uring_arm_recv(Worker& w, Conn& c);
+  void uring_flush(Worker& w, Conn& c);
+  void uring_close(Worker& w, Conn& c);
+  void uring_reap(Worker& w, Conn& c);
   /// Release every parked ack covered by the committer's progress and push
   /// the freed bytes out (eventfd wakeup path).
   void release_committed(Worker& w);
@@ -191,6 +220,7 @@ class Server {
   std::atomic<bool> stop_{false};
   bool started_ = false;
   bool stopped_ = false;
+  bool use_uring_ = false;  // decided once in start(); all workers agree
   std::vector<std::thread> threads_;
   std::vector<std::unique_ptr<Worker>> workers_;  // shard-major order
   std::vector<std::unique_ptr<GroupCommit>> gcs_;  // empty = per-batch fencing

@@ -215,6 +215,9 @@ int main(int argc, char** argv) {
         args.host.c_str(), srv.port(0), srv.port(args.shards - 1),
         args.shards, args.workers);
   }
+  // Data-plane report (docs/scan.md): the probe's verdict, not the option —
+  // "epoll" here on a kernel that refused the ring or under the kill switch.
+  std::printf("upsl-serve: data plane %s\n", srv.data_plane());
   // Write-path report (docs/write-path.md): which ordering mode the store
   // runs with and whether acks share fences across connections.
   std::printf("upsl-serve: mod write path %s, group commit %s (window %u us)\n",
@@ -233,6 +236,14 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(st.connections_accepted.load()),
               static_cast<unsigned long long>(st.cross_shard_ops.load()));
   const auto pm = pmem::Stats::instance().snapshot();
+  if (pm.scan_chunks > 0) {
+    std::printf("upsl-serve: scans streamed %llu chunks / %llu entries "
+                "(%llu nodes visited, %llu simd filters)\n",
+                static_cast<unsigned long long>(pm.scan_chunks),
+                static_cast<unsigned long long>(pm.scan_entries_returned),
+                static_cast<unsigned long long>(pm.scan_nodes_visited),
+                static_cast<unsigned long long>(pm.simd_scan_filters));
+  }
   if (pm.group_commits > 0) {
     std::printf("upsl-serve: %llu group commits covered %llu mutations "
                 "(%.3f fences/mutation)\n",

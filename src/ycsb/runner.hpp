@@ -25,6 +25,15 @@ class KVAdapter {
                                               std::uint64_t value) = 0;
   virtual std::optional<std::uint64_t> search(std::uint64_t key) = 0;
   virtual std::optional<std::uint64_t> remove(std::uint64_t key) = 0;
+  /// Range scan (workload E): up to `count` live entries with key >= start,
+  /// ascending; returns how many were visited. Structures without ordered
+  /// iteration keep the default no-op (scans become free — only compare
+  /// workload-E numbers between adapters that implement this).
+  virtual std::size_t scan(std::uint64_t start, std::uint32_t count) {
+    (void)start;
+    (void)count;
+    return 0;
+  }
 };
 
 struct RunStats {
@@ -36,6 +45,10 @@ struct RunStats {
   LatencyHistogram reads;
   LatencyHistogram updates;
   LatencyHistogram inserts;
+  LatencyHistogram scans;
+  /// Entries returned by scans (kScan measures per-scan latency above;
+  /// throughput in entries/s needs the volume too).
+  std::uint64_t scan_entries = 0;
 };
 
 /// Preloads the trace's records (single-threaded) — not timed.
@@ -67,6 +80,9 @@ inline RunStats run_trace(KVAdapter& store, const Trace& trace,
           case OpType::kInsert:
             store.insert(op.key, op.value);
             break;
+          case OpType::kScan:
+            stats.scan_entries += store.scan(op.key, op.scan_len);
+            break;
         }
         if (measure_latency) {
           const auto ns = static_cast<std::uint64_t>(
@@ -82,6 +98,9 @@ inline RunStats run_trace(KVAdapter& store, const Trace& trace,
               break;
             case OpType::kInsert:
               stats.inserts.record(ns);
+              break;
+            case OpType::kScan:
+              stats.scans.record(ns);
               break;
           }
         }
@@ -100,6 +119,8 @@ inline RunStats run_trace(KVAdapter& store, const Trace& trace,
     total.reads.merge(s.reads);
     total.updates.merge(s.updates);
     total.inserts.merge(s.inserts);
+    total.scans.merge(s.scans);
+    total.scan_entries += s.scan_entries;
   }
   return total;
 }

@@ -25,6 +25,7 @@ class OpGenerator {
         rng_(seed),
         zipf_(records),
         latest_(records),
+        scan_len_(spec.max_scan_len == 0 ? 1 : spec.max_scan_len),
         insert_offset_(insert_offset),
         insert_stride_(insert_stride == 0 ? 1 : insert_stride) {}
 
@@ -36,6 +37,13 @@ class OpGenerator {
       op.type = OpType::kInsert;
       op.key = key_of(records_ + insert_offset_ + inserts_done_++ *
                                                       insert_stride_);
+    } else if (dice < spec_.insert + spec_.scan) {
+      // Range scan (workload E): start key from the spec's distribution,
+      // length zipfian-skewed over [1, max_scan_len] so most scans are short.
+      op.type = OpType::kScan;
+      op.key = key_of(pick_index());
+      op.scan_len =
+          1 + static_cast<std::uint32_t>(scan_len_.next(rng_));
     } else {
       op.type = dice < spec_.insert + spec_.update ? OpType::kUpdate
                                                    : OpType::kRead;
@@ -78,6 +86,7 @@ class OpGenerator {
   Xoshiro256 rng_;
   ScrambledZipfian zipf_;
   ZipfianGenerator latest_;
+  ZipfianGenerator scan_len_;  // rank 0 hottest -> lengths skew to 1
   std::uint64_t insert_offset_;
   std::uint64_t insert_stride_;
   std::uint64_t inserts_done_ = 0;

@@ -9,6 +9,8 @@
 //   B  Read-Mostly   95/5/0   zipfian
 //   C  Read-Only     100/0/0  zipfian
 //   D  Read-Latest   95/0/5   latest
+//   E  Scan-Heavy    0/0/5 + 95% scans, zipfian start keys, short
+//      zipfian-skewed scan lengths (YCSB workload E analogue; docs/scan.md)
 //
 // Traces are pre-generated and split across threads before the timed run,
 // as in the thesis ("memory-mapped ... and played back to perform the
@@ -28,12 +30,13 @@
 
 namespace upsl::ycsb {
 
-enum class OpType : std::uint8_t { kRead, kUpdate, kInsert };
+enum class OpType : std::uint8_t { kRead, kUpdate, kInsert, kScan };
 
 struct Op {
   OpType type;
   std::uint64_t key;
   std::uint64_t value;
+  std::uint32_t scan_len = 0;  // kScan only: entries to pull from `key` on
 };
 
 enum class Distribution { kZipfian, kLatest, kUniform };
@@ -44,6 +47,10 @@ struct WorkloadSpec {
   double update;
   double insert;
   Distribution dist;
+  // Appended after the classic fields so the A-D aggregate literals (and any
+  // user-written ones) keep meaning what they always did: scan defaults to 0.
+  double scan = 0;                 // fraction of ops that are range scans
+  std::uint32_t max_scan_len = 0;  // largest scan length drawn (kScan only)
 };
 
 inline constexpr WorkloadSpec kWorkloadA{"A(update-heavy)", 0.50, 0.50, 0.0,
@@ -54,6 +61,11 @@ inline constexpr WorkloadSpec kWorkloadC{"C(read-only)", 1.0, 0.0, 0.0,
                                          Distribution::kZipfian};
 inline constexpr WorkloadSpec kWorkloadD{"D(read-latest)", 0.95, 0.0, 0.05,
                                          Distribution::kLatest};
+/// YCSB workload E analogue: 95% short range scans (zipfian start key,
+/// zipfian-skewed length in [1, 100] — most scans are short, a few long),
+/// 5% inserts.
+inline constexpr WorkloadSpec kWorkloadE{"E(scan-heavy)", 0.0, 0.0, 0.05,
+                                         Distribution::kZipfian, 0.95, 100};
 
 /// Deterministic record index -> key mapping. Keys stay inside every
 /// structure's valid domain (nonzero, < 2^62 - 1).

@@ -298,6 +298,183 @@ TEST(ServerLoopback, ScanWithLimitAndOrder) {
   EXPECT_EQ(limited.front().first, 1u);
 }
 
+TEST(ServerLoopback, ChunkedScanReassemblesManyChunks) {
+  ServerFixture f;
+  Client c = f.connect();
+  std::vector<Response> resp;
+  for (std::uint64_t k = 1; k <= 3000; ++k) {
+    c.queue({Opcode::kPut, k, k * 3});
+    if (c.queued() == 256 || k == 3000) c.flush(&resp);
+  }
+
+  const auto want = c.scan_buffered(1, 3000);
+  ASSERT_EQ(want.size(), 3000u);
+
+  // A tiny chunk size forces dozens of frames; the callback sees them in
+  // order and their concatenation must equal the single-frame reply.
+  std::size_t chunks = 0;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> got;
+  const std::size_t n = c.scan_stream(
+      1, 3000,
+      [&](const std::vector<std::pair<std::uint64_t, std::uint64_t>>& part) {
+        ++chunks;
+        got.insert(got.end(), part.begin(), part.end());
+        return true;
+      },
+      /*limit=*/0, /*chunk=*/64);
+  EXPECT_EQ(n, 3000u);
+  EXPECT_GT(chunks, 20u);
+  ASSERT_EQ(got, want);
+
+  // And the transparent reassembling scan() sees the same world.
+  EXPECT_EQ(c.scan(1, 3000), want);
+}
+
+TEST(ServerLoopback, ScanStreamResumesAcrossTruncatedRequests) {
+  // More live entries than kMaxScanEntries: the server truncates the first
+  // SCANS exchange at the cap and hands back a resume key; the client must
+  // continue transparently with a second request and lose nothing at the
+  // seam. Preload through the store directly — 61k loopback PUTs would
+  // dominate the test.
+  core::Options opts = test::small_options(16, 12, 16);
+  opts.chunk.max_chunks = 256;  // room for > kMaxScanEntries live keys
+  ServerFixture f(2, opts);
+  constexpr std::uint64_t kN = kMaxScanEntries + 1000;
+  for (std::uint64_t k = 1; k <= kN; ++k) f.harness.store().insert(k, k + 5);
+
+  Client c = f.connect();
+  std::uint64_t expect_next = 1;
+  const std::size_t n = c.scan_stream(
+      1, kN,
+      [&](const std::vector<std::pair<std::uint64_t, std::uint64_t>>& part) {
+        for (const auto& [k, v] : part) {
+          if (k != expect_next || v != k + 5) return false;  // fail fast
+          ++expect_next;
+        }
+        return true;
+      },
+      /*limit=*/0, /*chunk=*/8192);
+  EXPECT_EQ(n, kN);
+  EXPECT_EQ(expect_next, kN + 1) << "gap or reorder at the resume seam";
+  // The continuation is a separate SCANS request on the wire.
+  EXPECT_GE(f.srv->stats().scans.load(), 2u);
+}
+
+TEST(ServerLoopback, ScanStreamEarlyStopLeavesConnectionUsable) {
+  ServerFixture f;
+  Client c = f.connect();
+  std::vector<Response> resp;
+  for (std::uint64_t k = 1; k <= 2000; ++k) {
+    c.queue({Opcode::kPut, k, k});
+    if (c.queued() == 256 || k == 2000) c.flush(&resp);
+  }
+
+  // Stop after the first chunk: the callback sees nothing further, and no
+  // continuation request is issued. The in-flight exchange still drains in
+  // full (the protocol is strictly pipelined — a request's chunks cannot be
+  // abandoned mid-frame), so the return value counts the drained entries
+  // and the connection stays frame-aligned.
+  std::size_t calls = 0;
+  const std::size_t n = c.scan_stream(
+      1, 2000,
+      [&](const std::vector<std::pair<std::uint64_t, std::uint64_t>>&) {
+        ++calls;
+        return false;
+      },
+      /*limit=*/0, /*chunk=*/32);
+  EXPECT_EQ(calls, 1u);
+  EXPECT_EQ(n, 2000u);
+
+  // Same connection keeps serving point ops and full scans.
+  EXPECT_EQ(c.get(1234), std::optional<std::uint64_t>(1234));
+  EXPECT_EQ(c.scan(1, 2000).size(), 2000u);
+}
+
+// ---- data planes (epoll / io_uring) ----------------------------------------
+
+TEST(ServerLoopback, DataPlaneReportedInStats) {
+  ServerFixture f;
+  const std::string plane = f.srv->data_plane();
+  EXPECT_TRUE(plane == "io_uring" || plane == "epoll") << plane;
+  Client c = f.connect();
+  const std::string stats = c.stats_json();
+  EXPECT_NE(stats.find("\"data_plane\": \"" + plane + "\""), std::string::npos)
+      << stats;
+}
+
+TEST(ServerLoopback, IoUringKillSwitchForcesEpoll) {
+  test::ScopedEnv off("UPSL_DISABLE_IOURING", "1");
+  ServerFixture f;
+  EXPECT_STREQ(f.srv->data_plane(), "epoll");
+  Client c = f.connect();
+  ASSERT_TRUE(c.put(1, 10).created);
+  EXPECT_EQ(c.get(1), std::optional<std::uint64_t>(10));
+  for (std::uint64_t k = 2; k <= 500; ++k) c.put(k, k);
+  EXPECT_EQ(c.scan(1, 500).size(), 500u);
+}
+
+/// Scan-heavy traffic racing a graceful drain, on each data plane: every
+/// response the client already received must be durable across a crash
+/// restart, and the drain must complete (no hung worker) even with chunked
+/// scan exchanges in flight when stop() lands.
+void scan_heavy_drain_cycle(const char* disable_uring) {
+  test::ScopedEnv env("UPSL_DISABLE_IOURING", disable_uring);
+  ServerFixture f(2);
+  const std::string plane = f.srv->data_plane();
+  for (std::uint64_t k = 1; k <= 2000; ++k) f.harness.store().insert(k, k);
+
+  std::vector<std::vector<std::uint64_t>> acked(3);
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 3; ++t) {
+    clients.emplace_back([&, t] {
+      Client c;
+      if (!c.connect("127.0.0.1", f.srv->port())) return;
+      std::vector<Response> resp;
+      try {
+        for (std::uint64_t i = 0; i < 400; ++i) {
+          const std::uint64_t k = 10000 + static_cast<std::uint64_t>(t) * 1000 + i;
+          c.queue({Opcode::kPut, k, k * 2});
+          c.flush(&resp);
+          if (resp.size() == 1 && resp[0].status == Status::kCreated)
+            acked[static_cast<std::size_t>(t)].push_back(k);
+          c.scan_stream(
+              1, 2000,
+              [](const std::vector<std::pair<std::uint64_t,
+                                             std::uint64_t>>&) {
+                return true;
+              },
+              /*limit=*/0, /*chunk=*/64);
+        }
+      } catch (const std::exception&) {
+        // Drain closed the connection mid-exchange — expected.
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  f.stop_server();  // drain with scans + puts in flight
+  for (auto& th : clients) th.join();
+
+  f.harness.crash_and_reopen();
+  auto& store = f.harness.store();
+  store.check_invariants();
+  // Preloaded range is intact and scannable.
+  std::vector<core::ScanEntry> out;
+  EXPECT_EQ(store.scan(1, 2000, out), 2000u) << "plane " << plane;
+  // Every write the clients saw acknowledged is durable.
+  for (const auto& keys : acked)
+    for (const std::uint64_t k : keys)
+      EXPECT_EQ(store.search(k), std::optional<std::uint64_t>(k * 2))
+          << "acked write lost on plane " << plane;
+}
+
+TEST(ServerLoopback, ScanHeavyDrainAndRecoverOnProbedPlane) {
+  scan_heavy_drain_cycle("0");
+}
+
+TEST(ServerLoopback, ScanHeavyDrainAndRecoverOnEpoll) {
+  scan_heavy_drain_cycle("1");
+}
+
 TEST(ServerLoopback, PipelinedBatchKeepsOrder) {
   ServerFixture f;
   Client c = f.connect();

@@ -216,6 +216,84 @@ TEST(SimdSorted, RandomizedDifferential) {
   }
 }
 
+// ---- range-mask kernel (the SCAN filter) -----------------------------------
+
+std::vector<std::pair<const char*, RangeMaskFn>> runnable_range_kernels() {
+  std::vector<std::pair<const char*, RangeMaskFn>> out{
+      {"scalar", &range_mask_u64_scalar}};
+#ifdef UPSL_SIMD_X86
+  if (upsl::detail::cpu_has_avx2())
+    out.push_back({"avx2", &range_mask_u64_avx2});
+#endif
+  return out;
+}
+
+/// Every runnable kernel plus the dispatched entry point must produce the
+/// scalar reference's mask words and popcount, bit for bit.
+void expect_range_agree(const std::vector<std::uint64_t>& keys,
+                        std::uint32_t count, std::uint64_t lo,
+                        std::uint64_t hi) {
+  const std::uint32_t words = (count + 63) / 64;
+  std::vector<std::uint64_t> want_mask(std::max(words, 1u), ~0ULL);
+  const std::uint32_t want =
+      range_mask_u64_scalar(keys.data(), count, lo, hi, want_mask.data());
+  std::uint32_t check = 0;
+  for (std::uint32_t w = 0; w < words; ++w)
+    check += static_cast<std::uint32_t>(__builtin_popcountll(want_mask[w]));
+  ASSERT_EQ(want, check) << "scalar popcount disagrees with its own mask";
+  for (const auto& [name, fn] : runnable_range_kernels()) {
+    std::vector<std::uint64_t> mask(std::max(words, 1u), ~0ULL);
+    EXPECT_EQ(fn(keys.data(), count, lo, hi, mask.data()), want)
+        << name << " count=" << count << " lo=" << lo << " hi=" << hi;
+    for (std::uint32_t w = 0; w < words; ++w)
+      EXPECT_EQ(mask[w], want_mask[w])
+          << name << " mask word " << w << " count=" << count << " lo=" << lo
+          << " hi=" << hi;
+  }
+  std::vector<std::uint64_t> mask(std::max(words, 1u), ~0ULL);
+  EXPECT_EQ(range_mask_u64(keys.data(), count, lo, hi, mask.data()), want)
+      << "dispatched count=" << count;
+  for (std::uint32_t w = 0; w < words; ++w) EXPECT_EQ(mask[w], want_mask[w]);
+}
+
+class SimdRangeWidth : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(SimdRangeWidth, BoundaryRanges) {
+  const std::uint32_t K = GetParam();
+  std::vector<std::uint64_t> keys(K);
+  for (std::uint32_t i = 0; i < K; ++i)
+    keys[i] = (i % 5 == 4) ? 0 : (i + 1) * 3;  // nulls sprinkled in
+  const std::uint64_t top = K * 3 + 1;
+  // Everything, nothing, single key, half-open-ish edges, inverted.
+  expect_range_agree(keys, K, 1, ~0ULL);
+  expect_range_agree(keys, K, 1, top);
+  expect_range_agree(keys, K, top, top + 100);
+  expect_range_agree(keys, K, 3, 3);
+  expect_range_agree(keys, K, 2, 4);
+  expect_range_agree(keys, K, top / 2, top / 2 + 9);
+  expect_range_agree(keys, K, 50, 10);  // inverted -> empty
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SimdRangeWidth,
+                         ::testing::Values(1u, 2u, 3u, 7u, 8u, 9u, 15u, 16u,
+                                           63u, 64u, 65u, 128u, 256u),
+                         [](const auto& info) {
+                           return "K" + std::to_string(info.param);
+                         });
+
+TEST(SimdRange, RandomizedDifferential) {
+  std::mt19937_64 rng(777);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const std::uint32_t K = 1 + static_cast<std::uint32_t>(rng() % 256);
+    std::vector<std::uint64_t> keys(K);
+    for (auto& k : keys) k = (rng() % 4 == 0) ? 0 : 1 + rng() % 997;
+    std::uint64_t lo = 1 + rng() % 1024;
+    std::uint64_t hi = 1 + rng() % 1024;
+    if (rng() % 8 != 0 && lo > hi) std::swap(lo, hi);  // mostly valid ranges
+    expect_range_agree(keys, K, lo, hi);
+  }
+}
+
 // ---- dispatch resolution ---------------------------------------------------
 
 TEST(SimdDispatch, ResolveLevelCoversAllCombinations) {

@@ -127,6 +127,77 @@ TEST(UPSkipList, ScanEmptyAndInvertedRanges) {
   EXPECT_EQ(h.store().scan(10, 6, out), 0u);
 }
 
+TEST(UPSkipList, ScanChunkWalksRangeInDisjointResumableChunks) {
+  StoreHarness h(small_options(4));
+  for (std::uint64_t k = 1; k <= 300; ++k) h.store().insert(k * 3, k);
+
+  std::vector<ScanEntry> reference;
+  h.store().scan(1, 900, reference);
+  ASSERT_EQ(reference.size(), 300u);
+
+  std::vector<ScanEntry> all;
+  std::vector<ScanEntry> chunk;
+  std::uint64_t lo = 1;
+  std::uint64_t resume = ~0ULL;
+  std::size_t chunks = 0;
+  while (true) {
+    chunk.clear();
+    h.store().scan_chunk(lo, 900, /*limit=*/5, chunk, &resume);
+    // A chunk stops at a node boundary: at most limit + keys_per_node - 1.
+    EXPECT_LE(chunk.size(), 5u + 4u - 1u);
+    for (std::size_t i = 1; i < chunk.size(); ++i)
+      EXPECT_LT(chunk[i - 1].key, chunk[i].key);
+    if (!all.empty() && !chunk.empty())
+      EXPECT_LT(all.back().key, chunk.front().key) << "chunks overlap";
+    if (resume != 0 && !chunk.empty())
+      EXPECT_LT(chunk.back().key, resume) << "resume key already covered";
+    all.insert(all.end(), chunk.begin(), chunk.end());
+    ++chunks;
+    if (resume == 0) break;
+    lo = resume;
+  }
+  EXPECT_GT(chunks, 10u) << "limit 5 over 300 keys must take many chunks";
+  ASSERT_EQ(all.size(), reference.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i].key, reference[i].key);
+    EXPECT_EQ(all[i].value, reference[i].value);
+  }
+}
+
+TEST(UPSkipList, ScanChunkLimitZeroMatchesScan) {
+  StoreHarness h(small_options(8));
+  for (std::uint64_t k = 5; k <= 500; k += 5) h.store().insert(k, k + 1);
+  for (std::uint64_t k = 10; k <= 500; k += 10) h.store().remove(k);
+
+  std::vector<ScanEntry> want;
+  h.store().scan(7, 493, want);
+  std::vector<ScanEntry> got;
+  std::uint64_t resume = ~0ULL;
+  EXPECT_EQ(h.store().scan_chunk(7, 493, 0, got, &resume), want.size());
+  EXPECT_EQ(resume, 0u) << "unbounded chunk covers the whole range";
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i)
+    EXPECT_EQ(got[i].key, want[i].key);
+}
+
+TEST(UPSkipList, ScanChunkResumesPastTombstoneRuns) {
+  StoreHarness h(small_options(4));
+  for (std::uint64_t k = 1; k <= 200; ++k) h.store().insert(k, k);
+  // Tombstone a long interior run; chunked walks must hop it and terminate.
+  for (std::uint64_t k = 50; k <= 150; ++k) h.store().remove(k);
+
+  std::vector<ScanEntry> all, chunk;
+  std::uint64_t lo = 1, resume = ~0ULL;
+  do {
+    chunk.clear();
+    h.store().scan_chunk(lo, 200, 8, chunk, &resume);
+    all.insert(all.end(), chunk.begin(), chunk.end());
+    lo = resume;
+  } while (resume != 0);
+  ASSERT_EQ(all.size(), 99u);
+  for (const auto& e : all) EXPECT_TRUE(e.key < 50 || e.key > 150) << e.key;
+}
+
 TEST(UPSkipList, CleanReopenPreservesData) {
   StoreHarness h(small_options(4));
   for (std::uint64_t k = 1; k <= 50; ++k) h.store().insert(k, k * 2);
@@ -314,6 +385,85 @@ TEST(UPSkipListConcurrent, ReadersDuringSplits) {
   ThreadRegistry::instance().bind(0);
   EXPECT_EQ(h.store().count_keys(), 400u);
   h.store().check_invariants();
+}
+
+/// Scans racing splits and removes, differentially checked against what a
+/// single-threaded model can guarantee: output strictly ascending (no dupes,
+/// no reordering), every stable key present with its value, and nothing ever
+/// returned that was never inserted. Runs in both search-layer modes — the
+/// DRAM index and persistent towers walk different level structures over the
+/// same data level.
+void scan_differential_under_churn(bool dram_index) {
+  test::ScopedEnv pin("UPSL_DISABLE_DRAM_INDEX", dram_index ? "0" : "1");
+  core::Options o = small_options(4, 12, 8);
+  o.dram_index = dram_index;
+  StoreHarness h(o);
+  ASSERT_EQ(h.store().dram_index_enabled(), dram_index);
+
+  // Stable keys: odd in [1, 1199], never touched by the writers.
+  for (std::uint64_t k = 1; k < 1200; k += 2) h.store().insert(k, k * 7);
+
+  std::atomic<bool> stop{false};
+  // Writer 1: ascending even inserts — continuous node splits.
+  std::thread splitter([&] {
+    ThreadRegistry::instance().bind(1);
+    std::uint64_t k = 2;
+    while (!stop.load(std::memory_order_relaxed) && k < 1200) {
+      h.store().insert(k, k * 7);
+      k += 2;
+    }
+  });
+  // Writer 2: churns a fixed even subset with remove/reinsert cycles.
+  std::thread churner([&] {
+    ThreadRegistry::instance().bind(2);
+    Xoshiro256 rng(17);
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::uint64_t k = 600 + 2 * rng.next_below(100);  // evens 600..798
+      if (rng.next_below(2) == 0)
+        h.store().remove(k);
+      else
+        h.store().insert(k, k * 7);
+    }
+  });
+
+  ThreadRegistry::instance().bind(0);
+  std::vector<ScanEntry> out, chunk;
+  for (int iter = 0; iter < 40; ++iter) {
+    // Full scan and chunked walk alternate so both paths race the writers.
+    out.clear();
+    if (iter % 2 == 0) {
+      h.store().scan(1, 1200, out);
+    } else {
+      std::uint64_t lo = 1, resume = ~0ULL;
+      do {
+        chunk.clear();
+        h.store().scan_chunk(lo, 1200, 16, chunk, &resume);
+        out.insert(out.end(), chunk.begin(), chunk.end());
+        lo = resume;
+      } while (resume != 0);
+    }
+    for (std::size_t i = 1; i < out.size(); ++i)
+      ASSERT_LT(out[i - 1].key, out[i].key) << "iter " << iter;
+    std::size_t odd = 0;
+    for (const auto& e : out) {
+      ASSERT_EQ(e.value, e.key * 7) << "iter " << iter;
+      if (e.key % 2 == 1) ++odd;
+    }
+    ASSERT_EQ(odd, 600u) << "stable keys missing, iter " << iter;
+  }
+  stop.store(true);
+  splitter.join();
+  churner.join();
+  ThreadRegistry::instance().bind(0);
+  h.store().check_invariants();
+}
+
+TEST(UPSkipListConcurrent, ScanDifferentialUnderChurnDramIndex) {
+  scan_differential_under_churn(true);
+}
+
+TEST(UPSkipListConcurrent, ScanDifferentialUnderChurnPersistentTowers) {
+  scan_differential_under_churn(false);
 }
 
 TEST(UPSkipList, SortedSplitsMatchesReferenceModel) {
