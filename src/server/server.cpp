@@ -95,6 +95,13 @@ struct Server::Conn {
   bool send_armed = false;
   bool closing = false;            // fd closed; waiting for pending_ops == 0
   bool close_after_flush = false;  // peer sent FIN: close once out drains
+  bool reaped = false;             // already on the worker's dead list
+  // uring_close could not post the ASYNC_CANCEL for an armed op (SQ full
+  // even after a submit); retried from the event loop until it posts, so the
+  // in-flight op — which holds a kernel reference to the closed file — is
+  // not left to linger indefinitely.
+  bool need_cancel_recv = false;
+  bool need_cancel_send = false;
   unsigned pending_ops = 0;
 
   bool has_pending_out() const { return out_off < sendable_end; }
@@ -114,6 +121,13 @@ struct Server::Worker {
   bool draining = false;  // suppress re-arms during the graceful drain
   unsigned inflight = 0;  // SQEs posted whose CQE has not been reaped yet
   std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> uconns;
+  // Conns whose last in-flight op completed after close: destruction is
+  // deferred to uring_sweep_dead at the top of the event/drain loop, so a
+  // close_conn triggered deep inside uring_handle_cqe (via execute_batch)
+  // never frees a Conn that callers up the stack still reference, and never
+  // invalidates a loop iterating uconns.
+  std::vector<std::uint64_t> dead_uconns;
+  std::vector<std::uint64_t> cancel_retry;  // Conn keys with need_cancel_*
   std::vector<std::vector<std::uint8_t>> fixed_bufs;  // registered recv pool
   std::vector<int> free_bufs;
   std::uint64_t efd_val = 0;  // eventfd read target (stable address)
@@ -1048,6 +1062,8 @@ void Server::uring_close(Worker& w, Conn& c) {
       Uring::prep_cancel(sqe, conn_ud(&c, kTagRecv), conn_ud(&c, kTagCancel));
       ++c.pending_ops;
       ++w.inflight;
+    } else {
+      c.need_cancel_recv = true;
     }
   }
   if (c.send_armed) {
@@ -1056,8 +1072,12 @@ void Server::uring_close(Worker& w, Conn& c) {
       Uring::prep_cancel(sqe, conn_ud(&c, kTagSend), conn_ud(&c, kTagCancel));
       ++c.pending_ops;
       ++w.inflight;
+    } else {
+      c.need_cancel_send = true;
     }
   }
+  if (c.need_cancel_recv || c.need_cancel_send)
+    w.cancel_retry.push_back(reinterpret_cast<std::uint64_t>(&c));
   ::close(c.fd);
   c.fd = -1;
   c.closing = true;
@@ -1065,15 +1085,65 @@ void Server::uring_close(Worker& w, Conn& c) {
   uring_reap(w, c);
 }
 
-/// Destroys a closed Conn once its last in-flight op has completed,
-/// returning its fixed-buffer slot to the pool. No-op until then.
+/// Marks a closed Conn dead once its last in-flight op has completed,
+/// returning its fixed-buffer slot to the pool. No-op until then. The Conn
+/// itself is NOT destroyed here — close_conn's contract is that callers up
+/// the stack still hold a reference (uring_handle_cqe touches the Conn after
+/// execute_batch, and the drain loops iterate uconns while closing), so
+/// destruction waits for uring_sweep_dead at the top of the loop.
 void Server::uring_reap(Worker& w, Conn& c) {
-  if (!c.closing || c.pending_ops > 0) return;
+  if (!c.closing || c.pending_ops > 0 || c.reaped) return;
   if (c.buf_idx >= 0) {
     w.free_bufs.push_back(c.buf_idx);
     c.buf_idx = -1;
   }
-  w.uconns.erase(reinterpret_cast<std::uint64_t>(&c));
+  c.reaped = true;
+  w.dead_uconns.push_back(reinterpret_cast<std::uint64_t>(&c));
+}
+
+/// Destroys reaped Conns. Only called from the top of the event/drain loop,
+/// never from inside a CQE handler or a loop over uconns: a reaped Conn has
+/// pending_ops == 0, so no CQE still to be processed can reference it.
+void Server::uring_sweep_dead(Worker& w) {
+  for (const std::uint64_t key : w.dead_uconns) w.uconns.erase(key);
+  w.dead_uconns.clear();
+}
+
+/// Re-posts the ASYNC_CANCELs uring_close had to skip because the SQ was
+/// full. Cheap no-op in steady state (the retry list is almost always
+/// empty); entries whose op completed on its own in the meantime are simply
+/// dropped.
+void Server::uring_retry_cancels(Worker& w) {
+  if (w.cancel_retry.empty()) return;
+  std::vector<std::uint64_t> keep;
+  for (const std::uint64_t key : w.cancel_retry) {
+    const auto it = w.uconns.find(key);
+    if (it == w.uconns.end()) continue;
+    Conn& c = *it->second;
+    if (c.need_cancel_recv) {
+      io_uring_sqe* sqe = sqe_or_flush(w.ring);
+      if (sqe == nullptr) {
+        keep.push_back(key);
+        continue;
+      }
+      Uring::prep_cancel(sqe, conn_ud(&c, kTagRecv), conn_ud(&c, kTagCancel));
+      ++c.pending_ops;
+      ++w.inflight;
+      c.need_cancel_recv = false;
+    }
+    if (c.need_cancel_send) {
+      io_uring_sqe* sqe = sqe_or_flush(w.ring);
+      if (sqe == nullptr) {
+        keep.push_back(key);
+        continue;
+      }
+      Uring::prep_cancel(sqe, conn_ud(&c, kTagSend), conn_ud(&c, kTagCancel));
+      ++c.pending_ops;
+      ++w.inflight;
+      c.need_cancel_send = false;
+    }
+  }
+  w.cancel_retry.swap(keep);
 }
 
 void Server::uring_handle_cqe(Worker& w, std::uint64_t user_data, int res,
@@ -1100,6 +1170,16 @@ void Server::uring_handle_cqe(Worker& w, std::uint64_t user_data, int res,
       }
     }
     if (!more && !w.draining) {
+      // Never re-arm after a hard error: a kernel that rejects the accept
+      // itself (e.g. -EINVAL from missing multishot support, which the
+      // startup probe should have ruled out) would fail the re-armed SQE
+      // instantly too, spinning the worker at 100% CPU. Transient resource
+      // errors (EMFILE, ENOBUFS, ECONNABORTED, ...) re-arm as usual.
+      if (res == -EINVAL || res == -EBADF || res == -ENOTSOCK ||
+          res == -EOPNOTSUPP) {
+        stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
       io_uring_sqe* sqe = sqe_or_flush(w.ring);
       if (sqe != nullptr) {
         Uring::prep_accept_multishot(sqe, listen_fds_[w.shard], kUdAccept);
@@ -1138,6 +1218,7 @@ void Server::uring_handle_cqe(Worker& w, std::uint64_t user_data, int res,
   }
   if (tag == kTagRecv) {
     c.recv_armed = false;
+    c.need_cancel_recv = false;  // op completed; a queued retry is moot
     if (c.closing) {
       uring_reap(w, c);
       return;
@@ -1177,6 +1258,7 @@ void Server::uring_handle_cqe(Worker& w, std::uint64_t user_data, int res,
   }
   if (tag == kTagSend) {
     c.send_armed = false;
+    c.need_cancel_send = false;  // op completed; a queued retry is moot
     if (c.closing) {
       uring_reap(w, c);
       return;
@@ -1224,6 +1306,10 @@ void Server::worker_main_uring(unsigned global_index) {
 
   io_uring_cqe cqes[256];
   while (true) {
+    // Top of loop, no Conn reference live anywhere up the stack: destroy
+    // the Conns the last pass reaped and re-post any skipped cancels.
+    uring_sweep_dead(w);
+    uring_retry_cancels(w);
     if (stop_.load(std::memory_order_acquire) || signal_stop_requested()) {
       drain_worker_uring(w);
       return;
@@ -1263,14 +1349,18 @@ void Server::drain_worker_uring(Worker& w) {
   }
 
   io_uring_cqe cqes[256];
+  // Safe to sweep here: reap_all is only called from the plain wait loops
+  // below, never while a loop over uconns is in progress.
   auto reap_all = [&] {
     unsigned n;
     while ((n = w.ring.reap(cqes, 256)) > 0) {
       for (unsigned i = 0; i < n; ++i)
         uring_handle_cqe(w, cqes[i].user_data, cqes[i].res, cqes[i].flags);
     }
+    uring_sweep_dead(w);
   };
   while (w.inflight > 0 && std::chrono::steady_clock::now() < deadline) {
+    uring_retry_cancels(w);
     if (w.ring.submit_and_wait(1, 100) < 0 && errno != EINTR) break;
     reap_all();
   }
@@ -1317,19 +1407,32 @@ void Server::drain_worker_uring(Worker& w) {
   // cancel whatever the deadline left behind and wait the CQEs out —
   // canceled ops always complete.
   for (auto& [key, cp] : w.uconns) {
-    if (cp->send_armed &&
-        cancel(conn_ud(cp.get(), kTagSend), conn_ud(cp.get(), kTagCancel)))
-      ++cp->pending_ops;
-    if (cp->recv_armed &&
-        cancel(conn_ud(cp.get(), kTagRecv), conn_ud(cp.get(), kTagCancel)))
-      ++cp->pending_ops;
+    if (cp->send_armed) {
+      if (cancel(conn_ud(cp.get(), kTagSend), conn_ud(cp.get(), kTagCancel))) {
+        ++cp->pending_ops;
+      } else if (!cp->need_cancel_send) {
+        cp->need_cancel_send = true;
+        w.cancel_retry.push_back(key);
+      }
+    }
+    if (cp->recv_armed) {
+      if (cancel(conn_ud(cp.get(), kTagRecv), conn_ud(cp.get(), kTagCancel))) {
+        ++cp->pending_ops;
+      } else if (!cp->need_cancel_recv) {
+        cp->need_cancel_recv = true;
+        w.cancel_retry.push_back(key);
+      }
+    }
   }
   while (w.inflight > 0) {
+    uring_retry_cancels(w);
     const int r = w.ring.submit_and_wait(1, 1000);
     if (r < 0 && r != -EINTR) break;
     reap_all();
   }
   w.uconns.clear();
+  w.dead_uconns.clear();
+  w.cancel_retry.clear();
 }
 
 #endif  // UPSL_HAVE_IOURING

@@ -206,6 +206,11 @@ class Server {
   void uring_flush(Worker& w, Conn& c);
   void uring_close(Worker& w, Conn& c);
   void uring_reap(Worker& w, Conn& c);
+  /// Destroys reaped Conns; only called at top-of-loop points where no Conn
+  /// reference is live up the stack.
+  void uring_sweep_dead(Worker& w);
+  /// Re-posts ASYNC_CANCELs that uring_close skipped on a full SQ.
+  void uring_retry_cancels(Worker& w);
   /// Release every parked ack covered by the committer's progress and push
   /// the freed bytes out (eventfd wakeup path).
   void release_committed(Worker& w);

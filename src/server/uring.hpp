@@ -20,6 +20,7 @@
 
 #include <errno.h>
 #include <linux/io_uring.h>
+#include <netinet/in.h>
 #include <string.h>
 #include <sys/mman.h>
 #include <sys/socket.h>
@@ -283,12 +284,43 @@ class Uring {
 };
 
 /// One-shot probe: can this process create a ring with the features the
-/// server plane needs? SINGLE_MMAP (checked by init) and EXT_ARG — the
-/// worker loop polls its stop flag on a timed wait, so a kernel without
-/// EXT_ARG timeouts (< 5.11) falls back to epoll.
+/// server plane needs? SINGLE_MMAP (checked by init), EXT_ARG — the worker
+/// loop polls its stop flag on a timed wait, so a kernel without EXT_ARG
+/// timeouts (< 5.11) falls back to epoll — and multishot accept (< 5.19
+/// rejects the IORING_ACCEPT_MULTISHOT flag). The multishot check must be
+/// functional: REGISTER_PROBE only reports opcodes, and IORING_OP_ACCEPT
+/// itself predates the flag. So arm a multishot accept on a private loopback
+/// listener nobody ever connects to: a supporting kernel parks the op (the
+/// short wait times out with no CQE); an older one completes it immediately
+/// with -EINVAL.
 inline bool io_uring_available() {
   Uring probe;
-  return probe.init(8) && (probe.features() & IORING_FEAT_EXT_ARG) != 0;
+  if (!probe.init(8) || (probe.features() & IORING_FEAT_EXT_ARG) == 0)
+    return false;
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return false;
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  bool ok = ::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0 &&
+            ::listen(fd, 1) == 0;
+  if (ok) {
+    io_uring_sqe* sqe = probe.get_sqe();  // fresh 8-entry ring: never null
+    ok = sqe != nullptr;
+    if (ok) {
+      Uring::prep_accept_multishot(sqe, fd, 1);
+      probe.submit_and_wait(1, 10);
+      io_uring_cqe cqe;
+      if (probe.reap(&cqe, 1) == 1 && cqe.res < 0) ok = false;
+    }
+  }
+  // destroy() (~Uring) tears the ring down before the fd closes, so the
+  // parked accept never dangles.
+  probe.destroy();
+  ::close(fd);
+  return ok;
 }
 
 }  // namespace upsl::server

@@ -535,6 +535,48 @@ TEST(ServerLoopback, GarbageBytesCloseConnectionServerSurvives) {
   EXPECT_GE(f.srv->stats().protocol_errors.load(), 2u);
 }
 
+/// Regression: a protocol error detected inside execute_batch closes the
+/// connection from *within* the io_uring recv-CQE handler, which then still
+/// touches the Conn (re-arm / FIN checks). The Conn must therefore outlive
+/// close_conn until the event loop's top-of-loop sweep — an immediate erase
+/// is a use-after-free. Hammering many close cycles (with live traffic
+/// interleaved so freed heap gets reused) makes the stale access corrupt
+/// visibly even without ASan; run it on both planes.
+void protocol_error_close_storm(const char* disable_uring) {
+  test::ScopedEnv env("UPSL_DISABLE_IOURING", disable_uring);
+  ServerFixture f(2);
+  Client good = f.connect();
+  ASSERT_TRUE(good.ping());
+
+  std::vector<std::uint8_t> junk;
+  put_u32(junk, 0xfffffff0u);  // oversized frame length -> protocol error
+  junk.resize(junk.size() + 64, 0xab);
+  for (int i = 0; i < 64; ++i) {
+    const int bad = raw_connect(f.srv->port());
+    ASSERT_GE(bad, 0);
+    ASSERT_EQ(::send(bad, junk.data(), junk.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(junk.size()));
+    char buf[16];
+    EXPECT_EQ(::recv(bad, buf, sizeof buf, 0), 0) << "iteration " << i;
+    ::close(bad);
+    // Interleaved real work churns the allocator and proves the worker that
+    // just ran the close path still serves correctly.
+    EXPECT_TRUE(good.ping()) << "iteration " << i;
+    const std::uint64_t k = 1000 + static_cast<std::uint64_t>(i);
+    EXPECT_TRUE(good.put(k, k * 3).created) << "iteration " << i;
+  }
+  EXPECT_GE(f.srv->stats().protocol_errors.load(), 64u);
+  EXPECT_EQ(good.scan(1000, 1063).size(), 64u);
+}
+
+TEST(ServerLoopback, ProtocolErrorCloseStormOnProbedPlane) {
+  protocol_error_close_storm("0");
+}
+
+TEST(ServerLoopback, ProtocolErrorCloseStormOnEpoll) {
+  protocol_error_close_storm("1");
+}
+
 TEST(ServerLoopback, GracefulDrainThenRestartRecoversAllAckedWrites) {
   constexpr std::uint64_t kN = 500;
   ServerFixture f(2);
